@@ -1,0 +1,184 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dqr::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+}  // namespace
+
+BenchEnv BenchEnv::FromEnv() {
+  BenchEnv env;
+  const double scale = EnvDouble("DQR_BENCH_SCALE", 1.0);
+  env.synth_length = static_cast<int64_t>(env.synth_length * scale);
+  env.wave_length = static_cast<int64_t>(env.wave_length * scale);
+  env.timeout_s = EnvDouble("DQR_BENCH_TIMEOUT_S", env.timeout_s);
+  env.estimate_cost_ns = static_cast<int64_t>(
+      EnvDouble("DQR_BENCH_COST_NS",
+                static_cast<double>(env.estimate_cost_ns)));
+  return env;
+}
+
+data::DatasetBundle SynthBundle(const BenchEnv& env) {
+  auto result = data::MakeSyntheticDataset(env.synth_length, 42);
+  DQR_CHECK_MSG(result.ok(), "synthetic dataset generation failed");
+  return std::move(result).value();
+}
+
+data::DatasetBundle WaveBundle(const BenchEnv& env) {
+  auto result = data::MakeWaveformDataset(env.wave_length, 1234);
+  DQR_CHECK_MSG(result.ok(), "waveform dataset generation failed");
+  return std::move(result).value();
+}
+
+const data::DatasetBundle& BundleFor(const BenchEnv& env,
+                                     data::QueryKind kind,
+                                     const data::DatasetBundle& synth,
+                                     const data::DatasetBundle& wave) {
+  (void)env;
+  const bool synthetic = kind == data::QueryKind::kSSel ||
+                         kind == data::QueryKind::kSLos;
+  return synthetic ? synth : wave;
+}
+
+core::RefineOptions AutoOptions(const BenchEnv& env) {
+  core::RefineOptions options;
+  options.num_instances = env.num_instances;
+  options.time_budget_s = 20 * env.timeout_s;  // safety net only
+  return options;
+}
+
+core::RefineOptions ManualOptions(const BenchEnv& env) {
+  core::RefineOptions options;
+  options.enable = false;
+  options.num_instances = env.num_instances;
+  options.time_budget_s = env.timeout_s;
+  return options;
+}
+
+RunOutcome Run(const searchlight::QuerySpec& query,
+               const core::RefineOptions& options) {
+  auto result = core::ExecuteQuery(query, options);
+  DQR_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  RunOutcome outcome;
+  outcome.total_s = result.value().stats.total_s;
+  outcome.first_s = result.value().stats.first_result_s;
+  outcome.results = result.value().results.size();
+  outcome.completed = result.value().stats.completed;
+  outcome.stats = result.value().stats;
+  return outcome;
+}
+
+RunOutcome RunManualScenario(const BenchEnv& env,
+                             const data::DatasetBundle& bundle,
+                             data::QueryKind kind,
+                             const std::vector<double>& fractions) {
+  const core::RefineOptions options = ManualOptions(env);
+  RunOutcome total;
+  for (const double fraction : fractions) {
+    data::QueryTuning tuning;
+    tuning.k = env.k;
+    tuning.estimate_cost_ns = env.estimate_cost_ns;
+    tuning.relax_fraction = fraction;
+    const searchlight::QuerySpec query =
+        data::MakeQuery(bundle, kind, tuning);
+    const RunOutcome step = Run(query, options);
+    if (step.first_s >= 0.0 && total.first_s < 0.0 &&
+        step.results >= static_cast<size_t>(env.k)) {
+      total.first_s = total.total_s + step.first_s;
+    }
+    total.total_s += step.total_s;
+    total.results = step.results;
+    total.completed = total.completed && step.completed;
+    if (!step.completed) break;  // the user gave up on this iteration
+  }
+  return total;
+}
+
+UserFractions FractionsFor(data::QueryKind kind) {
+  switch (kind) {
+    case data::QueryKind::kSSel:
+      return {0.10, 0.30};
+    case data::QueryKind::kSLos:
+      return {0.10, 0.30};
+    case data::QueryKind::kMSel:
+      return {0.25, 0.55};
+    case data::QueryKind::kMLos:
+      return {0.10, 0.30};
+    case data::QueryKind::kMSelPrime:
+      return {0.10, 0.30};
+  }
+  return {};
+}
+
+std::string Secs(double s, bool capped) {
+  char buf[64];
+  if (capped) {
+    std::snprintf(buf, sizeof(buf), ">%.0f", s);
+    return buf;
+  }
+  if (s < 0.0) return "-";
+  if (s >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fh %.0fm", std::floor(s / 3600.0),
+                  std::floor(s / 60.0 - 60.0 * std::floor(s / 3600.0)));
+  } else if (s >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", s);
+  }
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DQR_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c],
+                                                       row[c].size());
+  }
+  std::printf("\n%s\n", title_.c_str());
+  auto print_sep = [&] {
+    std::printf("+");
+    for (const size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]),
+                  cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(columns_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(stdout);
+}
+
+}  // namespace dqr::bench

@@ -1,0 +1,96 @@
+#ifndef DQR_BENCH_BENCH_COMMON_H_
+#define DQR_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/refiner.h"
+#include "data/queries.h"
+
+namespace dqr::bench {
+
+// Shared benchmark configuration, overridable via environment variables:
+//   DQR_BENCH_SCALE      multiplies data set lengths (default 1.0)
+//   DQR_BENCH_TIMEOUT_S  cap for runs the paper reports as ">1h"
+//   DQR_BENCH_COST_NS    artificial cost per uncached synopsis lookup
+// The paper ran 100 GB data sets on a 4-instance AWS cluster; the default
+// configuration reproduces the *shapes* of its tables at laptop scale
+// (see EXPERIMENTS.md for the paper-vs-measured record).
+struct BenchEnv {
+  int64_t synth_length = 1 << 21;
+  int64_t wave_length = 1 << 21;
+  double timeout_s = 30.0;
+  int64_t estimate_cost_ns = 1500;
+  int num_instances = 4;
+  int64_t k = 10;
+
+  static BenchEnv FromEnv();
+};
+
+// Builds the data sets once per binary.
+data::DatasetBundle SynthBundle(const BenchEnv& env);
+data::DatasetBundle WaveBundle(const BenchEnv& env);
+const data::DatasetBundle& BundleFor(const BenchEnv& env,
+                                     data::QueryKind kind,
+                                     const data::DatasetBundle& synth,
+                                     const data::DatasetBundle& wave);
+
+// Default refinement options for benchmarks (paper defaults + the bench
+// cluster size).
+core::RefineOptions AutoOptions(const BenchEnv& env);
+// Plain-Searchlight options for the manual USER-x scenarios.
+core::RefineOptions ManualOptions(const BenchEnv& env);
+
+struct RunOutcome {
+  double total_s = 0.0;
+  double first_s = -1.0;
+  size_t results = 0;
+  bool completed = true;
+  core::RunStats stats;
+};
+
+// Runs one query; aborts the process on query errors (benchmarks are
+// trusted inputs).
+RunOutcome Run(const searchlight::QuerySpec& query,
+               const core::RefineOptions& options);
+
+// Runs the manual scenario: one plain (refinement-off) execution per
+// relax fraction, in order, accumulating wall time. `first_s` is the
+// first-result time within the first iteration that produced >= k
+// results, offset by the preceding iterations (the user waits through
+// them). A non-completed iteration (timeout) marks the outcome capped.
+RunOutcome RunManualScenario(const BenchEnv& env,
+                             const data::DatasetBundle& bundle,
+                             data::QueryKind kind,
+                             const std::vector<double>& fractions);
+
+// The manual relaxation fractions per query kind: {cautious, correct}.
+// USER-3 = {0, cautious, correct}; USER-2 = {0, correct};
+// USER-MAX = {0, 1}.
+struct UserFractions {
+  double cautious = 0.1;
+  double correct = 0.3;
+};
+UserFractions FractionsFor(data::QueryKind kind);
+
+// Formats seconds like the paper's tables: "97", "2.4", "2h 8m"; capped
+// runs render as ">30".
+std::string Secs(double s, bool capped = false);
+
+// A fixed-width table printer with a title and a trailing note.
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dqr::bench
+
+#endif  // DQR_BENCH_BENCH_COMMON_H_

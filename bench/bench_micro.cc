@@ -1,0 +1,140 @@
+// Micro-benchmarks of the refinement hot paths (google-benchmark):
+// synopsis interval queries, penalty/rank computation, skyline dominance,
+// fail registry operations, and candidate queue operations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fail_registry.h"
+#include "core/model_builders.h"
+#include "core/penalty.h"
+#include "core/rank.h"
+#include "core/skyline.h"
+#include "data/queries.h"
+#include "searchlight/candidate_queue.h"
+
+namespace dqr {
+namespace {
+
+const data::DatasetBundle& Bundle() {
+  static const data::DatasetBundle* bundle = [] {
+    auto result = data::MakeSyntheticDataset(1 << 18, 42);
+    return new data::DatasetBundle(std::move(result).value());
+  }();
+  return *bundle;
+}
+
+void BM_SynopsisAvgBounds(benchmark::State& state) {
+  const auto& synopsis = *Bundle().synopsis;
+  int64_t pos = 0;
+  const int64_t span = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synopsis.AvgBounds(pos, pos + span));
+    pos = (pos + 4097) % ((1 << 18) - span);
+  }
+}
+BENCHMARK(BM_SynopsisAvgBounds)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_SynopsisMaxBounds(benchmark::State& state) {
+  const auto& synopsis = *Bundle().synopsis;
+  int64_t pos = 0;
+  const int64_t span = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synopsis.MaxBounds(pos, pos + span));
+    pos = (pos + 4097) % ((1 << 18) - span);
+  }
+}
+BENCHMARK(BM_SynopsisMaxBounds)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_PenaltyBestPenalty(benchmark::State& state) {
+  const searchlight::QuerySpec query =
+      data::MakeQuery(Bundle(), data::QueryKind::kSSel, {});
+  const core::PenaltyModel model =
+      core::BuildPenaltyModel(query, 0.5).value();
+  const std::vector<Interval> estimates = {
+      Interval(120, 140), Interval(10, 60), Interval(90, 150)};
+  const std::vector<char> known = {1, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.BestPenalty(estimates, known));
+  }
+}
+BENCHMARK(BM_PenaltyBestPenalty);
+
+void BM_RankBestRank(benchmark::State& state) {
+  const searchlight::QuerySpec query =
+      data::MakeQuery(Bundle(), data::QueryKind::kSSel, {});
+  const core::RankModel model = core::BuildRankModel(query).value();
+  const std::vector<Interval> estimates = {
+      Interval(150, 190), Interval(100, 180), Interval(90, 150)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.BestRank(estimates));
+  }
+}
+BENCHMARK(BM_RankBestRank);
+
+void BM_SkylineDominanceCheck(benchmark::State& state) {
+  core::Skyline skyline;
+  for (int i = 0; i < state.range(0); ++i) {
+    core::SkylineEntry entry;
+    entry.oriented = {static_cast<double>(i),
+                      static_cast<double>(state.range(0) - i), 1.0};
+    skyline.Add(std::move(entry));
+  }
+  const std::vector<double> corner = {state.range(0) / 2.0,
+                                      state.range(0) / 2.0, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skyline.DominatesBox(corner));
+  }
+}
+BENCHMARK(BM_SkylineDominanceCheck)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FailRegistryRecordPop(benchmark::State& state) {
+  const bool best_first = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FailRegistry registry(best_first ? core::ReplayOrder::kBestFirst
+                                           : core::ReplayOrder::kFifo,
+                                1 << 20);
+    state.ResumeTiming();
+    for (int i = 0; i < 1024; ++i) {
+      core::FailRecord record;
+      record.box = {cp::IntDomain(i, i + 1), cp::IntDomain(0, 8)};
+      record.estimates = {Interval(0, 1)};
+      record.evaluated = {1};
+      record.brp = static_cast<double>((i * 2654435761u) % 1000) / 1000.0;
+      registry.Record(std::move(record), 1.0);
+    }
+    while (registry.Pop(1.0).has_value()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_FailRegistryRecordPop)->Arg(0)->Arg(1);
+
+void BM_CandidateQueuePushPop(benchmark::State& state) {
+  const bool priority = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    searchlight::CandidateQueue queue(
+        priority ? searchlight::CandidateQueue::Order::kPriority
+                 : searchlight::CandidateQueue::Order::kFifo,
+        4096);
+    state.ResumeTiming();
+    for (int i = 0; i < 1024; ++i) {
+      searchlight::Candidate c;
+      c.point = {i, 8};
+      c.priority = static_cast<double>((i * 48271) % 997);
+      queue.Push(std::move(c));
+    }
+    for (int i = 0; i < 1024; ++i) {
+      queue.Pop();
+      queue.FinishedCurrent();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_CandidateQueuePushPop)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace dqr
+
+BENCHMARK_MAIN();

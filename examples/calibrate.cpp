@@ -1,0 +1,67 @@
+// Developer tool: prints exact-result counts of the canned queries at
+// several manual relaxation fractions, to verify each query plays its
+// intended role (SEL: empty -> selective; LOS: empty -> avalanche).
+// Not part of the benchmark suite.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/refiner.h"
+#include "data/grid_synthetic.h"
+#include "data/queries.h"
+
+int main(int argc, char** argv) {
+  using namespace dqr;
+  const int64_t n = argc > 1 ? std::atoll(argv[1]) : (1 << 20);
+
+  auto synth = data::MakeSyntheticDataset(n, 42).value();
+  auto wave = data::MakeWaveformDataset(n, 1234).value();
+
+  const data::QueryKind kinds[] = {
+      data::QueryKind::kSSel, data::QueryKind::kSLos,
+      data::QueryKind::kMSel, data::QueryKind::kMLos,
+      data::QueryKind::kMSelPrime};
+  const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  for (const auto kind : kinds) {
+    const data::DatasetBundle& bundle =
+        (kind == data::QueryKind::kSSel || kind == data::QueryKind::kSLos)
+            ? synth
+            : wave;
+    std::printf("%-7s:", data::QueryKindName(kind));
+    for (const double f : fractions) {
+      data::QueryTuning tuning;
+      tuning.relax_fraction = f;
+      searchlight::QuerySpec query = data::MakeQuery(bundle, kind, tuning);
+      core::RefineOptions options;
+      options.enable = false;  // plain search, count all exact results
+      options.time_budget_s = 10.0;
+      auto run = core::ExecuteQuery(query, options).value();
+      std::printf("  f=%.2f:%8zu%s (%.2fs)", f, run.results.size(),
+                  run.stats.completed ? "" : "+", run.stats.total_s);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // 2-D canned queries.
+  auto grid = data::MakeGridDataset(1 << 10, n >> 10, 42).value();
+  for (const bool selective : {true, false}) {
+    std::printf("%-7s:", selective ? "G-SEL" : "G-LOS");
+    for (const double f : fractions) {
+      data::GridQueryTuning tuning;
+      tuning.selective = selective;
+      tuning.relax_fraction = f;
+      const auto query = data::MakeGridQuery(grid, tuning);
+      core::RefineOptions options;
+      options.enable = false;
+      options.time_budget_s = 10.0;
+      auto run = core::ExecuteQuery(query, options).value();
+      std::printf("  f=%.2f:%8zu%s (%.2fs)", f, run.results.size(),
+                  run.stats.completed ? "" : "+", run.stats.total_s);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

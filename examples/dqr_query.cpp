@@ -1,0 +1,239 @@
+// dqr_query: command-line front end for the canned exploration queries.
+// Generates (or loads) a data set, runs one query with the chosen
+// refinement configuration, and prints results as they are confirmed.
+//
+// Usage:
+//   dqr_query [--dataset=synthetic|waveform] [--kind=S-SEL|S-LOS|M-SEL|
+//             M-LOS|M-SEL'] [--n=2097152] [--k=10] [--seed=42]
+//             [--relax-fraction=0.0] [--mode=auto|plain]
+//             [--constrain=rank|skyline|none] [--instances=4]
+//             [--speculative] [--stream] [--time-budget=0]
+//             [--query-file=path.query]
+//             [--save=path.bin] [--load=path.bin]
+//
+// Examples:
+//   dqr_query --kind=M-SEL --k=10                # auto relaxation
+//   dqr_query --kind=M-LOS --relax-fraction=1 --constrain=skyline
+//   dqr_query --dataset=waveform --save=abp.bin  # persist the data set
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "array/io.h"
+#include "core/refiner.h"
+#include "data/queries.h"
+#include "data/query_parser.h"
+#include "synopsis/synopsis.h"
+
+using namespace dqr;
+
+namespace {
+
+struct Args {
+  std::string dataset = "waveform";
+  std::string kind = "M-SEL";
+  std::string mode = "auto";
+  std::string constrain = "rank";
+  std::string save_path;
+  std::string load_path;
+  std::string query_file;  // overrides --kind with a parsed query file
+  int64_t n = 1 << 21;
+  int64_t k = 10;
+  uint64_t seed = 42;
+  double relax_fraction = 0.0;
+  double time_budget = 0.0;
+  int instances = 4;
+  bool speculative = false;
+  bool stream = false;
+};
+
+bool ParseArg(const char* arg, Args* out) {
+  const auto match = [&](const char* name, std::string* value) {
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      *value = arg + len + 1;
+      return true;
+    }
+    return false;
+  };
+  std::string v;
+  if (match("--dataset", &out->dataset)) return true;
+  if (match("--kind", &out->kind)) return true;
+  if (match("--mode", &out->mode)) return true;
+  if (match("--constrain", &out->constrain)) return true;
+  if (match("--save", &out->save_path)) return true;
+  if (match("--load", &out->load_path)) return true;
+  if (match("--query-file", &out->query_file)) return true;
+  if (match("--n", &v)) return (out->n = std::atoll(v.c_str())) > 0;
+  if (match("--k", &v)) return (out->k = std::atoll(v.c_str())) >= 0;
+  if (match("--seed", &v)) {
+    out->seed = std::strtoull(v.c_str(), nullptr, 10);
+    return true;
+  }
+  if (match("--relax-fraction", &v)) {
+    out->relax_fraction = std::atof(v.c_str());
+    return out->relax_fraction >= 0.0 && out->relax_fraction <= 1.0;
+  }
+  if (match("--time-budget", &v)) {
+    out->time_budget = std::atof(v.c_str());
+    return out->time_budget >= 0.0;
+  }
+  if (match("--instances", &v)) {
+    out->instances = std::atoi(v.c_str());
+    return out->instances >= 1;
+  }
+  if (std::strcmp(arg, "--speculative") == 0) {
+    out->speculative = true;
+    return true;
+  }
+  if (std::strcmp(arg, "--stream") == 0) {
+    out->stream = true;
+    return true;
+  }
+  return false;
+}
+
+data::QueryKind KindFromName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "S-SEL") return data::QueryKind::kSSel;
+  if (name == "S-LOS") return data::QueryKind::kSLos;
+  if (name == "M-SEL") return data::QueryKind::kMSel;
+  if (name == "M-LOS") return data::QueryKind::kMLos;
+  if (name == "M-SEL'") return data::QueryKind::kMSelPrime;
+  *ok = false;
+  return data::QueryKind::kMSel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(argv[i], &args)) {
+      std::fprintf(stderr, "bad argument: %s (see file header for usage)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  // Data set: load from disk or generate.
+  data::DatasetBundle bundle;
+  if (!args.load_path.empty()) {
+    auto array = array::LoadArray(args.load_path);
+    if (!array.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   array.status().ToString().c_str());
+      return 1;
+    }
+    bundle.array = std::move(array).value();
+    auto synopsis = synopsis::Synopsis::Build(*bundle.array,
+                                              synopsis::SynopsisOptions{});
+    if (!synopsis.ok()) {
+      std::fprintf(stderr, "synopsis: %s\n",
+                   synopsis.status().ToString().c_str());
+      return 1;
+    }
+    bundle.synopsis = std::move(synopsis).value();
+    bundle.array->ResetAccessStats();
+  } else {
+    auto result = args.dataset == "synthetic"
+                      ? data::MakeSyntheticDataset(args.n, args.seed)
+                      : data::MakeWaveformDataset(args.n, args.seed);
+    if (!result.ok()) {
+      std::fprintf(stderr, "dataset: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    bundle = std::move(result).value();
+  }
+  if (!args.save_path.empty()) {
+    if (Status s = array::SaveArray(*bundle.array, args.save_path);
+        !s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %lld cells to %s\n",
+                static_cast<long long>(bundle.array->length()),
+                args.save_path.c_str());
+  }
+
+  searchlight::QuerySpec query;
+  if (!args.query_file.empty()) {
+    auto parsed = data::ParseQueryFile(args.query_file, bundle);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "query file: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    query = std::move(parsed).value();
+  } else {
+    bool kind_ok = false;
+    const data::QueryKind kind = KindFromName(args.kind, &kind_ok);
+    if (!kind_ok) {
+      std::fprintf(stderr, "unknown query kind: %s\n", args.kind.c_str());
+      return 2;
+    }
+    data::QueryTuning tuning;
+    tuning.k = args.k;
+    tuning.relax_fraction = args.relax_fraction;
+    query = data::MakeQuery(bundle, kind, tuning);
+  }
+
+  core::RefineOptions options;
+  options.enable = args.mode != "plain";
+  options.num_instances = args.instances;
+  options.speculative = args.speculative;
+  options.time_budget_s = args.time_budget;
+  if (args.constrain == "skyline") {
+    options.constrain = core::ConstrainMode::kSkyline;
+  } else if (args.constrain == "none") {
+    options.constrain = core::ConstrainMode::kNone;
+  }
+  std::mutex stream_mu;
+  if (args.stream) {
+    options.on_result = [&stream_mu](const core::Solution& s) {
+      std::lock_guard<std::mutex> lock(stream_mu);
+      std::printf("  confirmed: %s\n", s.ToString().c_str());
+    };
+  }
+
+  auto run = core::ExecuteQuery(query, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "query: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const core::RunResult& result = run.value();
+
+  std::printf("\n%s over %lld cells (%s mode, %d instances)%s\n",
+              query.name.c_str(),
+              static_cast<long long>(bundle.array->length()),
+              options.enable ? "auto-refine" : "plain", args.instances,
+              result.stats.completed ? "" : "  [TIMED OUT]");
+  std::printf("results: %zu  (exact %lld, relaxed accepted %lld)\n",
+              result.results.size(),
+              static_cast<long long>(result.stats.exact_results),
+              static_cast<long long>(result.stats.relaxed_accepted));
+  std::printf("time: %.2fs total, %.2fs to first result\n",
+              result.stats.total_s, result.stats.first_result_s);
+  std::printf("search: %lld nodes, %lld fails (%lld recorded, %lld "
+              "replayed); %lld candidates, %lld validated\n",
+              static_cast<long long>(result.stats.main_search.nodes +
+                                     result.stats.replay_search.nodes),
+              static_cast<long long>(result.stats.main_search.fails),
+              static_cast<long long>(result.stats.fails_recorded),
+              static_cast<long long>(result.stats.replays),
+              static_cast<long long>(result.stats.candidates),
+              static_cast<long long>(result.stats.validated));
+  const size_t show = std::min<size_t>(result.results.size(), 20);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  %2zu. %s\n", i + 1, result.results[i].ToString().c_str());
+  }
+  if (show < result.results.size()) {
+    std::printf("  ... and %zu more\n", result.results.size() - show);
+  }
+  return 0;
+}

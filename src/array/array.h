@@ -1,0 +1,98 @@
+#ifndef DQR_ARRAY_ARRAY_H_
+#define DQR_ARRAY_ARRAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/schema.h"
+#include "common/status.h"
+
+namespace dqr::array {
+
+// Exact aggregates of a window of cells; what the Validator computes over
+// the base data (as opposed to the Solver's synopsis estimates).
+struct WindowAggregates {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  int64_t count = 0;
+
+  double avg() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+// Cumulative access accounting for one Array. Chunk touches model I/O: in
+// the real Searchlight the Validator's reads of the base array are the
+// dominant cost; benchmarks can attach a per-chunk penalty to reproduce
+// that balance at laptop scale.
+struct AccessStats {
+  int64_t chunks_touched = 0;
+  int64_t cells_read = 0;
+};
+
+// An immutable, chunked, one-dimensional array of doubles.
+//
+// Thread-compatible for reads: all accessors are const and may be called
+// concurrently from solver/validator threads. Stats counters are atomic.
+//
+// Example:
+//   auto arr = Array::FromData({.name = "demo", .length = 4}, {1, 2, 3, 4});
+//   WindowAggregates w = arr->AggregateWindow(0, 4);  // sum == 10
+class Array {
+ public:
+  // Builds an array owning `data`; data.size() must equal schema.length.
+  // Returns InvalidArgument on schema/data mismatch.
+  static Result<std::shared_ptr<Array>> FromData(ArraySchema schema,
+                                                 std::vector<double> data);
+
+  Array(const Array&) = delete;
+  Array& operator=(const Array&) = delete;
+
+  const ArraySchema& schema() const { return schema_; }
+  int64_t length() const { return schema_.length; }
+
+  // Value at `pos`; pos must be in [0, length).
+  double At(int64_t pos) const;
+
+  // Exact aggregates over the half-open window [lo, hi); the window must
+  // be a non-empty subrange of [0, length).
+  WindowAggregates AggregateWindow(int64_t lo, int64_t hi) const;
+
+  // Exact maximum over [lo, hi). Convenience wrapper.
+  double MaxOver(int64_t lo, int64_t hi) const {
+    return AggregateWindow(lo, hi).max;
+  }
+
+  // Per-chunk artificial access cost in nanoseconds of busy-waiting; 0 by
+  // default. Used by benchmarks to emulate disk-resident data, keeping the
+  // Solver-fast / Validator-slow balance of the original system.
+  void set_chunk_access_cost_ns(int64_t ns) { chunk_cost_ns_ = ns; }
+  int64_t chunk_access_cost_ns() const { return chunk_cost_ns_; }
+
+  AccessStats GetAccessStats() const;
+  void ResetAccessStats();
+
+  // Full copy of the cell values in positional order. Bulk export for
+  // persistence/tooling: does not count toward access stats and pays no
+  // simulated I/O cost.
+  std::vector<double> Dump() const;
+
+ private:
+  explicit Array(ArraySchema schema, std::vector<double> data);
+
+  void ChargeAccess(int64_t first_chunk, int64_t last_chunk,
+                    int64_t cells) const;
+
+  ArraySchema schema_;
+  // Chunked storage; chunk i covers [i * chunk_size, ...).
+  std::vector<std::vector<double>> chunks_;
+  int64_t chunk_cost_ns_ = 0;
+
+  mutable std::atomic<int64_t> chunks_touched_{0};
+  mutable std::atomic<int64_t> cells_read_{0};
+};
+
+}  // namespace dqr::array
+
+#endif  // DQR_ARRAY_ARRAY_H_

@@ -1,0 +1,84 @@
+#ifndef DQR_ARRAY_GRID_H_
+#define DQR_ARRAY_GRID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/array.h"
+#include "common/status.h"
+
+namespace dqr::array {
+
+// Describes a two-dimensional array of a single double attribute, stored
+// in square tiles — the substrate for the paper's 2-D synthetic workload
+// (Searchlight's original data sets are multidimensional; the refinement
+// framework above is dimension-agnostic).
+struct GridSchema {
+  std::string name;
+  std::string attribute = "value";
+  int64_t rows = 0;     // extent of dimension 0 (y)
+  int64_t cols = 0;     // extent of dimension 1 (x)
+  int64_t tile_size = 256;  // square tiles of tile_size x tile_size cells
+
+  int64_t tile_rows() const {
+    return tile_size <= 0 ? 0 : (rows + tile_size - 1) / tile_size;
+  }
+  int64_t tile_cols() const {
+    return tile_size <= 0 ? 0 : (cols + tile_size - 1) / tile_size;
+  }
+};
+
+// An immutable, tiled, two-dimensional array of doubles with exact
+// rectangle aggregates. Thread-compatible for reads; access counters are
+// atomic. Rectangles are half-open: rows [r0, r1) x cols [c0, c1).
+class Grid {
+ public:
+  // Builds a grid owning `data` in row-major order; data.size() must be
+  // rows * cols.
+  static Result<std::shared_ptr<Grid>> FromData(GridSchema schema,
+                                                std::vector<double> data);
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  const GridSchema& schema() const { return schema_; }
+  int64_t rows() const { return schema_.rows; }
+  int64_t cols() const { return schema_.cols; }
+
+  double At(int64_t row, int64_t col) const;
+
+  // Exact aggregates over the rectangle [r0, r1) x [c0, c1); must be a
+  // non-empty subrectangle of the grid.
+  WindowAggregates AggregateRect(int64_t r0, int64_t r1, int64_t c0,
+                                 int64_t c1) const;
+
+  double MaxOver(int64_t r0, int64_t r1, int64_t c0, int64_t c1) const {
+    return AggregateRect(r0, r1, c0, c1).max;
+  }
+
+  // Simulated I/O cost per touched tile (see Array).
+  void set_tile_access_cost_ns(int64_t ns) { tile_cost_ns_ = ns; }
+
+  AccessStats GetAccessStats() const;
+  void ResetAccessStats();
+
+ private:
+  Grid(GridSchema schema, std::vector<double> data);
+
+  void ChargeAccess(int64_t tiles, int64_t cells) const;
+
+  GridSchema schema_;
+  // Row-major storage; the tile structure is logical (tiles account for
+  // simulated I/O, rows are contiguous for scan speed).
+  std::vector<double> data_;
+  int64_t tile_cost_ns_ = 0;
+
+  mutable std::atomic<int64_t> tiles_touched_{0};
+  mutable std::atomic<int64_t> cells_read_{0};
+};
+
+}  // namespace dqr::array
+
+#endif  // DQR_ARRAY_GRID_H_

@@ -1,0 +1,102 @@
+#include "array/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace dqr::array {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'Q', 'R', 'A'};
+constexpr uint32_t kVersion = 1;
+
+// RAII FILE* holder (the project uses no exceptions; fclose on all paths).
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  const uint32_t len = static_cast<uint32_t>(s.size());
+  return WriteBytes(f, &len, sizeof(len)) &&
+         (len == 0 || WriteBytes(f, s.data(), len));
+}
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadBytes(f, &len, sizeof(len))) return false;
+  if (len > (1u << 20)) return false;  // sanity cap on names
+  s->resize(len);
+  return len == 0 || ReadBytes(f, s->data(), len);
+}
+
+}  // namespace
+
+Status SaveArray(const Array& array, const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  const ArraySchema& schema = array.schema();
+  bool ok = WriteBytes(f, kMagic, sizeof(kMagic)) &&
+            WriteBytes(f, &kVersion, sizeof(kVersion)) &&
+            WriteString(f, schema.name) &&
+            WriteString(f, schema.attribute) &&
+            WriteBytes(f, &schema.length, sizeof(schema.length)) &&
+            WriteBytes(f, &schema.chunk_size, sizeof(schema.chunk_size));
+  if (ok) {
+    const std::vector<double> data = array.Dump();
+    ok = WriteBytes(f, data.data(), data.size() * sizeof(double));
+  }
+  if (!ok) return InternalError("short write to " + path);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Array>> LoadArray(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return NotFoundError("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+
+  char magic[4];
+  uint32_t version = 0;
+  if (!ReadBytes(f, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("not a dqr array file: " + path);
+  }
+  if (!ReadBytes(f, &version, sizeof(version)) || version != kVersion) {
+    return InvalidArgumentError("unsupported array file version");
+  }
+
+  ArraySchema schema;
+  if (!ReadString(f, &schema.name) || !ReadString(f, &schema.attribute) ||
+      !ReadBytes(f, &schema.length, sizeof(schema.length)) ||
+      !ReadBytes(f, &schema.chunk_size, sizeof(schema.chunk_size))) {
+    return InvalidArgumentError("truncated array header: " + path);
+  }
+  if (schema.length < 0 || schema.chunk_size <= 0) {
+    return InvalidArgumentError("corrupt array header: " + path);
+  }
+
+  std::vector<double> data(static_cast<size_t>(schema.length));
+  if (!ReadBytes(f, data.data(), data.size() * sizeof(double))) {
+    return InvalidArgumentError("truncated array data: " + path);
+  }
+  return Array::FromData(std::move(schema), std::move(data));
+}
+
+}  // namespace dqr::array

@@ -1,0 +1,27 @@
+#ifndef DQR_ARRAY_IO_H_
+#define DQR_ARRAY_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "array/array.h"
+#include "common/status.h"
+
+namespace dqr::array {
+
+// Simple binary persistence for arrays, so generated data sets can be
+// saved once and reloaded across benchmark runs and tools.
+//
+// Format (native endianness, not a portable interchange format):
+//   magic "DQRA" | u32 version | u32 name_len | name bytes
+//   | u32 attr_len | attr bytes | i64 length | i64 chunk_size
+//   | length doubles
+Status SaveArray(const Array& array, const std::string& path);
+
+// Loads an array previously written by SaveArray. Returns
+// InvalidArgument on malformed or truncated files.
+Result<std::shared_ptr<Array>> LoadArray(const std::string& path);
+
+}  // namespace dqr::array
+
+#endif  // DQR_ARRAY_IO_H_

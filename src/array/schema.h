@@ -1,0 +1,30 @@
+#ifndef DQR_ARRAY_SCHEMA_H_
+#define DQR_ARRAY_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dqr::array {
+
+// Describes a one-dimensional array of a single double attribute, chunked
+// along its only dimension — the SciDB-style substrate the engine queries.
+// All of the paper's workloads (waveform intervals) are one-dimensional;
+// the CP layer above is dimension-agnostic (see DESIGN.md §3).
+struct ArraySchema {
+  // Logical name, e.g. "mimic_abp"; appears in stats and logs.
+  std::string name;
+  // Name of the single attribute, e.g. "ABP".
+  std::string attribute = "value";
+  // Total number of cells along the dimension.
+  int64_t length = 0;
+  // Cells per chunk; the unit of (simulated) I/O.
+  int64_t chunk_size = 1 << 16;
+
+  int64_t num_chunks() const {
+    return chunk_size <= 0 ? 0 : (length + chunk_size - 1) / chunk_size;
+  }
+};
+
+}  // namespace dqr::array
+
+#endif  // DQR_ARRAY_SCHEMA_H_

@@ -1,0 +1,30 @@
+#ifndef DQR_COMMON_CHECK_H_
+#define DQR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks for programming errors. These are always on (including
+// release builds): the library's correctness arguments (sound pruning,
+// top-k guarantees) rely on these invariants, and the cost is negligible
+// relative to search work.
+
+#define DQR_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DQR_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define DQR_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DQR_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // DQR_COMMON_CHECK_H_

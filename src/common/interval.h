@@ -1,0 +1,134 @@
+#ifndef DQR_COMMON_INTERVAL_H_
+#define DQR_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace dqr {
+
+// A closed real interval [lo, hi]. The workhorse of synopsis-based
+// estimation: every constraint function reports its possible values over a
+// sub-tree as an Interval, and pruning/penalty logic operates on these.
+//
+// An interval with lo > hi is "empty"; Empty() constructs the canonical
+// empty interval. Infinite endpoints are allowed (half-open constraints).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {}
+
+  static Interval Point(double v) { return Interval(v, v); }
+  static Interval Empty() {
+    return Interval(std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity());
+  }
+  static Interval All() {
+    return Interval(-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity());
+  }
+
+  bool empty() const { return lo > hi; }
+  bool IsPoint() const { return lo == hi; }
+  double width() const { return empty() ? 0.0 : hi - lo; }
+  double mid() const { return 0.5 * (lo + hi); }
+
+  bool Contains(double v) const { return !empty() && lo <= v && v <= hi; }
+  bool Contains(const Interval& o) const {
+    return o.empty() || (!empty() && lo <= o.lo && o.hi <= hi);
+  }
+  bool Intersects(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+
+  Interval Intersect(const Interval& o) const {
+    if (empty() || o.empty()) return Empty();
+    return Interval(std::max(lo, o.lo), std::min(hi, o.hi));
+  }
+  Interval Union(const Interval& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Interval(std::min(lo, o.lo), std::max(hi, o.hi));
+  }
+
+  // Distance from value `v` to this interval (0 if contained).
+  double DistanceTo(double v) const {
+    DQR_CHECK(!empty());
+    if (v < lo) return lo - v;
+    if (v > hi) return v - hi;
+    return 0.0;
+  }
+
+  // Minimum distance between any point of `o` and this interval; 0 if they
+  // intersect. Used for best-case relaxation distances (BRP).
+  double DistanceTo(const Interval& o) const {
+    DQR_CHECK(!empty() && !o.empty());
+    if (Intersects(o)) return 0.0;
+    return o.hi < lo ? lo - o.hi : o.lo - hi;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return (a.empty() && b.empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+};
+
+// Interval arithmetic. All operations are conservative: the result contains
+// f(a, b) for all a in `a`, b in `b`.
+inline Interval operator+(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval(a.lo + b.lo, a.hi + b.hi);
+}
+inline Interval operator-(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval(a.lo - b.hi, a.hi - b.lo);
+}
+inline Interval operator*(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  const double p1 = a.lo * b.lo, p2 = a.lo * b.hi;
+  const double p3 = a.hi * b.lo, p4 = a.hi * b.hi;
+  return Interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                  std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+inline Interval Min(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval(std::min(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+inline Interval Max(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval(std::max(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+inline Interval Abs(const Interval& a) {
+  if (a.empty()) return Interval::Empty();
+  if (a.lo >= 0) return a;
+  if (a.hi <= 0) return Interval(-a.hi, -a.lo);
+  return Interval(0.0, std::max(-a.lo, a.hi));
+}
+
+inline std::string Interval::ToString() const {
+  if (empty()) return "[empty]";
+  std::string out;
+  out.reserve(32);
+  out += '[';
+  out += std::to_string(lo);
+  out += ", ";
+  out += std::to_string(hi);
+  out += ']';
+  return out;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+}  // namespace dqr
+
+#endif  // DQR_COMMON_INTERVAL_H_

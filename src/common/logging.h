@@ -1,0 +1,50 @@
+#ifndef DQR_COMMON_LOGGING_H_
+#define DQR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dqr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the global minimum level emitted to stderr. Default: kWarning, so
+// tests and benchmarks stay quiet unless something is wrong. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Writes one formatted line to stderr if `level` passes the filter.
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+// Stream-style collector used by the DQR_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dqr
+
+// Usage: DQR_LOG(kInfo) << "solver finished, nodes=" << n;
+#define DQR_LOG(severity)                                              \
+  ::dqr::internal::LogMessage(::dqr::LogLevel::severity, __FILE__,     \
+                              __LINE__)                                \
+      .stream()
+
+#endif  // DQR_COMMON_LOGGING_H_

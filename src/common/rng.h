@@ -1,0 +1,63 @@
+#ifndef DQR_COMMON_RNG_H_
+#define DQR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dqr {
+
+// Deterministic, fast PRNG (splitmix64). Used by the data generators and
+// property tests so that every data set and workload is reproducible from a
+// single seed, independent of the standard library implementation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DQR_CHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextUint64() % span);
+  }
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // half is discarded to keep the state trivially seedable).
+  double NextGaussian();
+
+  // Returns true with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+inline double Rng::NextGaussian() {
+  // Rejection-free Box-Muller; avoids log(0) by nudging u1.
+  const double u1 = NextDouble() + 1e-18;
+  const double u2 = NextDouble();
+  constexpr double kTwoPi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace dqr
+
+#endif  // DQR_COMMON_RNG_H_

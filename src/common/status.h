@@ -1,0 +1,105 @@
+#ifndef DQR_COMMON_STATUS_H_
+#define DQR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dqr {
+
+// Error categories used across the library. Kept deliberately small: the
+// library signals recoverable failures through Status rather than
+// exceptions (which are not used anywhere in this codebase).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kCancelled,
+  kInternal,
+};
+
+// Returns a short stable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error value. Functions that can fail for
+// caller-visible reasons return Status (or Result<T> below); programming
+// errors are handled by DQR_CHECK and abort.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "Code: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl::*Error.
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
+Status InternalError(std::string message);
+
+// A value-or-error holder, a minimal stand-in for absl::StatusOr<T>.
+// Accessing value() on an error Result aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return SomeError(...);` directly, mirroring absl::StatusOr.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Aborts the process with `status` printed; used by Result<T>::value().
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(status_);
+}
+
+}  // namespace dqr
+
+#endif  // DQR_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef DQR_COMMON_STOPWATCH_H_
+#define DQR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dqr {
+
+// Monotonic wall-clock stopwatch used for engine statistics and benchmark
+// tables. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dqr
+
+#endif  // DQR_COMMON_STOPWATCH_H_

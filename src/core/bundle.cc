@@ -1,0 +1,73 @@
+#include "core/bundle.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dqr::core {
+
+ConstraintBundle::ConstraintBundle(const searchlight::QuerySpec& query) {
+  constraints_.reserve(query.constraints.size());
+  for (const searchlight::QueryConstraint& qc : query.constraints) {
+    DQR_CHECK_MSG(qc.make_function != nullptr,
+                  "query constraint lacks a function factory");
+    constraints_.push_back(std::make_unique<cp::RangeConstraint>(
+        qc.make_function(), qc.bounds));
+  }
+}
+
+std::vector<cp::RangeConstraint*> ConstraintBundle::pointers() {
+  std::vector<cp::RangeConstraint*> out;
+  out.reserve(constraints_.size());
+  for (const auto& c : constraints_) out.push_back(c.get());
+  return out;
+}
+
+void ConstraintBundle::CompleteEstimates(FailRecord* fail) {
+  DQR_CHECK(fail->estimates.size() == constraints_.size());
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    if (fail->evaluated[c]) continue;
+    fail->estimates[c] = constraints_[c]->function().Estimate(fail->box);
+    fail->evaluated[c] = 1;
+  }
+}
+
+std::vector<std::unique_ptr<cp::FunctionState>> ConstraintBundle::SaveStates(
+    const cp::DomainBox& box) const {
+  std::vector<std::unique_ptr<cp::FunctionState>> states;
+  states.reserve(constraints_.size());
+  for (const auto& c : constraints_) {
+    states.push_back(c->function().SaveState(box));
+  }
+  return states;
+}
+
+void ConstraintBundle::RestoreStates(const FailRecord& fail) {
+  if (fail.states.empty()) return;
+  DQR_CHECK(fail.states.size() == constraints_.size());
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    if (fail.states[c] != nullptr) {
+      constraints_[c]->function().RestoreState(*fail.states[c]);
+    }
+  }
+}
+
+void ConstraintBundle::ClearStates() {
+  for (const auto& c : constraints_) c->function().ClearState();
+}
+
+void ConstraintBundle::ResetEffectiveBounds() {
+  for (const auto& c : constraints_) c->ResetEffectiveBounds();
+}
+
+std::vector<double> ConstraintBundle::EvaluateAll(
+    const std::vector<int64_t>& point) {
+  std::vector<double> values;
+  values.reserve(constraints_.size());
+  for (const auto& c : constraints_) {
+    values.push_back(c->function().Evaluate(point));
+  }
+  return values;
+}
+
+}  // namespace dqr::core

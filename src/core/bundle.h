@@ -1,0 +1,52 @@
+#ifndef DQR_CORE_BUNDLE_H_
+#define DQR_CORE_BUNDLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cp/constraint.h"
+#include "cp/domain.h"
+#include "core/fail_registry.h"
+#include "searchlight/query.h"
+
+namespace dqr::core {
+
+// One thread's working set of RangeConstraints, instantiated from a
+// QuerySpec's function factories. Each solver, validator, and speculative
+// solver owns its own bundle; bundles share only the immutable array and
+// synopsis underneath.
+class ConstraintBundle {
+ public:
+  explicit ConstraintBundle(const searchlight::QuerySpec& query);
+
+  int size() const { return static_cast<int>(constraints_.size()); }
+  cp::RangeConstraint& at(int c) { return *constraints_[static_cast<size_t>(c)]; }
+  std::vector<cp::RangeConstraint*> pointers();
+
+  // Evaluates estimates that a lazily recorded fail left unknown, in
+  // place (the deferred half of §4.2's lazy fail evaluation).
+  void CompleteEstimates(FailRecord* fail);
+
+  // Snapshots every constraint function's reusable state for the box;
+  // entries may be null for stateless functions.
+  std::vector<std::unique_ptr<cp::FunctionState>> SaveStates(
+      const cp::DomainBox& box) const;
+
+  // Clears per-search state on all functions, then re-seeds it from the
+  // fail's saved snapshots (no-op entries skipped).
+  void RestoreStates(const FailRecord& fail);
+  void ClearStates();
+
+  // Restores every constraint's effective bounds to the originals.
+  void ResetEffectiveBounds();
+
+  // Exact per-constraint values at a bound assignment (Validator side).
+  std::vector<double> EvaluateAll(const std::vector<int64_t>& point);
+
+ private:
+  std::vector<std::unique_ptr<cp::RangeConstraint>> constraints_;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_BUNDLE_H_

@@ -1,0 +1,68 @@
+#include "core/coordinator.h"
+
+namespace dqr::core {
+
+void DelayedBroadcast::Publish(double value) {
+  if (delay_us_ <= 0) {
+    visible_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(
+      Pending{Clock::now() + std::chrono::microseconds(delay_us_), value});
+}
+
+double DelayedBroadcast::Read() const {
+  if (delay_us_ <= 0) return visible_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = Clock::now();
+  while (!pending_.empty() && pending_.front().at <= now) {
+    visible_.store(pending_.front().value, std::memory_order_relaxed);
+    pending_.pop_front();
+  }
+  return visible_.load(std::memory_order_relaxed);
+}
+
+Coordinator::Coordinator(int num_instances, int64_t k, ConstrainMode mode,
+                         const RankModel* rank_model,
+                         int64_t broadcast_delay_us)
+    : Coordinator(num_instances, k, mode, rank_model, broadcast_delay_us,
+                  ResultTracker::Diversity{}) {}
+
+Coordinator::Coordinator(int num_instances, int64_t k, ConstrainMode mode,
+                         const RankModel* rank_model,
+                         int64_t broadcast_delay_us,
+                         ResultTracker::Diversity diversity)
+    : num_instances_(num_instances),
+      tracker_(k, mode, rank_model, std::move(diversity)),
+      mrp_(1.0, broadcast_delay_us),
+      mrk_(-std::numeric_limits<double>::infinity(), broadcast_delay_us) {}
+
+bool Coordinator::SkylineDominatesBox(
+    const std::vector<double>& corner) const {
+  return tracker_.SkylineDominatesBox(corner);
+}
+
+void Coordinator::PublishProgress() {
+  mrp_.Publish(tracker_.Mrp());
+  mrk_.Publish(tracker_.Mrk());
+}
+
+void Coordinator::NoteResult() {
+  bool expected = false;
+  if (have_first_.compare_exchange_strong(expected, true)) {
+    first_result_s_.store(clock_.ElapsedSeconds());
+  }
+}
+
+void Coordinator::ArriveMainSearchDone() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  if (++barrier_arrived_ >= num_instances_) {
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_arrived_ >= num_instances_; });
+}
+
+}  // namespace dqr::core

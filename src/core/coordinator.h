@@ -1,0 +1,108 @@
+#ifndef DQR_CORE_COORDINATOR_H_
+#define DQR_CORE_COORDINATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "core/options.h"
+#include "core/rank.h"
+#include "core/tracker.h"
+
+namespace dqr::core {
+
+// A scalar whose published updates become visible to readers only after a
+// configurable delay — the stand-in for Searchlight's asynchronous MRP/MRK
+// broadcasts between cluster instances ("MRP is (asynchronously) updated
+// for all Solvers/Validators", §4.1). Delay 0 uses a lock-free fast path.
+class DelayedBroadcast {
+ public:
+  DelayedBroadcast(double initial, int64_t delay_us)
+      : delay_us_(delay_us), visible_(initial) {}
+
+  void Publish(double value);
+  double Read() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Pending {
+    Clock::time_point at;
+    double value;
+  };
+
+  const int64_t delay_us_;
+  mutable std::atomic<double> visible_;
+  mutable std::mutex mu_;          // guards pending_ (delayed mode only)
+  mutable std::deque<Pending> pending_;
+};
+
+// Shared per-query state across all simulated instances: the global result
+// tracker, the (possibly delayed) MRP/MRK views, the end-of-main-search
+// barrier that gates the relaxation decision, cancellation, and
+// first-result timing.
+class Coordinator {
+ public:
+  Coordinator(int num_instances, int64_t k, ConstrainMode mode,
+              const RankModel* rank_model, int64_t broadcast_delay_us);
+  Coordinator(int num_instances, int64_t k, ConstrainMode mode,
+              const RankModel* rank_model, int64_t broadcast_delay_us,
+              ResultTracker::Diversity diversity);
+
+  ResultTracker& tracker() { return tracker_; }
+  const ResultTracker& tracker() const { return tracker_; }
+
+  // Views of MRP/MRK as an instance would see them over the interconnect.
+  double CurrentMrp() const { return mrp_.Read(); }
+  double CurrentMrk() const { return mrk_.Read(); }
+
+  // Phase reads go straight to the tracker: a stale "collecting" view only
+  // records extra fails, never loses results.
+  QueryPhase CurrentPhase() const { return tracker_.phase(); }
+
+  // True iff the sub-tree with the given best skyline corner is dominated
+  // by the current skyline (skyline constraining's dynamic check).
+  bool SkylineDominatesBox(const std::vector<double>& corner) const;
+
+  // Called by validators after every tracker insertion to refresh the
+  // broadcast values.
+  void PublishProgress();
+
+  // Records the first confirmed result's timestamp (idempotent).
+  void NoteResult();
+  double first_result_s() const { return first_result_s_.load(); }
+
+  // End-of-main-search barrier: each instance arrives once after draining
+  // its validator; the call returns when every instance has arrived.
+  void ArriveMainSearchDone();
+
+  const std::atomic<bool>& cancel_flag() const { return cancel_; }
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
+
+ private:
+  const int num_instances_;
+  ResultTracker tracker_;
+  // Skyline dominance checks must see the tracker's skyline; they are
+  // routed through ResultTracker (under its lock).
+  DelayedBroadcast mrp_;
+  DelayedBroadcast mrk_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<double> first_result_s_{-1.0};
+  std::atomic<bool> have_first_{false};
+  Stopwatch clock_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_COORDINATOR_H_

@@ -1,0 +1,99 @@
+#ifndef DQR_CORE_FAIL_REGISTRY_H_
+#define DQR_CORE_FAIL_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/interval.h"
+#include "cp/domain.h"
+#include "cp/function.h"
+#include "core/options.h"
+
+namespace dqr::core {
+
+// Everything saved when a search fail is caught (§4.1): the decision
+// variable domains, the constraint estimates observed at the node (some
+// possibly unevaluated under lazy recording), which constraints violated,
+// and optionally the functions' reusable computation states.
+struct FailRecord {
+  cp::DomainBox box;
+  std::vector<Interval> estimates;
+  std::vector<char> evaluated;
+  std::vector<int> violated;
+  // states[c] is constraint c's saved state or null; empty when state
+  // saving is off.
+  std::vector<std::unique_ptr<cp::FunctionState>> states;
+  // Best possible relaxation penalty of the sub-tree (the replay
+  // priority).
+  double brp = 0.0;
+  int depth = 0;
+  int64_t seq = 0;
+
+  // Approximate footprint for memory stats.
+  int64_t MemoryBytes() const;
+};
+
+// The table of recorded fails, ordered for replay (§4.1): a priority queue
+// on BRP (kBestFirst) or encounter order (kFifo, the ablated variant).
+// Records with BRP above the current MRP are discarded eagerly at record
+// time and lazily at pop time ("the MRP might have changed").
+//
+// Thread-safe: the main solver records while a speculative solver pops.
+class FailRegistry {
+ public:
+  FailRegistry(ReplayOrder order, int64_t max_fails);
+
+  // Stores `record` unless its BRP exceeds `mrp` (discarded) or the
+  // registry is full (the newcomer is dropped and counted — a memory
+  // guard, not expected at normal scale).
+  void Record(FailRecord record, double mrp);
+
+  // Removes and returns the next fail whose BRP is still within `mrp`;
+  // fails that became hopeless are discarded on the way. nullopt when the
+  // registry is exhausted.
+  std::optional<FailRecord> Pop(double mrp);
+
+  size_t size() const;
+  void Clear();
+
+  // --- statistics ---
+  int64_t recorded() const;
+  int64_t discarded_at_record() const;
+  int64_t discarded_at_pop() const;
+  int64_t dropped_full() const;
+  int64_t peak_size() const;
+  int64_t state_bytes() const;
+  int64_t peak_state_bytes() const;
+
+ private:
+  // Heap position helpers (min-heap on (brp, seq)).
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  static bool Before(const FailRecord& a, const FailRecord& b) {
+    return a.brp < b.brp || (a.brp == b.brp && a.seq < b.seq);
+  }
+
+  const ReplayOrder order_;
+  const int64_t max_fails_;
+
+  mutable std::mutex mu_;
+  // kBestFirst: heap_ is a binary min-heap; kFifo: fifo_ in arrival order.
+  std::vector<FailRecord> heap_;
+  std::deque<FailRecord> fifo_;
+  int64_t next_seq_ = 0;
+  int64_t recorded_ = 0;
+  int64_t discarded_at_record_ = 0;
+  int64_t discarded_at_pop_ = 0;
+  int64_t dropped_full_ = 0;
+  int64_t peak_size_ = 0;
+  int64_t state_bytes_ = 0;
+  int64_t peak_state_bytes_ = 0;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_FAIL_REGISTRY_H_

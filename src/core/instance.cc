@@ -1,0 +1,493 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/bundle.h"
+#include "core/fail_registry.h"
+#include "cp/search.h"
+#include "searchlight/candidate.h"
+#include "searchlight/candidate_queue.h"
+
+namespace dqr::core {
+namespace {
+
+using searchlight::Candidate;
+using searchlight::CandidateQueue;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Idle back-off of the speculative solver while the validator is busy.
+constexpr auto kSpeculationNap = std::chrono::microseconds(200);
+
+}  // namespace
+
+struct InstanceRunner::Impl {
+  explicit Impl(InstanceConfig config)
+      : cfg(std::move(config)),
+        queue(cfg.options->validator_queue ==
+                      ValidatorQueueOrder::kBrpPriority
+                  ? CandidateQueue::Order::kPriority
+                  : CandidateQueue::Order::kFifo,
+              cfg.options->validator_queue_capacity),
+        registry(cfg.options->replay_order,
+                 cfg.options->max_recorded_fails) {
+    DQR_CHECK(cfg.query != nullptr && cfg.options != nullptr);
+    DQR_CHECK(cfg.penalty != nullptr && cfg.rank != nullptr);
+    DQR_CHECK(cfg.coordinator != nullptr);
+    for (const searchlight::QueryConstraint& qc : cfg.query->constraints) {
+      relaxable.push_back(qc.relaxable ? 1 : 0);
+    }
+    all_known.assign(cfg.query->constraints.size(), 1);
+  }
+
+  // ------------------------------------------------------------------
+  // Search listener shared by the main search and replays.
+
+  class RefineListener : public cp::SearchListener {
+   public:
+    RefineListener(Impl* impl, ConstraintBundle* bundle, bool replay_mode,
+                   RunStats* stats)
+        : impl_(*impl),
+          bundle_(*bundle),
+          replay_mode_(replay_mode),
+          stats_(*stats) {}
+
+    void OnFail(cp::FailInfo info) override { impl_.HandleFail(
+        bundle_, std::move(info), stats_); }
+
+    bool OnNode(const cp::DomainBox& box,
+                const std::vector<Interval>& estimates) override {
+      (void)box;
+      return impl_.CheckNode(estimates, replay_mode_);
+    }
+
+    void OnSolution(const std::vector<int64_t>& point,
+                    const std::vector<Interval>& estimates) override {
+      impl_.EmitCandidate(point, estimates, stats_);
+    }
+
+   private:
+    Impl& impl_;
+    ConstraintBundle& bundle_;
+    bool replay_mode_;
+    RunStats& stats_;
+  };
+
+  // ------------------------------------------------------------------
+  // Solver-side logic.
+
+  bool RefinementActive() const {
+    return cfg.options->enable && cfg.query->k > 0;
+  }
+
+  // Best-first replaying uses fail utility (BRP vs MRP) for ordering,
+  // discarding, and interval tightening. The FIFO ablation replays fails
+  // as encountered with maximal relaxation — the paper's "immediate
+  // search resume" baseline, shown in §5.3 to be up to orders of
+  // magnitude slower.
+  bool UtilityReplays() const {
+    return cfg.options->replay_order == ReplayOrder::kBestFirst;
+  }
+
+  double ReplayMrp() const {
+    return UtilityReplays() ? cfg.coordinator->CurrentMrp() : 1.0;
+  }
+
+  void HandleFail(ConstraintBundle& bundle, cp::FailInfo info,
+                  RunStats& stats) {
+    if (!RefinementActive()) return;
+    if (cfg.coordinator->CurrentPhase() == QueryPhase::kConstraining) {
+      return;  // §4.3: constraining needs no fails
+    }
+    // A violated hard (non-relaxable) constraint kills the sub-tree for
+    // good: nothing to replay.
+    for (const int c : info.violated) {
+      if (!relaxable[static_cast<size_t>(c)]) return;
+    }
+    if (cfg.options->fail_eval == FailEvalMode::kFull) {
+      // Evaluate the estimates the fail-fast check skipped, now.
+      for (size_t c = 0; c < info.evaluated.size(); ++c) {
+        if (info.evaluated[c]) continue;
+        info.estimates[c] = bundle.at(static_cast<int>(c))
+                                .function()
+                                .Estimate(info.box);
+        info.evaluated[c] = 1;
+      }
+    }
+    const double brp =
+        cfg.penalty->BestPenalty(info.estimates, info.evaluated);
+    if (std::isinf(brp)) return;  // can never yield an acceptable result
+
+    FailRecord record;
+    record.box = std::move(info.box);
+    record.estimates = std::move(info.estimates);
+    record.evaluated = std::move(info.evaluated);
+    record.violated = std::move(info.violated);
+    record.depth = info.depth;
+    record.brp = brp;
+    if (cfg.options->save_function_state) {
+      record.states = bundle.SaveStates(record.box);
+    }
+    registry.Record(std::move(record), ReplayMrp());
+    ++stats.fails_recorded;
+  }
+
+  bool CheckNode(const std::vector<Interval>& estimates, bool replay_mode) {
+    if (!RefinementActive()) return true;
+    const QueryPhase phase = cfg.coordinator->CurrentPhase();
+    if (phase == QueryPhase::kConstraining) {
+      if (cfg.options->constrain == ConstrainMode::kRank) {
+        // The dynamic constraint BRK(r) >= MRK (§4.3).
+        if (cfg.rank->BestRank(estimates) <
+            cfg.coordinator->CurrentMrk()) {
+          return false;
+        }
+      } else if (cfg.options->constrain == ConstrainMode::kSkyline) {
+        if (cfg.coordinator->SkylineDominatesBox(
+                cfg.rank->BestCornerForSkyline(estimates))) {
+          return false;
+        }
+      }
+    }
+    if (replay_mode && UtilityReplays()) {
+      // Replayed sub-trees carry relaxed bounds; prune against the
+      // up-to-date MRP (the paper's per-node check, §4.1). The FIFO
+      // ablation ("searching through the fail", §5.3) skips this: it
+      // takes no utility information into account.
+      if (cfg.penalty->BestPenalty(estimates, all_known) >
+          cfg.coordinator->CurrentMrp()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void EmitCandidate(const std::vector<int64_t>& point,
+                     const std::vector<Interval>& estimates,
+                     RunStats& stats) {
+    Candidate cand;
+    cand.point = point;
+    cand.estimates = estimates;
+    cand.brp = cfg.penalty->BestPenalty(estimates, all_known);
+    cand.brk = cfg.rank->BestRank(estimates);
+    cand.priority =
+        cfg.coordinator->CurrentPhase() == QueryPhase::kConstraining
+            ? -cand.brk
+            : cand.brp;
+    ++stats.candidates;
+    queue.Push(std::move(cand));
+  }
+
+  struct ReplayOutcome {
+    bool completed = true;
+    bool discarded = false;
+  };
+
+  // Replays one recorded fail: restores state, completes lazy estimates,
+  // re-checks BRP against the (possibly improved) MRP, installs relaxed
+  // bounds tightened by MRP and RRD, and re-runs the search from the
+  // fail's box.
+  ReplayOutcome ReplayOne(ConstraintBundle& bundle,
+                          RefineListener& listener, FailRecord& fail,
+                          const std::atomic<bool>* cancel,
+                          RunStats& stats) {
+    ReplayOutcome outcome;
+    bundle.ClearStates();
+    if (cfg.options->save_function_state) bundle.RestoreStates(fail);
+    bundle.CompleteEstimates(&fail);
+
+    const double mrp = ReplayMrp();
+    const double brp = cfg.penalty->BestPenalty(fail.estimates, all_known);
+    if (brp > mrp) {
+      outcome.discarded = true;
+      ++stats.replays_discarded;
+      return outcome;
+    }
+
+    // Which constraints actually need relaxation at this box, judged
+    // against the *original* bounds.
+    int must_violate = 0;
+    std::vector<int> to_relax;
+    for (int c = 0; c < bundle.size(); ++c) {
+      const Interval& est = fail.estimates[static_cast<size_t>(c)];
+      const Interval& bounds = bundle.at(c).original_bounds();
+      if (bounds.Intersects(est)) continue;
+      if (!relaxable[static_cast<size_t>(c)]) {
+        // Hard constraint is hopeless here (can happen under lazy
+        // recording, when it was not evaluated at fail time).
+        outcome.discarded = true;
+        ++stats.replays_discarded;
+        return outcome;
+      }
+      to_relax.push_back(c);
+      ++must_violate;
+    }
+    const double vc =
+        cfg.penalty->num_relaxable() == 0
+            ? 0.0
+            : static_cast<double>(must_violate) /
+                  cfg.penalty->num_relaxable();
+    const double allowed_rd = cfg.penalty->MaxAllowedDistance(mrp, vc);
+
+    for (const int c : to_relax) {
+      const Interval& est = fail.estimates[static_cast<size_t>(c)];
+      const Interval& orig = bundle.at(c).original_bounds();
+      const double w = cfg.penalty->spec(c).weight;
+      const double rd_c =
+          w > 0.0 ? std::min(allowed_rd / w, 1.0) : 1.0;
+      const Interval widest = cfg.penalty->RelaxedBounds(c, rd_c);
+      const double rrd = cfg.options->replay_relaxation_distance;
+      Interval effective = orig;
+      if (est.hi < orig.lo) {
+        // Relax the lower side: at most to the MRP-allowed bound, no
+        // further than the recorded estimate, by the RRD fraction; and
+        // always far enough that the fail's box stops failing (progress).
+        const double target = std::max(widest.lo, est.lo);
+        double lo = orig.lo - rrd * (orig.lo - target);
+        lo = std::min(lo, est.hi);
+        effective.lo = lo;
+      } else {
+        DQR_CHECK(est.lo > orig.hi);
+        const double target = std::min(widest.hi, est.hi);
+        double hi = orig.hi + rrd * (target - orig.hi);
+        hi = std::max(hi, est.lo);
+        effective.hi = hi;
+      }
+      bundle.at(c).SetEffectiveBounds(effective);
+    }
+
+    cp::SearchOptions search_opts;
+    search_opts.fail_fast = true;
+    search_opts.var_select = cfg.options->var_select;
+    search_opts.value_split = cfg.options->value_split;
+    search_opts.cancel = cancel;
+    cp::SearchTree tree(fail.box, bundle.pointers(), &listener,
+                        search_opts);
+    const cp::SearchStats tree_stats = tree.Run();
+    stats.replay_search += tree_stats;
+    ++stats.replays;
+    bundle.ResetEffectiveBounds();
+    outcome.completed = tree_stats.completed;
+    return outcome;
+  }
+
+  // ------------------------------------------------------------------
+  // Threads.
+
+  void SolverMain() {
+    ConstraintBundle bundle(*cfg.query);
+    RefineListener main_listener(this, &bundle, /*replay_mode=*/false,
+                                 &solver_stats);
+
+    cp::SearchOptions search_opts;
+    search_opts.fail_fast = true;
+    search_opts.var_select = cfg.options->var_select;
+    search_opts.value_split = cfg.options->value_split;
+    search_opts.cancel = &cfg.coordinator->cancel_flag();
+    cp::SearchTree main_tree(cfg.slice, bundle.pointers(), &main_listener,
+                             search_opts);
+    solver_stats.main_search += main_tree.Run();
+
+    // Stop speculation before the regular replay phase takes over.
+    spec_stop.store(true, std::memory_order_relaxed);
+    if (spec_thread.joinable()) spec_thread.join();
+
+    // The relaxation decision needs the confirmed result count: drain our
+    // validator, then wait for every instance to reach the same point.
+    queue.WaitDrained();
+    cfg.coordinator->ArriveMainSearchDone();
+    main_done_s = cfg.coordinator->ElapsedSeconds();
+
+    const bool relax_needed =
+        RefinementActive() && !cfg.coordinator->cancelled() &&
+        cfg.coordinator->tracker().exact_count() < cfg.query->k;
+    if (relax_needed) {
+      RefineListener replay_listener(this, &bundle, /*replay_mode=*/true,
+                                     &solver_stats);
+      while (!cfg.coordinator->cancelled()) {
+        std::optional<FailRecord> fail = registry.Pop(ReplayMrp());
+        if (!fail.has_value()) break;
+        ReplayOne(bundle, replay_listener, *fail,
+                  &cfg.coordinator->cancel_flag(), solver_stats);
+      }
+      queue.WaitDrained();
+    } else {
+      // Not needed: free the recorded fails ("stops tracking fails").
+      registry.Clear();
+    }
+    queue.Close();
+  }
+
+  void ValidatorMain() {
+    ConstraintBundle bundle(*cfg.query);
+    while (std::optional<Candidate> cand = queue.Pop()) {
+      ProcessCandidate(bundle, *cand);
+      queue.FinishedCurrent();
+    }
+  }
+
+  void ProcessCandidate(ConstraintBundle& bundle, const Candidate& cand) {
+    RunStats& stats = validator_stats;
+    const bool refined = RefinementActive();
+    const QueryPhase phase = cfg.coordinator->CurrentPhase();
+
+    // Pre-validation check (§4): avoid the expensive exact evaluation if
+    // the candidate's best case already cannot qualify.
+    if (refined) {
+      if (phase == QueryPhase::kCollecting &&
+          cand.brp > cfg.coordinator->CurrentMrp()) {
+        ++stats.dropped_precheck;
+        return;
+      }
+      if (phase == QueryPhase::kConstraining) {
+        if (cfg.options->constrain == ConstrainMode::kRank &&
+            cand.brk < cfg.coordinator->CurrentMrk()) {
+          ++stats.dropped_precheck;
+          return;
+        }
+        if (cfg.options->constrain == ConstrainMode::kSkyline &&
+            cfg.coordinator->SkylineDominatesBox(
+                cfg.rank->BestCornerForSkyline(cand.estimates))) {
+          ++stats.dropped_precheck;
+          return;
+        }
+      }
+    }
+
+    // Exact evaluation over the base data.
+    ++stats.validated;
+    Solution solution;
+    solution.point = cand.point;
+    solution.values = bundle.EvaluateAll(cand.point);
+    solution.rp = cfg.penalty->Penalty(solution.values);
+    solution.rk = cfg.rank->Rank(solution.values);
+    if (solution.rp != 0.0) ++stats.false_positives;
+
+    if (solution.rp == 0.0) {
+      ++stats.exact_results;
+    } else if (!refined || std::isinf(solution.rp) ||
+               phase == QueryPhase::kConstraining) {
+      return;  // plain mode and constraining accept exact results only
+    }
+
+    const bool streaming = static_cast<bool>(cfg.options->on_result);
+    Solution streamed;
+    if (streaming) streamed = solution;
+    const AddOutcome outcome =
+        cfg.coordinator->tracker().Add(std::move(solution));
+    switch (outcome) {
+      case AddOutcome::kAcceptedExact:
+        cfg.coordinator->NoteResult();
+        cfg.coordinator->PublishProgress();
+        if (streaming) cfg.options->on_result(streamed);
+        break;
+      case AddOutcome::kAcceptedRelaxed:
+        ++stats.relaxed_accepted;
+        cfg.coordinator->NoteResult();
+        cfg.coordinator->PublishProgress();
+        if (streaming) cfg.options->on_result(streamed);
+        break;
+      case AddOutcome::kRejected:
+        cfg.coordinator->PublishProgress();
+        break;
+      case AddOutcome::kDuplicate:
+        ++stats.duplicates;
+        break;
+    }
+  }
+
+  void SpeculativeMain() {
+    ConstraintBundle bundle(*cfg.query);
+    RefineListener listener(this, &bundle, /*replay_mode=*/true,
+                            &spec_stats);
+    while (!spec_stop.load(std::memory_order_relaxed)) {
+      if (!RefinementActive() ||
+          cfg.coordinator->CurrentPhase() != QueryPhase::kCollecting ||
+          queue.size() != 0) {
+        std::this_thread::sleep_for(kSpeculationNap);
+        continue;
+      }
+      std::optional<FailRecord> fail =
+          registry.Pop(ReplayMrp());
+      if (!fail.has_value()) {
+        std::this_thread::sleep_for(kSpeculationNap);
+        continue;
+      }
+      const ReplayOutcome outcome =
+          ReplayOne(bundle, listener, *fail, &spec_stop, spec_stats);
+      ++spec_stats.speculative_replays;
+      if (!outcome.completed) {
+        // Interrupted mid-replay: hand the fail back for the regular
+        // replay phase (re-exploration is deduplicated by the tracker).
+        registry.Record(std::move(*fail), ReplayMrp());
+      }
+    }
+  }
+
+  RunStats CollectStats() const {
+    RunStats total;
+    total += solver_stats;
+    total += validator_stats;
+    total += spec_stats;
+    total.fails_discarded_at_record = registry.discarded_at_record();
+    total.fails_discarded_at_pop = registry.discarded_at_pop();
+    total.fails_dropped_full = registry.dropped_full();
+    total.peak_fail_bytes = registry.peak_state_bytes();
+    total.peak_fail_count = registry.peak_size();
+    total.peak_queue = queue.peak_size();
+    total.main_search_s = main_done_s;
+    return total;
+  }
+
+  // ------------------------------------------------------------------
+
+  InstanceConfig cfg;
+  CandidateQueue queue;
+  FailRegistry registry;
+  std::vector<char> relaxable;
+  std::vector<char> all_known;
+
+  std::thread solver_thread;
+  std::thread validator_thread;
+  std::thread spec_thread;
+  std::atomic<bool> spec_stop{false};
+
+  // Written by exactly one thread each; read after Join().
+  RunStats solver_stats;
+  RunStats validator_stats;
+  RunStats spec_stats;
+  double main_done_s = 0.0;
+};
+
+InstanceRunner::InstanceRunner(InstanceConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+InstanceRunner::~InstanceRunner() {
+  if (impl_->solver_thread.joinable()) Join();
+}
+
+void InstanceRunner::Start() {
+  Impl* impl = impl_.get();
+  if (impl->cfg.options->speculative) {
+    impl->spec_thread = std::thread([impl] { impl->SpeculativeMain(); });
+  }
+  impl->solver_thread = std::thread([impl] { impl->SolverMain(); });
+  impl->validator_thread = std::thread([impl] { impl->ValidatorMain(); });
+}
+
+void InstanceRunner::Join() {
+  if (impl_->solver_thread.joinable()) impl_->solver_thread.join();
+  if (impl_->spec_thread.joinable()) impl_->spec_thread.join();
+  if (impl_->validator_thread.joinable()) impl_->validator_thread.join();
+}
+
+RunStats InstanceRunner::stats() const { return impl_->CollectStats(); }
+
+}  // namespace dqr::core

@@ -1,0 +1,59 @@
+#ifndef DQR_CORE_INSTANCE_H_
+#define DQR_CORE_INSTANCE_H_
+
+#include <memory>
+
+#include "cp/domain.h"
+#include "core/coordinator.h"
+#include "core/options.h"
+#include "core/penalty.h"
+#include "core/rank.h"
+#include "core/stats.h"
+#include "searchlight/query.h"
+
+namespace dqr::core {
+
+// Construction parameters of one simulated Searchlight instance. All
+// pointers are borrowed and must outlive the runner.
+struct InstanceConfig {
+  int id = 0;
+  // This instance's slice of the search space (the full domain box with
+  // variable 0 restricted to the instance's partition).
+  cp::DomainBox slice;
+  const searchlight::QuerySpec* query = nullptr;
+  const RefineOptions* options = nullptr;
+  const PenaltyModel* penalty = nullptr;
+  const RankModel* rank = nullptr;
+  Coordinator* coordinator = nullptr;
+};
+
+// One simulated cluster instance: a Solver thread and a Validator thread
+// connected by a bounded candidate queue, plus an optional speculative
+// relaxation thread (§4.2). The Solver runs the main search, then — if the
+// global query still lacks k results — replays its recorded fails with
+// relaxed constraints until its registry drains.
+class InstanceRunner {
+ public:
+  explicit InstanceRunner(InstanceConfig config);
+  ~InstanceRunner();
+
+  InstanceRunner(const InstanceRunner&) = delete;
+  InstanceRunner& operator=(const InstanceRunner&) = delete;
+
+  // Spawns the worker threads; call once.
+  void Start();
+  // Blocks until all threads finish (the validator queue is closed and
+  // drained).
+  void Join();
+
+  // This instance's statistics; valid after Join().
+  RunStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_INSTANCE_H_

@@ -1,0 +1,21 @@
+#ifndef DQR_CORE_MODEL_BUILDERS_H_
+#define DQR_CORE_MODEL_BUILDERS_H_
+
+#include "common/status.h"
+#include "core/penalty.h"
+#include "core/rank.h"
+#include "searchlight/query.h"
+
+namespace dqr::core {
+
+// Builds the penalty/rank models a refined execution of `query` uses.
+// Instantiates one prototype function per constraint to obtain its value
+// range. Exposed so that clients (and tests) can score solutions exactly
+// the way the engine does.
+Result<PenaltyModel> BuildPenaltyModel(const searchlight::QuerySpec& query,
+                                       double alpha);
+Result<RankModel> BuildRankModel(const searchlight::QuerySpec& query);
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_MODEL_BUILDERS_H_

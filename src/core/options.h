@@ -1,0 +1,142 @@
+#ifndef DQR_CORE_OPTIONS_H_
+#define DQR_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/solution.h"
+#include "cp/search.h"
+
+namespace dqr::core {
+
+class PenaltyModel;
+class RankModel;
+
+// What the engine does when the query yields more than k results (§3.2).
+enum class ConstrainMode {
+  // No constraining: every exact result is returned (the manual "Off"
+  // baseline of Table 4).
+  kNone,
+  // Scalar ranking: top-k by RK(r) with the dynamic BRK >= MRK constraint.
+  kRank,
+  // Vector domination: the skyline of non-dominated results (may exceed k).
+  kSkyline,
+};
+
+// Replay scheduling for recorded fails.
+enum class ReplayOrder {
+  // Priority queue on BRP — the paper's utility-based approach.
+  kBestFirst,
+  // Encounter order — the "search through the fail" ablation of §5.3,
+  // shown there to be up to orders of magnitude slower.
+  kFifo,
+};
+
+// Ordering of the Solver -> Validator candidate queue.
+enum class ValidatorQueueOrder {
+  kFifo,
+  // Priority on BRP (§4.2): more promising candidates validate first,
+  // shrinking MRP faster and improving Solver-side pruning.
+  kBrpPriority,
+};
+
+// Strategy for computing constraint-function estimates when a fail is
+// recorded (§4.2 "Computing functions at fails").
+enum class FailEvalMode {
+  // Evaluate every C^r function at the failed node immediately.
+  kFull,
+  // Record only what the search already computed; missing estimates are
+  // derived lazily if/when the fail is replayed.
+  kLazy,
+};
+
+// All knobs of the dynamic refinement framework. The defaults mirror the
+// paper's defaults (alpha = 0.5, RRD = 1.0 i.e. no partial relaxation,
+// lazy fail evaluation, UDF state saving on, BRP-sorted validator queue).
+struct RefineOptions {
+  // Master switch; false reproduces plain Searchlight (the manual
+  // baseline): no fail tracking, no dynamic constraints, all exact
+  // results returned.
+  bool enable = true;
+
+  // --- relaxation (§3.1, §4.1) ---
+  // Weight of the relaxation distance vs the violated-constraint count in
+  // RP(r) = alpha * RD(r) + (1 - alpha) * VC(r); in [0, 1].
+  double alpha = 0.5;
+  // Replay Relaxation Distance (§4.2): fraction of the allowed relaxation
+  // interval actually applied when replaying a fail; in (0, 1].
+  double replay_relaxation_distance = 1.0;
+  FailEvalMode fail_eval = FailEvalMode::kLazy;
+  // Save/restore function states (memoized bounds) at fails (§4.2).
+  bool save_function_state = true;
+  // Run speculative relaxation solvers while the main search is still in
+  // progress and the validators are idle (§4.2).
+  bool speculative = false;
+  ReplayOrder replay_order = ReplayOrder::kBestFirst;
+  // Memory guard: the registry holds at most this many fails; the worst
+  // (highest-BRP) records are dropped first when the cap is exceeded.
+  int64_t max_recorded_fails = 1 << 20;
+
+  // --- constraining (§3.2, §4.3) ---
+  ConstrainMode constrain = ConstrainMode::kRank;
+
+  // --- diversity (§3.3's "dynamic functions" extension, future work in
+  //     the paper; implemented here as greedy result spacing) ---
+  // When non-empty (one entry per decision variable), the final top-k is
+  // additionally forced apart: two results conflict when
+  // |p_i - q_i| < result_spacing[i] holds for *every* variable i, and
+  // conflicting worse results are skipped greedily in quality order.
+  // Avoids the "many overlapping intervals" outcome of Figure 1. A
+  // spacing of 0 on a variable makes that coordinate never conflict
+  // (effectively ignoring the whole spacing box through that variable);
+  // use a large value to ignore a coordinate instead.
+  // Applies to relaxation top-k and rank top-k (not skyline / plain
+  // output). Selection is made from an oversampled pool of
+  // diversity_pool_factor * k tracked results, so the filter is
+  // best-effort: raise the factor for stronger separation.
+  std::vector<int64_t> result_spacing;
+  int64_t diversity_pool_factor = 8;
+
+  // --- customization (§3.3) ---
+  // User-supplied penalty/ranking models; null means "build the paper's
+  // defaults from the query". A custom model must be a PenaltyModel /
+  // RankModel subclass covering exactly the query's constraints (see the
+  // contract in penalty.h / rank.h) and must outlive the query execution.
+  const PenaltyModel* custom_penalty = nullptr;
+  const RankModel* custom_rank = nullptr;
+
+  // --- search heuristics ---
+  // The Solver's decision process, tunable as in Searchlight. Heuristics
+  // change the exploration order (and thus intermediate latencies), never
+  // the final result set.
+  cp::VarSelect var_select = cp::VarSelect::kWidestDomain;
+  cp::ValueSplit value_split = cp::ValueSplit::kBisectLowFirst;
+
+  // --- online answering ---
+  // Invoked the moment a Validator confirms a result (an exact match, or
+  // a relaxed result entering the current best-k) — Searchlight's online
+  // output model: confirmed solutions stream to the user immediately.
+  // Relaxed results streamed early may be superseded in the final top-k.
+  // Called from validator threads concurrently; must be thread-safe and
+  // cheap (it runs on the validation path). May be null.
+  std::function<void(const Solution&)> on_result;
+
+  // --- engine / cluster ---
+  // Simulated Searchlight instances; the search space is partitioned on
+  // variable 0 and each instance runs its own solver + validator threads.
+  int num_instances = 1;
+  ValidatorQueueOrder validator_queue = ValidatorQueueOrder::kBrpPriority;
+  size_t validator_queue_capacity = 1024;
+  // Simulated broadcast latency for MRP/MRK updates between instances, in
+  // microseconds; 0 = immediate (single-node behaviour).
+  int64_t broadcast_delay_us = 0;
+  // Wall-clock budget in seconds; 0 = unlimited. When exceeded the query
+  // is cancelled and the partial result returned with completed = false
+  // (used for the USER-MAX ">1h" rows).
+  double time_budget_s = 0.0;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_OPTIONS_H_

@@ -1,0 +1,181 @@
+#include "core/penalty.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dqr::core {
+namespace {
+
+// Tolerance on the "distance exceeds the value range" hard-limit check,
+// absorbing floating-point noise at the range edges.
+constexpr double kHardLimitSlack = 1e-9;
+
+}  // namespace
+
+PenaltyModel::PenaltyModel(std::vector<PenaltySpec> specs, double alpha)
+    : specs_(std::move(specs)), alpha_(alpha) {
+  DQR_CHECK(alpha_ >= 0.0 && alpha_ <= 1.0);
+  for (const PenaltySpec& spec : specs_) {
+    DQR_CHECK(!spec.bounds.empty());
+    DQR_CHECK(!spec.value_range.empty());
+    DQR_CHECK(spec.weight >= 0.0 && spec.weight <= 1.0);
+    if (spec.relaxable) ++num_relaxable_;
+  }
+}
+
+double PenaltyModel::RelaxDistance(int c, double t) const {
+  const PenaltySpec& spec = specs_[static_cast<size_t>(c)];
+  const Interval& b = spec.bounds;
+  const Interval& r = spec.value_range;
+  if (b.Contains(t)) return 0.0;
+  if (t > b.hi) {
+    const double room = r.hi - b.hi;
+    return room > 0.0 ? (t - b.hi) / room : kInfinitePenalty;
+  }
+  const double room = b.lo - r.lo;
+  return room > 0.0 ? (b.lo - t) / room : kInfinitePenalty;
+}
+
+double PenaltyModel::TotalDistance(const std::vector<double>& values) const {
+  DQR_CHECK(values.size() == specs_.size());
+  double total = 0.0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    if (!specs_[c].relaxable) continue;
+    total = std::max(total, specs_[c].weight *
+                                RelaxDistance(static_cast<int>(c),
+                                              values[c]));
+  }
+  return total;
+}
+
+double PenaltyModel::ViolationFraction(
+    const std::vector<double>& values) const {
+  DQR_CHECK(values.size() == specs_.size());
+  if (num_relaxable_ == 0) return 0.0;
+  int violated = 0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    if (specs_[c].relaxable && !specs_[c].bounds.Contains(values[c])) {
+      ++violated;
+    }
+  }
+  return static_cast<double>(violated) / num_relaxable_;
+}
+
+double PenaltyModel::Penalty(const std::vector<double>& values) const {
+  DQR_CHECK(values.size() == specs_.size());
+  double rd = 0.0;
+  int violated = 0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    const PenaltySpec& spec = specs_[c];
+    const bool in_bounds = spec.bounds.Contains(values[c]);
+    if (!spec.relaxable) {
+      if (!in_bounds) return kInfinitePenalty;  // hard constraint
+      continue;
+    }
+    if (in_bounds) continue;
+    const double d = RelaxDistance(static_cast<int>(c), values[c]);
+    if (d > 1.0 + kHardLimitSlack) return kInfinitePenalty;
+    rd = std::max(rd, spec.weight * d);
+    ++violated;
+  }
+  const double vc =
+      num_relaxable_ == 0
+          ? 0.0
+          : static_cast<double>(violated) / num_relaxable_;
+  return alpha_ * rd + (1.0 - alpha_) * vc;
+}
+
+double PenaltyModel::BestDistance(int c, const Interval& estimate) const {
+  const PenaltySpec& spec = specs_[static_cast<size_t>(c)];
+  if (spec.bounds.Intersects(estimate)) return 0.0;
+  // The estimate lies entirely on one side; the closest endpoint gives
+  // the best case.
+  const double t =
+      estimate.hi < spec.bounds.lo ? estimate.hi : estimate.lo;
+  return RelaxDistance(c, t);
+}
+
+double PenaltyModel::WorstDistance(int c, const Interval& estimate) const {
+  // RD_c is piecewise monotone away from the bounds, so the maximum over
+  // an interval is attained at one of its endpoints. Feasible results
+  // never exceed distance 1 (the hard limit), so clamp there.
+  const double worst = std::max(RelaxDistance(c, estimate.lo),
+                                RelaxDistance(c, estimate.hi));
+  return std::min(worst, 1.0);
+}
+
+double PenaltyModel::BestPenalty(const std::vector<Interval>& estimates,
+                                 const std::vector<char>& known) const {
+  DQR_CHECK(estimates.size() == specs_.size());
+  DQR_CHECK(known.size() == specs_.size());
+  double rd = 0.0;
+  int must_violate = 0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    if (!known[c]) continue;  // lazy mode: assume best case 0
+    const PenaltySpec& spec = specs_[c];
+    const bool disjoint = !spec.bounds.Intersects(estimates[c]);
+    if (!spec.relaxable) {
+      if (disjoint) return kInfinitePenalty;
+      continue;
+    }
+    if (!disjoint) continue;
+    const double d = BestDistance(static_cast<int>(c), estimates[c]);
+    if (d > 1.0 + kHardLimitSlack) return kInfinitePenalty;
+    rd = std::max(rd, spec.weight * d);
+    ++must_violate;
+  }
+  const double vc =
+      num_relaxable_ == 0
+          ? 0.0
+          : static_cast<double>(must_violate) / num_relaxable_;
+  return alpha_ * rd + (1.0 - alpha_) * vc;
+}
+
+double PenaltyModel::WorstPenalty(const std::vector<Interval>& estimates,
+                                  const std::vector<char>& known) const {
+  DQR_CHECK(estimates.size() == specs_.size());
+  DQR_CHECK(known.size() == specs_.size());
+  double rd = 0.0;
+  int may_violate = 0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    const PenaltySpec& spec = specs_[c];
+    if (!spec.relaxable) continue;
+    const Interval est = known[c] ? estimates[c] : spec.value_range;
+    if (spec.bounds.Contains(est)) continue;  // cannot violate
+    rd = std::max(rd, spec.weight * WorstDistance(static_cast<int>(c), est));
+    ++may_violate;
+  }
+  const double vc =
+      num_relaxable_ == 0
+          ? 0.0
+          : static_cast<double>(may_violate) / num_relaxable_;
+  return alpha_ * rd + (1.0 - alpha_) * vc;
+}
+
+double PenaltyModel::MaxAllowedDistance(double mrp,
+                                        double violation_fraction) const {
+  if (alpha_ == 0.0) return kInfinitePenalty;  // no tightening possible
+  return std::max(0.0, (mrp - (1.0 - alpha_) * violation_fraction) / alpha_);
+}
+
+Interval PenaltyModel::RelaxedBounds(int c, double rd) const {
+  DQR_CHECK(rd >= 0.0);
+  const PenaltySpec& spec = specs_[static_cast<size_t>(c)];
+  const Interval& b = spec.bounds;
+  const Interval& r = spec.value_range;
+  double lo = b.lo;
+  double hi = b.hi;
+  if (std::isfinite(lo)) {
+    const double room = std::max(0.0, lo - r.lo);
+    lo -= std::min(rd, 1.0) * room;
+  }
+  if (std::isfinite(hi)) {
+    const double room = std::max(0.0, r.hi - hi);
+    hi += std::min(rd, 1.0) * room;
+  }
+  return Interval(lo, hi);
+}
+
+}  // namespace dqr::core

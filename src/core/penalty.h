@@ -1,0 +1,116 @@
+#ifndef DQR_CORE_PENALTY_H_
+#define DQR_CORE_PENALTY_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace dqr::core {
+
+// Per-constraint inputs to the relaxation penalty (§3.1).
+struct PenaltySpec {
+  // Original query bounds [a, b] (may be half-open via +-infinity).
+  Interval bounds;
+  // Hard limits [min f_c, max f_c]; normalizes RD_c and bounds how far the
+  // constraint may ever be relaxed.
+  Interval value_range;
+  // w_c in RD(r) = max_c w_c RD_c(r); in [0, 1].
+  double weight = 1.0;
+  // Whether the constraint belongs to C^r. Non-relaxable constraints are
+  // hard: violating one gives an infinite penalty.
+  bool relaxable = true;
+};
+
+// The paper's default relaxation penalty model:
+//
+//   RD_c(r) = 0 if a <= t <= b, (t-b)/(max f - b) if t > b,
+//             (a-t)/(a - min f) if t < a          (normalized to [0,1])
+//   RD(r)   = max_c w_c RD_c(r)
+//   VC(r)   = #violated relaxable constraints / |C^r|
+//   RP(r)   = alpha * RD(r) + (1 - alpha) * VC(r)
+//
+// plus the interval (sub-tree) versions BRP/WRP used for fail ranking
+// (§4.1) and the MRP-driven interval tightening used at replays.
+//
+// Values beyond a constraint's value_range are hard violations: RP becomes
+// infinite ("we will not relax beyond the specified min/max", §3.1).
+//
+// Customization (§3.3): subclass and override the virtual methods to
+// install a custom penalty. The engine requires of a custom RP() that
+//   * Penalty(values) >= 0, with 0 exactly for results satisfying the
+//     original query, and larger = worse;
+//   * BestPenalty(estimates) never exceeds the minimum Penalty over any
+//     assignment whose values lie within the estimates (no
+//     overestimation of the best case — sub-trees are pruned when their
+//     BestPenalty exceeds the MRP);
+//   * MaxAllowedDistance may simply return infinity, in which case
+//     replays relax violated constraints to their recorded [a', b']
+//     estimates without MRP-driven tightening (the paper's treatment of
+//     black-box custom functions).
+// Install via RefineOptions::custom_penalty.
+class PenaltyModel {
+ public:
+  static constexpr double kInfinitePenalty =
+      std::numeric_limits<double>::infinity();
+
+  PenaltyModel(std::vector<PenaltySpec> specs, double alpha);
+  virtual ~PenaltyModel() = default;
+
+  int num_constraints() const { return static_cast<int>(specs_.size()); }
+  int num_relaxable() const { return num_relaxable_; }
+  double alpha() const { return alpha_; }
+  const PenaltySpec& spec(int c) const {
+    return specs_[static_cast<size_t>(c)];
+  }
+
+  // Normalized relaxation distance of constraint `c` at value `t`
+  // (unweighted); > 1 when t falls outside the value range.
+  double RelaxDistance(int c, double t) const;
+
+  // RD(r) over exact per-constraint values (weighted max over C^r).
+  virtual double TotalDistance(const std::vector<double>& values) const;
+
+  // VC(r): violated relaxable constraints / |C^r|.
+  virtual double ViolationFraction(const std::vector<double>& values) const;
+
+  // RP(r); kInfinitePenalty if a non-relaxable constraint is violated or
+  // any relaxable value lies beyond its value range.
+  virtual double Penalty(const std::vector<double>& values) const;
+
+  // Best (lowest) possible RP over a sub-tree whose constraint estimates
+  // are `estimates` — the BRP of §4.1. Constraints with `known[c] ==
+  // false` are treated as unconstrained (best case 0), which is what the
+  // lazy fail-recording mode needs. kInfinitePenalty if some constraint
+  // can never be satisfied even maximally relaxed.
+  virtual double BestPenalty(const std::vector<Interval>& estimates,
+                     const std::vector<char>& known) const;
+
+  // Worst (highest) possible RP over the sub-tree; unknown constraints
+  // assume their full value range.
+  virtual double WorstPenalty(const std::vector<Interval>& estimates,
+                      const std::vector<char>& known) const;
+
+  // Largest RD(r) a candidate violating `violation_fraction` of C^r may
+  // have while keeping RP(r) <= mrp (§4.1); +infinity when alpha == 0 (no
+  // distance-based tightening possible).
+  virtual double MaxAllowedDistance(double mrp, double violation_fraction) const;
+
+  // Bounds of constraint `c` relaxed to (unweighted) distance `rd` on both
+  // sides, clipped to the value range. rd >= 0.
+  virtual Interval RelaxedBounds(int c, double rd) const;
+
+ private:
+  // Best-case unweighted RD_c over an estimate interval: 0 when the
+  // estimate touches the bounds, else the normalized gap.
+  double BestDistance(int c, const Interval& estimate) const;
+  double WorstDistance(int c, const Interval& estimate) const;
+
+  std::vector<PenaltySpec> specs_;
+  double alpha_;
+  int num_relaxable_ = 0;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_PENALTY_H_

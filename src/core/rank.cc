@@ -1,0 +1,121 @@
+#include "core/rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dqr::core {
+
+RankModel::RankModel(std::vector<RankSpec> specs) {
+  specs_.reserve(specs.size());
+  double given_weight = 0.0;
+  int defaulted = 0;
+  for (const RankSpec& spec : specs) {
+    DQR_CHECK(!spec.bounds.empty());
+    DQR_CHECK(!spec.value_range.empty());
+    Effective eff;
+    eff.constrainable = spec.constrainable;
+    eff.maximize = spec.maximize;
+    // Close half-open bounds with the value-range endpoints (§3.2).
+    eff.bounds = Interval(
+        std::isfinite(spec.bounds.lo) ? spec.bounds.lo : spec.value_range.lo,
+        std::isfinite(spec.bounds.hi) ? spec.bounds.hi
+                                      : spec.value_range.hi);
+    if (spec.constrainable) {
+      ++num_constrainable_;
+      if (spec.weight >= 0.0) {
+        given_weight += spec.weight;
+      } else {
+        ++defaulted;
+      }
+    }
+    eff.weight = spec.weight;
+    specs_.push_back(eff);
+  }
+  // Normalize: explicit weights are scaled so the total (with defaulted
+  // weights sharing the remainder equally) sums to 1.
+  const double remainder = std::max(0.0, 1.0 - given_weight);
+  const double default_w = defaulted > 0
+                               ? remainder / defaulted
+                               : 0.0;
+  double total = 0.0;
+  for (Effective& eff : specs_) {
+    if (!eff.constrainable) {
+      eff.weight = 0.0;
+      continue;
+    }
+    if (eff.weight < 0.0) eff.weight = default_w;
+    total += eff.weight;
+  }
+  if (total > 0.0) {
+    for (Effective& eff : specs_) eff.weight /= total;
+  }
+}
+
+double RankModel::RankComponent(int c, double t) const {
+  const Effective& eff = specs_[static_cast<size_t>(c)];
+  const double a = eff.bounds.lo;
+  const double b = eff.bounds.hi;
+  const double span = b - a;
+  if (span <= 0.0) return 0.0;  // degenerate bounds: every value is best
+  const double clamped = std::clamp(t, a, b);
+  return eff.maximize ? (b - clamped) / span : (clamped - a) / span;
+}
+
+double RankModel::Rank(const std::vector<double>& values) const {
+  DQR_CHECK(values.size() == specs_.size());
+  double badness = 0.0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    if (!specs_[c].constrainable) continue;
+    badness +=
+        specs_[c].weight * RankComponent(static_cast<int>(c), values[c]);
+  }
+  return 1.0 - badness;
+}
+
+double RankModel::BestRank(const std::vector<Interval>& estimates) const {
+  DQR_CHECK(estimates.size() == specs_.size());
+  double badness = 0.0;
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    const Effective& eff = specs_[c];
+    if (!eff.constrainable) continue;
+    const Interval feasible = estimates[c].Intersect(eff.bounds);
+    if (feasible.empty()) {
+      // No valid solution exists in the sub-tree.
+      return -std::numeric_limits<double>::infinity();
+    }
+    // The best (smallest) badness is at the preferred end of the feasible
+    // interval.
+    const double best_t = eff.maximize ? feasible.hi : feasible.lo;
+    badness += eff.weight * RankComponent(static_cast<int>(c), best_t);
+  }
+  return 1.0 - badness;
+}
+
+std::vector<double> RankModel::OrientForSkyline(
+    const std::vector<double>& values) const {
+  DQR_CHECK(values.size() == specs_.size());
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(num_constrainable_));
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    if (!specs_[c].constrainable) continue;
+    out.push_back(specs_[c].maximize ? values[c] : -values[c]);
+  }
+  return out;
+}
+
+std::vector<double> RankModel::BestCornerForSkyline(
+    const std::vector<Interval>& estimates) const {
+  DQR_CHECK(estimates.size() == specs_.size());
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(num_constrainable_));
+  for (size_t c = 0; c < specs_.size(); ++c) {
+    if (!specs_[c].constrainable) continue;
+    out.push_back(specs_[c].maximize ? estimates[c].hi : -estimates[c].lo);
+  }
+  return out;
+}
+
+}  // namespace dqr::core

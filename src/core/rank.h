@@ -1,0 +1,83 @@
+#ifndef DQR_CORE_RANK_H_
+#define DQR_CORE_RANK_H_
+
+#include <vector>
+
+#include "common/interval.h"
+
+namespace dqr::core {
+
+// Per-constraint inputs to the ranking model (§3.2).
+struct RankSpec {
+  // Original query bounds [a, b]. Half-open bounds are closed with the
+  // corresponding value_range endpoint for ranking purposes, per §3.2.
+  Interval bounds;
+  Interval value_range;
+  // w_c; negative means "use the default 1/|C^c|". Weights are normalized
+  // to sum to 1 over the constrainable set.
+  double weight = -1.0;
+  bool maximize = true;
+  // Whether the constraint belongs to C^c at all.
+  bool constrainable = true;
+};
+
+// The paper's default scalar ranking:
+//
+//   RK_c(r) = (b - t)/(b - a) if c is maximized,
+//             (t - a)/(b - a) if c is minimized,
+//   RK(r)   = 1 - sum_c w_c RK_c(r),   higher is better.
+//
+// Note on the minimized case: the paper prints (a - t)/(b - a), which is
+// negative on [a, b] and would make *worse* minimized values rank higher;
+// (t - a)/(b - a) is the form consistent with the stated semantics and
+// with every worked example, so that is what we implement (see DESIGN.md).
+//
+// BestRank() gives the BRK of §4.3: an upper bound on RK over all valid
+// solutions in a sub-tree, used by the dynamic constraint BRK >= MRK.
+class RankModel {
+ public:
+  explicit RankModel(std::vector<RankSpec> specs);
+  virtual ~RankModel() = default;
+
+  int num_constraints() const { return static_cast<int>(specs_.size()); }
+  int num_constrainable() const { return num_constrainable_; }
+
+  // RK_c at value t (t is clamped into the effective bounds).
+  double RankComponent(int c, double t) const;
+
+  // RK(r) over exact values.
+  virtual double Rank(const std::vector<double>& values) const;
+
+  // BRK: the best possible RK among solutions whose per-constraint values
+  // lie in `estimates` *and* satisfy the bounds. Returns
+  // -infinity when some estimate is disjoint from its bounds (the
+  // sub-tree holds no valid solution).
+  virtual double BestRank(const std::vector<Interval>& estimates) const;
+
+  // Values oriented so that "larger is better" on every constrainable
+  // coordinate (minimized values are negated) — the vector compared by
+  // skyline domination. Non-constrainable constraints are skipped; the
+  // output has num_constrainable() entries.
+  virtual std::vector<double> OrientForSkyline(
+      const std::vector<double>& values) const;
+
+  // Per-coordinate best corners of a sub-tree in skyline orientation
+  // (upper bounds of achievable oriented values).
+  virtual std::vector<double> BestCornerForSkyline(
+      const std::vector<Interval>& estimates) const;
+
+ private:
+  struct Effective {
+    Interval bounds;  // closed with value-range endpoints
+    double weight = 0.0;
+    bool maximize = true;
+    bool constrainable = true;
+  };
+
+  std::vector<Effective> specs_;
+  int num_constrainable_ = 0;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_RANK_H_

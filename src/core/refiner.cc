@@ -1,0 +1,209 @@
+#include "core/refiner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "core/coordinator.h"
+#include "core/instance.h"
+#include "core/model_builders.h"
+#include "core/penalty.h"
+#include "core/rank.h"
+#include "cp/function.h"
+
+namespace dqr::core {
+namespace {
+
+// Sleeps until the budget expires or Stop() is called, then cancels the
+// coordinator. Used for the time_budget_s option.
+class Watchdog {
+ public:
+  Watchdog(Coordinator* coordinator, double budget_s)
+      : coordinator_(coordinator), budget_s_(budget_s) {
+    if (budget_s_ > 0.0) {
+      thread_ = std::thread([this] { Run(); });
+    }
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(budget_s_ * 1e6));
+    cv_.wait_until(lock, deadline, [this] { return stop_; });
+    if (!stop_) coordinator_->Cancel();
+  }
+
+  Coordinator* coordinator_;
+  double budget_s_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+Status ValidateInputs(const searchlight::QuerySpec& query,
+                      const RefineOptions& options) {
+  if (query.domains.empty()) {
+    return InvalidArgumentError("query has no decision variables");
+  }
+  for (const cp::IntDomain& d : query.domains) {
+    if (d.empty()) {
+      return InvalidArgumentError("decision variable domain is empty");
+    }
+  }
+  if (query.k < 0) {
+    return InvalidArgumentError("result cardinality k must be >= 0");
+  }
+  for (const searchlight::QueryConstraint& qc : query.constraints) {
+    if (qc.make_function == nullptr) {
+      return InvalidArgumentError("constraint lacks a function factory");
+    }
+    if (qc.bounds.empty()) {
+      return InvalidArgumentError("constraint bounds are empty");
+    }
+    if (qc.relax_weight < 0.0 || qc.relax_weight > 1.0) {
+      return InvalidArgumentError("relax weight must lie in [0, 1]");
+    }
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return InvalidArgumentError("alpha must lie in [0, 1]");
+  }
+  if (options.replay_relaxation_distance <= 0.0 ||
+      options.replay_relaxation_distance > 1.0) {
+    return InvalidArgumentError("RRD must lie in (0, 1]");
+  }
+  if (options.num_instances < 1) {
+    return InvalidArgumentError("need at least one instance");
+  }
+  if (options.max_recorded_fails <= 0) {
+    return InvalidArgumentError("max_recorded_fails must be positive");
+  }
+  if (!options.result_spacing.empty()) {
+    if (options.result_spacing.size() != query.domains.size()) {
+      return InvalidArgumentError(
+          "result_spacing must have one entry per decision variable");
+    }
+    for (const int64_t s : options.result_spacing) {
+      if (s < 0) return InvalidArgumentError("spacing must be >= 0");
+    }
+    if (options.diversity_pool_factor < 1) {
+      return InvalidArgumentError("diversity_pool_factor must be >= 1");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
+                               const RefineOptions& options) {
+  if (Status status = ValidateInputs(query, options); !status.ok()) {
+    return status;
+  }
+
+  Result<PenaltyModel> penalty_result =
+      BuildPenaltyModel(query, options.alpha);
+  if (!penalty_result.ok()) return penalty_result.status();
+  Result<RankModel> rank_result = BuildRankModel(query);
+  if (!rank_result.ok()) return rank_result.status();
+  const PenaltyModel default_penalty = std::move(penalty_result).value();
+  const RankModel default_rank = std::move(rank_result).value();
+
+  // §3.3 customization: user-supplied models replace the defaults.
+  const PenaltyModel& penalty = options.custom_penalty != nullptr
+                                    ? *options.custom_penalty
+                                    : default_penalty;
+  const RankModel& rank = options.custom_rank != nullptr
+                              ? *options.custom_rank
+                              : default_rank;
+  if (penalty.num_constraints() !=
+          static_cast<int>(query.constraints.size()) ||
+      rank.num_constraints() !=
+          static_cast<int>(query.constraints.size())) {
+    return InvalidArgumentError(
+        "custom model does not cover the query's constraints");
+  }
+
+  // Refinement is governed by the effective cardinality: disabling the
+  // framework reproduces plain Searchlight (every exact result returned).
+  const int64_t effective_k = options.enable ? query.k : 0;
+  const ConstrainMode mode =
+      effective_k > 0 ? options.constrain : ConstrainMode::kNone;
+
+  // Partition the search space on variable 0 into contiguous slices; the
+  // barrier in the coordinator must match the slice count exactly.
+  const cp::IntDomain& split_dom = query.domains.front();
+  const int64_t want = std::min<int64_t>(options.num_instances,
+                                         std::max<int64_t>(1, split_dom.size()));
+  std::vector<cp::IntDomain> slices;
+  const int64_t chunk = (split_dom.size() + want - 1) / want;
+  for (int64_t lo = split_dom.lo; lo <= split_dom.hi; lo += chunk) {
+    slices.emplace_back(lo, std::min(split_dom.hi, lo + chunk - 1));
+  }
+  const int instances = static_cast<int>(slices.size());
+
+  ResultTracker::Diversity diversity;
+  if (effective_k > 0 && !options.result_spacing.empty()) {
+    diversity.spacing = options.result_spacing;
+    diversity.pool_k = effective_k * options.diversity_pool_factor;
+  }
+  Coordinator coordinator(instances, effective_k, mode, &rank,
+                          options.broadcast_delay_us,
+                          std::move(diversity));
+  Watchdog watchdog(&coordinator, options.time_budget_s);
+
+  std::vector<std::unique_ptr<InstanceRunner>> runners;
+  runners.reserve(static_cast<size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    InstanceConfig config;
+    config.id = i;
+    config.slice = query.domains;
+    config.slice[0] = slices[static_cast<size_t>(i)];
+    config.query = &query;
+    config.options = &options;
+    config.penalty = &penalty;
+    config.rank = &rank;
+    config.coordinator = &coordinator;
+    runners.push_back(std::make_unique<InstanceRunner>(std::move(config)));
+  }
+
+  for (auto& runner : runners) runner->Start();
+  for (auto& runner : runners) runner->Join();
+
+  RunResult result;
+  result.results = coordinator.tracker().FinalResults();
+  for (const auto& runner : runners) {
+    result.per_instance.push_back(runner->stats());
+    result.stats += result.per_instance.back();
+  }
+  result.stats.total_s = coordinator.ElapsedSeconds();
+  result.stats.first_result_s = coordinator.first_result_s();
+  result.stats.main_search_s = 0.0;
+  for (const auto& runner : runners) {
+    result.stats.main_search_s =
+        std::max(result.stats.main_search_s, runner->stats().main_search_s);
+  }
+  result.stats.exact_results = coordinator.tracker().exact_count();
+  result.stats.mrp_updates = coordinator.tracker().mrp_updates();
+  result.stats.mrk_updates = coordinator.tracker().mrk_updates();
+  result.stats.completed =
+      result.stats.completed && !coordinator.cancelled();
+  return result;
+}
+
+}  // namespace dqr::core

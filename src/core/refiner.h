@@ -1,0 +1,45 @@
+#ifndef DQR_CORE_REFINER_H_
+#define DQR_CORE_REFINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "core/solution.h"
+#include "core/stats.h"
+#include "searchlight/query.h"
+
+namespace dqr::core {
+
+// Outcome of one refined query execution.
+struct RunResult {
+  // Final results per the model's guarantees (§3): exact results, the
+  // best-k by RP after relaxation, the top-k by RK, or the skyline —
+  // depending on what the query needed.
+  std::vector<Solution> results;
+  // Aggregate statistics across the cluster.
+  RunStats stats;
+  // Per-instance breakdown (index = instance id).
+  std::vector<RunStats> per_instance;
+};
+
+// The public entry point of the dynamic query refinement framework: runs a
+// search query on a simulated Searchlight cluster, automatically relaxing
+// it when it yields fewer than k results and constraining it when it
+// yields more (§3, §4).
+//
+// Example:
+//   searchlight::QuerySpec query = ...;   // variables + constraints + k
+//   core::RefineOptions options;          // paper defaults
+//   auto run = core::ExecuteQuery(query, options);
+//   for (const core::Solution& s : run.value().results) { ... }
+//
+// Returns InvalidArgument for malformed queries/options. The call blocks
+// until the query finishes (or its time budget expires, in which case
+// stats.completed is false and the partial result is returned).
+Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
+                               const RefineOptions& options);
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_REFINER_H_

@@ -1,0 +1,44 @@
+#include "core/skyline.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dqr::core {
+
+bool Skyline::Dominates(const std::vector<double>& v,
+                        const std::vector<double>& w) {
+  DQR_CHECK(v.size() == w.size());
+  bool strict = false;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] < w[i]) return false;
+    if (v[i] > w[i]) strict = true;
+  }
+  return strict;
+}
+
+bool Skyline::Add(SkylineEntry entry) {
+  for (const SkylineEntry& member : entries_) {
+    if (Dominates(member.oriented, entry.oriented)) return false;
+  }
+  // Evict members the newcomer dominates.
+  size_t kept = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!Dominates(entry.oriented, entries_[i].oriented)) {
+      if (kept != i) entries_[kept] = std::move(entries_[i]);
+      ++kept;
+    }
+  }
+  entries_.resize(kept);
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+bool Skyline::DominatesBox(const std::vector<double>& best_corner) const {
+  for (const SkylineEntry& member : entries_) {
+    if (Dominates(member.oriented, best_corner)) return true;
+  }
+  return false;
+}
+
+}  // namespace dqr::core

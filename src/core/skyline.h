@@ -1,0 +1,46 @@
+#ifndef DQR_CORE_SKYLINE_H_
+#define DQR_CORE_SKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solution.h"
+
+namespace dqr::core {
+
+// One member of the running skyline: a validated solution plus its
+// constraint-function values oriented so that larger is better on every
+// coordinate (see RankModel::OrientForSkyline).
+struct SkylineEntry {
+  Solution solution;
+  std::vector<double> oriented;
+};
+
+// Maintains the set of non-dominated results for skyline constraining
+// (§3.2/§4.3). V dominates W iff v_i >= w_i for all i and v_i > w_i for
+// some i. Not thread-safe; the result tracker serializes access.
+class Skyline {
+ public:
+  static bool Dominates(const std::vector<double>& v,
+                        const std::vector<double>& w);
+
+  // Inserts `entry` unless an existing member dominates it; members
+  // dominated by `entry` are evicted. Returns true iff inserted.
+  bool Add(SkylineEntry entry);
+
+  // True iff some member dominates `best_corner` — the per-coordinate
+  // upper bounds achievable in a sub-tree. Then every solution in the
+  // sub-tree is dominated and it can be pruned (the skyline dynamic
+  // constraint).
+  bool DominatesBox(const std::vector<double>& best_corner) const;
+
+  const std::vector<SkylineEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<SkylineEntry> entries_;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_SKYLINE_H_

@@ -1,0 +1,41 @@
+#ifndef DQR_CORE_SOLUTION_H_
+#define DQR_CORE_SOLUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dqr::core {
+
+// A validated query result: a bound assignment with its exact
+// constraint-function values and refinement scores.
+struct Solution {
+  std::vector<int64_t> point;
+  // Exact f_c values, in the query's constraint order.
+  std::vector<double> values;
+  // Relaxation penalty RP(r); 0 for results satisfying the original query.
+  double rp = 0.0;
+  // Rank RK(r); meaningful under rank constraining.
+  double rk = 0.0;
+
+  std::string ToString() const;
+};
+
+inline std::string Solution::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < point.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(point[i]);
+  }
+  out += ") f=(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += ") rp=" + std::to_string(rp) + " rk=" + std::to_string(rk);
+  return out;
+}
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_SOLUTION_H_

@@ -1,0 +1,79 @@
+#ifndef DQR_CORE_STATS_H_
+#define DQR_CORE_STATS_H_
+
+#include <cstdint>
+
+#include "cp/search.h"
+
+namespace dqr::core {
+
+// Execution statistics of one refined query, aggregated over all
+// instances. Times are wall-clock seconds.
+struct RunStats {
+  double total_s = 0.0;
+  // Seconds until the first result was confirmed by a Validator (exact,
+  // or relaxed during relaxation); negative if no result was produced.
+  double first_result_s = -1.0;
+  // Seconds until every instance finished its main (non-relaxed) search
+  // and drained its validator.
+  double main_search_s = 0.0;
+
+  cp::SearchStats main_search;
+  cp::SearchStats replay_search;
+
+  // --- fail tracking / replaying ---
+  int64_t fails_recorded = 0;
+  int64_t fails_discarded_at_record = 0;
+  int64_t fails_discarded_at_pop = 0;
+  int64_t fails_dropped_full = 0;
+  int64_t replays = 0;
+  int64_t replays_discarded = 0;  // popped but hopeless after re-check
+  int64_t speculative_replays = 0;
+  int64_t peak_fail_bytes = 0;
+  int64_t peak_fail_count = 0;
+
+  // --- validation ---
+  int64_t candidates = 0;
+  int64_t validated = 0;
+  int64_t dropped_precheck = 0;
+  int64_t false_positives = 0;
+  int64_t exact_results = 0;
+  int64_t relaxed_accepted = 0;
+  int64_t duplicates = 0;
+  int64_t peak_queue = 0;
+
+  // --- refinement bookkeeping ---
+  int64_t mrp_updates = 0;
+  int64_t mrk_updates = 0;
+
+  // False iff the run was cancelled (time budget / external cancel).
+  bool completed = true;
+
+  RunStats& operator+=(const RunStats& o) {
+    main_search += o.main_search;
+    replay_search += o.replay_search;
+    fails_recorded += o.fails_recorded;
+    fails_discarded_at_record += o.fails_discarded_at_record;
+    fails_discarded_at_pop += o.fails_discarded_at_pop;
+    fails_dropped_full += o.fails_dropped_full;
+    replays += o.replays;
+    replays_discarded += o.replays_discarded;
+    speculative_replays += o.speculative_replays;
+    peak_fail_bytes += o.peak_fail_bytes;
+    peak_fail_count += o.peak_fail_count;
+    candidates += o.candidates;
+    validated += o.validated;
+    dropped_precheck += o.dropped_precheck;
+    false_positives += o.false_positives;
+    exact_results += o.exact_results;
+    relaxed_accepted += o.relaxed_accepted;
+    duplicates += o.duplicates;
+    peak_queue += o.peak_queue;
+    completed = completed && o.completed;
+    return *this;
+  }
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_STATS_H_

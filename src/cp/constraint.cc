@@ -1,0 +1,29 @@
+#include "cp/constraint.h"
+
+namespace dqr::cp {
+
+void RangeConstraint::SetEffectiveBounds(const Interval& bounds) {
+  DQR_CHECK_MSG(bounds.Contains(original_bounds_),
+                "relaxed bounds must contain the original bounds");
+  effective_bounds_ = bounds;
+}
+
+CheckResult RangeConstraint::Check(const DomainBox& box) {
+  return Classify(fn_->Estimate(box));
+}
+
+CheckResult RangeConstraint::Classify(const Interval& estimate) const {
+  CheckResult result;
+  result.estimate = estimate;
+  DQR_CHECK_MSG(!estimate.empty(), "constraint estimate must be non-empty");
+  if (effective_bounds_.Contains(estimate)) {
+    result.status = CheckStatus::kSatisfied;
+  } else if (!effective_bounds_.Intersects(estimate)) {
+    result.status = CheckStatus::kViolated;
+  } else {
+    result.status = CheckStatus::kUnknown;
+  }
+  return result;
+}
+
+}  // namespace dqr::cp

@@ -1,0 +1,85 @@
+#ifndef DQR_CP_CONSTRAINT_H_
+#define DQR_CP_CONSTRAINT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/interval.h"
+#include "cp/domain.h"
+#include "cp/function.h"
+
+namespace dqr::cp {
+
+// Verdict of checking a constraint against a sub-tree's domain box, based
+// on the function's interval estimate.
+enum class CheckStatus {
+  // The estimate lies entirely within the bounds: every assignment in the
+  // sub-tree satisfies the constraint (w.r.t. the synopsis).
+  kSatisfied,
+  // The estimate is disjoint from the bounds: no assignment can satisfy
+  // the constraint; the sub-tree is pruned (a *fail*).
+  kViolated,
+  // The estimate straddles a bound; the search must descend.
+  kUnknown,
+};
+
+struct CheckResult {
+  CheckStatus status = CheckStatus::kUnknown;
+  // The estimate [a', b'] used for the verdict; recorded at fails.
+  Interval estimate = Interval::Empty();
+};
+
+// A range-based search constraint a <= f_c(X) <= b — the only constraint
+// shape the refinement framework manipulates (§3). It carries two sets of
+// bounds:
+//   * original bounds: the user's query; penalties/ranks are always
+//     computed against these;
+//   * effective bounds: what the running search actually enforces — equal
+//     to the originals in the main search, relaxed during fail replays.
+class RangeConstraint {
+ public:
+  // `fn` must not be null. `bounds` may be half-open via +-infinity.
+  RangeConstraint(std::unique_ptr<ConstraintFunction> fn, Interval bounds)
+      : fn_(std::move(fn)),
+        original_bounds_(bounds),
+        effective_bounds_(bounds) {
+    DQR_CHECK(fn_ != nullptr);
+    DQR_CHECK(!bounds.empty());
+  }
+
+  const std::string name() const { return fn_->name(); }
+  ConstraintFunction& function() { return *fn_; }
+  const ConstraintFunction& function() const { return *fn_; }
+
+  const Interval& original_bounds() const { return original_bounds_; }
+  const Interval& effective_bounds() const { return effective_bounds_; }
+
+  // Installs relaxed bounds for a replayed search. Must contain the
+  // original bounds (relaxation only widens; checked).
+  void SetEffectiveBounds(const Interval& bounds);
+
+  // Restores effective == original (end of a replay).
+  void ResetEffectiveBounds() { effective_bounds_ = original_bounds_; }
+
+  bool IsRelaxed() const {
+    return !(effective_bounds_ == original_bounds_);
+  }
+
+  // Checks the constraint over `box` using the function's estimate and the
+  // *effective* bounds.
+  CheckResult Check(const DomainBox& box);
+
+  // Classifies an independently obtained estimate against the effective
+  // bounds (used when replaying with restored intervals).
+  CheckResult Classify(const Interval& estimate) const;
+
+ private:
+  std::unique_ptr<ConstraintFunction> fn_;
+  Interval original_bounds_;
+  Interval effective_bounds_;
+};
+
+}  // namespace dqr::cp
+
+#endif  // DQR_CP_CONSTRAINT_H_

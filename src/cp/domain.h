@@ -1,0 +1,103 @@
+#ifndef DQR_CP_DOMAIN_H_
+#define DQR_CP_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dqr::cp {
+
+// The integer interval domain of one decision variable: all values in
+// [lo, hi]. Interval domains (rather than bitsets) are what Searchlight's
+// splitting search manipulates, and they make search-state snapshots for
+// fail replaying O(#vars).
+struct IntDomain {
+  int64_t lo = 0;
+  int64_t hi = -1;  // default-constructed domain is empty
+
+  IntDomain() = default;
+  IntDomain(int64_t lo_in, int64_t hi_in) : lo(lo_in), hi(hi_in) {}
+
+  bool empty() const { return lo > hi; }
+  int64_t size() const { return empty() ? 0 : hi - lo + 1; }
+  bool IsBound() const { return lo == hi; }
+
+  // Value of a bound domain; checks the invariant.
+  int64_t value() const {
+    DQR_CHECK(IsBound());
+    return lo;
+  }
+
+  bool Contains(int64_t v) const { return lo <= v && v <= hi; }
+
+  std::string ToString() const {
+    if (empty()) return "{}";
+    std::string out;
+    out.reserve(32);
+    if (IsBound()) {
+      out += '{';
+      out += std::to_string(lo);
+      out += '}';
+      return out;
+    }
+    out += '[';
+    out += std::to_string(lo);
+    out += "..";
+    out += std::to_string(hi);
+    out += ']';
+    return out;
+  }
+
+  friend bool operator==(const IntDomain& a, const IntDomain& b) {
+    return (a.empty() && b.empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+};
+
+// The search state of all decision variables at one search-tree node;
+// element i is variable i's current domain. This is exactly what a fail
+// record snapshots ("current decision variable domains", §4.1).
+using DomainBox = std::vector<IntDomain>;
+
+// True iff every variable is bound (the node is a leaf).
+inline bool IsBound(const DomainBox& box) {
+  for (const IntDomain& d : box) {
+    if (!d.IsBound()) return false;
+  }
+  return true;
+}
+
+// Extracts the assignment from a fully bound box.
+inline std::vector<int64_t> BoundPoint(const DomainBox& box) {
+  std::vector<int64_t> point;
+  point.reserve(box.size());
+  for (const IntDomain& d : box) point.push_back(d.value());
+  return point;
+}
+
+// Number of assignments in the box (product of domain sizes); saturates at
+// INT64_MAX. Used for stats and brute-force guards in tests.
+inline int64_t BoxCardinality(const DomainBox& box) {
+  int64_t card = 1;
+  for (const IntDomain& d : box) {
+    if (d.empty()) return 0;
+    if (card > (INT64_MAX / d.size())) return INT64_MAX;
+    card *= d.size();
+  }
+  return card;
+}
+
+inline std::string ToString(const DomainBox& box) {
+  std::string out = "(";
+  for (size_t i = 0; i < box.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += box[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dqr::cp
+
+#endif  // DQR_CP_DOMAIN_H_

@@ -1,0 +1,88 @@
+#ifndef DQR_CP_FUNCTION_H_
+#define DQR_CP_FUNCTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "cp/domain.h"
+
+namespace dqr::cp {
+
+// Opaque, serializable computation state of a constraint function — the
+// vehicle for the paper's "saving function states at fails" optimization
+// (§4.2): e.g. the Max UDF's memoized window bounds with their support
+// coordinates. Saved when a fail is recorded, restored before the fail is
+// replayed, so the replayed search avoids recomputing estimates.
+class FunctionState {
+ public:
+  virtual ~FunctionState() = default;
+
+  // Deep copy, so a recorded fail owns its snapshot independently of the
+  // live function.
+  virtual std::unique_ptr<FunctionState> Clone() const = 0;
+
+  // Approximate footprint, reported in engine stats (the paper quotes
+  // ~80 bytes per saved aggregate state).
+  virtual int64_t SizeBytes() const = 0;
+};
+
+// A constraint's black-box expression f_c(X): estimable over a whole
+// sub-tree (via the synopsis) and exactly evaluable at a bound assignment
+// (via the base array). Implementations live in src/searchlight; the CP
+// layer only needs this contract.
+//
+// Concurrency: one instance is owned by one solver or validator thread;
+// instances are never shared. Clone() produces an independent copy for
+// another thread.
+class ConstraintFunction {
+ public:
+  virtual ~ConstraintFunction() = default;
+
+  virtual std::string name() const = 0;
+
+  // Sound bounds on f over *every* assignment in `box`: the returned
+  // interval must contain f(x) for all x in the box. This is the [a', b']
+  // of §3/§4.1. May use internal memoization (hence non-const).
+  virtual Interval Estimate(const DomainBox& box) = 0;
+
+  // Exact value at a fully bound assignment, computed over the base data.
+  // Used by the Validator; counts as (simulated) I/O.
+  virtual double Evaluate(const std::vector<int64_t>& point) = 0;
+
+  // Static range of possible f values, derived from domain knowledge
+  // (e.g. signal amplitudes lie in [50, 250]). Normalizes relaxation
+  // distances and ranks, and acts as the hard relaxation limit (§3.1).
+  virtual Interval value_range() const = 0;
+
+  // Independent copy for another thread (shares only immutable inputs
+  // such as the array and synopsis).
+  virtual std::unique_ptr<ConstraintFunction> Clone() const = 0;
+
+  // --- Optional UDF-state hooks (§4.2 "Saving function states") -------
+
+  // Snapshot of the reusable computation state relevant to `box` (e.g.
+  // memoized window bounds with support coordinates inside the box's
+  // span); nullptr if the function keeps none (the default). Saved when a
+  // fail at `box` is recorded.
+  virtual std::unique_ptr<FunctionState> SaveState(
+      const DomainBox& box) const {
+    (void)box;
+    return nullptr;
+  }
+
+  // Merges a previously saved snapshot back into the live function;
+  // called just before the corresponding fail is replayed.
+  virtual void RestoreState(const FunctionState& state) { (void)state; }
+
+  // Drops any per-search computation state. The engine calls this between
+  // searches (main search, each replay), mirroring the solver-state reset
+  // of the modelled system; RestoreState then selectively re-seeds it.
+  virtual void ClearState() {}
+};
+
+}  // namespace dqr::cp
+
+#endif  // DQR_CP_FUNCTION_H_

@@ -1,0 +1,142 @@
+#include "cp/search.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dqr::cp {
+
+SearchTree::SearchTree(DomainBox root,
+                       std::vector<RangeConstraint*> constraints,
+                       SearchListener* listener, SearchOptions options)
+    : root_(std::move(root)),
+      constraints_(std::move(constraints)),
+      listener_(listener),
+      options_(options) {
+  DQR_CHECK(listener_ != nullptr);
+  for (const RangeConstraint* c : constraints_) DQR_CHECK(c != nullptr);
+  for (const IntDomain& d : root_) DQR_CHECK(!d.empty());
+}
+
+int SearchTree::PickVariable(const DomainBox& box) const {
+  int best = -1;
+  switch (options_.var_select) {
+    case VarSelect::kWidestDomain: {
+      int64_t best_size = 1;
+      for (size_t i = 0; i < box.size(); ++i) {
+        if (box[i].size() > best_size) {
+          best_size = box[i].size();
+          best = static_cast<int>(i);
+        }
+      }
+      break;
+    }
+    case VarSelect::kFirstUnbound: {
+      for (size_t i = 0; i < box.size(); ++i) {
+        if (!box[i].IsBound()) return static_cast<int>(i);
+      }
+      break;
+    }
+    case VarSelect::kSmallestDomain: {
+      int64_t best_size = INT64_MAX;
+      for (size_t i = 0; i < box.size(); ++i) {
+        if (!box[i].IsBound() && box[i].size() < best_size) {
+          best_size = box[i].size();
+          best = static_cast<int>(i);
+        }
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+SearchStats SearchTree::Run() {
+  SearchStats stats;
+  const size_t nc = constraints_.size();
+
+  std::vector<Node> stack;
+  stack.push_back(Node{root_, 0});
+
+  std::vector<Interval> estimates(nc, Interval::Empty());
+  std::vector<char> evaluated(nc, 0);
+
+  while (!stack.empty()) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      stats.completed = false;
+      break;
+    }
+    if (options_.max_nodes > 0 && stats.nodes >= options_.max_nodes) {
+      stats.completed = false;
+      break;
+    }
+
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++stats.nodes;
+
+    // Check every constraint against the synopsis estimate for this box.
+    std::fill(evaluated.begin(), evaluated.end(), 0);
+    std::vector<int> violated;
+    for (size_t i = 0; i < nc; ++i) {
+      const CheckResult result = constraints_[i]->Check(node.box);
+      estimates[i] = result.estimate;
+      evaluated[i] = 1;
+      if (result.status == CheckStatus::kViolated) {
+        violated.push_back(static_cast<int>(i));
+        if (options_.fail_fast) break;
+      }
+    }
+
+    if (!violated.empty()) {
+      ++stats.fails;
+      FailInfo info;
+      info.box = std::move(node.box);
+      info.estimates = estimates;
+      info.evaluated = evaluated;
+      info.violated = std::move(violated);
+      info.depth = node.depth;
+      listener_->OnFail(std::move(info));
+      continue;
+    }
+
+    if (!listener_->OnNode(node.box, estimates)) {
+      ++stats.monitor_prunes;
+      continue;
+    }
+
+    const int var = PickVariable(node.box);
+    if (var < 0) {
+      ++stats.leaves;
+      listener_->OnSolution(BoundPoint(node.box), estimates);
+      continue;
+    }
+
+    // Branch: split the chosen domain at its midpoint. The half to
+    // explore first is pushed last (DFS stack).
+    const IntDomain d = node.box[static_cast<size_t>(var)];
+    const int64_t mid = d.lo + (d.hi - d.lo) / 2;
+    const bool low_first =
+        options_.value_split == ValueSplit::kBisectLowFirst;
+
+    Node second;
+    second.box = node.box;
+    second.box[static_cast<size_t>(var)] =
+        low_first ? IntDomain(mid + 1, d.hi) : IntDomain(d.lo, mid);
+    second.depth = node.depth + 1;
+    stack.push_back(std::move(second));
+
+    Node first;
+    first.box = std::move(node.box);
+    first.box[static_cast<size_t>(var)] =
+        low_first ? IntDomain(d.lo, mid) : IntDomain(mid + 1, d.hi);
+    first.depth = node.depth + 1;
+    stack.push_back(std::move(first));
+  }
+
+  return stats;
+}
+
+}  // namespace dqr::cp

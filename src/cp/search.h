@@ -1,0 +1,149 @@
+#ifndef DQR_CP_SEARCH_H_
+#define DQR_CP_SEARCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "cp/constraint.h"
+#include "cp/domain.h"
+
+namespace dqr::cp {
+
+// Everything the refinement framework needs to replay a pruned node later:
+// the node's domains plus the constraint estimates observed there (§4.1
+// "fail recording"). With fail-fast checking (the lazy optimization of
+// §4.2) some estimates may be unevaluated.
+struct FailInfo {
+  DomainBox box;
+  // estimates[i] is constraint i's [a', b'] at this node; meaningful only
+  // where evaluated[i] is true.
+  std::vector<Interval> estimates;
+  std::vector<char> evaluated;
+  // Indices of constraints whose estimate was disjoint from their
+  // (effective) bounds at this node.
+  std::vector<int> violated;
+  int depth = 0;
+};
+
+// Receives search events. The refinement framework implements this to
+// record fails, stream leaf candidates to the Validator, and install
+// dynamic pruning constraints.
+class SearchListener {
+ public:
+  virtual ~SearchListener() = default;
+
+  // A node failed (>= 1 violated constraint). The sub-tree is pruned.
+  virtual void OnFail(FailInfo info) { (void)info; }
+
+  // Called on every non-failed node after constraint checks, before
+  // branching/leaf handling. Return false to prune the sub-tree without a
+  // fail — the hook for *dynamic* constraints (BRK >= MRK, custom RP
+  // checks). `estimates` holds the per-constraint estimates at this node.
+  virtual bool OnNode(const DomainBox& box,
+                      const std::vector<Interval>& estimates) {
+    (void)box;
+    (void)estimates;
+    return true;
+  }
+
+  // A fully bound, non-failed leaf: a candidate solution (possibly a false
+  // positive w.r.t. the base data).
+  virtual void OnSolution(const std::vector<int64_t>& point,
+                          const std::vector<Interval>& estimates) = 0;
+};
+
+// Variable-selection heuristic: which unbound variable to branch on.
+// The paper notes Searchlight's decision process "is tunable, can be
+// selected and modified by the user".
+enum class VarSelect {
+  kWidestDomain,    // largest remaining domain (default)
+  kFirstUnbound,    // lowest-index unbound variable
+  kSmallestDomain,  // smallest non-singleton domain (fail-first)
+};
+
+// Value-splitting heuristic: which half of the chosen domain to explore
+// first.
+enum class ValueSplit {
+  kBisectLowFirst,   // explore [lo, mid] before [mid+1, hi] (default)
+  kBisectHighFirst,  // explore [mid+1, hi] before [lo, mid]
+};
+
+struct SearchOptions {
+  // Stop checking constraints at the first violated one. Leaves later
+  // estimates unevaluated in FailInfo — the "lazy" fail recording of §4.2.
+  // With false, every constraint is estimated at every fail ("Full").
+  bool fail_fast = true;
+
+  // Search heuristics; every combination visits the same solution set
+  // (the search is complete), only the exploration order and tree shape
+  // differ.
+  VarSelect var_select = VarSelect::kWidestDomain;
+  ValueSplit value_split = ValueSplit::kBisectLowFirst;
+
+  // Cooperative cancellation (speculation shutdown, bench timeouts);
+  // checked at every node. May be null.
+  const std::atomic<bool>* cancel = nullptr;
+
+  // Node budget; 0 = unlimited. The search stops (incomplete) beyond it.
+  int64_t max_nodes = 0;
+};
+
+struct SearchStats {
+  int64_t nodes = 0;
+  int64_t fails = 0;
+  int64_t leaves = 0;
+  int64_t monitor_prunes = 0;
+  // False iff the search was cancelled or hit max_nodes.
+  bool completed = true;
+
+  SearchStats& operator+=(const SearchStats& o) {
+    nodes += o.nodes;
+    fails += o.fails;
+    leaves += o.leaves;
+    monitor_prunes += o.monitor_prunes;
+    completed = completed && o.completed;
+    return *this;
+  }
+};
+
+// Backtracking interval-splitting search over a set of RangeConstraints —
+// the Searchlight Solver's engine. Builds the tree depth-first: at each
+// node all constraints are checked against synopsis estimates; violated
+// nodes fail (and are reported for possible later replay); fully bound
+// non-failed leaves are emitted as candidates.
+//
+// A SearchTree is single-use and single-threaded; replays construct fresh
+// trees rooted at recorded fail boxes.
+class SearchTree {
+ public:
+  // `constraints` are borrowed and must outlive the search; `listener`
+  // likewise. The same constraint objects can be reused across successive
+  // trees (main search, then replays) — their effective bounds carry the
+  // per-replay relaxation.
+  SearchTree(DomainBox root, std::vector<RangeConstraint*> constraints,
+             SearchListener* listener, SearchOptions options);
+
+  // Runs the depth-first search to exhaustion (or cancellation).
+  SearchStats Run();
+
+ private:
+  struct Node {
+    DomainBox box;
+    int depth = 0;
+  };
+
+  // Returns the index of the branching variable per the configured
+  // heuristic, or -1 if all bound.
+  int PickVariable(const DomainBox& box) const;
+
+  DomainBox root_;
+  std::vector<RangeConstraint*> constraints_;
+  SearchListener* listener_;
+  SearchOptions options_;
+};
+
+}  // namespace dqr::cp
+
+#endif  // DQR_CP_SEARCH_H_

@@ -1,0 +1,71 @@
+#ifndef DQR_DATA_GRID_SYNTHETIC_H_
+#define DQR_DATA_GRID_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "array/grid.h"
+#include "common/status.h"
+#include "searchlight/query.h"
+#include "synopsis/grid_synopsis.h"
+
+namespace dqr::data {
+
+// Parameters of the two-dimensional synthetic data set: rectangular
+// regions of varying base amplitude (the Searchlight paper's synthetic
+// workload is 2-D) with noise and planted square "spikes".
+struct GridSyntheticOptions {
+  int64_t rows = 1024;
+  int64_t cols = 1024;
+  int64_t tile_size = 256;
+  uint64_t seed = 42;
+
+  int64_t region_size = 128;  // square regions of constant base
+  double base_lo = 60.0;
+  double base_hi = 190.0;
+  double noise_sigma = 3.0;
+
+  double spikes_per_region = 2.0;
+  int64_t spike_size = 3;  // square spikes
+  double spike_height_lo = 30.0;
+  double spike_height_hi = 70.0;
+  double strong_fraction = 0.12;
+  double strong_height_lo = 85.0;
+  double strong_height_hi = 120.0;
+
+  double value_lo = 50.0;
+  double value_hi = 250.0;
+};
+
+Result<std::shared_ptr<array::Grid>> GenerateGridSynthetic(
+    const GridSyntheticOptions& options);
+
+// A grid plus its synopsis, ready to be queried.
+struct GridBundle {
+  std::shared_ptr<array::Grid> grid;
+  std::shared_ptr<const synopsis::GridSynopsis> synopsis;
+};
+
+Result<GridBundle> MakeGridDataset(int64_t rows, int64_t cols,
+                                   uint64_t seed);
+
+// Knobs of the canned 2-D query (the 2-D analogue of S-SEL/S-LOS): find
+// h x w rectangles whose average lies in a band and whose max exceeds
+// both horizontal neighborhood bands by a threshold.
+struct GridQueryTuning {
+  int64_t k = 10;
+  int64_t extent_lo = 3;
+  int64_t extent_hi = 6;   // h, w domains
+  int64_t nbhd_width = 4;
+  bool selective = true;   // tight value ranges (hard relaxation limits)
+  double relax_fraction = 0.0;
+  int64_t estimate_cost_ns = 0;
+};
+
+// Builds the canned 2-D query. Variables: 0 = y, 1 = x, 2 = h, 3 = w.
+searchlight::QuerySpec MakeGridQuery(const GridBundle& bundle,
+                                     const GridQueryTuning& tuning);
+
+}  // namespace dqr::data
+
+#endif  // DQR_DATA_GRID_SYNTHETIC_H_

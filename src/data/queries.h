@@ -1,0 +1,60 @@
+#ifndef DQR_DATA_QUERIES_H_
+#define DQR_DATA_QUERIES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "array/array.h"
+#include "common/status.h"
+#include "searchlight/query.h"
+#include "synopsis/synopsis.h"
+
+namespace dqr::data {
+
+// The paper's characteristic queries (§5): SELective queries stay
+// selective even maximally relaxed (the user declared tight min/max value
+// ranges, which act as hard relaxation limits), while LOoSe queries use
+// default ranges, so their maximal relaxation is vacuous and produces an
+// avalanche of results.
+enum class QueryKind { kSSel, kSLos, kMSel, kMLos, kMSelPrime };
+
+const char* QueryKindName(QueryKind kind);
+
+// An array plus its synopsis, ready to be queried.
+struct DatasetBundle {
+  std::shared_ptr<array::Array> array;
+  std::shared_ptr<const synopsis::Synopsis> synopsis;
+};
+
+// Builds the synthetic / MIMIC-like data sets at the given size (cells)
+// with their synopses. Access stats are reset after synopsis
+// construction (synopsis building is an offline step).
+Result<DatasetBundle> MakeSyntheticDataset(int64_t length, uint64_t seed);
+Result<DatasetBundle> MakeWaveformDataset(int64_t length, uint64_t seed);
+
+// Knobs shared by all canned queries.
+struct QueryTuning {
+  int64_t k = 10;
+  // Interval length domain and neighborhood width, in cells (the paper's
+  // 8-16 second intervals with 8-second neighborhoods).
+  int64_t len_lo = 8;
+  int64_t len_hi = 16;
+  int64_t nbhd_width = 8;
+  // Artificial cost per uncached synopsis lookup (models expensive UDF
+  // estimation; see WindowFunctionContext::estimate_cost_ns).
+  int64_t estimate_cost_ns = 0;
+  // Manual relaxation knob for the USER-x scenarios: 0 = the original
+  // (over-constrained) bounds, 1 = maximally relaxed (bounds equal to the
+  // hard value ranges). The automatic framework always starts from 0.
+  double relax_fraction = 0.0;
+};
+
+// Builds one of the canned queries against `bundle`. kS* kinds expect a
+// synthetic bundle, kM* kinds a waveform bundle (the query only reads the
+// array/synopsis, so this is a convention, not a hard requirement).
+searchlight::QuerySpec MakeQuery(const DatasetBundle& bundle,
+                                 QueryKind kind, const QueryTuning& tuning);
+
+}  // namespace dqr::data
+
+#endif  // DQR_DATA_QUERIES_H_

@@ -1,0 +1,270 @@
+#include "data/query_parser.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "searchlight/functions.h"
+
+namespace dqr::data {
+namespace {
+
+using searchlight::AvgFunction;
+using searchlight::MaxFunction;
+using searchlight::MinFunction;
+using searchlight::NeighborhoodContrastFunction;
+using searchlight::WindowFunctionContext;
+
+// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status ParseError(int line_no, const std::string& message) {
+  return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                              message);
+}
+
+bool ParseNumber(const std::string& token, double* out) {
+  if (token == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && !token.empty();
+}
+
+bool ParseInt(const std::string& token, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(token.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !token.empty();
+}
+
+// Accumulates one constraint's clauses before the QueryConstraint is
+// assembled.
+struct PendingConstraint {
+  std::string fn;        // avg | max | min | contrast_left | contrast_right
+  int64_t width = 0;     // contrast only
+  Interval bounds = Interval::All();
+  Interval range = Interval::Empty();  // empty = function default
+  double weight = 1.0;
+  double rank_weight = -1.0;
+  bool relaxable = true;
+  bool constrainable = true;
+  bool maximize = true;
+};
+
+// Parses trailing options: range/weight/rankweight/norelax/noconstrain/
+// minimize. `i` indexes the first option token.
+Status ParseOptions(const std::vector<std::string>& t, size_t i,
+                    int line_no, PendingConstraint* c) {
+  while (i < t.size()) {
+    if (t[i] == "range") {
+      double lo = 0.0;
+      double hi = 0.0;
+      if (i + 2 >= t.size() || !ParseNumber(t[i + 1], &lo) ||
+          !ParseNumber(t[i + 2], &hi) || lo > hi) {
+        return ParseError(line_no, "range needs two ordered numbers");
+      }
+      c->range = Interval(lo, hi);
+      i += 3;
+    } else if (t[i] == "weight") {
+      if (i + 1 >= t.size() || !ParseNumber(t[i + 1], &c->weight) ||
+          c->weight < 0.0 || c->weight > 1.0) {
+        return ParseError(line_no, "weight needs a number in [0, 1]");
+      }
+      i += 2;
+    } else if (t[i] == "rankweight") {
+      if (i + 1 >= t.size() || !ParseNumber(t[i + 1], &c->rank_weight)) {
+        return ParseError(line_no, "rankweight needs a number");
+      }
+      i += 2;
+    } else if (t[i] == "norelax") {
+      c->relaxable = false;
+      ++i;
+    } else if (t[i] == "noconstrain") {
+      c->constrainable = false;
+      ++i;
+    } else if (t[i] == "minimize") {
+      c->maximize = false;
+      ++i;
+    } else {
+      return ParseError(line_no, "unknown option '" + t[i] + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
+                                          const DatasetBundle& bundle) {
+  if (bundle.array == nullptr || bundle.synopsis == nullptr) {
+    return InvalidArgumentError("dataset bundle is incomplete");
+  }
+
+  searchlight::QuerySpec query;
+  query.name = "parsed_query";
+  query.k = 10;
+  std::map<std::string, int> var_index;
+  std::vector<cp::IntDomain> domains;
+  std::vector<PendingConstraint> pending;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> t = Tokenize(line);
+    if (t.empty()) continue;
+
+    if (t[0] == "k") {
+      int64_t k = 0;
+      if (t.size() != 2 || !ParseInt(t[1], &k) || k < 0) {
+        return ParseError(line_no, "k needs a non-negative integer");
+      }
+      query.k = k;
+    } else if (t[0] == "var") {
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (t.size() != 4 || !ParseInt(t[2], &lo) || !ParseInt(t[3], &hi) ||
+          lo > hi) {
+        return ParseError(line_no, "var needs: var <name> <lo> <hi>");
+      }
+      if (var_index.count(t[1]) != 0) {
+        return ParseError(line_no, "duplicate variable '" + t[1] + "'");
+      }
+      var_index[t[1]] = static_cast<int>(domains.size());
+      domains.emplace_back(lo, hi);
+    } else if (t[0] == "avg" || t[0] == "max" || t[0] == "min" ||
+               t[0] == "contrast_left" || t[0] == "contrast_right") {
+      PendingConstraint c;
+      c.fn = t[0];
+      const bool contrast = t[0].rfind("contrast", 0) == 0;
+      // Fixed part: <start> <len> [width] in <a> <b>
+      const size_t in_pos = contrast ? 4 : 3;
+      if (t.size() < in_pos + 3 || t[in_pos] != "in") {
+        return ParseError(line_no,
+                          "expected: " + t[0] + " <start> <len>" +
+                              (contrast ? " <width>" : "") +
+                              " in <a> <b> [options]");
+      }
+      const auto start_it = var_index.find(t[1]);
+      const auto len_it = var_index.find(t[2]);
+      if (start_it == var_index.end() || len_it == var_index.end()) {
+        return ParseError(line_no, "unknown variable in constraint");
+      }
+      if (start_it->second != 0 || len_it->second != 1) {
+        return ParseError(line_no,
+                          "constraints must use the first declared "
+                          "variable as start and the second as length");
+      }
+      if (contrast &&
+          (!ParseInt(t[3], &c.width) || c.width < 1)) {
+        return ParseError(line_no, "contrast width must be >= 1");
+      }
+      double a = 0.0;
+      double b = 0.0;
+      if (!ParseNumber(t[in_pos + 1], &a) ||
+          !ParseNumber(t[in_pos + 2], &b) || a > b) {
+        return ParseError(line_no, "bounds need two ordered numbers");
+      }
+      c.bounds = Interval(a, b);
+      if (Status s = ParseOptions(t, in_pos + 3, line_no, &c); !s.ok()) {
+        return s;
+      }
+      pending.push_back(std::move(c));
+    } else {
+      return ParseError(line_no, "unknown statement '" + t[0] + "'");
+    }
+  }
+
+  if (domains.size() != 2) {
+    return InvalidArgumentError(
+        "exactly two variables (window start, length) must be declared");
+  }
+  if (domains[0].lo < 0 || domains[0].hi >= bundle.array->length()) {
+    return InvalidArgumentError("start variable exceeds the array");
+  }
+  if (domains[1].lo < 1) {
+    return InvalidArgumentError("length variable must be >= 1");
+  }
+  if (pending.empty()) {
+    return InvalidArgumentError("query declares no constraints");
+  }
+  query.domains = domains;
+
+  WindowFunctionContext base_ctx;
+  base_ctx.array = bundle.array;
+  base_ctx.synopsis = bundle.synopsis;
+  base_ctx.x_var = 0;
+  base_ctx.len_var = 1;
+
+  for (PendingConstraint& c : pending) {
+    searchlight::QueryConstraint qc;
+    WindowFunctionContext ctx = base_ctx;
+    ctx.value_range = c.range;
+    if (c.fn == "avg") {
+      qc.make_function = [ctx] {
+        return std::make_unique<AvgFunction>(ctx);
+      };
+    } else if (c.fn == "max") {
+      qc.make_function = [ctx] {
+        return std::make_unique<MaxFunction>(ctx);
+      };
+    } else if (c.fn == "min") {
+      qc.make_function = [ctx] {
+        return std::make_unique<MinFunction>(ctx);
+      };
+    } else {
+      const auto side = c.fn == "contrast_left"
+                            ? NeighborhoodContrastFunction::Side::kLeft
+                            : NeighborhoodContrastFunction::Side::kRight;
+      const int64_t width = c.width;
+      qc.make_function = [ctx, side, width] {
+        return std::make_unique<NeighborhoodContrastFunction>(ctx, side,
+                                                              width);
+      };
+    }
+    qc.bounds = c.bounds;
+    qc.relax_weight = c.weight;
+    qc.rank_weight = c.rank_weight;
+    qc.relaxable = c.relaxable;
+    qc.constrainable = c.constrainable;
+    qc.preference = c.maximize ? searchlight::RankPreference::kMaximize
+                               : searchlight::RankPreference::kMinimize;
+    qc.name = c.fn;
+    query.constraints.push_back(std::move(qc));
+  }
+  return query;
+}
+
+Result<searchlight::QuerySpec> ParseQueryFile(const std::string& path,
+                                              const DatasetBundle& bundle) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFoundError("cannot open: " + path);
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseQuery(text, bundle);
+}
+
+}  // namespace dqr::data

@@ -1,0 +1,50 @@
+#ifndef DQR_DATA_QUERY_PARSER_H_
+#define DQR_DATA_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/queries.h"
+#include "searchlight/query.h"
+
+namespace dqr::data {
+
+// Parses a small line-oriented query language into a QuerySpec bound to a
+// 1-D dataset bundle, so tools can run ad-hoc searches without
+// recompiling. Grammar (one statement per line; '#' starts a comment;
+// 'inf'/'-inf' are accepted as bounds):
+//
+//   k <cardinality>
+//   var <name> <lo> <hi>
+//   avg <start_var> <len_var> in <a> <b> [range <lo> <hi>] [opts...]
+//   max <start_var> <len_var> in <a> <b> [range <lo> <hi>] [opts...]
+//   min <start_var> <len_var> in <a> <b> [range <lo> <hi>] [opts...]
+//   contrast_left  <start_var> <len_var> <width> in <a> <b> [range ...]
+//   contrast_right <start_var> <len_var> <width> in <a> <b> [range ...]
+//
+// Constraint options: `weight <w>` (relax weight), `rankweight <w>`,
+// `norelax` (exclude from C^r), `noconstrain` (exclude from C^c),
+// `minimize` (ranking preference; default maximize).
+//
+// Example:
+//   # the paper's running MIMIC query
+//   k 10
+//   var x 8 1000000
+//   var lx 8 16
+//   avg x lx in 150 200 range 50 250
+//   contrast_left x lx 8 in 80 inf range 0 200
+//   contrast_right x lx 8 in 80 inf range 0 200
+//
+// Exactly two variables must be declared (window start and length, in
+// that order). Returns InvalidArgument with a line number on syntax or
+// semantic errors.
+Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
+                                          const DatasetBundle& bundle);
+
+// Convenience: reads `path` and parses its contents.
+Result<searchlight::QuerySpec> ParseQueryFile(const std::string& path,
+                                              const DatasetBundle& bundle);
+
+}  // namespace dqr::data
+
+#endif  // DQR_DATA_QUERY_PARSER_H_

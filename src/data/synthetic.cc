@@ -1,0 +1,68 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqr::data {
+
+Result<std::shared_ptr<array::Array>> GenerateSynthetic(
+    const SyntheticOptions& options) {
+  if (options.length <= 0) {
+    return InvalidArgumentError("synthetic length must be positive");
+  }
+  if (options.region_len <= 0 || options.spike_width <= 0) {
+    return InvalidArgumentError("region and spike sizes must be positive");
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> values(static_cast<size_t>(options.length));
+
+  for (int64_t region_lo = 0; region_lo < options.length;
+       region_lo += options.region_len) {
+    const int64_t region_hi =
+        std::min(options.length, region_lo + options.region_len);
+    const double base = rng.Uniform(options.base_lo, options.base_hi);
+    for (int64_t i = region_lo; i < region_hi; ++i) {
+      values[static_cast<size_t>(i)] =
+          base + options.noise_sigma * rng.NextGaussian();
+    }
+    // Plant spikes: short plateaus above the local base.
+    const int64_t spikes = static_cast<int64_t>(options.spikes_per_region) +
+                           (rng.NextDouble() <
+                                    (options.spikes_per_region -
+                                     static_cast<int64_t>(
+                                         options.spikes_per_region))
+                                ? 1
+                                : 0);
+    for (int64_t s = 0; s < spikes; ++s) {
+      const bool strong = rng.Bernoulli(options.strong_fraction);
+      const double height =
+          strong ? rng.Uniform(options.strong_height_lo,
+                               options.strong_height_hi)
+                 : rng.Uniform(options.spike_height_lo,
+                               options.spike_height_hi);
+      const int64_t pos = rng.UniformInt(
+          region_lo, std::max(region_lo, region_hi - options.spike_width));
+      const int64_t end =
+          std::min(region_hi, pos + options.spike_width);
+      for (int64_t i = pos; i < end; ++i) {
+        values[static_cast<size_t>(i)] += height;
+      }
+    }
+  }
+
+  for (double& v : values) {
+    v = std::clamp(v, options.value_lo, options.value_hi);
+  }
+
+  array::ArraySchema schema;
+  schema.name = "synthetic";
+  schema.attribute = "amp";
+  schema.length = options.length;
+  schema.chunk_size = options.chunk_size;
+  return array::Array::FromData(std::move(schema), std::move(values));
+}
+
+}  // namespace dqr::data

@@ -1,0 +1,53 @@
+#ifndef DQR_DATA_SYNTHETIC_H_
+#define DQR_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "array/array.h"
+#include "common/status.h"
+
+namespace dqr::data {
+
+// Parameters of the synthetic data set, modelled on the Searchlight
+// paper's generator: contiguous regions of varying base amplitude with
+// additive noise, plus planted "spikes" whose height above the local base
+// controls the neighborhood-contrast selectivity of the canned queries.
+// All values are clamped to [50, 250] — the signal range quoted by the
+// paper's running example.
+struct SyntheticOptions {
+  int64_t length = 1 << 21;
+  int64_t chunk_size = 1 << 16;
+  uint64_t seed = 42;
+
+  // Regions of constant base amplitude.
+  int64_t region_len = 32768;
+  double base_lo = 60.0;
+  double base_hi = 190.0;
+  double noise_sigma = 3.0;
+
+  // Spikes: short plateaus raised `height` above the local base. Heights
+  // are drawn uniformly from [spike_height_lo, spike_height_hi]; a small
+  // fraction (strong_fraction) instead uses
+  // [strong_height_lo, strong_height_hi], giving the selective queries a
+  // thin tail of qualifying intervals.
+  double spikes_per_region = 2.0;
+  int64_t spike_width = 4;
+  double spike_height_lo = 30.0;
+  double spike_height_hi = 70.0;
+  double strong_fraction = 0.08;
+  double strong_height_lo = 85.0;
+  double strong_height_hi = 120.0;
+
+  // Hard clamp of all values.
+  double value_lo = 50.0;
+  double value_hi = 250.0;
+};
+
+// Generates the synthetic array; deterministic in `options.seed`.
+Result<std::shared_ptr<array::Array>> GenerateSynthetic(
+    const SyntheticOptions& options);
+
+}  // namespace dqr::data
+
+#endif  // DQR_DATA_SYNTHETIC_H_

@@ -1,0 +1,88 @@
+#include "data/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqr::data {
+
+Result<std::shared_ptr<array::Array>> GenerateAbpWaveform(
+    const WaveformOptions& options) {
+  if (options.length <= 0) {
+    return InvalidArgumentError("waveform length must be positive");
+  }
+  if (options.episode_len_lo <= 0 ||
+      options.episode_len_hi < options.episode_len_lo) {
+    return InvalidArgumentError("bad episode length range");
+  }
+
+  Rng rng(options.seed);
+  const int64_t n = options.length;
+  std::vector<double> values(static_cast<size_t>(n));
+
+  // Base signal: wandering baseline + ripple + noise.
+  constexpr double kTwoPi = 6.283185307179586;
+  const double wander_w = kTwoPi / static_cast<double>(options.wander_period);
+  double walk = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    walk += 0.05 * rng.NextGaussian();
+    walk *= 0.9995;  // mean-reverting drift
+    const double wander =
+        options.wander_amp * std::sin(wander_w * static_cast<double>(i));
+    const double ripple =
+        options.ripple_amp * std::sin(0.9 * static_cast<double>(i));
+    values[static_cast<size_t>(i)] = options.base_pressure + wander +
+                                     ripple + walk +
+                                     options.noise_sigma * rng.NextGaussian();
+  }
+
+  // Hypertensive episodes.
+  const int64_t episodes = static_cast<int64_t>(
+      options.episodes_per_million * static_cast<double>(n) / 1e6);
+  for (int64_t e = 0; e < episodes; ++e) {
+    const int64_t len =
+        rng.UniformInt(options.episode_len_lo, options.episode_len_hi);
+    const int64_t lo = rng.UniformInt(0, std::max<int64_t>(0, n - len));
+    const int64_t hi = std::min(n, lo + len);
+    const double level = rng.Uniform(options.episode_lo, options.episode_hi);
+    for (int64_t i = lo; i < hi; ++i) {
+      // Smooth ramp at the episode edges.
+      const double edge = std::min<double>(
+          1.0, 0.1 * static_cast<double>(std::min(i - lo, hi - 1 - i) + 1));
+      double& v = values[static_cast<size_t>(i)];
+      v += edge * (level - options.base_pressure);
+    }
+  }
+
+  // Short pressure events.
+  const int64_t events = static_cast<int64_t>(
+      options.events_per_million * static_cast<double>(n) / 1e6);
+  for (int64_t e = 0; e < events; ++e) {
+    const bool strong = rng.Bernoulli(options.strong_fraction);
+    const double height =
+        strong
+            ? rng.Uniform(options.strong_height_lo, options.strong_height_hi)
+            : rng.Uniform(options.event_height_lo, options.event_height_hi);
+    const int64_t pos =
+        rng.UniformInt(0, std::max<int64_t>(0, n - options.event_width));
+    const int64_t end = std::min(n, pos + options.event_width);
+    for (int64_t i = pos; i < end; ++i) {
+      values[static_cast<size_t>(i)] += height;
+    }
+  }
+
+  for (double& v : values) {
+    v = std::clamp(v, options.value_lo, options.value_hi);
+  }
+
+  array::ArraySchema schema;
+  schema.name = "mimic_abp_sim";
+  schema.attribute = "ABP";
+  schema.length = n;
+  schema.chunk_size = options.chunk_size;
+  return array::Array::FromData(std::move(schema), std::move(values));
+}
+
+}  // namespace dqr::data

@@ -1,0 +1,64 @@
+#ifndef DQR_DATA_WAVEFORM_H_
+#define DQR_DATA_WAVEFORM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "array/array.h"
+#include "common/status.h"
+
+namespace dqr::data {
+
+// Parameters of the MIMIC-like ABP (Arterial Blood Pressure) waveform
+// simulator. The real MIMIC II waveform set is a credentialed PhysioNet
+// download and unavailable offline; this generator reproduces the
+// statistics the paper's queries observe (see DESIGN.md §3): a
+// quasi-periodic pressure signal around a wandering baseline, extended
+// hypertensive episodes where window averages reach the [150, 200] band,
+// and short high-amplitude events (pressure spikes / artifacts) that
+// create neighborhood contrast. One cell = one second of signal
+// (per-second mean pressure), matching the paper's 8-16 second intervals.
+struct WaveformOptions {
+  int64_t length = 1 << 21;
+  int64_t chunk_size = 1 << 16;
+  uint64_t seed = 1234;
+
+  // Baseline pressure and slow wander.
+  double base_pressure = 95.0;
+  double wander_amp = 12.0;
+  int64_t wander_period = 4096;
+  // Pulse pressure ripple (respiratory/heart-rate aliasing at 1 Hz
+  // sampling) and measurement noise.
+  double ripple_amp = 6.0;
+  double noise_sigma = 2.5;
+
+  // Hypertensive episodes: stretches where the baseline is raised into
+  // [episode_lo, episode_hi].
+  double episodes_per_million = 180.0;
+  int64_t episode_len_lo = 64;
+  int64_t episode_len_hi = 1024;
+  double episode_lo = 140.0;
+  double episode_hi = 205.0;
+
+  // Short pressure events (flush artifacts, transients): plateaus of
+  // `event_width` cells raised `height` above the local signal.
+  double events_per_million = 260.0;
+  int64_t event_width = 3;
+  double event_height_lo = 35.0;
+  double event_height_hi = 75.0;
+  double strong_fraction = 0.07;
+  double strong_height_lo = 85.0;
+  double strong_height_hi = 115.0;
+
+  // Physiological clamp, as in the paper's running example.
+  double value_lo = 50.0;
+  double value_hi = 250.0;
+};
+
+// Generates the ABP-like waveform; deterministic in `options.seed`.
+Result<std::shared_ptr<array::Array>> GenerateAbpWaveform(
+    const WaveformOptions& options);
+
+}  // namespace dqr::data
+
+#endif  // DQR_DATA_WAVEFORM_H_

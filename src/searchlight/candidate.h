@@ -1,0 +1,32 @@
+#ifndef DQR_SEARCHLIGHT_CANDIDATE_H_
+#define DQR_SEARCHLIGHT_CANDIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace dqr::searchlight {
+
+// A candidate solution streamed from a Solver to a Validator: a fully
+// bound assignment plus the synopsis estimates observed at the leaf.
+// Candidates may be false positives; the Validator re-evaluates them over
+// the base data.
+struct Candidate {
+  std::vector<int64_t> point;
+  // Per-constraint [a', b'] estimates at the leaf (same order as the
+  // query's constraints).
+  std::vector<Interval> estimates;
+  // Best possible relaxation penalty of the leaf w.r.t. the *original*
+  // bounds; drives the BRP pre-check and BRP-sorted queues (§4.2).
+  double brp = 0.0;
+  // Best possible rank (BRK) of the leaf; drives the constraining
+  // pre-check (§4.3).
+  double brk = 1.0;
+  // Queue ordering key, set by the producer (lower pops first).
+  double priority = 0.0;
+};
+
+}  // namespace dqr::searchlight
+
+#endif  // DQR_SEARCHLIGHT_CANDIDATE_H_

@@ -1,0 +1,107 @@
+#include "searchlight/candidate_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dqr::searchlight {
+namespace {
+
+// Min-heap on priority: the comparator inverts for std::push_heap's
+// max-heap convention.
+bool HeapLater(const Candidate& a, const Candidate& b) {
+  return a.priority > b.priority;
+}
+
+}  // namespace
+
+void CandidateQueue::HeapPush(Candidate c) {
+  heap_.push_back(std::move(c));
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater);
+}
+
+Candidate CandidateQueue::HeapPop() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLater);
+  Candidate c = std::move(heap_.back());
+  heap_.pop_back();
+  return c;
+}
+
+bool CandidateQueue::Push(Candidate c) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return closed_ ||
+           (order_ == Order::kFifo ? fifo_.size() : heap_.size()) <
+               capacity_;
+  });
+  if (closed_) return false;
+  if (order_ == Order::kFifo) {
+    fifo_.push_back(std::move(c));
+  } else {
+    HeapPush(std::move(c));
+  }
+  const int64_t sz = static_cast<int64_t>(
+      order_ == Order::kFifo ? fifo_.size() : heap_.size());
+  peak_size_ = std::max(peak_size_, sz);
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Candidate> CandidateQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] {
+    return closed_ || !fifo_.empty() || !heap_.empty();
+  });
+  Candidate c;
+  if (order_ == Order::kFifo) {
+    if (fifo_.empty()) return std::nullopt;
+    c = std::move(fifo_.front());
+    fifo_.pop_front();
+  } else {
+    if (heap_.empty()) return std::nullopt;
+    c = HeapPop();
+  }
+  ++in_flight_;
+  not_full_.notify_one();
+  return c;
+}
+
+void CandidateQueue::FinishedCurrent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DQR_CHECK(in_flight_ > 0);
+  --in_flight_;
+  if (fifo_.empty() && heap_.empty() && in_flight_ == 0) {
+    drained_.notify_all();
+  }
+}
+
+void CandidateQueue::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] {
+    return fifo_.empty() && heap_.empty() && in_flight_ == 0;
+  });
+}
+
+void CandidateQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t CandidateQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_ == Order::kFifo ? fifo_.size() : heap_.size();
+}
+
+bool CandidateQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+int64_t CandidateQueue::peak_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_size_;
+}
+
+}  // namespace dqr::searchlight

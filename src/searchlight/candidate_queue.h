@@ -1,0 +1,79 @@
+#ifndef DQR_SEARCHLIGHT_CANDIDATE_QUEUE_H_
+#define DQR_SEARCHLIGHT_CANDIDATE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "searchlight/candidate.h"
+
+namespace dqr::searchlight {
+
+// Bounded producer/consumer queue between a Solver and its Validator.
+//
+// Two orders (§4.2 "Sorting the Validator queue on BRP"):
+//   * kFifo       — arrival order (the Searchlight default);
+//   * kPriority   — by Candidate::priority, lowest first; producers set
+//                   the priority to BRP during relaxation (best candidates
+//                   validate first, shrinking MRP faster).
+//
+// Push blocks while the queue is full (back-pressure on the Solver); Pop
+// blocks while it is empty. Close() releases everybody.
+class CandidateQueue {
+ public:
+  enum class Order { kFifo, kPriority };
+
+  CandidateQueue(Order order, size_t capacity)
+      : order_(order), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  CandidateQueue(const CandidateQueue&) = delete;
+  CandidateQueue& operator=(const CandidateQueue&) = delete;
+
+  // Enqueues `c`; blocks while full. Returns false if the queue was
+  // closed (the candidate is dropped).
+  bool Push(Candidate c);
+
+  // Dequeues the next candidate; blocks while empty. Returns nullopt once
+  // the queue is closed and drained. The consumer must call
+  // FinishedCurrent() after fully processing each popped candidate so
+  // that WaitDrained() accounts for in-flight work.
+  std::optional<Candidate> Pop();
+
+  // Marks the most recently popped candidate as fully processed.
+  void FinishedCurrent();
+
+  // Blocks until the queue is empty and no candidate is being processed.
+  void WaitDrained();
+
+  // No more pushes accepted; pending candidates can still be popped.
+  void Close();
+
+  size_t size() const;
+  bool closed() const;
+  int64_t peak_size() const;
+
+ private:
+  // Heap helpers for kPriority; `heap_` is a min-heap on priority.
+  void HeapPush(Candidate c);
+  Candidate HeapPop();
+
+  const Order order_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable drained_;
+  std::deque<Candidate> fifo_;
+  std::vector<Candidate> heap_;
+  int in_flight_ = 0;
+  bool closed_ = false;
+  int64_t peak_size_ = 0;
+};
+
+}  // namespace dqr::searchlight
+
+#endif  // DQR_SEARCHLIGHT_CANDIDATE_QUEUE_H_

@@ -1,0 +1,376 @@
+#include "searchlight/functions.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dqr::searchlight {
+namespace {
+
+// Cache entry kinds; part of the memo key.
+constexpr int kKindValue = 0;
+constexpr int kKindMax = 1;
+constexpr int kKindMin = 2;
+
+void BusyWait(int64_t ns) {
+  if (ns <= 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < ns) {
+  }
+}
+
+// Picks the default value range for a contrast function: differences of
+// values within the global range span [0, range width].
+WindowFunctionContext WithContrastDefaultRange(WindowFunctionContext ctx) {
+  if (ctx.value_range.empty() && ctx.synopsis != nullptr) {
+    ctx.value_range =
+        Interval(0.0, ctx.synopsis->global_value_range().width());
+  }
+  return ctx;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// BoundsCache
+
+class BoundsCache::Snapshot : public cp::FunctionState {
+ public:
+  explicit Snapshot(std::unordered_map<Key, Interval, KeyHash> map)
+      : map_(std::move(map)) {}
+
+  std::unique_ptr<cp::FunctionState> Clone() const override {
+    return std::make_unique<Snapshot>(map_);
+  }
+
+  int64_t SizeBytes() const override {
+    // Key (kind + window coordinates) + interval + the support coordinates
+    // a real aggregate keeps; comparable to the ~80 bytes/save the paper
+    // reports for 2-D aggregate states.
+    return static_cast<int64_t>(map_.size()) *
+           static_cast<int64_t>(sizeof(Key) + sizeof(Interval) +
+                                2 * sizeof(int64_t));
+  }
+
+  const std::unordered_map<Key, Interval, KeyHash>& map() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<Key, Interval, KeyHash> map_;
+};
+
+void BoundsCache::Touch(const Key& key) {
+  if (recent_.size() < kRecentCapacity) {
+    recent_.push_back(key);
+    return;
+  }
+  recent_[recent_next_] = key;
+  recent_next_ = (recent_next_ + 1) % kRecentCapacity;
+}
+
+const Interval* BoundsCache::Find(int kind, int64_t lo, int64_t hi) {
+  const auto it = map_.find(Key{kind, lo, hi});
+  if (it == map_.end()) return nullptr;
+  Touch(it->first);
+  return &it->second;
+}
+
+void BoundsCache::Insert(int kind, int64_t lo, int64_t hi,
+                         const Interval& value) {
+  if (map_.size() >= capacity_) map_.clear();
+  const Key key{kind, lo, hi};
+  map_.emplace(key, value);
+  Touch(key);
+}
+
+std::unique_ptr<cp::FunctionState> BoundsCache::SaveRecent() const {
+  std::unordered_map<Key, Interval, KeyHash> subset;
+  for (const Key& key : recent_) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) subset.emplace(it->first, it->second);
+  }
+  if (subset.empty()) return nullptr;
+  return std::make_unique<Snapshot>(std::move(subset));
+}
+
+void BoundsCache::Restore(const cp::FunctionState& state) {
+  const auto* snapshot = dynamic_cast<const Snapshot*>(&state);
+  DQR_CHECK_MSG(snapshot != nullptr, "foreign function state");
+  for (const auto& [key, value] : snapshot->map()) {
+    if (map_.size() >= capacity_) break;
+    map_.emplace(key, value);
+  }
+}
+
+// ---------------------------------------------------------------------
+// WindowFunction
+
+WindowFunction::WindowFunction(WindowFunctionContext ctx)
+    : ctx_(std::move(ctx)) {
+  DQR_CHECK(ctx_.array != nullptr && ctx_.synopsis != nullptr);
+  DQR_CHECK(ctx_.x_var != ctx_.len_var);
+  value_range_ = ctx_.value_range.empty()
+                     ? ctx_.synopsis->global_value_range()
+                     : ctx_.value_range;
+}
+
+std::unique_ptr<cp::FunctionState> WindowFunction::SaveState(
+    const cp::DomainBox& box) const {
+  // The recently touched entries are exactly the window bounds the failed
+  // node's estimate derived (the search checks constraints on `box` right
+  // before a fail is recorded), so no box-based filtering is needed.
+  (void)box;
+  if (cache_.size() == 0) return nullptr;
+  return cache_.SaveRecent();
+}
+
+void WindowFunction::RestoreState(const cp::FunctionState& state) {
+  cache_.Restore(state);
+}
+
+void WindowFunction::ClearState() { cache_.Clear(); }
+
+WindowFunction::WindowBox WindowFunction::ReadWindow(
+    const cp::DomainBox& box) const {
+  DQR_CHECK(ctx_.x_var >= 0 &&
+            static_cast<size_t>(ctx_.x_var) < box.size());
+  DQR_CHECK(ctx_.len_var >= 0 &&
+            static_cast<size_t>(ctx_.len_var) < box.size());
+  const cp::IntDomain& x = box[static_cast<size_t>(ctx_.x_var)];
+  const cp::IntDomain& l = box[static_cast<size_t>(ctx_.len_var)];
+  DQR_CHECK(x.lo >= 0 && x.hi < array_length());
+  DQR_CHECK(l.lo >= 1);
+
+  WindowBox w;
+  w.x_lo = x.lo;
+  w.x_hi = x.hi;
+  w.l_lo = l.lo;
+  w.l_hi = l.hi;
+  w.span_lo = x.lo;
+  w.span_hi = std::min(array_length(), x.hi + l.hi);
+  w.bound = x.IsBound() && l.IsBound();
+  return w;
+}
+
+void WindowFunction::ChargeMiss() const {
+  BusyWait(ctx_.estimate_cost_ns);
+}
+
+Interval WindowFunction::CachedValueBounds(int64_t lo, int64_t hi) {
+  if (const Interval* hit = cache_.Find(kKindValue, lo, hi)) return *hit;
+  ChargeMiss();
+  const Interval result = ctx_.synopsis->ValueBounds(lo, hi);
+  cache_.Insert(kKindValue, lo, hi, result);
+  return result;
+}
+
+Interval WindowFunction::CachedMaxBounds(int64_t lo, int64_t hi) {
+  if (const Interval* hit = cache_.Find(kKindMax, lo, hi)) return *hit;
+  ChargeMiss();
+  const Interval result = ctx_.synopsis->MaxBounds(lo, hi);
+  cache_.Insert(kKindMax, lo, hi, result);
+  return result;
+}
+
+Interval WindowFunction::CachedMinBounds(int64_t lo, int64_t hi) {
+  if (const Interval* hit = cache_.Find(kKindMin, lo, hi)) return *hit;
+  ChargeMiss();
+  const Interval result = ctx_.synopsis->MinBounds(lo, hi);
+  cache_.Insert(kKindMin, lo, hi, result);
+  return result;
+}
+
+Interval WindowFunction::MaxOverWindows(int64_t s_lo, int64_t s_hi,
+                                        int64_t l_lo, int64_t l_hi) {
+  const int64_t n = array_length();
+  DQR_CHECK(0 <= s_lo && s_lo <= s_hi && s_hi < n);
+  DQR_CHECK(1 <= l_lo && l_lo <= l_hi);
+  if (s_lo == s_hi) {
+    // Fixed start: the max over [s, s+l) (clamped to the array) is
+    // monotone in l, so the shortest and longest windows bound every
+    // window in between.
+    const int64_t short_hi = std::min(n, s_lo + l_lo);
+    const int64_t long_hi = std::min(n, s_lo + l_hi);
+    const Interval small = CachedMaxBounds(s_lo, short_hi);
+    const Interval large =
+        long_hi == short_hi ? small : CachedMaxBounds(s_lo, long_hi);
+    return Interval(small.lo, large.hi);
+  }
+
+  const int64_t span_hi = std::min(n, s_hi + l_hi);
+  const Interval span_values = CachedValueBounds(s_lo, span_hi);
+  // Every window contains the common core [s_hi, s_lo + l_lo) when that
+  // range is non-empty, so the core's max bounds every window max from
+  // below.
+  const int64_t core_lo = s_hi;
+  const int64_t core_hi = std::min(n, s_lo + l_lo);
+  double lower = span_values.lo;
+  if (core_lo < core_hi) {
+    lower = std::max(lower, CachedMaxBounds(core_lo, core_hi).lo);
+  }
+  return Interval(lower, span_values.hi);
+}
+
+// ---------------------------------------------------------------------
+// AvgFunction
+
+Interval AvgFunction::Estimate(const cp::DomainBox& box) {
+  const WindowBox w = ReadWindow(box);
+  if (w.bound) {
+    const int64_t hi = std::min(array_length(), w.x_lo + w.l_lo);
+    DQR_CHECK(hi > w.x_lo);
+    // Window sums are keyed by (x, l) pairs that rarely repeat, so they
+    // are not memoized; the estimation cost is charged directly.
+    ChargeMiss();
+    return synopsis().AvgBounds(w.x_lo, hi);
+  }
+  return CachedValueBounds(w.span_lo, w.span_hi);
+}
+
+double AvgFunction::Evaluate(const std::vector<int64_t>& point) {
+  CountEvaluate();
+  const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+  const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+  const int64_t hi = std::min(array_length(), x + l);
+  DQR_CHECK(x >= 0 && hi > x);
+  return array().AggregateWindow(x, hi).avg();
+}
+
+// ---------------------------------------------------------------------
+// MaxFunction
+
+Interval MaxFunction::Estimate(const cp::DomainBox& box) {
+  const WindowBox w = ReadWindow(box);
+  return MaxOverWindows(w.x_lo, w.x_hi, w.l_lo, w.l_hi);
+}
+
+double MaxFunction::Evaluate(const std::vector<int64_t>& point) {
+  CountEvaluate();
+  const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+  const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+  const int64_t hi = std::min(array_length(), x + l);
+  DQR_CHECK(x >= 0 && hi > x);
+  return array().MaxOver(x, hi);
+}
+
+// ---------------------------------------------------------------------
+// MinFunction
+
+Interval MinFunction::Estimate(const cp::DomainBox& box) {
+  const WindowBox w = ReadWindow(box);
+  const int64_t n = array_length();
+  if (w.bound) {
+    const int64_t hi = std::min(n, w.x_lo + w.l_lo);
+    DQR_CHECK(hi > w.x_lo);
+    return CachedMinBounds(w.x_lo, hi);
+  }
+  const Interval span_values = CachedValueBounds(w.span_lo, w.span_hi);
+  // Mirror of MaxOverWindows: the common core bounds the min from above.
+  const int64_t core_lo = w.x_hi;
+  const int64_t core_hi = std::min(n, w.x_lo + w.l_lo);
+  double upper = span_values.hi;
+  if (core_lo < core_hi) {
+    upper = std::min(upper, CachedMinBounds(core_lo, core_hi).hi);
+  }
+  return Interval(span_values.lo, upper);
+}
+
+double MinFunction::Evaluate(const std::vector<int64_t>& point) {
+  CountEvaluate();
+  const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+  const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+  const int64_t hi = std::min(array_length(), x + l);
+  DQR_CHECK(x >= 0 && hi > x);
+  return array().AggregateWindow(x, hi).min;
+}
+
+// ---------------------------------------------------------------------
+// NeighborhoodContrastFunction
+
+NeighborhoodContrastFunction::NeighborhoodContrastFunction(
+    WindowFunctionContext ctx, Side side, int64_t width)
+    : WindowFunction(WithContrastDefaultRange(std::move(ctx))),
+      side_(side),
+      width_(width) {
+  DQR_CHECK(width_ >= 1);
+}
+
+std::pair<int64_t, int64_t> NeighborhoodContrastFunction::NeighborhoodFor(
+    int64_t x, int64_t l) const {
+  const int64_t n = array_length();
+  if (side_ == Side::kLeft) {
+    return {std::max<int64_t>(0, x - width_), x};
+  }
+  const int64_t end = std::min(n, x + l);
+  return {end, std::min(n, end + width_)};
+}
+
+Interval NeighborhoodContrastFunction::Estimate(const cp::DomainBox& box) {
+  const WindowBox w = ReadWindow(box);
+  const int64_t n = array_length();
+  const Interval main = MaxOverWindows(w.x_lo, w.x_hi, w.l_lo, w.l_hi);
+
+  // Bounds on max(neighborhood) over every (x, l) in the box, handling
+  // edge truncation soundly. `can_be_empty` marks boxes containing at
+  // least one assignment whose neighborhood collapses entirely, where the
+  // function value degenerates to 0.
+  Interval nbhd = Interval::Empty();
+  bool can_be_empty = false;
+  if (side_ == Side::kLeft) {
+    if (w.x_hi == 0) {
+      can_be_empty = true;  // the only neighborhood is empty
+    } else if (w.x_lo >= width_) {
+      // No truncation: a fixed-length window sliding with x.
+      nbhd = MaxOverWindows(w.x_lo - width_, w.x_hi - width_, width_,
+                            width_);
+    } else {
+      // Truncated near the left edge: the neighborhood is some non-empty
+      // sub-window of [0, x_hi) for x > 0; value bounds over that span
+      // are sound for its max.
+      nbhd = CachedValueBounds(0, w.x_hi);
+      can_be_empty = w.x_lo == 0;
+    }
+  } else {
+    const int64_t e_lo = std::min(n, w.x_lo + w.l_lo);
+    const int64_t e_hi = std::min(n, w.x_hi + w.l_hi);
+    if (e_lo >= n) {
+      can_be_empty = true;  // every neighborhood starts past the end
+    } else if (e_hi + width_ <= n) {
+      // No truncation: a fixed-length window sliding with the window end.
+      nbhd = MaxOverWindows(e_lo, e_hi, width_, width_);
+    } else {
+      nbhd = CachedValueBounds(e_lo, n);
+      can_be_empty = e_hi >= n;
+    }
+  }
+
+  Interval estimate =
+      nbhd.empty() ? Interval::Empty() : Abs(main - nbhd);
+  if (can_be_empty) {
+    // Assignments with an empty neighborhood evaluate to exactly 0.
+    estimate = estimate.Union(Interval::Point(0.0));
+  }
+  DQR_CHECK(!estimate.empty());
+  return estimate;
+}
+
+double NeighborhoodContrastFunction::Evaluate(
+    const std::vector<int64_t>& point) {
+  CountEvaluate();
+  const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+  const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+  const int64_t hi = std::min(array_length(), x + l);
+  DQR_CHECK(x >= 0 && hi > x);
+  const double main = array().MaxOver(x, hi);
+  const auto [nb_lo, nb_hi] = NeighborhoodFor(x, l);
+  if (nb_lo >= nb_hi) return 0.0;
+  const double nbhd = array().MaxOver(nb_lo, nb_hi);
+  return std::abs(main - nbhd);
+}
+
+}  // namespace dqr::searchlight

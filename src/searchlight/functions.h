@@ -1,0 +1,214 @@
+#ifndef DQR_SEARCHLIGHT_FUNCTIONS_H_
+#define DQR_SEARCHLIGHT_FUNCTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "array/array.h"
+#include "common/interval.h"
+#include "cp/function.h"
+#include "synopsis/synopsis.h"
+
+namespace dqr::searchlight {
+
+// Memoized window-bound lookups shared by the aggregate functions below.
+// Keys are (lo, hi) windows; values are synopsis intervals together with
+// the "support" information that makes re-derivation unnecessary. This is
+// the state captured by the UDF-state-saving optimization (§4.2): fails
+// snapshot the cache, replays restore it and skip recomputation.
+class BoundsCache {
+ public:
+  // Saved snapshot of a cache (a cp::FunctionState).
+  class Snapshot;
+
+  explicit BoundsCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Returns the cached interval for (kind, lo, hi) or nullptr. Touched
+  // keys (hits and inserts) are remembered in a small recency ring.
+  const Interval* Find(int kind, int64_t lo, int64_t hi);
+  void Insert(int kind, int64_t lo, int64_t hi, const Interval& value);
+
+  // Snapshot of the recently touched entries — the window bounds (with
+  // their support information) that the most recent Estimate calls used.
+  // O(recency ring) in time and size: this is what a fail record saves.
+  std::unique_ptr<cp::FunctionState> SaveRecent() const;
+  void Restore(const cp::FunctionState& state);
+
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+ private:
+  struct Key {
+    int kind;
+    int64_t lo;
+    int64_t hi;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.lo) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      h ^= static_cast<uint64_t>(k.hi) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  void Touch(const Key& key);
+
+  size_t capacity_;
+  std::unordered_map<Key, Interval, KeyHash> map_;
+  // Ring of recently touched keys; bounds the cost and size of per-fail
+  // state snapshots.
+  static constexpr size_t kRecentCapacity = 6;
+  std::vector<Key> recent_;
+  size_t recent_next_ = 0;
+};
+
+// Shared construction context of a window aggregate function.
+struct WindowFunctionContext {
+  std::shared_ptr<const array::Array> array;
+  std::shared_ptr<const synopsis::Synopsis> synopsis;
+  // Indices of the decision variables: window start x and length lx.
+  int x_var = 0;
+  int len_var = 1;
+  // Static range of the function value (normalization + hard relaxation
+  // limit). Empty => derive from the synopsis global value range.
+  Interval value_range = Interval::Empty();
+  // Artificial per-synopsis-lookup cost in ns on cache misses; models
+  // expensive UDF estimation so that the optimizations of §4.2 reproduce
+  // their measured effects at laptop scale. 0 by default.
+  int64_t estimate_cost_ns = 0;
+};
+
+// Base class implementing the window geometry shared by the concrete
+// aggregates: the window is [x, x + lx) for decision variables x, lx.
+class WindowFunction : public cp::ConstraintFunction {
+ public:
+  explicit WindowFunction(WindowFunctionContext ctx);
+
+  Interval value_range() const override { return value_range_; }
+
+  std::unique_ptr<cp::FunctionState> SaveState(
+      const cp::DomainBox& box) const override;
+  void RestoreState(const cp::FunctionState& state) override;
+  void ClearState() override;
+
+  // Number of exact (Validator-side) evaluations performed.
+  int64_t evaluate_calls() const { return evaluate_calls_; }
+
+ protected:
+  // Window start/length domains from the box, with the window end clamped
+  // to the array length.
+  struct WindowBox {
+    int64_t x_lo, x_hi;    // start domain
+    int64_t l_lo, l_hi;    // length domain
+    int64_t span_lo, span_hi;  // union of all windows, clamped
+    bool bound;            // both variables bound
+  };
+  WindowBox ReadWindow(const cp::DomainBox& box) const;
+
+  // Sound bounds on max over every window [s, s+l), s in [s_lo, s_hi],
+  // l in [l_lo, l_hi]; memoized, clamped to the array.
+  Interval MaxOverWindows(int64_t s_lo, int64_t s_hi, int64_t l_lo,
+                          int64_t l_hi);
+
+  // Memoized synopsis primitives (kind-tagged cache entries).
+  Interval CachedValueBounds(int64_t lo, int64_t hi);
+  Interval CachedMaxBounds(int64_t lo, int64_t hi);
+  Interval CachedMinBounds(int64_t lo, int64_t hi);
+
+  // Charges the artificial estimation cost of one uncached lookup.
+  void ChargeMiss() const;
+
+  int64_t array_length() const { return ctx_.array->length(); }
+  const array::Array& array() const { return *ctx_.array; }
+  const synopsis::Synopsis& synopsis() const { return *ctx_.synopsis; }
+  const WindowFunctionContext& ctx() const { return ctx_; }
+
+  void CountEvaluate() { ++evaluate_calls_; }
+
+ private:
+  WindowFunctionContext ctx_;
+  Interval value_range_;
+  BoundsCache cache_;
+  int64_t evaluate_calls_ = 0;
+};
+
+// avg(x, x + lx) — the paper's c1-style amplitude constraint.
+class AvgFunction : public WindowFunction {
+ public:
+  explicit AvgFunction(WindowFunctionContext ctx)
+      : WindowFunction(std::move(ctx)) {}
+
+  std::string name() const override { return "avg"; }
+  Interval Estimate(const cp::DomainBox& box) override;
+  double Evaluate(const std::vector<int64_t>& point) override;
+  std::unique_ptr<cp::ConstraintFunction> Clone() const override {
+    return std::make_unique<AvgFunction>(ctx());
+  }
+};
+
+// max(x, x + lx).
+class MaxFunction : public WindowFunction {
+ public:
+  explicit MaxFunction(WindowFunctionContext ctx)
+      : WindowFunction(std::move(ctx)) {}
+
+  std::string name() const override { return "max"; }
+  Interval Estimate(const cp::DomainBox& box) override;
+  double Evaluate(const std::vector<int64_t>& point) override;
+  std::unique_ptr<cp::ConstraintFunction> Clone() const override {
+    return std::make_unique<MaxFunction>(ctx());
+  }
+};
+
+// min(x, x + lx).
+class MinFunction : public WindowFunction {
+ public:
+  explicit MinFunction(WindowFunctionContext ctx)
+      : WindowFunction(std::move(ctx)) {}
+
+  std::string name() const override { return "min"; }
+  Interval Estimate(const cp::DomainBox& box) override;
+  double Evaluate(const std::vector<int64_t>& point) override;
+  std::unique_ptr<cp::ConstraintFunction> Clone() const override {
+    return std::make_unique<MinFunction>(ctx());
+  }
+};
+
+// |max(x, x + lx) - max(neighborhood)| — the paper's c2/c3 neighborhood
+// contrast. The neighborhood is the `width`-cell window immediately left
+// of the interval (kLeft) or right of it (kRight), clamped to the array.
+class NeighborhoodContrastFunction : public WindowFunction {
+ public:
+  enum class Side { kLeft, kRight };
+
+  NeighborhoodContrastFunction(WindowFunctionContext ctx, Side side,
+                               int64_t width);
+
+  std::string name() const override {
+    return side_ == Side::kLeft ? "contrast_left" : "contrast_right";
+  }
+  Interval Estimate(const cp::DomainBox& box) override;
+  double Evaluate(const std::vector<int64_t>& point) override;
+  std::unique_ptr<cp::ConstraintFunction> Clone() const override {
+    return std::make_unique<NeighborhoodContrastFunction>(ctx(), side_,
+                                                          width_);
+  }
+
+ private:
+  // Neighborhood window for a bound (x, l); empty (lo == hi) possible at
+  // array edges, where the contrast degenerates to max(main) - max(main).
+  std::pair<int64_t, int64_t> NeighborhoodFor(int64_t x, int64_t l) const;
+
+  Side side_;
+  int64_t width_;
+};
+
+}  // namespace dqr::searchlight
+
+#endif  // DQR_SEARCHLIGHT_FUNCTIONS_H_

@@ -1,0 +1,66 @@
+#ifndef DQR_SEARCHLIGHT_QUERY_H_
+#define DQR_SEARCHLIGHT_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "cp/domain.h"
+#include "cp/function.h"
+
+namespace dqr::searchlight {
+
+// Ranking preference for a constraint function during query constraining
+// (§3.2): whether larger or smaller f_c values are better.
+enum class RankPreference { kMaximize, kMinimize };
+
+// Produces a fresh, thread-owned instance of a constraint function. Called
+// once per solver/validator thread; instances share only immutable inputs
+// (array, synopsis).
+using FunctionFactory =
+    std::function<std::unique_ptr<cp::ConstraintFunction>()>;
+
+// One search constraint a <= f_c(X) <= b plus its refinement attributes.
+struct QueryConstraint {
+  FunctionFactory make_function;
+  // Original query bounds [a, b]; may be half-open via +-infinity.
+  Interval bounds = Interval::All();
+
+  // --- relaxation attributes (§3.1) ---
+  // w_c in RD(r) = max_c w_c RD_c(r); must lie in [0, 1].
+  double relax_weight = 1.0;
+  // Whether the constraint belongs to C^r (may be relaxed). Constraints
+  // outside C^r are hard: a sub-tree violating one is never replayed.
+  bool relaxable = true;
+
+  // --- constraining attributes (§3.2) ---
+  // Whether the constraint belongs to C^c (participates in ranking).
+  bool constrainable = true;
+  // w_c in RK(r); negative means "use the default 1/|C^c|". Weights are
+  // normalized to sum to 1 across C^c.
+  double rank_weight = -1.0;
+  RankPreference preference = RankPreference::kMaximize;
+
+  // Display name; empty means "use the function's name".
+  std::string name;
+};
+
+// A complete search query: decision variables (as domains), constraints,
+// and the user's desired result cardinality k.
+struct QuerySpec {
+  std::string name;
+  // Initial domains of the decision variables; index = variable id.
+  cp::DomainBox domains;
+  std::vector<QueryConstraint> constraints;
+  // Desired result cardinality. k > 0 enables refinement (relax if fewer
+  // results, constrain if more); k == 0 means "no cardinality
+  // requirement": the query returns every exact result, as plain
+  // Searchlight would.
+  int64_t k = 10;
+};
+
+}  // namespace dqr::searchlight
+
+#endif  // DQR_SEARCHLIGHT_QUERY_H_

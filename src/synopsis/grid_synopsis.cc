@@ -1,0 +1,258 @@
+#include "synopsis/grid_synopsis.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dqr::synopsis {
+
+double GridSynopsis::Level::BlockSum(int64_t i0, int64_t i1, int64_t j0,
+                                     int64_t j1) const {
+  if (i0 >= i1 || j0 >= j1) return 0.0;
+  const int64_t stride = cell_cols + 1;
+  const auto at = [&](int64_t i, int64_t j) {
+    return prefix_sum[static_cast<size_t>(i * stride + j)];
+  };
+  return at(i1, j1) - at(i0, j1) - at(i1, j0) + at(i0, j0);
+}
+
+Result<std::shared_ptr<GridSynopsis>> GridSynopsis::Build(
+    const array::Grid& grid, GridSynopsisOptions options) {
+  if (options.cell_sizes.empty()) {
+    return InvalidArgumentError("grid synopsis needs at least one level");
+  }
+  for (size_t i = 0; i < options.cell_sizes.size(); ++i) {
+    if (options.cell_sizes[i] <= 0) {
+      return InvalidArgumentError("cell sizes must be positive");
+    }
+    if (i > 0 && options.cell_sizes[i] >= options.cell_sizes[i - 1]) {
+      return InvalidArgumentError("cell sizes must be strictly decreasing");
+    }
+  }
+  if (grid.rows() == 0 || grid.cols() == 0) {
+    return InvalidArgumentError("cannot summarize an empty grid");
+  }
+  if (options.max_cells_per_query < 4) {
+    return InvalidArgumentError("max_cells_per_query must be at least 4");
+  }
+
+  auto syn = std::shared_ptr<GridSynopsis>(new GridSynopsis());
+  syn->rows_ = grid.rows();
+  syn->cols_ = grid.cols();
+  syn->max_cells_per_query_ = options.max_cells_per_query;
+
+  for (const int64_t cell_size : options.cell_sizes) {
+    Level level;
+    level.cell_size = cell_size;
+    level.cell_rows = (grid.rows() + cell_size - 1) / cell_size;
+    level.cell_cols = (grid.cols() + cell_size - 1) / cell_size;
+    level.cells.reserve(
+        static_cast<size_t>(level.cell_rows * level.cell_cols));
+    for (int64_t i = 0; i < level.cell_rows; ++i) {
+      for (int64_t j = 0; j < level.cell_cols; ++j) {
+        const int64_t r0 = i * cell_size;
+        const int64_t r1 = std::min(grid.rows(), r0 + cell_size);
+        const int64_t c0 = j * cell_size;
+        const int64_t c1 = std::min(grid.cols(), c0 + cell_size);
+        const array::WindowAggregates agg =
+            grid.AggregateRect(r0, r1, c0, c1);
+        level.cells.push_back({agg.min, agg.max, agg.sum});
+      }
+    }
+    // 2-D prefix sums of cell sums.
+    const int64_t stride = level.cell_cols + 1;
+    level.prefix_sum.assign(
+        static_cast<size_t>((level.cell_rows + 1) * stride), 0.0);
+    for (int64_t i = 0; i < level.cell_rows; ++i) {
+      double row_sum = 0.0;
+      for (int64_t j = 0; j < level.cell_cols; ++j) {
+        row_sum += level.cell(i, j).sum;
+        level.prefix_sum[static_cast<size_t>((i + 1) * stride + j + 1)] =
+            level.prefix_sum[static_cast<size_t>(i * stride + j + 1)] +
+            row_sum;
+      }
+    }
+    syn->levels_.push_back(std::move(level));
+  }
+
+  Interval range = Interval::Empty();
+  for (const SynopsisCell& cell : syn->levels_.front().cells) {
+    range = range.Union(Interval(cell.min, cell.max));
+  }
+  syn->global_range_ = range;
+  return syn;
+}
+
+const GridSynopsis::Level& GridSynopsis::PickLevel(int64_t r0, int64_t r1,
+                                                   int64_t c0,
+                                                   int64_t c1) const {
+  const Level* chosen = &levels_.front();
+  for (const Level& level : levels_) {
+    const int64_t cells = ((r1 - r0) / level.cell_size + 2) *
+                          ((c1 - c0) / level.cell_size + 2);
+    if (cells <= max_cells_per_query_) chosen = &level;
+  }
+  return *chosen;
+}
+
+Interval GridSynopsis::ValueBounds(int64_t r0, int64_t r1, int64_t c0,
+                                   int64_t c1) const {
+  DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
+  DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(r0, r1, c0, c1);
+  const int64_t cs = level.cell_size;
+  Interval out = Interval::Empty();
+  for (int64_t i = r0 / cs; i <= (r1 - 1) / cs; ++i) {
+    for (int64_t j = c0 / cs; j <= (c1 - 1) / cs; ++j) {
+      const SynopsisCell& cell = level.cell(i, j);
+      out = out.Union(Interval(cell.min, cell.max));
+    }
+  }
+  return out;
+}
+
+Interval GridSynopsis::SumBounds(int64_t r0, int64_t r1, int64_t c0,
+                                 int64_t c1) const {
+  DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
+  DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(r0, r1, c0, c1);
+  const int64_t cs = level.cell_size;
+  const int64_t i_first = r0 / cs;
+  const int64_t i_last = (r1 - 1) / cs;
+  const int64_t j_first = c0 / cs;
+  const int64_t j_last = (c1 - 1) / cs;
+
+  double lo = 0.0;
+  double hi = 0.0;
+  // Interior block of fully covered cells, exact via prefix sums. A cell
+  // (i, j) is fully covered iff its whole [i*cs, (i+1)*cs) x ... lies in
+  // the rectangle (grid-edge cells may be smaller than cs; treat the last
+  // row/column of cells as full when the rectangle reaches the grid
+  // edge).
+  const auto cell_r1 = [&](int64_t i) {
+    return std::min(rows_, (i + 1) * cs);
+  };
+  const auto cell_c1 = [&](int64_t j) {
+    return std::min(cols_, (j + 1) * cs);
+  };
+  const int64_t fi0 = (r0 % cs == 0) ? i_first : i_first + 1;
+  const int64_t fi1 = (r1 >= cell_r1(i_last)) ? i_last + 1 : i_last;
+  const int64_t fj0 = (c0 % cs == 0) ? j_first : j_first + 1;
+  const int64_t fj1 = (c1 >= cell_c1(j_last)) ? j_last + 1 : j_last;
+  if (fi0 < fi1 && fj0 < fj1) {
+    const double interior = level.BlockSum(fi0, fi1, fj0, fj1);
+    lo += interior;
+    hi += interior;
+  }
+
+  // Boundary cells: prorate by overlap area.
+  for (int64_t i = i_first; i <= i_last; ++i) {
+    for (int64_t j = j_first; j <= j_last; ++j) {
+      const bool interior =
+          i >= fi0 && i < fi1 && j >= fj0 && j < fj1;
+      if (interior) continue;
+      const SynopsisCell& cell = level.cell(i, j);
+      const int64_t rr0 = std::max(r0, i * cs);
+      const int64_t rr1 = std::min(r1, cell_r1(i));
+      const int64_t cc0 = std::max(c0, j * cs);
+      const int64_t cc1 = std::min(c1, cell_c1(j));
+      const double overlap =
+          static_cast<double>((rr1 - rr0) * (cc1 - cc0));
+      const double full =
+          static_cast<double>((cell_r1(i) - i * cs) *
+                              (cell_c1(j) - j * cs));
+      if (overlap >= full) {
+        lo += cell.sum;
+        hi += cell.sum;
+      } else {
+        lo += overlap * cell.min;
+        hi += overlap * cell.max;
+      }
+    }
+  }
+  return Interval(lo, hi);
+}
+
+Interval GridSynopsis::AvgBounds(int64_t r0, int64_t r1, int64_t c0,
+                                 int64_t c1) const {
+  const Interval sum = SumBounds(r0, r1, c0, c1);
+  const double area = static_cast<double>((r1 - r0) * (c1 - c0));
+  return Interval(sum.lo / area, sum.hi / area);
+}
+
+Interval GridSynopsis::MaxBounds(int64_t r0, int64_t r1, int64_t c0,
+                                 int64_t c1) const {
+  DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
+  DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(r0, r1, c0, c1);
+  const int64_t cs = level.cell_size;
+
+  double upper = -std::numeric_limits<double>::infinity();
+  double witness = -std::numeric_limits<double>::infinity();
+  double overlap_floor = -std::numeric_limits<double>::infinity();
+  bool have_contained = false;
+  for (int64_t i = r0 / cs; i <= (r1 - 1) / cs; ++i) {
+    for (int64_t j = c0 / cs; j <= (c1 - 1) / cs; ++j) {
+      const SynopsisCell& cell = level.cell(i, j);
+      upper = std::max(upper, cell.max);
+      overlap_floor = std::max(overlap_floor, cell.min);
+      const int64_t rr1 = std::min(rows_, (i + 1) * cs);
+      const int64_t cc1 = std::min(cols_, (j + 1) * cs);
+      if (r0 <= i * cs && rr1 <= r1 && c0 <= j * cs && cc1 <= c1) {
+        have_contained = true;
+        witness = std::max(witness, cell.max);
+      }
+    }
+  }
+  const double lower =
+      have_contained ? std::max(witness, overlap_floor) : overlap_floor;
+  return Interval(lower, upper);
+}
+
+Interval GridSynopsis::MinBounds(int64_t r0, int64_t r1, int64_t c0,
+                                 int64_t c1) const {
+  DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
+  DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(r0, r1, c0, c1);
+  const int64_t cs = level.cell_size;
+
+  double lower = std::numeric_limits<double>::infinity();
+  double witness = std::numeric_limits<double>::infinity();
+  double overlap_ceil = std::numeric_limits<double>::infinity();
+  bool have_contained = false;
+  for (int64_t i = r0 / cs; i <= (r1 - 1) / cs; ++i) {
+    for (int64_t j = c0 / cs; j <= (c1 - 1) / cs; ++j) {
+      const SynopsisCell& cell = level.cell(i, j);
+      lower = std::min(lower, cell.min);
+      overlap_ceil = std::min(overlap_ceil, cell.max);
+      const int64_t rr1 = std::min(rows_, (i + 1) * cs);
+      const int64_t cc1 = std::min(cols_, (j + 1) * cs);
+      if (r0 <= i * cs && rr1 <= r1 && c0 <= j * cs && cc1 <= c1) {
+        have_contained = true;
+        witness = std::min(witness, cell.min);
+      }
+    }
+  }
+  const double upper =
+      have_contained ? std::min(witness, overlap_ceil) : overlap_ceil;
+  return Interval(lower, upper);
+}
+
+int64_t GridSynopsis::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Level& level : levels_) {
+    bytes += static_cast<int64_t>(level.cells.size() *
+                                  sizeof(SynopsisCell));
+    bytes +=
+        static_cast<int64_t>(level.prefix_sum.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace dqr::synopsis

@@ -1,0 +1,93 @@
+#ifndef DQR_SYNOPSIS_GRID_SYNOPSIS_H_
+#define DQR_SYNOPSIS_GRID_SYNOPSIS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/grid.h"
+#include "common/interval.h"
+#include "common/status.h"
+#include "synopsis/synopsis.h"
+
+namespace dqr::synopsis {
+
+// Construction parameters for a two-dimensional multi-resolution
+// synopsis: square cells, coarsest level first.
+struct GridSynopsisOptions {
+  std::vector<int64_t> cell_sizes = {512, 64, 16};
+  // Budget on cells scanned per query; level selection picks the finest
+  // level that stays within it.
+  int64_t max_cells_per_query = 256;
+};
+
+// The 2-D counterpart of Synopsis: per-level grids of {min, max, sum}
+// cells over an array::Grid, answering *sound* interval bounds for
+// aggregates over arbitrary rectangles. Rectangles are half-open:
+// rows [r0, r1) x cols [c0, c1).
+class GridSynopsis {
+ public:
+  static Result<std::shared_ptr<GridSynopsis>> Build(
+      const array::Grid& grid, GridSynopsisOptions options);
+
+  GridSynopsis(const GridSynopsis&) = delete;
+  GridSynopsis& operator=(const GridSynopsis&) = delete;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  // Bounds on individual cell values within the rectangle.
+  Interval ValueBounds(int64_t r0, int64_t r1, int64_t c0,
+                       int64_t c1) const;
+
+  // Bounds on the sum over exactly the rectangle; fully covered synopsis
+  // cells contribute exact sums, partially covered ones their overlap
+  // area times [cell.min, cell.max].
+  Interval SumBounds(int64_t r0, int64_t r1, int64_t c0, int64_t c1) const;
+
+  Interval AvgBounds(int64_t r0, int64_t r1, int64_t c0, int64_t c1) const;
+
+  // Bounds on the max over exactly the rectangle; fully contained cells
+  // witness their max from below.
+  Interval MaxBounds(int64_t r0, int64_t r1, int64_t c0, int64_t c1) const;
+
+  Interval MinBounds(int64_t r0, int64_t r1, int64_t c0, int64_t c1) const;
+
+  Interval global_value_range() const { return global_range_; }
+  int64_t MemoryBytes() const;
+  int64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Level {
+    int64_t cell_size = 0;
+    int64_t cell_rows = 0;
+    int64_t cell_cols = 0;
+    std::vector<SynopsisCell> cells;  // row-major
+    // prefix[(i) * (cell_cols + 1) + j] = sum of cells in [0,i) x [0,j).
+    std::vector<double> prefix_sum;
+
+    const SynopsisCell& cell(int64_t i, int64_t j) const {
+      return cells[static_cast<size_t>(i * cell_cols + j)];
+    }
+    double BlockSum(int64_t i0, int64_t i1, int64_t j0, int64_t j1) const;
+  };
+
+  GridSynopsis() = default;
+
+  const Level& PickLevel(int64_t r0, int64_t r1, int64_t c0,
+                         int64_t c1) const;
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t max_cells_per_query_ = 256;
+  Interval global_range_ = Interval::Empty();
+  std::vector<Level> levels_;
+  mutable std::atomic<int64_t> queries_{0};
+};
+
+}  // namespace dqr::synopsis
+
+#endif  // DQR_SYNOPSIS_GRID_SYNOPSIS_H_

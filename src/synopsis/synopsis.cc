@@ -1,0 +1,214 @@
+#include "synopsis/synopsis.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dqr::synopsis {
+
+Result<std::shared_ptr<Synopsis>> Synopsis::Build(const array::Array& array,
+                                                  SynopsisOptions options) {
+  if (options.cell_sizes.empty()) {
+    return InvalidArgumentError("synopsis needs at least one level");
+  }
+  for (size_t i = 0; i < options.cell_sizes.size(); ++i) {
+    if (options.cell_sizes[i] <= 0) {
+      return InvalidArgumentError("cell sizes must be positive");
+    }
+    if (i > 0 && options.cell_sizes[i] >= options.cell_sizes[i - 1]) {
+      return InvalidArgumentError("cell sizes must be strictly decreasing");
+    }
+  }
+  if (array.length() == 0) {
+    return InvalidArgumentError("cannot summarize an empty array");
+  }
+  if (options.max_cells_per_query < 2) {
+    return InvalidArgumentError("max_cells_per_query must be at least 2");
+  }
+
+  auto syn = std::shared_ptr<Synopsis>(new Synopsis());
+  syn->length_ = array.length();
+  syn->max_cells_per_query_ = options.max_cells_per_query;
+
+  for (const int64_t cell_size : options.cell_sizes) {
+    Level level;
+    level.cell_size = cell_size;
+    const int64_t num_cells = (array.length() + cell_size - 1) / cell_size;
+    level.cells.reserve(static_cast<size_t>(num_cells));
+    level.prefix_sum.reserve(static_cast<size_t>(num_cells) + 1);
+    level.prefix_sum.push_back(0.0);
+    for (int64_t c = 0; c < num_cells; ++c) {
+      const int64_t lo = c * cell_size;
+      const int64_t hi = std::min(array.length(), lo + cell_size);
+      const array::WindowAggregates agg = array.AggregateWindow(lo, hi);
+      level.cells.push_back({agg.min, agg.max, agg.sum});
+      level.prefix_sum.push_back(level.prefix_sum.back() + agg.sum);
+    }
+    syn->levels_.push_back(std::move(level));
+  }
+
+  Interval range = Interval::Empty();
+  for (const SynopsisCell& cell : syn->levels_.front().cells) {
+    range = range.Union(Interval(cell.min, cell.max));
+  }
+  syn->global_range_ = range;
+  return syn;
+}
+
+const Synopsis::Level& Synopsis::PickLevel(int64_t lo, int64_t hi) const {
+  const int64_t span = hi - lo;
+  // Levels are coarsest-first; walk toward finer levels while the cell
+  // count stays within budget.
+  const Level* chosen = &levels_.front();
+  for (const Level& level : levels_) {
+    const int64_t cells = span / level.cell_size + 2;
+    if (cells <= max_cells_per_query_) chosen = &level;
+  }
+  return *chosen;
+}
+
+Interval Synopsis::ValueBounds(int64_t lo, int64_t hi) const {
+  DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(lo, hi);
+  const int64_t first = lo / level.cell_size;
+  const int64_t last = (hi - 1) / level.cell_size;
+  Interval out = Interval::Empty();
+  for (int64_t c = first; c <= last; ++c) {
+    const SynopsisCell& cell = level.cells[static_cast<size_t>(c)];
+    out = out.Union(Interval(cell.min, cell.max));
+  }
+  return out;
+}
+
+Interval Synopsis::SumBounds(int64_t lo, int64_t hi) const {
+  DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(lo, hi);
+  const int64_t cs = level.cell_size;
+  const int64_t first = lo / cs;
+  const int64_t last = (hi - 1) / cs;
+
+  if (first == last) {
+    const SynopsisCell& cell = level.cells[static_cast<size_t>(first)];
+    const double overlap = static_cast<double>(hi - lo);
+    return Interval(overlap * cell.min, overlap * cell.max);
+  }
+
+  double sum_lo = 0.0;
+  double sum_hi = 0.0;
+  // Leading partial cell.
+  {
+    const SynopsisCell& cell = level.cells[static_cast<size_t>(first)];
+    const int64_t cell_hi = (first + 1) * cs;
+    const int64_t overlap = cell_hi - lo;
+    if (overlap == cs) {
+      sum_lo += cell.sum;
+      sum_hi += cell.sum;
+    } else {
+      sum_lo += static_cast<double>(overlap) * cell.min;
+      sum_hi += static_cast<double>(overlap) * cell.max;
+    }
+  }
+  // Fully covered middle cells: exact via prefix sums.
+  if (last - first >= 2) {
+    const double mid = level.prefix_sum[static_cast<size_t>(last)] -
+                       level.prefix_sum[static_cast<size_t>(first + 1)];
+    sum_lo += mid;
+    sum_hi += mid;
+  }
+  // Trailing partial cell.
+  {
+    const SynopsisCell& cell = level.cells[static_cast<size_t>(last)];
+    const int64_t cell_lo = last * cs;
+    const int64_t cell_end =
+        std::min(length_, cell_lo + cs);
+    const int64_t overlap = hi - cell_lo;
+    if (overlap == cell_end - cell_lo) {
+      sum_lo += cell.sum;
+      sum_hi += cell.sum;
+    } else {
+      sum_lo += static_cast<double>(overlap) * cell.min;
+      sum_hi += static_cast<double>(overlap) * cell.max;
+    }
+  }
+  return Interval(sum_lo, sum_hi);
+}
+
+Interval Synopsis::AvgBounds(int64_t lo, int64_t hi) const {
+  const Interval sum = SumBounds(lo, hi);
+  const double len = static_cast<double>(hi - lo);
+  return Interval(sum.lo / len, sum.hi / len);
+}
+
+Interval Synopsis::MaxBounds(int64_t lo, int64_t hi) const {
+  DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(lo, hi);
+  const int64_t cs = level.cell_size;
+  const int64_t first = lo / cs;
+  const int64_t last = (hi - 1) / cs;
+
+  double upper = -std::numeric_limits<double>::infinity();
+  double contained_witness = -std::numeric_limits<double>::infinity();
+  double overlap_floor = -std::numeric_limits<double>::infinity();
+  bool have_contained = false;
+  for (int64_t c = first; c <= last; ++c) {
+    const SynopsisCell& cell = level.cells[static_cast<size_t>(c)];
+    upper = std::max(upper, cell.max);
+    overlap_floor = std::max(overlap_floor, cell.min);
+    const int64_t cell_lo = c * cs;
+    const int64_t cell_hi = std::min(length_, cell_lo + cs);
+    if (lo <= cell_lo && cell_hi <= hi) {
+      have_contained = true;
+      // The cell's maximum is attained inside the window, so it is a true
+      // witness: max(window) >= cell.max.
+      contained_witness = std::max(contained_witness, cell.max);
+    }
+  }
+  const double lower = have_contained
+                           ? std::max(contained_witness, overlap_floor)
+                           : overlap_floor;
+  return Interval(lower, upper);
+}
+
+Interval Synopsis::MinBounds(int64_t lo, int64_t hi) const {
+  DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Level& level = PickLevel(lo, hi);
+  const int64_t cs = level.cell_size;
+  const int64_t first = lo / cs;
+  const int64_t last = (hi - 1) / cs;
+
+  double lower = std::numeric_limits<double>::infinity();
+  double contained_witness = std::numeric_limits<double>::infinity();
+  double overlap_ceil = std::numeric_limits<double>::infinity();
+  bool have_contained = false;
+  for (int64_t c = first; c <= last; ++c) {
+    const SynopsisCell& cell = level.cells[static_cast<size_t>(c)];
+    lower = std::min(lower, cell.min);
+    overlap_ceil = std::min(overlap_ceil, cell.max);
+    const int64_t cell_lo = c * cs;
+    const int64_t cell_hi = std::min(length_, cell_lo + cs);
+    if (lo <= cell_lo && cell_hi <= hi) {
+      have_contained = true;
+      contained_witness = std::min(contained_witness, cell.min);
+    }
+  }
+  const double upper = have_contained
+                           ? std::min(contained_witness, overlap_ceil)
+                           : overlap_ceil;
+  return Interval(lower, upper);
+}
+
+int64_t Synopsis::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Level& level : levels_) {
+    bytes += static_cast<int64_t>(level.cells.size() * sizeof(SynopsisCell));
+    bytes += static_cast<int64_t>(level.prefix_sum.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace dqr::synopsis

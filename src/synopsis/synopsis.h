@@ -1,0 +1,113 @@
+#ifndef DQR_SYNOPSIS_SYNOPSIS_H_
+#define DQR_SYNOPSIS_SYNOPSIS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/array.h"
+#include "common/interval.h"
+#include "common/status.h"
+
+namespace dqr::synopsis {
+
+// Construction parameters for a multi-resolution synopsis.
+struct SynopsisOptions {
+  // Cell sizes per level, coarsest first. Each level covers the whole
+  // array; queries pick the finest level that keeps the scanned cell count
+  // within `max_cells_per_query`, so estimates tighten as search domains
+  // shrink toward leaves — the behaviour §3 of the paper relies on
+  // ("estimations tend to become better closer to leaves").
+  std::vector<int64_t> cell_sizes = {65536, 8192, 1024, 128};
+  int64_t max_cells_per_query = 64;
+};
+
+// Aggregate summary of one synopsis cell.
+struct SynopsisCell {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+// A lossy, in-memory, multi-resolution aggregate summary of an Array — the
+// structure the Searchlight Solver searches instead of the base data. All
+// bound queries are *sound*: the returned Interval is guaranteed to contain
+// the exact value of the corresponding aggregate over the base array, so
+// pruning on disjointness never loses a valid result, while leaves may
+// still be false positives that the Validator filters.
+//
+// Thread-compatible for reads after Build(); the query counter is atomic.
+class Synopsis {
+ public:
+  // Scans `array` once per level and builds the cell grids. The array must
+  // outlive nothing here: the synopsis copies what it needs and holds no
+  // reference. Resets no stats on `array`; callers typically call
+  // array.ResetAccessStats() afterwards since synopsis construction is an
+  // offline step in the modelled system.
+  static Result<std::shared_ptr<Synopsis>> Build(const array::Array& array,
+                                                 SynopsisOptions options);
+
+  Synopsis(const Synopsis&) = delete;
+  Synopsis& operator=(const Synopsis&) = delete;
+
+  int64_t array_length() const { return length_; }
+
+  // Bounds on the individual cell values within [lo, hi). Sound for any
+  // aggregate of values in that span (e.g. an avg/max over *any* window
+  // contained in the span).
+  Interval ValueBounds(int64_t lo, int64_t hi) const;
+
+  // Bounds on sum over exactly the window [lo, hi): full cells contribute
+  // their exact sums; partially overlapped cells contribute
+  // [overlap * cell.min, overlap * cell.max].
+  Interval SumBounds(int64_t lo, int64_t hi) const;
+
+  // SumBounds divided by the window length.
+  Interval AvgBounds(int64_t lo, int64_t hi) const;
+
+  // Bounds on max over exactly [lo, hi). Lower bound: the largest cell max
+  // among fully contained cells (the witness lies inside the window), or
+  // the largest cell min among overlapped cells if none is contained.
+  Interval MaxBounds(int64_t lo, int64_t hi) const;
+
+  // Bounds on min over exactly [lo, hi); mirror image of MaxBounds.
+  Interval MinBounds(int64_t lo, int64_t hi) const;
+
+  // Global [min, max] of the array; the default normalization range for
+  // relaxation distances when a constraint declares no explicit range.
+  Interval global_value_range() const { return global_range_; }
+
+  // Rough memory footprint of the cell grids, for stats.
+  int64_t MemoryBytes() const;
+
+  // Number of interval queries served since construction/reset.
+  int64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  void ResetQueryCount() { queries_.store(0, std::memory_order_relaxed); }
+
+ private:
+  struct Level {
+    int64_t cell_size = 0;
+    std::vector<SynopsisCell> cells;
+    // prefix_sum[i] = sum of cells [0, i); enables O(1) full-cell sums.
+    std::vector<double> prefix_sum;
+  };
+
+  Synopsis() = default;
+
+  // Finest level whose overlapped-cell count for [lo, hi) stays within the
+  // per-query budget; falls back to the coarsest level.
+  const Level& PickLevel(int64_t lo, int64_t hi) const;
+
+  int64_t length_ = 0;
+  int64_t max_cells_per_query_ = 64;
+  Interval global_range_ = Interval::Empty();
+  std::vector<Level> levels_;  // coarsest first
+  mutable std::atomic<int64_t> queries_{0};
+};
+
+}  // namespace dqr::synopsis
+
+#endif  // DQR_SYNOPSIS_SYNOPSIS_H_

@@ -1,0 +1,116 @@
+#include "array/io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dqr::array {
+namespace {
+
+std::string TempPath(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir != nullptr ? dir : "/tmp";
+  path += "/dqr_array_io_test_";
+  path += tag;
+  path += ".bin";
+  return path;
+}
+
+std::shared_ptr<Array> RandomArray(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(n));
+  for (double& v : data) v = rng.Uniform(-1000, 1000);
+  ArraySchema schema;
+  schema.name = "io_test";
+  schema.attribute = "value";
+  schema.length = n;
+  schema.chunk_size = 37;  // deliberately odd chunking
+  return Array::FromData(schema, std::move(data)).value();
+}
+
+TEST(ArrayIoTest, RoundTripPreservesEverything) {
+  const std::string path = TempPath("roundtrip");
+  auto original = RandomArray(1001, 5);
+  ASSERT_TRUE(SaveArray(*original, path).ok());
+
+  auto loaded_result = LoadArray(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  auto loaded = loaded_result.value();
+
+  EXPECT_EQ(loaded->schema().name, "io_test");
+  EXPECT_EQ(loaded->schema().attribute, "value");
+  EXPECT_EQ(loaded->schema().chunk_size, 37);
+  ASSERT_EQ(loaded->length(), original->length());
+  const auto a = original->Dump();
+  const auto b = loaded->Dump();
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(ArrayIoTest, EmptyArrayRoundTrips) {
+  const std::string path = TempPath("empty");
+  ArraySchema schema;
+  schema.name = "empty";
+  schema.length = 0;
+  schema.chunk_size = 8;
+  auto original = Array::FromData(schema, {}).value();
+  ASSERT_TRUE(SaveArray(*original, path).ok());
+  auto loaded = LoadArray(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->length(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(ArrayIoTest, MissingFileReported) {
+  const auto result = LoadArray("/nonexistent/dir/nothing.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArrayIoTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not an array", f);
+  std::fclose(f);
+  const auto result = LoadArray(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ArrayIoTest, TruncatedDataRejected) {
+  const std::string path = TempPath("truncated");
+  auto original = RandomArray(256, 9);
+  ASSERT_TRUE(SaveArray(*original, path).ok());
+  // Chop off the tail of the data section.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 64), 0);
+  const auto result = LoadArray(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ArrayDumpTest, MatchesAt) {
+  auto arr = RandomArray(100, 11);
+  const auto data = arr->Dump();
+  arr->ResetAccessStats();
+  ASSERT_EQ(data.size(), 100u);
+  for (int64_t i = 0; i < 100; i += 7) {
+    EXPECT_DOUBLE_EQ(data[static_cast<size_t>(i)], arr->At(i));
+  }
+  // Dump itself charged nothing.
+  EXPECT_EQ(arr->GetAccessStats().cells_read, 100 / 7 + 1);
+}
+
+}  // namespace
+}  // namespace dqr::array

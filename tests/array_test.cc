@@ -1,0 +1,115 @@
+#include "array/array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqr::array {
+namespace {
+
+std::shared_ptr<Array> MakeArray(std::vector<double> data,
+                                 int64_t chunk_size = 8) {
+  ArraySchema schema;
+  schema.name = "test";
+  schema.length = static_cast<int64_t>(data.size());
+  schema.chunk_size = chunk_size;
+  auto result = Array::FromData(std::move(schema), std::move(data));
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(ArrayTest, FromDataRejectsBadInputs) {
+  ArraySchema schema;
+  schema.length = 3;
+  schema.chunk_size = 0;
+  EXPECT_FALSE(Array::FromData(schema, {1, 2, 3}).ok());
+
+  schema.chunk_size = 4;
+  EXPECT_FALSE(Array::FromData(schema, {1, 2}).ok());  // size mismatch
+
+  schema.length = -1;
+  EXPECT_FALSE(Array::FromData(schema, {}).ok());
+}
+
+TEST(ArrayTest, AtReadsAcrossChunks) {
+  std::vector<double> data(20);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  auto arr = MakeArray(data, /*chunk_size=*/8);
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(arr->At(i), static_cast<double>(i));
+  }
+}
+
+TEST(ArrayTest, AggregateWindowMatchesNaive) {
+  Rng rng(77);
+  std::vector<double> data(257);
+  for (double& v : data) v = rng.Uniform(-10, 10);
+  auto arr = MakeArray(data, /*chunk_size=*/16);
+
+  for (int iter = 0; iter < 300; ++iter) {
+    const int64_t lo = rng.UniformInt(0, 255);
+    const int64_t hi = rng.UniformInt(lo + 1, 257);
+    const WindowAggregates agg = arr->AggregateWindow(lo, hi);
+
+    double mn = data[static_cast<size_t>(lo)];
+    double mx = mn;
+    double sum = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      mn = std::min(mn, data[static_cast<size_t>(i)]);
+      mx = std::max(mx, data[static_cast<size_t>(i)]);
+      sum += data[static_cast<size_t>(i)];
+    }
+    EXPECT_DOUBLE_EQ(agg.min, mn);
+    EXPECT_DOUBLE_EQ(agg.max, mx);
+    EXPECT_NEAR(agg.sum, sum, 1e-9);
+    EXPECT_EQ(agg.count, hi - lo);
+    EXPECT_NEAR(agg.avg(), sum / static_cast<double>(hi - lo), 1e-9);
+  }
+}
+
+TEST(ArrayTest, SingleElementWindow) {
+  auto arr = MakeArray({5.0, -1.0, 2.0});
+  const WindowAggregates agg = arr->AggregateWindow(1, 2);
+  EXPECT_DOUBLE_EQ(agg.min, -1.0);
+  EXPECT_DOUBLE_EQ(agg.max, -1.0);
+  EXPECT_DOUBLE_EQ(agg.sum, -1.0);
+  EXPECT_EQ(agg.count, 1);
+}
+
+TEST(ArrayTest, AccessStatsAccumulateAndReset) {
+  auto arr = MakeArray(std::vector<double>(64, 1.0), /*chunk_size=*/8);
+  arr->ResetAccessStats();
+  (void)arr->At(0);
+  (void)arr->AggregateWindow(0, 24);  // touches chunks 0, 1, 2
+  const AccessStats stats = arr->GetAccessStats();
+  EXPECT_EQ(stats.chunks_touched, 1 + 3);
+  EXPECT_EQ(stats.cells_read, 1 + 24);
+  arr->ResetAccessStats();
+  const AccessStats zero = arr->GetAccessStats();
+  EXPECT_EQ(zero.chunks_touched, 0);
+  EXPECT_EQ(zero.cells_read, 0);
+}
+
+TEST(ArrayTest, ChunkAccessCostSlowsReads) {
+  auto arr = MakeArray(std::vector<double>(16, 1.0), /*chunk_size=*/4);
+  arr->set_chunk_access_cost_ns(200000);  // 0.2 ms per chunk
+  const auto start = std::chrono::steady_clock::now();
+  (void)arr->AggregateWindow(0, 16);  // 4 chunks -> >= 0.8 ms
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GE(ms, 0.7);
+}
+
+TEST(ArrayDeathTest, OutOfRangeAccessAborts) {
+  auto arr = MakeArray({1.0, 2.0});
+  EXPECT_DEATH((void)arr->At(2), "DQR_CHECK");
+  EXPECT_DEATH((void)arr->AggregateWindow(1, 1), "DQR_CHECK");
+}
+
+}  // namespace
+}  // namespace dqr::array

@@ -1,0 +1,96 @@
+#include "core/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::TestQueryParams;
+
+TEST(ConstraintBundleTest, BuildsOneConstraintPerQueryEntry) {
+  const auto data = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(data, TestQueryParams{});
+  ConstraintBundle bundle(query);
+  EXPECT_EQ(bundle.size(), 3);
+  EXPECT_EQ(bundle.pointers().size(), 3u);
+  EXPECT_EQ(bundle.at(0).original_bounds(),
+            query.constraints[0].bounds);
+}
+
+TEST(ConstraintBundleTest, EvaluateAllMatchesFunctionEvaluation) {
+  const auto data = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(data, TestQueryParams{});
+  ConstraintBundle bundle(query);
+  const std::vector<int64_t> point = {100, 6};
+  const std::vector<double> values = bundle.EvaluateAll(point);
+  ASSERT_EQ(values.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    auto fn = query.constraints[c].make_function();
+    EXPECT_DOUBLE_EQ(values[c], fn->Evaluate(point));
+  }
+}
+
+TEST(ConstraintBundleTest, CompleteEstimatesFillsLazyGaps) {
+  const auto data = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(data, TestQueryParams{});
+  ConstraintBundle bundle(query);
+
+  FailRecord fail;
+  fail.box = {cp::IntDomain(50, 90), cp::IntDomain(4, 8)};
+  fail.estimates.assign(3, Interval::Empty());
+  fail.evaluated.assign(3, 0);
+  fail.estimates[0] = bundle.at(0).function().Estimate(fail.box);
+  fail.evaluated[0] = 1;
+
+  bundle.CompleteEstimates(&fail);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE(fail.evaluated[c]);
+    EXPECT_FALSE(fail.estimates[c].empty());
+  }
+  // Completed estimates match direct evaluation.
+  EXPECT_EQ(fail.estimates[1],
+            bundle.at(1).function().Estimate(fail.box));
+}
+
+TEST(ConstraintBundleTest, EffectiveBoundsResetAcrossReplays) {
+  const auto data = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(data, TestQueryParams{});
+  ConstraintBundle bundle(query);
+
+  bundle.at(0).SetEffectiveBounds(Interval(100, 250));
+  EXPECT_TRUE(bundle.at(0).IsRelaxed());
+  bundle.ResetEffectiveBounds();
+  EXPECT_FALSE(bundle.at(0).IsRelaxed());
+}
+
+TEST(ConstraintBundleTest, StateSaveRestoreRoundTripsThroughRecords) {
+  const auto data = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(data, TestQueryParams{});
+  ConstraintBundle bundle(query);
+
+  const cp::DomainBox box = {cp::IntDomain(50, 90), cp::IntDomain(4, 8)};
+  for (int c = 0; c < bundle.size(); ++c) {
+    (void)bundle.at(c).function().Estimate(box);
+  }
+  FailRecord fail;
+  fail.box = box;
+  fail.states = bundle.SaveStates(box);
+  EXPECT_EQ(fail.states.size(), 3u);
+
+  bundle.ClearStates();
+  bundle.RestoreStates(fail);  // must not crash; estimates still correct
+  const Interval estimate = bundle.at(0).function().Estimate(box);
+  EXPECT_FALSE(estimate.empty());
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,138 @@
+#include "searchlight/candidate_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dqr::searchlight {
+namespace {
+
+Candidate Cand(int64_t x, double priority) {
+  Candidate c;
+  c.point = {x};
+  c.priority = priority;
+  return c;
+}
+
+TEST(CandidateQueueTest, FifoPreservesArrivalOrder) {
+  CandidateQueue q(CandidateQueue::Order::kFifo, 16);
+  q.Push(Cand(1, 9.0));
+  q.Push(Cand(2, 1.0));
+  q.Push(Cand(3, 5.0));
+  EXPECT_EQ(q.Pop()->point[0], 1);
+  q.FinishedCurrent();
+  EXPECT_EQ(q.Pop()->point[0], 2);
+  q.FinishedCurrent();
+  EXPECT_EQ(q.Pop()->point[0], 3);
+  q.FinishedCurrent();
+}
+
+TEST(CandidateQueueTest, PriorityPopsLowestFirst) {
+  CandidateQueue q(CandidateQueue::Order::kPriority, 16);
+  q.Push(Cand(1, 0.9));
+  q.Push(Cand(2, 0.1));
+  q.Push(Cand(3, 0.5));
+  EXPECT_EQ(q.Pop()->point[0], 2);
+  q.FinishedCurrent();
+  EXPECT_EQ(q.Pop()->point[0], 3);
+  q.FinishedCurrent();
+  EXPECT_EQ(q.Pop()->point[0], 1);
+  q.FinishedCurrent();
+}
+
+TEST(CandidateQueueTest, CloseReleasesConsumer) {
+  CandidateQueue q(CandidateQueue::Order::kFifo, 4);
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.Pop().has_value());
+  });
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(Cand(1, 0)));
+}
+
+TEST(CandidateQueueTest, PendingCandidatesSurviveClose) {
+  CandidateQueue q(CandidateQueue::Order::kFifo, 4);
+  q.Push(Cand(7, 0));
+  q.Close();
+  auto c = q.Pop();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->point[0], 7);
+  q.FinishedCurrent();
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(CandidateQueueTest, BackpressureBlocksProducerUntilPop) {
+  CandidateQueue q(CandidateQueue::Order::kFifo, 1);
+  q.Push(Cand(1, 0));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.Push(Cand(2, 0));
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  q.Pop();
+  q.FinishedCurrent();
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(CandidateQueueTest, WaitDrainedWaitsForInFlightWork) {
+  CandidateQueue q(CandidateQueue::Order::kFifo, 4);
+  q.Push(Cand(1, 0));
+  std::atomic<bool> drained{false};
+
+  auto cand = q.Pop();  // queue empty, but one candidate in flight
+  ASSERT_TRUE(cand.has_value());
+
+  std::thread waiter([&] {
+    q.WaitDrained();
+    drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(drained.load());
+  q.FinishedCurrent();
+  waiter.join();
+  EXPECT_TRUE(drained.load());
+}
+
+TEST(CandidateQueueTest, PeakSizeTracksHighWater) {
+  CandidateQueue q(CandidateQueue::Order::kFifo, 8);
+  q.Push(Cand(1, 0));
+  q.Push(Cand(2, 0));
+  q.Push(Cand(3, 0));
+  q.Pop();
+  q.FinishedCurrent();
+  EXPECT_EQ(q.peak_size(), 3);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(CandidateQueueTest, ConcurrentProducersConsumersDeliverEverything) {
+  CandidateQueue q(CandidateQueue::Order::kPriority, 8);
+  constexpr int kPerProducer = 200;
+  std::atomic<int> consumed{0};
+
+  std::thread c1([&] {
+    while (q.Pop().has_value()) {
+      consumed.fetch_add(1);
+      q.FinishedCurrent();
+    }
+  });
+  std::thread p1([&] {
+    for (int i = 0; i < kPerProducer; ++i) q.Push(Cand(i, i * 0.001));
+  });
+  std::thread p2([&] {
+    for (int i = 0; i < kPerProducer; ++i) q.Push(Cand(i, -i * 0.001));
+  });
+  p1.join();
+  p2.join();
+  q.WaitDrained();
+  q.Close();
+  c1.join();
+  EXPECT_EQ(consumed.load(), 2 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace dqr::searchlight

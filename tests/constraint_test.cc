@@ -1,0 +1,70 @@
+#include "cp/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dqr::cp {
+namespace {
+
+using testutil::ExactFunction;
+
+std::unique_ptr<ExactFunction> SumFunction() {
+  return std::make_unique<ExactFunction>(
+      "sum", [](const std::vector<int64_t>& p) {
+        return static_cast<double>(p[0] + p[1]);
+      },
+      Interval(0, 100));
+}
+
+TEST(RangeConstraintTest, ClassifyAgainstBounds) {
+  RangeConstraint c(SumFunction(), Interval(5, 10));
+
+  // Box sums span [2, 4]: disjoint below -> violated.
+  CheckResult r = c.Check({IntDomain(1, 2), IntDomain(1, 2)});
+  EXPECT_EQ(r.status, CheckStatus::kViolated);
+  EXPECT_EQ(r.estimate, Interval(2, 4));
+
+  // Box sums span [6, 8]: inside -> satisfied.
+  r = c.Check({IntDomain(3, 4), IntDomain(3, 4)});
+  EXPECT_EQ(r.status, CheckStatus::kSatisfied);
+
+  // Box sums span [4, 12]: straddles -> unknown.
+  r = c.Check({IntDomain(2, 6), IntDomain(2, 6)});
+  EXPECT_EQ(r.status, CheckStatus::kUnknown);
+}
+
+TEST(RangeConstraintTest, EffectiveBoundsRelaxAndReset) {
+  RangeConstraint c(SumFunction(), Interval(5, 10));
+  EXPECT_FALSE(c.IsRelaxed());
+
+  c.SetEffectiveBounds(Interval(2, 10));
+  EXPECT_TRUE(c.IsRelaxed());
+  EXPECT_EQ(c.effective_bounds(), Interval(2, 10));
+  EXPECT_EQ(c.original_bounds(), Interval(5, 10));
+
+  // Previously violated box now passes under the relaxed bounds.
+  const CheckResult r = c.Check({IntDomain(1, 2), IntDomain(1, 2)});
+  EXPECT_NE(r.status, CheckStatus::kViolated);
+
+  c.ResetEffectiveBounds();
+  EXPECT_FALSE(c.IsRelaxed());
+  EXPECT_EQ(c.effective_bounds(), Interval(5, 10));
+}
+
+TEST(RangeConstraintDeathTest, RelaxationMustWiden) {
+  RangeConstraint c(SumFunction(), Interval(5, 10));
+  EXPECT_DEATH(c.SetEffectiveBounds(Interval(6, 10)), "relaxed bounds");
+}
+
+TEST(RangeConstraintTest, HalfOpenBounds) {
+  RangeConstraint c(SumFunction(),
+                    Interval(5, std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(c.Check({IntDomain(10, 20), IntDomain(10, 20)}).status,
+            CheckStatus::kSatisfied);
+  EXPECT_EQ(c.Check({IntDomain(0, 1), IntDomain(0, 1)}).status,
+            CheckStatus::kViolated);
+}
+
+}  // namespace
+}  // namespace dqr::cp

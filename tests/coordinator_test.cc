@@ -1,0 +1,89 @@
+#include "core/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace dqr::core {
+namespace {
+
+RankModel SimpleRank() {
+  return RankModel({{Interval(0, 10), Interval(0, 10), -1.0, true, true}});
+}
+
+TEST(DelayedBroadcastTest, ImmediateModePublishesInstantly) {
+  DelayedBroadcast value(1.0, /*delay_us=*/0);
+  EXPECT_DOUBLE_EQ(value.Read(), 1.0);
+  value.Publish(0.5);
+  EXPECT_DOUBLE_EQ(value.Read(), 0.5);
+}
+
+TEST(DelayedBroadcastTest, DelayedModeHidesFreshUpdates) {
+  DelayedBroadcast value(1.0, /*delay_us=*/50000);  // 50 ms
+  value.Publish(0.5);
+  EXPECT_DOUBLE_EQ(value.Read(), 1.0);  // still in flight
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_DOUBLE_EQ(value.Read(), 0.5);  // delivered
+}
+
+TEST(DelayedBroadcastTest, UpdatesDeliverInOrder) {
+  DelayedBroadcast value(1.0, /*delay_us=*/10000);
+  value.Publish(0.7);
+  value.Publish(0.4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_DOUBLE_EQ(value.Read(), 0.4);  // latest wins after delay
+}
+
+TEST(CoordinatorTest, TracksFirstResultOnce) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(1, 5, ConstrainMode::kNone, &rank, 0);
+  EXPECT_LT(coordinator.first_result_s(), 0.0);
+  coordinator.NoteResult();
+  const double first = coordinator.first_result_s();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  coordinator.NoteResult();
+  EXPECT_DOUBLE_EQ(coordinator.first_result_s(), first);  // idempotent
+}
+
+TEST(CoordinatorTest, PublishProgressMirrorsTracker) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(1, 1, ConstrainMode::kNone, &rank, 0);
+  EXPECT_DOUBLE_EQ(coordinator.CurrentMrp(), 1.0);
+
+  Solution s;
+  s.point = {3};
+  s.values = {3.0};
+  s.rp = 0.4;
+  coordinator.tracker().Add(std::move(s));
+  coordinator.PublishProgress();
+  EXPECT_DOUBLE_EQ(coordinator.CurrentMrp(), 0.4);
+}
+
+TEST(CoordinatorTest, BarrierReleasesWhenAllArrive) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(3, 5, ConstrainMode::kNone, &rank, 0);
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      coordinator.ArriveMainSearchDone();
+      released.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(CoordinatorTest, CancellationFlag) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(1, 5, ConstrainMode::kNone, &rank, 0);
+  EXPECT_FALSE(coordinator.cancelled());
+  coordinator.Cancel();
+  EXPECT_TRUE(coordinator.cancelled());
+  EXPECT_TRUE(coordinator.cancel_flag().load());
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,180 @@
+// §3.3 customization: user-supplied penalty and ranking models replace
+// the built-in defaults and still enjoy the refinement guarantees (given
+// that they respect the documented contract).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::BruteForceAll;
+using testutil::ExactOnly;
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::Points;
+using testutil::TestQueryParams;
+
+// A Euclidean (p = 2) relaxation penalty instead of the built-in max-norm
+// + violation-count blend. MaxAllowedDistance returns infinity: replays
+// relax to the recorded [a', b'] with no MRP-driven tightening — the
+// paper's prescription for black-box custom penalties.
+class EuclideanPenalty : public PenaltyModel {
+ public:
+  EuclideanPenalty(std::vector<PenaltySpec> specs)
+      : PenaltyModel(std::move(specs), /*alpha=*/0.5) {}
+
+  double Penalty(const std::vector<double>& values) const override {
+    double sum = 0.0;
+    for (int c = 0; c < num_constraints(); ++c) {
+      if (!spec(c).relaxable) {
+        if (!spec(c).bounds.Contains(values[static_cast<size_t>(c)])) {
+          return kInfinitePenalty;
+        }
+        continue;
+      }
+      const double d =
+          RelaxDistance(c, values[static_cast<size_t>(c)]);
+      if (d > 1.0 + 1e-9) return kInfinitePenalty;
+      sum += d * d;
+    }
+    return std::sqrt(sum) / std::sqrt(static_cast<double>(
+                                 std::max(1, num_relaxable())));
+  }
+
+  double BestPenalty(const std::vector<Interval>& estimates,
+                     const std::vector<char>& known) const override {
+    double sum = 0.0;
+    for (int c = 0; c < num_constraints(); ++c) {
+      if (!known[static_cast<size_t>(c)]) continue;
+      const Interval& est = estimates[static_cast<size_t>(c)];
+      if (spec(c).bounds.Intersects(est)) continue;
+      const double t = est.hi < spec(c).bounds.lo ? est.hi : est.lo;
+      const double d = RelaxDistance(c, t);
+      if (!spec(c).relaxable || d > 1.0 + 1e-9) return kInfinitePenalty;
+      sum += d * d;
+    }
+    return std::sqrt(sum) / std::sqrt(static_cast<double>(
+                                 std::max(1, num_relaxable())));
+  }
+
+  double MaxAllowedDistance(double, double) const override {
+    return kInfinitePenalty;  // black box: no interval tightening
+  }
+};
+
+std::vector<PenaltySpec> SpecsFor(const searchlight::QuerySpec& query) {
+  std::vector<PenaltySpec> specs;
+  for (const searchlight::QueryConstraint& qc : query.constraints) {
+    specs.push_back(PenaltySpec{qc.bounds,
+                                qc.make_function()->value_range(),
+                                qc.relax_weight, qc.relaxable});
+  }
+  return specs;
+}
+
+TEST(CustomModelTest, CustomPenaltyDrivesRelaxation) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.contrast_min = 70.0;  // over-constrained
+  p.k = 5;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const EuclideanPenalty custom(SpecsFor(query));
+  RefineOptions options;
+  options.custom_penalty = &custom;
+
+  // Brute force under the *custom* penalty.
+  auto all = BruteForceAll(query);
+  for (Solution& s : all) s.rp = custom.Penalty(s.values);
+  all.erase(std::remove_if(all.begin(), all.end(),
+                           [](const Solution& s) {
+                             return std::isinf(s.rp);
+                           }),
+            all.end());
+  std::sort(all.begin(), all.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.rp != b.rp) return a.rp < b.rp;
+              return a.point < b.point;
+            });
+  ASSERT_GE(all.size(), 5u);
+
+  const auto run = ExecuteQuery(query, options).value();
+  ASSERT_EQ(run.results.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(run.results[i].point, all[i].point) << "rank " << i;
+    EXPECT_NEAR(run.results[i].rp, all[i].rp, 1e-9);
+  }
+}
+
+// A custom rank that scores by the first constraint only.
+class FirstConstraintRank : public RankModel {
+ public:
+  explicit FirstConstraintRank(std::vector<RankSpec> specs)
+      : RankModel(std::move(specs)) {}
+
+  double Rank(const std::vector<double>& values) const override {
+    return 1.0 - RankComponent(0, values[0]);
+  }
+  double BestRank(const std::vector<Interval>& estimates) const override {
+    // Best case: the preferred (upper) end of the first estimate.
+    return 1.0 - RankComponent(0, estimates[0].hi);
+  }
+};
+
+std::vector<RankSpec> RankSpecsFor(const searchlight::QuerySpec& query) {
+  std::vector<RankSpec> specs;
+  for (const searchlight::QueryConstraint& qc : query.constraints) {
+    specs.push_back(RankSpec{
+        qc.bounds, qc.make_function()->value_range(), qc.rank_weight,
+        qc.preference == searchlight::RankPreference::kMaximize,
+        qc.constrainable});
+  }
+  return specs;
+}
+
+TEST(CustomModelTest, CustomRankDrivesConstraining) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_bounds = Interval(105, 250);
+  p.contrast_min = 20.0;
+  p.k = 6;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const FirstConstraintRank custom(RankSpecsFor(query));
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  options.custom_rank = &custom;
+
+  auto exact = ExactOnly(BruteForceAll(query));
+  ASSERT_GT(exact.size(), 6u);
+  for (Solution& s : exact) s.rk = custom.Rank(s.values);
+  std::sort(exact.begin(), exact.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.rk != b.rk) return a.rk > b.rk;
+              return a.point < b.point;
+            });
+  exact.resize(6);
+
+  const auto run = ExecuteQuery(query, options).value();
+  EXPECT_EQ(Points(run.results), Points(exact));
+}
+
+TEST(CustomModelTest, MismatchedCustomModelRejected) {
+  const auto bundle = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(bundle, TestQueryParams{});
+  const EuclideanPenalty too_small(
+      {PenaltySpec{Interval(0, 1), Interval(0, 1), 1.0, true}});
+  RefineOptions options;
+  options.custom_penalty = &too_small;
+  EXPECT_FALSE(ExecuteQuery(query, options).ok());
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,60 @@
+#include "cp/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace dqr::cp {
+namespace {
+
+TEST(IntDomainTest, Basics) {
+  const IntDomain d(2, 5);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_FALSE(d.IsBound());
+  EXPECT_TRUE(d.Contains(2));
+  EXPECT_TRUE(d.Contains(5));
+  EXPECT_FALSE(d.Contains(6));
+
+  const IntDomain bound(3, 3);
+  EXPECT_TRUE(bound.IsBound());
+  EXPECT_EQ(bound.value(), 3);
+
+  const IntDomain empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.ToString(), "{}");
+  EXPECT_EQ(bound.ToString(), "{3}");
+  EXPECT_EQ(d.ToString(), "[2..5]");
+}
+
+TEST(IntDomainTest, Equality) {
+  EXPECT_EQ(IntDomain(1, 2), IntDomain(1, 2));
+  EXPECT_FALSE(IntDomain(1, 2) == IntDomain(1, 3));
+  EXPECT_EQ(IntDomain(5, 1), IntDomain(3, 2));  // all empties equal
+}
+
+TEST(DomainBoxTest, BoundAndPoint) {
+  DomainBox box = {IntDomain(1, 1), IntDomain(4, 4)};
+  EXPECT_TRUE(IsBound(box));
+  EXPECT_EQ(BoundPoint(box), (std::vector<int64_t>{1, 4}));
+
+  box[1] = IntDomain(4, 5);
+  EXPECT_FALSE(IsBound(box));
+}
+
+TEST(DomainBoxTest, Cardinality) {
+  EXPECT_EQ(BoxCardinality({IntDomain(0, 9), IntDomain(1, 4)}), 40);
+  EXPECT_EQ(BoxCardinality({IntDomain(0, 9), IntDomain()}), 0);
+  EXPECT_EQ(BoxCardinality({}), 1);
+  // Saturation: two huge domains overflow to INT64_MAX.
+  EXPECT_EQ(BoxCardinality({IntDomain(0, INT64_MAX / 2),
+                            IntDomain(0, INT64_MAX / 2)}),
+            INT64_MAX);
+}
+
+TEST(IntDomainDeathTest, ValueOnUnboundAborts) {
+  const IntDomain d(1, 2);
+  EXPECT_DEATH((void)d.value(), "DQR_CHECK");
+}
+
+}  // namespace
+}  // namespace dqr::cp

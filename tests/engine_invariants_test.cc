@@ -1,0 +1,127 @@
+// Cross-cutting engine invariants, checked over a sweep of random query
+// geometries: output ordering and bounds discipline, stats coherence,
+// and hard-limit enforcement. Complements the brute-force equivalence
+// suites with cheaper, broader checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/model_builders.h"
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::TestQueryParams;
+
+class EngineInvariantsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineInvariantsTest, OutputsRespectModelDiscipline) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto bundle = MakeSmallBundle(500, rng.NextUint64());
+    TestQueryParams p;
+    const double lo = rng.Uniform(100, 170);
+    p.avg_bounds = Interval(lo, lo + rng.Uniform(15, 80));
+    p.contrast_min = rng.Uniform(10, 80);
+    p.k = rng.UniformInt(1, 12);
+    const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+    RefineOptions options;
+    options.num_instances = static_cast<int>(rng.UniformInt(1, 4));
+    options.speculative = rng.Bernoulli(0.3);
+    const auto run_result = ExecuteQuery(query, options);
+    ASSERT_TRUE(run_result.ok());
+    const RunResult& run = run_result.value();
+    const PenaltyModel penalty =
+        BuildPenaltyModel(query, options.alpha).value();
+
+    EXPECT_LE(run.results.size(), static_cast<size_t>(p.k));
+    double last_rp = -1.0;
+    for (const Solution& s : run.results) {
+      // Recomputing the penalty from the values must agree.
+      EXPECT_NEAR(penalty.Penalty(s.values), s.rp, 1e-9);
+      // Hard limits: every returned value lies within the declared
+      // function ranges (the paper's "we will not relax beyond").
+      EXPECT_TRUE(std::isfinite(s.rp));
+      for (size_t c = 0; c < s.values.size(); ++c) {
+        const Interval& range = penalty.spec(static_cast<int>(c)).value_range;
+        EXPECT_GE(s.values[c], range.lo - 1e-9);
+        EXPECT_LE(s.values[c], range.hi + 1e-9);
+      }
+      // Relaxation output is ordered by penalty (phase never flips here
+      // unless >= k exact, in which case all rp are equal to 0 anyway).
+      EXPECT_GE(s.rp, last_rp - 1e-12);
+      last_rp = s.rp;
+      // Points lie within the declared domains.
+      for (size_t v = 0; v < s.point.size(); ++v) {
+        EXPECT_TRUE(query.domains[v].Contains(s.point[v]));
+      }
+    }
+
+    // Stats coherence.
+    const RunStats& st = run.stats;
+    EXPECT_GE(st.candidates, st.validated + st.dropped_precheck -
+                                 st.duplicates);
+    EXPECT_GE(st.validated, st.exact_results);
+    EXPECT_GE(st.fails_recorded, 0);
+    EXPECT_GE(st.main_search.nodes, st.main_search.fails);
+    EXPECT_TRUE(st.completed);
+    EXPECT_GE(st.total_s, 0.0);
+    if (!run.results.empty()) {
+      EXPECT_GE(st.first_result_s, 0.0);
+      EXPECT_LE(st.first_result_s, st.total_s + 1e-9);
+    }
+    EXPECT_EQ(run.per_instance.size(),
+              static_cast<size_t>(options.num_instances));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariantsTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(EngineInvariantsTest, ConstrainingOutputsSortedByRank) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_bounds = Interval(105, 250);
+  p.contrast_min = 20.0;
+  p.k = 6;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  const auto run = ExecuteQuery(query, options).value();
+  ASSERT_EQ(run.results.size(), 6u);
+  for (size_t i = 1; i < run.results.size(); ++i) {
+    EXPECT_GE(run.results[i - 1].rk, run.results[i].rk - 1e-12);
+    EXPECT_DOUBLE_EQ(run.results[i].rp, 0.0);
+  }
+}
+
+TEST(EngineInvariantsTest, SkylineOutputsAreMutuallyNonDominated) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_bounds = Interval(105, 250);
+  p.contrast_min = 20.0;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+  RefineOptions options;
+  options.constrain = ConstrainMode::kSkyline;
+  const auto run = ExecuteQuery(query, options).value();
+  const RankModel rank = BuildRankModel(query).value();
+  ASSERT_GT(run.results.size(), 1u);
+  for (const Solution& a : run.results) {
+    for (const Solution& b : run.results) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(Skyline::Dominates(rank.OrientForSkyline(a.values),
+                                      rank.OrientForSkyline(b.values)))
+          << a.ToString() << " dominates " << b.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqr::core

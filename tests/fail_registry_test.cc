@@ -1,0 +1,126 @@
+#include "core/fail_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dqr::core {
+namespace {
+
+FailRecord Rec(double brp, int64_t x = 0) {
+  FailRecord r;
+  r.box = {cp::IntDomain(x, x + 1)};
+  r.estimates = {Interval(0, 1)};
+  r.evaluated = {1};
+  r.violated = {0};
+  r.brp = brp;
+  return r;
+}
+
+TEST(FailRegistryTest, BestFirstPopsLowestBrp) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 100);
+  reg.Record(Rec(0.5), 1.0);
+  reg.Record(Rec(0.1), 1.0);
+  reg.Record(Rec(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(reg.Pop(1.0)->brp, 0.1);
+  EXPECT_DOUBLE_EQ(reg.Pop(1.0)->brp, 0.3);
+  EXPECT_DOUBLE_EQ(reg.Pop(1.0)->brp, 0.5);
+  EXPECT_FALSE(reg.Pop(1.0).has_value());
+}
+
+TEST(FailRegistryTest, TiesPopInRecordOrder) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 100);
+  reg.Record(Rec(0.5, 10), 1.0);
+  reg.Record(Rec(0.5, 20), 1.0);
+  reg.Record(Rec(0.5, 30), 1.0);
+  EXPECT_EQ(reg.Pop(1.0)->box[0].lo, 10);
+  EXPECT_EQ(reg.Pop(1.0)->box[0].lo, 20);
+  EXPECT_EQ(reg.Pop(1.0)->box[0].lo, 30);
+}
+
+TEST(FailRegistryTest, FifoPopsInEncounterOrder) {
+  FailRegistry reg(ReplayOrder::kFifo, 100);
+  reg.Record(Rec(0.5), 1.0);
+  reg.Record(Rec(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(reg.Pop(1.0)->brp, 0.5);
+  EXPECT_DOUBLE_EQ(reg.Pop(1.0)->brp, 0.1);
+}
+
+TEST(FailRegistryTest, DiscardsHopelessAtRecordTime) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 100);
+  reg.Record(Rec(0.9), /*mrp=*/0.5);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.discarded_at_record(), 1);
+  EXPECT_EQ(reg.recorded(), 0);
+}
+
+TEST(FailRegistryTest, DiscardsStaleAtPopTime) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 100);
+  reg.Record(Rec(0.4), 1.0);
+  reg.Record(Rec(0.8), 1.0);
+  // MRP shrank to 0.5 since: the 0.8 fail is now hopeless.
+  EXPECT_DOUBLE_EQ(reg.Pop(0.5)->brp, 0.4);
+  EXPECT_FALSE(reg.Pop(0.5).has_value());
+  EXPECT_EQ(reg.discarded_at_pop(), 1);
+}
+
+TEST(FailRegistryTest, EqualBrpSurvivesMrpChecks) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 100);
+  reg.Record(Rec(0.5), 0.5);  // equal: kept
+  EXPECT_TRUE(reg.Pop(0.5).has_value());
+}
+
+TEST(FailRegistryTest, CapacityDropsNewcomers) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 2);
+  reg.Record(Rec(0.1), 1.0);
+  reg.Record(Rec(0.2), 1.0);
+  reg.Record(Rec(0.3), 1.0);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.dropped_full(), 1);
+}
+
+TEST(FailRegistryTest, StatsAndClear) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 100);
+  reg.Record(Rec(0.1), 1.0);
+  reg.Record(Rec(0.2), 1.0);
+  EXPECT_EQ(reg.recorded(), 2);
+  EXPECT_EQ(reg.peak_size(), 2);
+  EXPECT_GT(reg.state_bytes(), 0);
+  EXPECT_GE(reg.peak_state_bytes(), reg.state_bytes());
+  reg.Clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.state_bytes(), 0);
+  EXPECT_EQ(reg.peak_size(), 2);  // peak persists
+}
+
+TEST(FailRegistryTest, MemoryBytesCountsComponents) {
+  FailRecord r = Rec(0.5);
+  const int64_t base = r.MemoryBytes();
+  EXPECT_GT(base, 0);
+  r.estimates.push_back(Interval(0, 1));
+  EXPECT_GT(r.MemoryBytes(), base);
+}
+
+TEST(FailRegistryTest, ConcurrentRecordAndPop) {
+  FailRegistry reg(ReplayOrder::kBestFirst, 1 << 20);
+  constexpr int kEach = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kEach; ++i) {
+      reg.Record(Rec(static_cast<double>(i % 97) / 100.0, i), 1.0);
+    }
+  });
+  int popped = 0;
+  std::thread consumer([&] {
+    // Keep popping until the producer is done and the registry drains.
+    while (popped < kEach) {
+      if (reg.Pop(1.0).has_value()) ++popped;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(popped, kEach);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dqr::core

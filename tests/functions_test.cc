@@ -1,0 +1,212 @@
+#include "searchlight/functions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "synopsis/synopsis.h"
+
+namespace dqr::searchlight {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<array::Array> array;
+  std::shared_ptr<synopsis::Synopsis> synopsis;
+  std::vector<double> data;
+
+  WindowFunctionContext Ctx() const {
+    WindowFunctionContext ctx;
+    ctx.array = array;
+    ctx.synopsis = synopsis;
+    ctx.x_var = 0;
+    ctx.len_var = 1;
+    return ctx;
+  }
+};
+
+Fixture MakeFixture(int64_t n, uint64_t seed) {
+  Fixture f;
+  Rng rng(seed);
+  f.data.resize(static_cast<size_t>(n));
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    f.data[i] = rng.Uniform(50, 250);
+    // Occasional plateaus exercise the max-witness logic.
+    if (rng.Bernoulli(0.05)) f.data[i] = 240.0;
+  }
+  array::ArraySchema schema;
+  schema.name = "fn_test";
+  schema.length = n;
+  schema.chunk_size = 32;
+  f.array = array::Array::FromData(schema, f.data).value();
+  f.synopsis =
+      synopsis::Synopsis::Build(*f.array,
+                                synopsis::SynopsisOptions{{64, 8}, 16})
+          .value();
+  return f;
+}
+
+double NaiveMax(const std::vector<double>& data, int64_t lo, int64_t hi) {
+  double mx = data[static_cast<size_t>(lo)];
+  for (int64_t i = lo; i < hi; ++i) {
+    mx = std::max(mx, data[static_cast<size_t>(i)]);
+  }
+  return mx;
+}
+
+double NaiveAvg(const std::vector<double>& data, int64_t lo, int64_t hi) {
+  double sum = 0.0;
+  for (int64_t i = lo; i < hi; ++i) sum += data[static_cast<size_t>(i)];
+  return sum / static_cast<double>(hi - lo);
+}
+
+TEST(FunctionsTest, EvaluateMatchesNaive) {
+  Fixture f = MakeFixture(300, 21);
+  AvgFunction avg(f.Ctx());
+  MaxFunction mx(f.Ctx());
+  MinFunction mn(f.Ctx());
+  NeighborhoodContrastFunction left(
+      f.Ctx(), NeighborhoodContrastFunction::Side::kLeft, 8);
+  NeighborhoodContrastFunction right(
+      f.Ctx(), NeighborhoodContrastFunction::Side::kRight, 8);
+
+  Rng rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t x = rng.UniformInt(0, 299);
+    const int64_t l = rng.UniformInt(1, 20);
+    const int64_t hi = std::min<int64_t>(300, x + l);
+    const std::vector<int64_t> point = {x, l};
+
+    EXPECT_NEAR(avg.Evaluate(point), NaiveAvg(f.data, x, hi), 1e-9);
+    EXPECT_DOUBLE_EQ(mx.Evaluate(point), NaiveMax(f.data, x, hi));
+
+    const double expected_left =
+        x == 0 ? 0.0
+               : std::abs(NaiveMax(f.data, x, hi) -
+                          NaiveMax(f.data, std::max<int64_t>(0, x - 8), x));
+    EXPECT_DOUBLE_EQ(left.Evaluate(point), expected_left);
+
+    const double expected_right =
+        hi >= 300
+            ? 0.0
+            : std::abs(NaiveMax(f.data, x, hi) -
+                       NaiveMax(f.data, hi, std::min<int64_t>(300, hi + 8)));
+    EXPECT_DOUBLE_EQ(right.Evaluate(point), expected_right);
+
+    (void)mn;
+  }
+}
+
+// The load-bearing property: for every box, the estimate contains the
+// exact value at every assignment in the box (including array edges).
+class FunctionSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FunctionSoundnessTest, EstimateContainsAllExactValues) {
+  Fixture f = MakeFixture(200, GetParam());
+  std::vector<std::unique_ptr<cp::ConstraintFunction>> fns;
+  fns.push_back(std::make_unique<AvgFunction>(f.Ctx()));
+  fns.push_back(std::make_unique<MaxFunction>(f.Ctx()));
+  fns.push_back(std::make_unique<MinFunction>(f.Ctx()));
+  fns.push_back(std::make_unique<NeighborhoodContrastFunction>(
+      f.Ctx(), NeighborhoodContrastFunction::Side::kLeft, 6));
+  fns.push_back(std::make_unique<NeighborhoodContrastFunction>(
+      f.Ctx(), NeighborhoodContrastFunction::Side::kRight, 6));
+
+  Rng rng(GetParam() ^ 0x9999);
+  for (int iter = 0; iter < 120; ++iter) {
+    const int64_t x_lo = rng.UniformInt(0, 198);
+    const int64_t x_hi = rng.UniformInt(x_lo, std::min<int64_t>(199, x_lo + 40));
+    const int64_t l_lo = rng.UniformInt(1, 10);
+    const int64_t l_hi = rng.UniformInt(l_lo, l_lo + 8);
+    const cp::DomainBox box = {cp::IntDomain(x_lo, x_hi),
+                               cp::IntDomain(l_lo, l_hi)};
+
+    for (auto& fn : fns) {
+      const Interval estimate = fn->Estimate(box);
+      ASSERT_FALSE(estimate.empty());
+      for (int64_t x = x_lo; x <= x_hi; ++x) {
+        for (int64_t l = l_lo; l <= l_hi; ++l) {
+          const double exact = fn->Evaluate({x, l});
+          EXPECT_TRUE(estimate.Contains(exact))
+              << fn->name() << " box=(" << x_lo << ".." << x_hi << ", "
+              << l_lo << ".." << l_hi << ") point=(" << x << "," << l
+              << ") exact=" << exact << " est=" << estimate.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FunctionSoundnessTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(FunctionsTest, BoundWindowEstimatesAreTighterThanRootEstimates) {
+  Fixture f = MakeFixture(256, 31);
+  MaxFunction mx(f.Ctx());
+  const Interval root =
+      mx.Estimate({cp::IntDomain(0, 200), cp::IntDomain(4, 16)});
+  const Interval leaf =
+      mx.Estimate({cp::IntDomain(100, 100), cp::IntDomain(8, 8)});
+  EXPECT_LE(root.lo, leaf.lo);
+  EXPECT_GE(root.hi, leaf.hi);
+  EXPECT_LT(leaf.width(), root.width());
+}
+
+TEST(FunctionsTest, StateSaveRestoreRoundTrip) {
+  Fixture f = MakeFixture(256, 41);
+  MaxFunction mx(f.Ctx());
+  const cp::DomainBox box = {cp::IntDomain(50, 80), cp::IntDomain(4, 8)};
+  const Interval before = mx.Estimate(box);
+
+  auto state = mx.SaveState(box);
+  ASSERT_NE(state, nullptr);
+  EXPECT_GT(state->SizeBytes(), 0);
+
+  mx.ClearState();
+  mx.RestoreState(*state);
+  const Interval after = mx.Estimate(box);
+  EXPECT_EQ(before, after);
+
+  // Cloned states are independent.
+  auto clone = state->Clone();
+  EXPECT_EQ(clone->SizeBytes(), state->SizeBytes());
+}
+
+TEST(FunctionsTest, SaveStateStaysSmallUnderHeavyUse) {
+  // Fail-time snapshots capture only the recently touched window bounds,
+  // so their size stays bounded no matter how much the search estimated —
+  // the paper reports ~80 bytes per saved aggregate state.
+  Fixture f = MakeFixture(512, 43);
+  MaxFunction mx(f.Ctx());
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t lo = rng.UniformInt(0, 480);
+    (void)mx.Estimate({cp::IntDomain(lo, lo + 16), cp::IntDomain(4, 8)});
+  }
+  auto state = mx.SaveState({cp::IntDomain(0, 500), cp::IntDomain(4, 16)});
+  ASSERT_NE(state, nullptr);
+  EXPECT_LE(state->SizeBytes(), 6 * 64);
+}
+
+TEST(FunctionsTest, CloneIsIndependent) {
+  Fixture f = MakeFixture(128, 51);
+  AvgFunction avg(f.Ctx());
+  auto clone = avg.Clone();
+  const cp::DomainBox box = {cp::IntDomain(5, 20), cp::IntDomain(2, 6)};
+  EXPECT_EQ(avg.Estimate(box), clone->Estimate(box));
+  EXPECT_EQ(avg.value_range(), clone->value_range());
+}
+
+TEST(FunctionsTest, ContrastDefaultValueRangeSpansGlobalWidth) {
+  Fixture f = MakeFixture(128, 61);
+  NeighborhoodContrastFunction fn(
+      f.Ctx(), NeighborhoodContrastFunction::Side::kLeft, 4);
+  EXPECT_DOUBLE_EQ(fn.value_range().lo, 0.0);
+  EXPECT_DOUBLE_EQ(fn.value_range().hi,
+                   f.synopsis->global_value_range().width());
+}
+
+}  // namespace
+}  // namespace dqr::searchlight

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/waveform.h"
+
+namespace dqr::data {
+namespace {
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticOptions options;
+  options.length = 4096;
+  auto a = GenerateSynthetic(options).value();
+  auto b = GenerateSynthetic(options).value();
+  for (int64_t i = 0; i < options.length; i += 37) {
+    EXPECT_DOUBLE_EQ(a->At(i), b->At(i));
+  }
+  options.seed = 43;
+  auto c = GenerateSynthetic(options).value();
+  bool differs = false;
+  for (int64_t i = 0; i < options.length && !differs; ++i) {
+    differs = a->At(i) != c->At(i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, ValuesClampedToDeclaredRange) {
+  SyntheticOptions options;
+  options.length = 8192;
+  auto arr = GenerateSynthetic(options).value();
+  const array::WindowAggregates agg =
+      arr->AggregateWindow(0, options.length);
+  EXPECT_GE(agg.min, options.value_lo);
+  EXPECT_LE(agg.max, options.value_hi);
+}
+
+TEST(SyntheticTest, ContainsRegionStructure) {
+  SyntheticOptions options;
+  options.length = 1 << 16;
+  options.noise_sigma = 1.0;
+  auto arr = GenerateSynthetic(options).value();
+  // Distinct regions have visibly different means.
+  const double m1 = arr->AggregateWindow(1000, 2000).avg();
+  bool found_different = false;
+  for (int64_t r = 1; r < options.length / options.region_len; ++r) {
+    const int64_t lo = r * options.region_len + 1000;
+    const double m = arr->AggregateWindow(lo, lo + 1000).avg();
+    if (std::abs(m - m1) > 20.0) {
+      found_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_different);
+}
+
+TEST(SyntheticTest, RejectsBadOptions) {
+  SyntheticOptions options;
+  options.length = 0;
+  EXPECT_FALSE(GenerateSynthetic(options).ok());
+  options.length = 100;
+  options.region_len = 0;
+  EXPECT_FALSE(GenerateSynthetic(options).ok());
+}
+
+TEST(WaveformTest, DeterministicAndClamped) {
+  WaveformOptions options;
+  options.length = 8192;
+  auto a = GenerateAbpWaveform(options).value();
+  auto b = GenerateAbpWaveform(options).value();
+  for (int64_t i = 0; i < options.length; i += 41) {
+    EXPECT_DOUBLE_EQ(a->At(i), b->At(i));
+  }
+  const array::WindowAggregates agg =
+      a->AggregateWindow(0, options.length);
+  EXPECT_GE(agg.min, options.value_lo);
+  EXPECT_LE(agg.max, options.value_hi);
+}
+
+TEST(WaveformTest, BaselineNearBasePressure) {
+  WaveformOptions options;
+  options.length = 1 << 16;
+  options.episodes_per_million = 0;  // baseline only
+  options.events_per_million = 0;
+  auto arr = GenerateAbpWaveform(options).value();
+  const double mean = arr->AggregateWindow(0, options.length).avg();
+  EXPECT_NEAR(mean, options.base_pressure, 8.0);
+}
+
+TEST(WaveformTest, EpisodesRaiseLocalAverages) {
+  WaveformOptions calm;
+  calm.length = 1 << 16;
+  calm.episodes_per_million = 0;
+  calm.events_per_million = 0;
+  WaveformOptions busy = calm;
+  busy.episodes_per_million = 2000.0;
+
+  auto calm_arr = GenerateAbpWaveform(calm).value();
+  auto busy_arr = GenerateAbpWaveform(busy).value();
+  EXPECT_GT(busy_arr->AggregateWindow(0, busy.length).avg(),
+            calm_arr->AggregateWindow(0, calm.length).avg() + 5.0);
+}
+
+TEST(WaveformTest, RejectsBadOptions) {
+  WaveformOptions options;
+  options.length = -5;
+  EXPECT_FALSE(GenerateAbpWaveform(options).ok());
+  options.length = 100;
+  options.episode_len_lo = 10;
+  options.episode_len_hi = 5;
+  EXPECT_FALSE(GenerateAbpWaveform(options).ok());
+}
+
+}  // namespace
+}  // namespace dqr::data

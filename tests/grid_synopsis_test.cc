@@ -1,0 +1,105 @@
+#include "synopsis/grid_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dqr::synopsis {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<array::Grid> grid;
+  std::shared_ptr<GridSynopsis> synopsis;
+};
+
+Fixture MakeFixture(int64_t rows, int64_t cols, uint64_t seed,
+                    GridSynopsisOptions options) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(rows * cols));
+  for (double& v : data) v = rng.Uniform(50, 250);
+  array::GridSchema schema;
+  schema.name = "gsyn_test";
+  schema.rows = rows;
+  schema.cols = cols;
+  schema.tile_size = 16;
+  Fixture f;
+  f.grid = array::Grid::FromData(schema, std::move(data)).value();
+  f.synopsis = GridSynopsis::Build(*f.grid, options).value();
+  return f;
+}
+
+TEST(GridSynopsisTest, BuildRejectsBadOptions) {
+  auto f = MakeFixture(32, 32, 1, GridSynopsisOptions{{16, 4}, 64});
+  GridSynopsisOptions bad;
+  bad.cell_sizes = {};
+  EXPECT_FALSE(GridSynopsis::Build(*f.grid, bad).ok());
+  bad.cell_sizes = {4, 16};
+  EXPECT_FALSE(GridSynopsis::Build(*f.grid, bad).ok());
+  bad.cell_sizes = {16};
+  bad.max_cells_per_query = 2;
+  EXPECT_FALSE(GridSynopsis::Build(*f.grid, bad).ok());
+}
+
+// Soundness: every interval query contains the exact aggregate.
+class GridSynopsisSoundnessTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridSynopsisSoundnessTest, BoundsContainExactAggregates) {
+  auto f = MakeFixture(100, 140, GetParam(),
+                       GridSynopsisOptions{{32, 8}, 64});
+  Rng rng(GetParam() ^ 0x5555);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int64_t r0 = rng.UniformInt(0, 98);
+    const int64_t r1 = rng.UniformInt(r0 + 1, 100);
+    const int64_t c0 = rng.UniformInt(0, 138);
+    const int64_t c1 = rng.UniformInt(c0 + 1, 140);
+    const array::WindowAggregates exact =
+        f.grid->AggregateRect(r0, r1, c0, c1);
+
+    const Interval value = f.synopsis->ValueBounds(r0, r1, c0, c1);
+    EXPECT_LE(value.lo, exact.min);
+    EXPECT_GE(value.hi, exact.max);
+
+    const Interval sum = f.synopsis->SumBounds(r0, r1, c0, c1);
+    EXPECT_LE(sum.lo, exact.sum + 1e-6) << r0 << " " << r1 << " " << c0
+                                        << " " << c1;
+    EXPECT_GE(sum.hi, exact.sum - 1e-6);
+
+    const Interval avg = f.synopsis->AvgBounds(r0, r1, c0, c1);
+    EXPECT_LE(avg.lo, exact.avg() + 1e-9);
+    EXPECT_GE(avg.hi, exact.avg() - 1e-9);
+
+    const Interval mx = f.synopsis->MaxBounds(r0, r1, c0, c1);
+    EXPECT_LE(mx.lo, exact.max + 1e-9);
+    EXPECT_GE(mx.hi, exact.max - 1e-9);
+
+    const Interval mn = f.synopsis->MinBounds(r0, r1, c0, c1);
+    EXPECT_LE(mn.lo, exact.min + 1e-9);
+    EXPECT_GE(mn.hi, exact.min - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridSynopsisSoundnessTest,
+                         ::testing::Values(1u, 9u, 77u, 4242u));
+
+TEST(GridSynopsisTest, ExactOnCellAlignedSums) {
+  auto f = MakeFixture(64, 64, 3, GridSynopsisOptions{{8}, 256});
+  const array::WindowAggregates exact =
+      f.grid->AggregateRect(8, 40, 16, 56);
+  const Interval sum = f.synopsis->SumBounds(8, 40, 16, 56);
+  EXPECT_NEAR(sum.lo, exact.sum, 1e-6);
+  EXPECT_NEAR(sum.hi, exact.sum, 1e-6);
+}
+
+TEST(GridSynopsisTest, GlobalRangeAndMemory) {
+  auto f = MakeFixture(64, 64, 3, GridSynopsisOptions{{32, 8}, 64});
+  const array::WindowAggregates all = f.grid->AggregateRect(0, 64, 0, 64);
+  EXPECT_DOUBLE_EQ(f.synopsis->global_value_range().lo, all.min);
+  EXPECT_DOUBLE_EQ(f.synopsis->global_value_range().hi, all.max);
+  EXPECT_GT(f.synopsis->MemoryBytes(), 0);
+  (void)f.synopsis->ValueBounds(0, 8, 0, 8);
+  EXPECT_GT(f.synopsis->queries_served(), 0);
+}
+
+}  // namespace
+}  // namespace dqr::synopsis

@@ -1,0 +1,92 @@
+#include "array/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dqr::array {
+namespace {
+
+std::shared_ptr<Grid> RandomGrid(int64_t rows, int64_t cols,
+                                 uint64_t seed, int64_t tile = 8) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(rows * cols));
+  for (double& v : data) v = rng.Uniform(-100, 100);
+  GridSchema schema;
+  schema.name = "grid_test";
+  schema.rows = rows;
+  schema.cols = cols;
+  schema.tile_size = tile;
+  return Grid::FromData(schema, std::move(data)).value();
+}
+
+TEST(GridTest, FromDataRejectsBadInputs) {
+  GridSchema schema;
+  schema.rows = 2;
+  schema.cols = 3;
+  schema.tile_size = 0;
+  EXPECT_FALSE(Grid::FromData(schema, std::vector<double>(6)).ok());
+  schema.tile_size = 4;
+  EXPECT_FALSE(Grid::FromData(schema, std::vector<double>(5)).ok());
+  schema.rows = -1;
+  EXPECT_FALSE(Grid::FromData(schema, {}).ok());
+}
+
+TEST(GridTest, AtReadsRowMajor) {
+  GridSchema schema;
+  schema.rows = 2;
+  schema.cols = 3;
+  auto grid = Grid::FromData(schema, {1, 2, 3, 4, 5, 6}).value();
+  EXPECT_DOUBLE_EQ(grid->At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(grid->At(0, 2), 3);
+  EXPECT_DOUBLE_EQ(grid->At(1, 0), 4);
+  EXPECT_DOUBLE_EQ(grid->At(1, 2), 6);
+}
+
+TEST(GridTest, AggregateRectMatchesNaive) {
+  auto grid = RandomGrid(37, 53, 7);
+  Rng rng(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t r0 = rng.UniformInt(0, 36);
+    const int64_t r1 = rng.UniformInt(r0 + 1, 37);
+    const int64_t c0 = rng.UniformInt(0, 52);
+    const int64_t c1 = rng.UniformInt(c0 + 1, 53);
+    const WindowAggregates agg = grid->AggregateRect(r0, r1, c0, c1);
+
+    double mn = grid->At(r0, c0);
+    double mx = mn;
+    double sum = 0.0;
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = c0; c < c1; ++c) {
+        const double v = grid->At(r, c);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+        sum += v;
+      }
+    }
+    EXPECT_DOUBLE_EQ(agg.min, mn);
+    EXPECT_DOUBLE_EQ(agg.max, mx);
+    EXPECT_NEAR(agg.sum, sum, 1e-9);
+    EXPECT_EQ(agg.count, (r1 - r0) * (c1 - c0));
+  }
+}
+
+TEST(GridTest, AccessStatsCountTiles) {
+  auto grid = RandomGrid(16, 16, 5, /*tile=*/8);
+  grid->ResetAccessStats();
+  (void)grid->AggregateRect(0, 16, 0, 16);  // 2x2 tiles
+  EXPECT_EQ(grid->GetAccessStats().chunks_touched, 4);
+  EXPECT_EQ(grid->GetAccessStats().cells_read, 256);
+}
+
+TEST(GridDeathTest, OutOfRangeRejected) {
+  auto grid = RandomGrid(4, 4, 5);
+  EXPECT_DEATH((void)grid->At(4, 0), "DQR_CHECK");
+  EXPECT_DEATH((void)grid->AggregateRect(0, 5, 0, 4), "DQR_CHECK");
+  EXPECT_DEATH((void)grid->AggregateRect(2, 2, 0, 4), "DQR_CHECK");
+}
+
+}  // namespace
+}  // namespace dqr::array

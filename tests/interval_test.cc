@@ -1,0 +1,100 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dqr {
+namespace {
+
+TEST(IntervalTest, BasicsAndEmptiness) {
+  const Interval iv(1.0, 3.0);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_DOUBLE_EQ(iv.width(), 2.0);
+  EXPECT_DOUBLE_EQ(iv.mid(), 2.0);
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(3.0));
+  EXPECT_FALSE(iv.Contains(3.0001));
+
+  const Interval empty = Interval::Empty();
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.width(), 0.0);
+  EXPECT_FALSE(empty.Contains(0.0));
+  EXPECT_TRUE(iv.Contains(empty));  // empty set is a subset of anything
+
+  const Interval all = Interval::All();
+  EXPECT_TRUE(all.Contains(1e300));
+  EXPECT_TRUE(all.Contains(iv));
+
+  EXPECT_EQ(Interval::Point(2.0), Interval(2.0, 2.0));
+  EXPECT_TRUE(Interval::Point(2.0).IsPoint());
+}
+
+TEST(IntervalTest, IntersectUnion) {
+  const Interval a(0.0, 5.0);
+  const Interval b(3.0, 8.0);
+  EXPECT_EQ(a.Intersect(b), Interval(3.0, 5.0));
+  EXPECT_EQ(a.Union(b), Interval(0.0, 8.0));
+  EXPECT_TRUE(a.Intersects(b));
+
+  const Interval c(6.0, 7.0);
+  EXPECT_TRUE(a.Intersect(c).empty());
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.Union(Interval::Empty()), a);
+  EXPECT_EQ(Interval::Empty().Union(a), a);
+}
+
+TEST(IntervalTest, Distances) {
+  const Interval iv(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(iv.DistanceTo(15.0), 0.0);
+  EXPECT_DOUBLE_EQ(iv.DistanceTo(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(iv.DistanceTo(23.0), 3.0);
+
+  EXPECT_DOUBLE_EQ(iv.DistanceTo(Interval(0.0, 7.0)), 3.0);
+  EXPECT_DOUBLE_EQ(iv.DistanceTo(Interval(25.0, 30.0)), 5.0);
+  EXPECT_DOUBLE_EQ(iv.DistanceTo(Interval(18.0, 30.0)), 0.0);
+}
+
+TEST(IntervalTest, ArithmeticBasics) {
+  const Interval a(1.0, 2.0);
+  const Interval b(-3.0, 4.0);
+  EXPECT_EQ(a + b, Interval(-2.0, 6.0));
+  EXPECT_EQ(a - b, Interval(-3.0, 5.0));
+  EXPECT_EQ(a * b, Interval(-6.0, 8.0));
+  EXPECT_EQ(Min(a, b), Interval(-3.0, 2.0));
+  EXPECT_EQ(Max(a, b), Interval(1.0, 4.0));
+  EXPECT_EQ(Abs(Interval(-5.0, 3.0)), Interval(0.0, 5.0));
+  EXPECT_EQ(Abs(Interval(-5.0, -3.0)), Interval(3.0, 5.0));
+  EXPECT_EQ(Abs(Interval(3.0, 5.0)), Interval(3.0, 5.0));
+}
+
+// Property: every interval operation is conservative — the result of the
+// pointwise operation on members lies inside the interval result.
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalPropertyTest, OperationsAreConservative) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const double a_lo = rng.Uniform(-100, 100);
+    const double b_lo = rng.Uniform(-100, 100);
+    const Interval a(a_lo, a_lo + rng.Uniform(0, 50));
+    const Interval b(b_lo, b_lo + rng.Uniform(0, 50));
+    const double x = rng.Uniform(a.lo, a.hi);
+    const double y = rng.Uniform(b.lo, b.hi);
+
+    EXPECT_TRUE((a + b).Contains(x + y));
+    EXPECT_TRUE((a - b).Contains(x - y));
+    EXPECT_TRUE((a * b).Contains(x * y));
+    EXPECT_TRUE(Min(a, b).Contains(std::min(x, y)));
+    EXPECT_TRUE(Max(a, b).Contains(std::max(x, y)));
+    EXPECT_TRUE(Abs(a).Contains(std::abs(x)));
+    EXPECT_TRUE(a.Union(b).Contains(x));
+    EXPECT_TRUE(a.Union(b).Contains(y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace dqr

@@ -1,0 +1,60 @@
+#include "core/model_builders.h"
+
+#include <gtest/gtest.h>
+
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::TestQueryParams;
+
+TEST(ModelBuildersTest, PenaltyModelMirrorsQuery) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_range = Interval(60, 240);
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const auto model = BuildPenaltyModel(query, 0.5);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().num_constraints(), 3);
+  EXPECT_EQ(model.value().spec(0).bounds, query.constraints[0].bounds);
+  EXPECT_EQ(model.value().spec(0).value_range, Interval(60, 240));
+}
+
+TEST(ModelBuildersTest, RankModelMirrorsQuery) {
+  const auto bundle = MakeSmallBundle();
+  searchlight::QuerySpec query = MakeTestQuery(bundle, TestQueryParams{});
+  query.constraints[1].constrainable = false;
+  const auto model = BuildRankModel(query);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().num_constraints(), 3);
+  EXPECT_EQ(model.value().num_constrainable(), 2);
+}
+
+TEST(ModelBuildersTest, RejectsBadInputs) {
+  const auto bundle = MakeSmallBundle();
+  searchlight::QuerySpec query = MakeTestQuery(bundle, TestQueryParams{});
+
+  EXPECT_FALSE(BuildPenaltyModel(query, -0.1).ok());
+
+  searchlight::QuerySpec no_factory = query;
+  no_factory.constraints[0].make_function = nullptr;
+  EXPECT_FALSE(BuildPenaltyModel(no_factory, 0.5).ok());
+  EXPECT_FALSE(BuildRankModel(no_factory).ok());
+
+  searchlight::QuerySpec null_factory = query;
+  null_factory.constraints[0].make_function = [] {
+    return std::unique_ptr<cp::ConstraintFunction>();
+  };
+  EXPECT_FALSE(BuildPenaltyModel(null_factory, 0.5).ok());
+
+  searchlight::QuerySpec bad_weight = query;
+  bad_weight.constraints[0].relax_weight = 1.5;
+  EXPECT_FALSE(BuildPenaltyModel(bad_weight, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace dqr::core

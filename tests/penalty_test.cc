@@ -1,0 +1,173 @@
+#include "core/penalty.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dqr::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The running MIMIC example of §3.1: c1 = avg in [150, 200], c2/c3 =
+// contrast >= 80; avg/max values lie within [50, 250], so the contrast
+// ranges over [0, 200]. Default weights 1, alpha 0.5.
+PenaltyModel MimicModel(double alpha = 0.5) {
+  std::vector<PenaltySpec> specs = {
+      {Interval(150, 200), Interval(50, 250), 1.0, true},
+      {Interval(80, kInf), Interval(0, 200), 1.0, true},
+      {Interval(80, kInf), Interval(0, 200), 1.0, true},
+  };
+  return PenaltyModel(std::move(specs), alpha);
+}
+
+TEST(PenaltyModelTest, Section31WorkedExample) {
+  const PenaltyModel model = MimicModel();
+
+  // r1 = (180, 85, 85) satisfies everything: RP = 0.
+  EXPECT_DOUBLE_EQ(model.Penalty({180, 85, 85}), 0.0);
+  // r2 = (190, 80, 90): boundary values still satisfy.
+  EXPECT_DOUBLE_EQ(model.Penalty({190, 80, 90}), 0.0);
+
+  // r3 = (160, 70, 60): violates c2 and c3.
+  // RD_c2 = 10/80 = 0.125, RD_c3 = 20/80 = 0.25, RD = 0.25,
+  // RP = (0.25 + 2/3)/2 = 0.458.
+  EXPECT_DOUBLE_EQ(model.RelaxDistance(1, 70), 0.125);
+  EXPECT_DOUBLE_EQ(model.RelaxDistance(2, 60), 0.25);
+  EXPECT_DOUBLE_EQ(model.TotalDistance({160, 70, 60}), 0.25);
+  EXPECT_NEAR(model.ViolationFraction({160, 70, 60}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(model.Penalty({160, 70, 60}), 0.5 * (0.25 + 2.0 / 3.0),
+              1e-12);
+
+  // r4 = (130, 80, 80): violates only c1.
+  // RD_c1 = 20/100 = 0.2, RP = (0.2 + 1/3)/2 = 0.267.
+  EXPECT_DOUBLE_EQ(model.RelaxDistance(0, 130), 0.2);
+  EXPECT_NEAR(model.Penalty({130, 80, 80}), 0.5 * (0.2 + 1.0 / 3.0),
+              1e-12);
+  // r4 beats r3, as the paper concludes.
+  EXPECT_LT(model.Penalty({130, 80, 80}), model.Penalty({160, 70, 60}));
+}
+
+TEST(PenaltyModelTest, Section41FailBrpExample) {
+  // Figure 2's fails: the lower fail has c1 in [10, 110] (violating, with
+  // best distance 40/100) and c2 in [10, 60] (best distance 20/80);
+  // BRP = 1/2 * max(0.4, 0.25) + 1/2 * 2/3 = 0.53.
+  // The paper shows only c1/c2, so c3's estimate satisfies its bounds.
+  const PenaltyModel model = MimicModel();
+  const std::vector<char> known = {1, 1, 1};
+
+  const std::vector<Interval> lower_fail = {
+      Interval(10, 110), Interval(10, 60), Interval(90, 150)};
+  EXPECT_NEAR(model.BestPenalty(lower_fail, known),
+              0.5 * 0.4 + 0.5 * (2.0 / 3.0), 1e-12);
+
+  // Upper fail: only c2 violated with best distance 20/80;
+  // BRP = 1/2 * 0.25 + 1/2 * 1/3 = 0.29.
+  const std::vector<Interval> upper_fail = {
+      Interval(150, 200), Interval(10, 60), Interval(90, 150)};
+  EXPECT_NEAR(model.BestPenalty(upper_fail, known),
+              0.5 * 0.25 + 0.5 * (1.0 / 3.0), 1e-12);
+}
+
+TEST(PenaltyModelTest, Section41TighteningExample) {
+  // With MRP = 0.5 and the lower fail's VC = 2/3:
+  // RD <= (0.5 - 0.5 * 2/3) / 0.5 = 1/3, and c2's lower bound relaxes to
+  // 80 - (1/3) * 80 = 53.3 (the paper rounds to 53).
+  const PenaltyModel model = MimicModel();
+  const double allowed = model.MaxAllowedDistance(0.5, 2.0 / 3.0);
+  EXPECT_NEAR(allowed, 1.0 / 3.0, 1e-12);
+  const Interval relaxed = model.RelaxedBounds(1, allowed);
+  EXPECT_NEAR(relaxed.lo, 80.0 - (1.0 / 3.0) * 80.0, 1e-9);
+  EXPECT_TRUE(std::isinf(relaxed.hi));
+}
+
+TEST(PenaltyModelTest, UnknownEstimatesAssumeBestCase) {
+  // Lazy fail recording: unevaluated constraints contribute nothing.
+  const PenaltyModel model = MimicModel();
+  const std::vector<Interval> estimates = {
+      Interval(10, 110), Interval(), Interval()};
+  const std::vector<char> known = {1, 0, 0};
+  EXPECT_NEAR(model.BestPenalty(estimates, known),
+              0.5 * 0.4 + 0.5 * (1.0 / 3.0), 1e-12);
+}
+
+TEST(PenaltyModelTest, HardLimitsGiveInfinitePenalty) {
+  const PenaltyModel model = MimicModel();
+  // avg = 20 lies below the declared min 50: beyond the hard limit.
+  EXPECT_TRUE(std::isinf(model.Penalty({20, 85, 85})));
+  // A sub-tree entirely beyond the limit can never qualify.
+  const std::vector<Interval> estimates = {
+      Interval(10, 30), Interval(90, 150), Interval(90, 150)};
+  EXPECT_TRUE(
+      std::isinf(model.BestPenalty(estimates, {1, 1, 1})));
+}
+
+TEST(PenaltyModelTest, NonRelaxableConstraintsAreHard) {
+  std::vector<PenaltySpec> specs = {
+      {Interval(150, 200), Interval(50, 250), 1.0, true},
+      {Interval(80, kInf), Interval(0, 200), 1.0, false},  // hard
+  };
+  const PenaltyModel model(std::move(specs), 0.5);
+  EXPECT_EQ(model.num_relaxable(), 1);
+  EXPECT_TRUE(std::isinf(model.Penalty({180, 70})));  // hard violated
+  EXPECT_DOUBLE_EQ(model.Penalty({180, 90}), 0.0);
+  // Violating only the relaxable constraint: VC uses |C^r| = 1.
+  EXPECT_NEAR(model.Penalty({140, 90}), 0.5 * 0.1 + 0.5 * 1.0, 1e-12);
+
+  const std::vector<Interval> hard_fail = {Interval(160, 180),
+                                           Interval(10, 60)};
+  EXPECT_TRUE(std::isinf(model.BestPenalty(hard_fail, {1, 1})));
+}
+
+TEST(PenaltyModelTest, WeightsScaleDistances) {
+  std::vector<PenaltySpec> specs = {
+      {Interval(150, 200), Interval(50, 250), 0.5, true},
+      {Interval(80, kInf), Interval(0, 200), 1.0, true},
+  };
+  const PenaltyModel model(std::move(specs), 1.0);  // distance only
+  // c1 distance 0.2 weighted 0.5 -> 0.1; c2 distance 0.25 weighted 1.
+  EXPECT_NEAR(model.Penalty({130, 60}), 0.25, 1e-12);
+  EXPECT_NEAR(model.TotalDistance({130, 100}), 0.1, 1e-12);
+}
+
+TEST(PenaltyModelTest, AlphaExtremes) {
+  // alpha = 1: penalty is the distance alone.
+  EXPECT_NEAR(MimicModel(1.0).Penalty({160, 70, 60}), 0.25, 1e-12);
+  // alpha = 0: penalty is the violation fraction alone; no tightening.
+  const PenaltyModel vc_only = MimicModel(0.0);
+  EXPECT_NEAR(vc_only.Penalty({160, 70, 60}), 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(std::isinf(vc_only.MaxAllowedDistance(0.5, 0.0)));
+}
+
+TEST(PenaltyModelTest, WorstPenaltyBoundsBestPenalty) {
+  const PenaltyModel model = MimicModel();
+  const std::vector<Interval> estimates = {
+      Interval(120, 180), Interval(40, 100), Interval(60, 90)};
+  const std::vector<char> known = {1, 1, 1};
+  const double best = model.BestPenalty(estimates, known);
+  const double worst = model.WorstPenalty(estimates, known);
+  EXPECT_LE(best, worst);
+  // A concrete member of the box has a penalty between the two.
+  const double rp = model.Penalty({130, 50, 70});
+  EXPECT_LE(best, rp);
+  EXPECT_GE(worst, rp);
+}
+
+TEST(PenaltyModelTest, RelaxedBoundsClipToRangeAndKeepHalfOpenSides) {
+  const PenaltyModel model = MimicModel();
+  // Full relaxation of c1 reaches the declared value range.
+  const Interval full = model.RelaxedBounds(0, 1.0);
+  EXPECT_DOUBLE_EQ(full.lo, 50.0);
+  EXPECT_DOUBLE_EQ(full.hi, 250.0);
+  // rd = 0 keeps the original bounds.
+  const Interval none = model.RelaxedBounds(0, 0.0);
+  EXPECT_DOUBLE_EQ(none.lo, 150.0);
+  EXPECT_DOUBLE_EQ(none.hi, 200.0);
+  // Oversized rd is clamped to the hard range.
+  const Interval over = model.RelaxedBounds(0, 5.0);
+  EXPECT_DOUBLE_EQ(over.lo, 50.0);
+  EXPECT_DOUBLE_EQ(over.hi, 250.0);
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,95 @@
+#include "data/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/refiner.h"
+
+namespace dqr::data {
+namespace {
+
+TEST(QueriesTest, KindNames) {
+  EXPECT_STREQ(QueryKindName(QueryKind::kSSel), "S-SEL");
+  EXPECT_STREQ(QueryKindName(QueryKind::kSLos), "S-LOS");
+  EXPECT_STREQ(QueryKindName(QueryKind::kMSel), "M-SEL");
+  EXPECT_STREQ(QueryKindName(QueryKind::kMLos), "M-LOS");
+  EXPECT_STREQ(QueryKindName(QueryKind::kMSelPrime), "M-SEL'");
+}
+
+TEST(QueriesTest, DatasetBundlesBuild) {
+  auto synth = MakeSyntheticDataset(1 << 14, 42);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_EQ(synth.value().array->length(), 1 << 14);
+  EXPECT_EQ(synth.value().array->GetAccessStats().cells_read, 0);
+
+  auto wave = MakeWaveformDataset(1 << 14, 7);
+  ASSERT_TRUE(wave.ok());
+  EXPECT_GT(wave.value().synopsis->MemoryBytes(), 0);
+}
+
+TEST(QueriesTest, QueryShape) {
+  auto bundle = MakeSyntheticDataset(1 << 14, 42).value();
+  QueryTuning tuning;
+  const searchlight::QuerySpec query =
+      MakeQuery(bundle, QueryKind::kSSel, tuning);
+  EXPECT_EQ(query.name, "S-SEL");
+  EXPECT_EQ(query.k, tuning.k);
+  ASSERT_EQ(query.domains.size(), 2u);
+  EXPECT_EQ(query.domains[1], cp::IntDomain(8, 16));
+  ASSERT_EQ(query.constraints.size(), 3u);
+  EXPECT_EQ(query.constraints[0].name, "c1_avg");
+  EXPECT_EQ(query.constraints[1].name, "c2_left");
+  EXPECT_EQ(query.constraints[2].name, "c3_right");
+  // Factories build independent instances.
+  auto f1 = query.constraints[0].make_function();
+  auto f2 = query.constraints[0].make_function();
+  EXPECT_NE(f1.get(), f2.get());
+  EXPECT_EQ(f1->value_range(), f2->value_range());
+}
+
+TEST(QueriesTest, RelaxFractionWidensBounds) {
+  auto bundle = MakeSyntheticDataset(1 << 14, 42).value();
+  QueryTuning original;
+  QueryTuning relaxed;
+  relaxed.relax_fraction = 1.0;
+  const auto q0 = MakeQuery(bundle, QueryKind::kSSel, original);
+  const auto q1 = MakeQuery(bundle, QueryKind::kSSel, relaxed);
+  for (size_t c = 0; c < q0.constraints.size(); ++c) {
+    EXPECT_TRUE(q1.constraints[c].bounds.Contains(q0.constraints[c].bounds))
+        << "constraint " << c;
+  }
+  // Fully relaxed SEL bounds equal the hard ranges, so nothing can be
+  // relaxed further.
+  auto fn = q1.constraints[0].make_function();
+  EXPECT_DOUBLE_EQ(q1.constraints[0].bounds.lo, fn->value_range().lo);
+  EXPECT_DOUBLE_EQ(q1.constraints[0].bounds.hi, fn->value_range().hi);
+}
+
+TEST(QueriesTest, MonotoneResultCountsInRelaxFraction) {
+  // Large enough to contain several amplitude regions with strong spikes.
+  auto bundle = MakeSyntheticDataset(1 << 19, 42).value();
+  core::RefineOptions plain;
+  plain.enable = false;
+
+  size_t last = 0;
+  for (const double f : {0.0, 0.5, 1.0}) {
+    QueryTuning tuning;
+    tuning.relax_fraction = f;
+    const auto query = MakeQuery(bundle, QueryKind::kSSel, tuning);
+    const auto run = core::ExecuteQuery(query, plain).value();
+    EXPECT_GE(run.results.size(), last) << "fraction " << f;
+    last = run.results.size();
+  }
+  EXPECT_GT(last, 0u);  // maximally relaxed S-SEL finds something
+}
+
+TEST(QueriesTest, LooseKindsUseFullSignalRange) {
+  auto bundle = MakeSyntheticDataset(1 << 14, 42).value();
+  const auto sel = MakeQuery(bundle, QueryKind::kSSel, QueryTuning{});
+  const auto los = MakeQuery(bundle, QueryKind::kSLos, QueryTuning{});
+  auto sel_fn = sel.constraints[0].make_function();
+  auto los_fn = los.constraints[0].make_function();
+  EXPECT_LT(sel_fn->value_range().width(), los_fn->value_range().width());
+}
+
+}  // namespace
+}  // namespace dqr::data

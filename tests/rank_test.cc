@@ -1,0 +1,139 @@
+#include "core/rank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dqr::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// §3.2's example: the MIMIC query with C^c = {c1, c2, c3}, all maximized,
+// equal weights 1/3. c1 = avg in [150, 200]; c2/c3 are half-open
+// (contrast >= 80) and close their upper bound with the domain maximum
+// 200, giving b - a = 120.
+RankModel MimicRank() {
+  std::vector<RankSpec> specs = {
+      {Interval(150, 200), Interval(50, 250), -1.0, true, true},
+      {Interval(80, kInf), Interval(0, 200), -1.0, true, true},
+      {Interval(80, kInf), Interval(0, 200), -1.0, true, true},
+  };
+  return RankModel(std::move(specs));
+}
+
+TEST(RankModelTest, Section32WorkedExample) {
+  const RankModel model = MimicRank();
+
+  // r1 = (160, 100, 100): RK = 1 - (40/50 + 100/120 + 100/120)/3 = 0.178.
+  EXPECT_NEAR(model.Rank({160, 100, 100}),
+              1.0 - (0.8 + 100.0 / 120 + 100.0 / 120) / 3.0, 1e-12);
+  EXPECT_NEAR(model.Rank({160, 100, 100}), 0.178, 5e-4);
+
+  // r2 = (150, 80, 85): RK = 0.014.
+  EXPECT_NEAR(model.Rank({150, 80, 85}), 0.014, 5e-4);
+
+  // r3 = (190, 120, 120): the paper prints RK = 0.289, but its own
+  // formula gives 1 - (10/50 + 80/120 + 80/120)/3 = 0.489 (see DESIGN.md
+  // on this erratum). Either way r3 outranks r1, which is the example's
+  // point.
+  EXPECT_NEAR(model.Rank({190, 120, 120}),
+              1.0 - (0.2 + 80.0 / 120 + 80.0 / 120) / 3.0, 1e-12);
+  EXPECT_NEAR(model.Rank({190, 120, 120}), 0.4889, 5e-4);
+  EXPECT_GT(model.Rank({190, 120, 120}), model.Rank({160, 100, 100}));
+  EXPECT_LT(model.Rank({150, 80, 85}), model.Rank({160, 100, 100}));
+}
+
+TEST(RankModelTest, Section43BrkExample) {
+  const RankModel model = MimicRank();
+
+  // Sub-tree with c1 in [100, 190], c2/c3 in [100, 200]:
+  // BRK = 1 - (10/50)/3 = 0.933.
+  const std::vector<Interval> open_box = {
+      Interval(100, 190), Interval(100, 200), Interval(100, 200)};
+  EXPECT_NEAR(model.BestRank(open_box), 1.0 - (10.0 / 50.0) / 3.0, 1e-12);
+
+  // Deeper node with c1 in [100, 180], c2/c3 in [100, 150]:
+  // BRK = 1 - (20/50 + 2 * 50/120)/3 = 0.589 < MRK = 0.8 -> prunable.
+  const std::vector<Interval> deep_box = {
+      Interval(100, 180), Interval(100, 150), Interval(100, 150)};
+  EXPECT_NEAR(model.BestRank(deep_box),
+              1.0 - (20.0 / 50.0 + 2 * 50.0 / 120.0) / 3.0, 1e-9);
+  EXPECT_LT(model.BestRank(deep_box), 0.8);
+  EXPECT_GT(model.BestRank(open_box), 0.8);
+}
+
+TEST(RankModelTest, BestRankInfeasibleSubtree) {
+  const RankModel model = MimicRank();
+  // c2's estimate lies entirely below its bounds: no valid solutions.
+  const std::vector<Interval> estimates = {
+      Interval(160, 180), Interval(10, 60), Interval(100, 150)};
+  EXPECT_TRUE(std::isinf(model.BestRank(estimates)));
+  EXPECT_LT(model.BestRank(estimates), 0.0);
+}
+
+TEST(RankModelTest, MinimizedConstraintOrientation) {
+  std::vector<RankSpec> specs = {
+      {Interval(0, 10), Interval(0, 10), -1.0, false, true},  // minimize
+  };
+  const RankModel model(std::move(specs));
+  // Smaller values rank higher.
+  EXPECT_DOUBLE_EQ(model.Rank({0}), 1.0);
+  EXPECT_DOUBLE_EQ(model.Rank({10}), 0.0);
+  EXPECT_GT(model.Rank({2}), model.Rank({7}));
+  // BRK picks the preferred (low) end of the feasible interval.
+  EXPECT_DOUBLE_EQ(model.BestRank({Interval(4, 8)}), model.Rank({4}));
+}
+
+TEST(RankModelTest, ExplicitWeightsNormalize) {
+  std::vector<RankSpec> specs = {
+      {Interval(0, 10), Interval(0, 10), 3.0, true, true},
+      {Interval(0, 10), Interval(0, 10), 1.0, true, true},
+  };
+  const RankModel model(std::move(specs));
+  // Weights normalize to 0.75/0.25: worst values give RK = 0.
+  EXPECT_NEAR(model.Rank({0, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(model.Rank({10, 0}), 0.75, 1e-12);
+  EXPECT_NEAR(model.Rank({0, 10}), 0.25, 1e-12);
+}
+
+TEST(RankModelTest, NonConstrainableConstraintsIgnored) {
+  std::vector<RankSpec> specs = {
+      {Interval(0, 10), Interval(0, 10), -1.0, true, true},
+      {Interval(0, 10), Interval(0, 10), -1.0, true, false},  // not in C^c
+  };
+  const RankModel model(std::move(specs));
+  EXPECT_EQ(model.num_constrainable(), 1);
+  EXPECT_DOUBLE_EQ(model.Rank({10, 0}), 1.0);  // second value irrelevant
+  EXPECT_DOUBLE_EQ(model.Rank({10, 10}), 1.0);
+}
+
+TEST(RankModelTest, SkylineOrientationNegatesMinimized) {
+  std::vector<RankSpec> specs = {
+      {Interval(0, 10), Interval(0, 10), -1.0, true, true},   // maximize
+      {Interval(0, 10), Interval(0, 10), -1.0, false, true},  // minimize
+      {Interval(0, 10), Interval(0, 10), -1.0, true, false},  // skipped
+  };
+  const RankModel model(std::move(specs));
+  const std::vector<double> oriented = model.OrientForSkyline({3, 4, 5});
+  ASSERT_EQ(oriented.size(), 2u);
+  EXPECT_DOUBLE_EQ(oriented[0], 3.0);
+  EXPECT_DOUBLE_EQ(oriented[1], -4.0);
+
+  const std::vector<double> corner = model.BestCornerForSkyline(
+      {Interval(1, 3), Interval(2, 6), Interval(0, 9)});
+  ASSERT_EQ(corner.size(), 2u);
+  EXPECT_DOUBLE_EQ(corner[0], 3.0);   // maximize: upper end
+  EXPECT_DOUBLE_EQ(corner[1], -2.0);  // minimize: negated lower end
+}
+
+TEST(RankModelTest, ValuesOutsideBoundsClampForRanking) {
+  // Constraining only ranks valid results, but BestRank intersects
+  // estimates with bounds; values at the edge clamp cleanly.
+  const RankModel model = MimicRank();
+  EXPECT_DOUBLE_EQ(model.Rank({200, 200, 200}), 1.0);
+  EXPECT_DOUBLE_EQ(model.Rank({250, 250, 250}), 1.0);  // clamped
+}
+
+}  // namespace
+}  // namespace dqr::core

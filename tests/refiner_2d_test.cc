@@ -1,0 +1,135 @@
+// End-to-end refinement over the 2-D substrate: the framework is
+// dimension-agnostic, so the relaxation and constraining guarantees must
+// hold verbatim for rectangle queries with four decision variables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bundle.h"
+#include "core/model_builders.h"
+#include "core/refiner.h"
+#include "data/grid_synthetic.h"
+
+namespace dqr::core {
+namespace {
+
+// Exhaustive evaluation of every (y, x, h, w) assignment.
+std::vector<Solution> BruteForce2d(const searchlight::QuerySpec& query,
+                                   double alpha) {
+  const PenaltyModel penalty = BuildPenaltyModel(query, alpha).value();
+  const RankModel rank = BuildRankModel(query).value();
+  ConstraintBundle bundle(query);
+
+  std::vector<Solution> out;
+  std::vector<int64_t> point(4);
+  for (point[0] = query.domains[0].lo; point[0] <= query.domains[0].hi;
+       ++point[0]) {
+    for (point[1] = query.domains[1].lo; point[1] <= query.domains[1].hi;
+         ++point[1]) {
+      for (point[2] = query.domains[2].lo;
+           point[2] <= query.domains[2].hi; ++point[2]) {
+        for (point[3] = query.domains[3].lo;
+             point[3] <= query.domains[3].hi; ++point[3]) {
+          Solution s;
+          s.point = point;
+          s.values = bundle.EvaluateAll(point);
+          s.rp = penalty.Penalty(s.values);
+          if (std::isinf(s.rp)) continue;
+          s.rk = rank.Rank(s.values);
+          out.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.rp != b.rp) return a.rp < b.rp;
+              return a.point < b.point;
+            });
+  return out;
+}
+
+TEST(Refiner2dTest, RelaxationGuaranteeHoldsInTwoDimensions) {
+  const auto bundle = data::MakeGridDataset(48, 64, 17).value();
+  data::GridQueryTuning tuning;
+  tuning.k = 5;
+  tuning.extent_lo = 2;
+  tuning.extent_hi = 4;
+  tuning.selective = false;  // wide ranges: plenty of relaxed candidates
+  const searchlight::QuerySpec query =
+      data::MakeGridQuery(bundle, tuning);
+
+  RefineOptions options;
+  const auto all = BruteForce2d(query, options.alpha);
+  ASSERT_GE(all.size(), 5u);
+
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const auto& results = run.value().results;
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].point, all[i].point) << "rank " << i;
+    EXPECT_NEAR(results[i].rp, all[i].rp, 1e-9);
+  }
+}
+
+TEST(Refiner2dTest, ConstrainingGuaranteeHoldsInTwoDimensions) {
+  const auto bundle = data::MakeGridDataset(48, 64, 23).value();
+  data::GridQueryTuning tuning;
+  tuning.k = 4;
+  tuning.extent_lo = 2;
+  tuning.extent_hi = 4;
+  tuning.selective = false;
+  tuning.relax_fraction = 1.0;  // maximally relaxed: many exact results
+  const searchlight::QuerySpec query =
+      data::MakeGridQuery(bundle, tuning);
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+
+  auto all = BruteForce2d(query, options.alpha);
+  std::vector<Solution> exact;
+  for (auto& s : all) {
+    if (s.rp == 0.0) exact.push_back(std::move(s));
+  }
+  ASSERT_GT(exact.size(), 4u);
+  std::sort(exact.begin(), exact.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.rk != b.rk) return a.rk > b.rk;
+              return a.point < b.point;
+            });
+  exact.resize(4);
+
+  const auto run = ExecuteQuery(query, options).value();
+  ASSERT_EQ(run.results.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(run.results[i].point, exact[i].point) << "rank " << i;
+    EXPECT_NEAR(run.results[i].rk, exact[i].rk, 1e-9);
+  }
+}
+
+TEST(Refiner2dTest, MultiInstancePartitionsFourVariableSearch) {
+  const auto bundle = data::MakeGridDataset(48, 64, 29).value();
+  data::GridQueryTuning tuning;
+  tuning.k = 5;
+  tuning.extent_lo = 2;
+  tuning.extent_hi = 4;
+  tuning.selective = false;
+  const searchlight::QuerySpec query =
+      data::MakeGridQuery(bundle, tuning);
+
+  RefineOptions one;
+  RefineOptions four;
+  four.num_instances = 4;
+  const auto run1 = ExecuteQuery(query, one).value();
+  const auto run4 = ExecuteQuery(query, four).value();
+  ASSERT_EQ(run1.results.size(), run4.results.size());
+  for (size_t i = 0; i < run1.results.size(); ++i) {
+    EXPECT_EQ(run1.results[i].point, run4.results[i].point);
+  }
+}
+
+}  // namespace
+}  // namespace dqr::core

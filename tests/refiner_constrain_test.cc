@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/refiner.h"
+#include "core/skyline.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::BruteForceAll;
+using testutil::ExactOnly;
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::Points;
+using testutil::TestQueryParams;
+
+// A loose query with plenty of exact results: avg >= 105 (any elevated
+// area) and contrast >= 20 (any spike).
+TestQueryParams Loose() {
+  TestQueryParams p;
+  p.avg_bounds = Interval(105, 250);
+  p.contrast_min = 20.0;
+  p.k = 7;
+  return p;
+}
+
+std::vector<Solution> TopKByRank(std::vector<Solution> exact, int64_t k) {
+  std::sort(exact.begin(), exact.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.rk != b.rk) return a.rk > b.rk;
+              return a.point < b.point;
+            });
+  if (static_cast<int64_t>(exact.size()) > k) {
+    exact.resize(static_cast<size_t>(k));
+  }
+  return exact;
+}
+
+TEST(ConstrainTest, RankModeMatchesBruteForceTopK) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = Loose();
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, params);
+
+  const auto exact = ExactOnly(BruteForceAll(query));
+  ASSERT_GT(exact.size(), static_cast<size_t>(params.k));
+  const auto expected = TopKByRank(exact, params.k);
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  const auto run = ExecuteQuery(query, options).value();
+
+  ASSERT_EQ(run.results.size(), static_cast<size_t>(params.k));
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(run.results[i].point, expected[i].point) << "rank " << i;
+    EXPECT_NEAR(run.results[i].rk, expected[i].rk, 1e-9);
+    EXPECT_DOUBLE_EQ(run.results[i].rp, 0.0);
+  }
+  EXPECT_GT(run.stats.mrk_updates, 0);
+}
+
+TEST(ConstrainTest, RankModeMultiInstanceAgrees) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = Loose();
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, params);
+  const auto expected =
+      TopKByRank(ExactOnly(BruteForceAll(query)), params.k);
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  options.num_instances = 3;
+  const auto run = ExecuteQuery(query, options).value();
+  EXPECT_EQ(Points(run.results), Points(expected));
+}
+
+TEST(ConstrainTest, SkylineModeMatchesBruteForcePareto) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = Loose();
+  searchlight::QuerySpec query = MakeTestQuery(bundle, params);
+
+  const auto exact = ExactOnly(BruteForceAll(query));
+  ASSERT_GT(exact.size(), static_cast<size_t>(params.k));
+
+  const RankModel rank = BuildRankModel(query).value();
+  std::set<std::vector<int64_t>> expected;
+  for (const Solution& s : exact) {
+    const auto sv = rank.OrientForSkyline(s.values);
+    bool dominated = false;
+    for (const Solution& t : exact) {
+      if (Skyline::Dominates(rank.OrientForSkyline(t.values), sv)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) expected.insert(s.point);
+  }
+  ASSERT_FALSE(expected.empty());
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kSkyline;
+  const auto run = ExecuteQuery(query, options).value();
+
+  std::set<std::vector<int64_t>> actual;
+  for (const Solution& s : run.results) actual.insert(s.point);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ConstrainTest, OffModeReturnsEveryExactResult) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = Loose();
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, params);
+  const auto exact = ExactOnly(BruteForceAll(query));
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kNone;
+  const auto run = ExecuteQuery(query, options).value();
+
+  auto expected_points = Points(exact);
+  std::sort(expected_points.begin(), expected_points.end());
+  EXPECT_EQ(Points(run.results), expected_points);
+}
+
+TEST(ConstrainTest, MinimizePreferenceInvertsRanking) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = Loose();
+  searchlight::QuerySpec query = MakeTestQuery(bundle, params);
+  // Prefer small averages instead of large ones.
+  query.constraints[0].preference = searchlight::RankPreference::kMinimize;
+
+  auto exact = ExactOnly(BruteForceAll(query));
+  const RankModel rank = BuildRankModel(query).value();
+  for (Solution& s : exact) s.rk = rank.Rank(s.values);
+  const auto expected = TopKByRank(std::move(exact), params.k);
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  const auto run = ExecuteQuery(query, options).value();
+  EXPECT_EQ(Points(run.results), Points(expected));
+}
+
+TEST(ConstrainTest, RankWeightsChangeWinners) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = Loose();
+
+  searchlight::QuerySpec weighted = MakeTestQuery(bundle, params);
+  weighted.constraints[0].rank_weight = 0.9;  // avg dominates the rank
+  weighted.constraints[1].rank_weight = 0.05;
+  weighted.constraints[2].rank_weight = 0.05;
+
+  auto exact = ExactOnly(BruteForceAll(weighted));
+  const RankModel rank = BuildRankModel(weighted).value();
+  for (Solution& s : exact) s.rk = rank.Rank(s.values);
+  const auto expected = TopKByRank(std::move(exact), params.k);
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  const auto run = ExecuteQuery(weighted, options).value();
+  EXPECT_EQ(Points(run.results), Points(expected));
+}
+
+TEST(ConstrainTest, ExactlyKResultsNeedNoRefinement) {
+  // Tune the contrast threshold so the exact-result count is >= k with
+  // constraining off vs on: both return the same set when count == k.
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p = Loose();
+  const searchlight::QuerySpec probe = MakeTestQuery(bundle, p);
+  const auto exact = ExactOnly(BruteForceAll(probe));
+  ASSERT_GT(exact.size(), 0u);
+
+  TestQueryParams exact_k = p;
+  exact_k.k = static_cast<int64_t>(exact.size());
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, exact_k);
+
+  RefineOptions options;
+  options.constrain = ConstrainMode::kRank;
+  const auto run = ExecuteQuery(query, options).value();
+  auto expected_points = Points(exact);
+  std::sort(expected_points.begin(), expected_points.end());
+  auto actual_points = Points(run.results);
+  std::sort(actual_points.begin(), actual_points.end());
+  EXPECT_EQ(actual_points, expected_points);
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::BruteForceAll;
+using testutil::ExactOnly;
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::Points;
+using testutil::TestQueryParams;
+
+TEST(RefinerEdgeTest, RejectsMalformedQueries) {
+  const auto bundle = MakeSmallBundle();
+  searchlight::QuerySpec query = MakeTestQuery(bundle, TestQueryParams{});
+
+  searchlight::QuerySpec no_vars = query;
+  no_vars.domains.clear();
+  EXPECT_FALSE(ExecuteQuery(no_vars, RefineOptions{}).ok());
+
+  searchlight::QuerySpec empty_domain = query;
+  empty_domain.domains[0] = cp::IntDomain(5, 3);
+  EXPECT_FALSE(ExecuteQuery(empty_domain, RefineOptions{}).ok());
+
+  searchlight::QuerySpec bad_k = query;
+  bad_k.k = -1;
+  EXPECT_FALSE(ExecuteQuery(bad_k, RefineOptions{}).ok());
+
+  searchlight::QuerySpec no_factory = query;
+  no_factory.constraints[0].make_function = nullptr;
+  EXPECT_FALSE(ExecuteQuery(no_factory, RefineOptions{}).ok());
+
+  searchlight::QuerySpec bad_weight = query;
+  bad_weight.constraints[0].relax_weight = 2.0;
+  EXPECT_FALSE(ExecuteQuery(bad_weight, RefineOptions{}).ok());
+}
+
+TEST(RefinerEdgeTest, RejectsMalformedOptions) {
+  const auto bundle = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(bundle, TestQueryParams{});
+
+  RefineOptions bad_alpha;
+  bad_alpha.alpha = 1.5;
+  EXPECT_FALSE(ExecuteQuery(query, bad_alpha).ok());
+
+  RefineOptions bad_rrd;
+  bad_rrd.replay_relaxation_distance = 0.0;
+  EXPECT_FALSE(ExecuteQuery(query, bad_rrd).ok());
+
+  RefineOptions bad_instances;
+  bad_instances.num_instances = 0;
+  EXPECT_FALSE(ExecuteQuery(query, bad_instances).ok());
+
+  RefineOptions bad_cap;
+  bad_cap.max_recorded_fails = 0;
+  EXPECT_FALSE(ExecuteQuery(query, bad_cap).ok());
+}
+
+TEST(RefinerEdgeTest, KZeroReturnsEveryExactResult) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_bounds = Interval(105, 250);
+  p.contrast_min = 20.0;
+  p.k = 0;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const auto exact = ExactOnly(BruteForceAll(query));
+  const auto run = ExecuteQuery(query, RefineOptions{}).value();
+  auto expected = Points(exact);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Points(run.results), expected);
+  EXPECT_EQ(run.stats.fails_recorded, 0);  // refinement inactive
+}
+
+TEST(RefinerEdgeTest, TimeBudgetCancelsCleanly) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.contrast_min = 70.0;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+  RefineOptions options;
+  options.time_budget_s = 1e-7;  // expires immediately
+  const auto run = ExecuteQuery(query, options).value();
+  EXPECT_FALSE(run.stats.completed);
+}
+
+TEST(RefinerEdgeTest, MoreInstancesThanDomainValues) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_bounds = Interval(105, 250);
+  p.contrast_min = 20.0;
+  searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+  // Shrink variable 0 to three values.
+  query.domains[0] = cp::IntDomain(300, 302);
+
+  RefineOptions options;
+  options.num_instances = 16;  // more than |domain 0|
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const auto all = BruteForceAll(query);
+  EXPECT_EQ(run.value().results.size(),
+            std::min(all.size(), static_cast<size_t>(query.k)));
+}
+
+TEST(RefinerEdgeTest, SingleValueDomains) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.avg_bounds = Interval(50, 250);  // always satisfied
+  p.contrast_min = 0.0;
+  searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+  query.domains[0] = cp::IntDomain(100, 100);
+  query.domains[1] = cp::IntDomain(6, 6);
+  query.k = 10;
+
+  const auto run = ExecuteQuery(query, RefineOptions{}).value();
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].point, (std::vector<int64_t>{100, 6}));
+}
+
+TEST(RefinerEdgeTest, RepeatedExecutionIsDeterministic) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p;
+  p.contrast_min = 70.0;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  RefineOptions options;
+  options.num_instances = 2;
+  const auto run1 = ExecuteQuery(query, options).value();
+  const auto run2 = ExecuteQuery(query, options).value();
+  EXPECT_EQ(Points(run1.results), Points(run2.results));
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::BruteForceAll;
+using testutil::ExactOnly;
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::Points;
+using testutil::TestQueryParams;
+
+// An over-constrained query on the small bundle: contrast >= 70 only
+// matches nothing exactly, so relaxation must kick in.
+TestQueryParams OverConstrained() {
+  TestQueryParams p;
+  p.avg_bounds = Interval(150, 200);
+  p.contrast_min = 70.0;
+  p.k = 5;
+  return p;
+}
+
+struct NamedOptions {
+  std::string name;
+  RefineOptions options;
+};
+
+std::vector<NamedOptions> OptionMatrix() {
+  std::vector<NamedOptions> out;
+  {
+    NamedOptions o{"defaults", {}};
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"full_eval", {}};
+    o.options.fail_eval = FailEvalMode::kFull;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"no_state_saving", {}};
+    o.options.save_function_state = false;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"partial_rrd", {}};
+    o.options.replay_relaxation_distance = 0.3;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"fifo_replay", {}};
+    o.options.replay_order = ReplayOrder::kFifo;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"fifo_validator_queue", {}};
+    o.options.validator_queue = ValidatorQueueOrder::kFifo;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"three_instances", {}};
+    o.options.num_instances = 3;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"speculative", {}};
+    o.options.speculative = true;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"delayed_broadcast", {}};
+    o.options.num_instances = 2;
+    o.options.broadcast_delay_us = 500;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"alpha_one", {}};
+    o.options.alpha = 1.0;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"alpha_zero", {}};
+    o.options.alpha = 0.0;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"alt_heuristics", {}};
+    o.options.var_select = cp::VarSelect::kFirstUnbound;
+    o.options.value_split = cp::ValueSplit::kBisectHighFirst;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"fail_first_heuristic", {}};
+    o.options.var_select = cp::VarSelect::kSmallestDomain;
+    out.push_back(o);
+  }
+  {
+    NamedOptions o{"kitchen_sink", {}};
+    o.options.fail_eval = FailEvalMode::kFull;
+    o.options.save_function_state = false;
+    o.options.replay_relaxation_distance = 0.5;
+    o.options.num_instances = 2;
+    o.options.speculative = true;
+    out.push_back(o);
+  }
+  return out;
+}
+
+// The relaxation guarantee (§3.1): the query returns the k results with
+// the lowest possible RP, under every option combination. Verified
+// against exhaustive enumeration.
+class RelaxGuaranteeTest : public ::testing::TestWithParam<NamedOptions> {};
+
+TEST_P(RelaxGuaranteeTest, MatchesBruteForceTopK) {
+  const auto bundle = MakeSmallBundle();
+  const TestQueryParams params = OverConstrained();
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, params);
+  const RefineOptions& options = GetParam().options;
+
+  const auto all = BruteForceAll(query, options.alpha);
+  ASSERT_GE(all.size(), static_cast<size_t>(params.k));
+  // The scenario must actually require relaxation.
+  ASSERT_LT(ExactOnly(all).size(), static_cast<size_t>(params.k));
+
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const RunResult& result = run.value();
+  EXPECT_TRUE(result.stats.completed);
+
+  ASSERT_EQ(result.results.size(), static_cast<size_t>(params.k))
+      << GetParam().name;
+  for (int64_t i = 0; i < params.k; ++i) {
+    EXPECT_EQ(result.results[static_cast<size_t>(i)].point,
+              all[static_cast<size_t>(i)].point)
+        << GetParam().name << " at rank " << i;
+    EXPECT_NEAR(result.results[static_cast<size_t>(i)].rp,
+                all[static_cast<size_t>(i)].rp, 1e-9)
+        << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, RelaxGuaranteeTest, ::testing::ValuesIn(OptionMatrix()),
+    [](const ::testing::TestParamInfo<NamedOptions>& info) {
+      return info.param.name;
+    });
+
+TEST(RelaxTest, ExactResultsComeFirstAndHaveZeroPenalty) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p = OverConstrained();
+  p.contrast_min = 42.0;  // some exact hits exist (spikes of height 45+)
+  // Ask for a few more results than exist exactly, so the returned set
+  // mixes exact and relaxed results.
+  {
+    const searchlight::QuerySpec probe = MakeTestQuery(bundle, p);
+    const auto exact_probe = ExactOnly(BruteForceAll(probe));
+    ASSERT_GT(exact_probe.size(), 0u);
+    p.k = static_cast<int64_t>(exact_probe.size()) + 3;
+  }
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const auto all = BruteForceAll(query);
+  const auto exact = ExactOnly(all);
+  ASSERT_LT(exact.size(), static_cast<size_t>(p.k));
+
+  const auto run = ExecuteQuery(query, RefineOptions{}).value();
+  ASSERT_EQ(run.results.size(), static_cast<size_t>(p.k));
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_DOUBLE_EQ(run.results[i].rp, 0.0);
+  }
+  EXPECT_GT(run.results.back().rp, 0.0);
+  EXPECT_EQ(run.stats.exact_results, static_cast<int64_t>(exact.size()));
+}
+
+TEST(RelaxTest, HardConstraintsNeverRelaxed) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p = OverConstrained();
+  p.contrast_relaxable = false;  // contrasts are hard
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const auto run = ExecuteQuery(query, RefineOptions{}).value();
+  // Nothing passes contrast >= 70, and it may not be relaxed: every
+  // returned result (if any, via avg relaxation) must satisfy it.
+  for (const Solution& s : run.results) {
+    EXPECT_GE(s.values[1], 70.0);
+    EXPECT_GE(s.values[2], 70.0);
+  }
+  EXPECT_TRUE(run.results.empty());
+}
+
+TEST(RelaxTest, FewerFeasibleThanKReturnsAllFeasible) {
+  const auto bundle = MakeSmallBundle();
+  TestQueryParams p = OverConstrained();
+  // Tight hard ranges: only values close to the bounds are acceptable.
+  p.avg_bounds = Interval(150, 200);
+  p.avg_range = Interval(148, 202);
+  p.contrast_min = 70.0;
+  p.contrast_range = Interval(55, 80);
+  p.k = 500;  // more than can exist
+  const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+  const auto all = BruteForceAll(query);
+  ASSERT_LT(all.size(), 500u);
+
+  const auto run = ExecuteQuery(query, RefineOptions{}).value();
+  EXPECT_EQ(Points(run.results), Points(all));
+}
+
+TEST(RelaxTest, RelaxationDisabledReturnsOnlyExact) {
+  const auto bundle = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(bundle, OverConstrained());
+  RefineOptions options;
+  options.enable = false;
+  const auto run = ExecuteQuery(query, options).value();
+  EXPECT_TRUE(run.results.empty());  // over-constrained: zero results
+  EXPECT_EQ(run.stats.fails_recorded, 0);
+  EXPECT_EQ(run.stats.replays, 0);
+}
+
+TEST(RelaxTest, StatsAreCoherent) {
+  const auto bundle = MakeSmallBundle();
+  const searchlight::QuerySpec query =
+      MakeTestQuery(bundle, OverConstrained());
+  const auto run = ExecuteQuery(query, RefineOptions{}).value();
+
+  EXPECT_GT(run.stats.main_search.nodes, 0);
+  EXPECT_GT(run.stats.fails_recorded, 0);
+  EXPECT_GT(run.stats.replays, 0);
+  EXPECT_GT(run.stats.candidates, 0);
+  EXPECT_GE(run.stats.candidates,
+            run.stats.validated + run.stats.dropped_precheck -
+                run.stats.duplicates);
+  EXPECT_GE(run.stats.first_result_s, 0.0);
+  EXPECT_LE(run.stats.first_result_s, run.stats.total_s);
+  EXPECT_GE(run.stats.main_search_s, 0.0);
+}
+
+}  // namespace
+}  // namespace dqr::core

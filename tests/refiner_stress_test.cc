@@ -1,0 +1,87 @@
+// Randomized end-to-end stress: random small data sets and random query
+// bounds, checked against exhaustive enumeration for both refinement
+// directions. Broader than the fixed-fixture suites — this sweeps the
+// estimator and replay machinery across many data/bound geometries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::BruteForceAll;
+using testutil::ExactOnly;
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::Points;
+using testutil::TestQueryParams;
+
+class RefinerStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RefinerStressTest, RandomQueriesMatchBruteForce) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 4; ++iter) {
+    const auto bundle =
+        MakeSmallBundle(/*n=*/400 + 50 * iter, /*seed=*/rng.NextUint64());
+
+    TestQueryParams p;
+    const double lo = rng.Uniform(100, 160);
+    p.avg_bounds = Interval(lo, lo + rng.Uniform(20, 90));
+    p.contrast_min = rng.Uniform(15, 75);
+    p.k = rng.UniformInt(1, 8);
+    p.len_lo = rng.UniformInt(2, 5);
+    p.len_hi = p.len_lo + rng.UniformInt(1, 6);
+    p.nbhd = rng.UniformInt(3, 8);
+    const searchlight::QuerySpec query = MakeTestQuery(bundle, p);
+
+    RefineOptions options;
+    options.num_instances = static_cast<int>(rng.UniformInt(1, 3));
+    options.constrain = ConstrainMode::kRank;
+
+    const auto all = BruteForceAll(query, options.alpha);
+    const auto exact = ExactOnly(all);
+    const auto run = ExecuteQuery(query, options);
+    ASSERT_TRUE(run.ok());
+    const auto& results = run.value().results;
+
+    if (exact.size() >= static_cast<size_t>(p.k)) {
+      // Constraining: top-k by (rk desc, point).
+      auto expected = exact;
+      std::sort(expected.begin(), expected.end(),
+                [](const Solution& a, const Solution& b) {
+                  if (a.rk != b.rk) return a.rk > b.rk;
+                  return a.point < b.point;
+                });
+      expected.resize(static_cast<size_t>(p.k));
+      ASSERT_EQ(Points(results), Points(expected))
+          << "constraining mismatch, seed=" << GetParam()
+          << " iter=" << iter << " exact=" << exact.size();
+    } else {
+      // Relaxation: best-k by (rp, point) among feasible.
+      const size_t expect_n =
+          std::min(all.size(), static_cast<size_t>(p.k));
+      ASSERT_EQ(results.size(), expect_n)
+          << "relaxation size mismatch, seed=" << GetParam()
+          << " iter=" << iter;
+      for (size_t i = 0; i < expect_n; ++i) {
+        ASSERT_EQ(results[i].point, all[i].point)
+            << "relaxation mismatch at rank " << i
+            << ", seed=" << GetParam() << " iter=" << iter;
+        ASSERT_NEAR(results[i].rp, all[i].rp, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinerStressTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u));
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,280 @@
+#include "cp/search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace dqr::cp {
+namespace {
+
+using testutil::AllPoints;
+using testutil::ExactFunction;
+
+// Collects search events for inspection.
+class RecordingListener : public SearchListener {
+ public:
+  void OnFail(FailInfo info) override { fails.push_back(std::move(info)); }
+
+  bool OnNode(const DomainBox& box,
+              const std::vector<Interval>& estimates) override {
+    (void)estimates;
+    ++nodes_seen;
+    if (prune_predicate && prune_predicate(box)) return false;
+    return true;
+  }
+
+  void OnSolution(const std::vector<int64_t>& point,
+                  const std::vector<Interval>& estimates) override {
+    (void)estimates;
+    solutions.insert(point);
+  }
+
+  std::vector<FailInfo> fails;
+  std::set<std::vector<int64_t>> solutions;
+  int64_t nodes_seen = 0;
+  std::function<bool(const DomainBox&)> prune_predicate;
+};
+
+std::unique_ptr<ExactFunction> Sum(Interval range = Interval(-100, 100)) {
+  return std::make_unique<ExactFunction>(
+      "sum",
+      [](const std::vector<int64_t>& p) {
+        return static_cast<double>(p[0] + p[1]);
+      },
+      range);
+}
+
+TEST(SearchTest, CompleteEnumerationMatchesBruteForce) {
+  const DomainBox root = {IntDomain(0, 12), IntDomain(0, 7)};
+  RangeConstraint c(Sum(), Interval(6, 9));
+  RecordingListener listener;
+  SearchTree tree(root, {&c}, &listener, SearchOptions{});
+  const SearchStats stats = tree.Run();
+  EXPECT_TRUE(stats.completed);
+
+  std::set<std::vector<int64_t>> expected;
+  for (const auto& p : AllPoints(root)) {
+    const double v = static_cast<double>(p[0] + p[1]);
+    if (v >= 6 && v <= 9) expected.insert(p);
+  }
+  EXPECT_EQ(listener.solutions, expected);
+  EXPECT_GT(stats.fails, 0);
+  EXPECT_EQ(stats.leaves,
+            static_cast<int64_t>(listener.solutions.size()));
+}
+
+TEST(SearchTest, MultipleConstraintsIntersect) {
+  const DomainBox root = {IntDomain(0, 20), IntDomain(0, 20)};
+  RangeConstraint c1(Sum(), Interval(10, 30));
+  auto diff_fn = std::make_unique<ExactFunction>(
+      "diff",
+      [](const std::vector<int64_t>& p) {
+        return static_cast<double>(p[0] - p[1]);
+      },
+      Interval(-100, 100));
+  RangeConstraint c2(std::move(diff_fn), Interval(-2, 2));
+
+  RecordingListener listener;
+  SearchTree tree(root, {&c1, &c2}, &listener, SearchOptions{});
+  tree.Run();
+
+  for (const auto& p : AllPoints(root)) {
+    const double sum = static_cast<double>(p[0] + p[1]);
+    const double diff = static_cast<double>(p[0] - p[1]);
+    const bool valid = sum >= 10 && sum <= 30 && diff >= -2 && diff <= 2;
+    EXPECT_EQ(listener.solutions.count(p), valid ? 1u : 0u);
+  }
+}
+
+TEST(SearchTest, FailInfoDescribesViolation) {
+  // Sum over the whole root is [0, 4]; bounds [10, 12] can never match,
+  // so the very first node fails and the search records exactly one fail.
+  const DomainBox root = {IntDomain(0, 2), IntDomain(0, 2)};
+  RangeConstraint c(Sum(), Interval(10, 12));
+  RecordingListener listener;
+  SearchTree tree(root, {&c}, &listener, SearchOptions{});
+  const SearchStats stats = tree.Run();
+
+  EXPECT_EQ(stats.fails, 1);
+  ASSERT_EQ(listener.fails.size(), 1u);
+  const FailInfo& fail = listener.fails[0];
+  EXPECT_EQ(fail.box, root);
+  EXPECT_EQ(fail.violated, std::vector<int>{0});
+  ASSERT_EQ(fail.estimates.size(), 1u);
+  EXPECT_EQ(fail.estimates[0], Interval(0, 4));
+  EXPECT_TRUE(fail.evaluated[0]);
+  EXPECT_EQ(fail.depth, 0);
+}
+
+TEST(SearchTest, FailFastLeavesLaterConstraintsUnevaluated) {
+  const DomainBox root = {IntDomain(0, 2), IntDomain(0, 2)};
+  RangeConstraint c1(Sum(), Interval(10, 12));    // violated at the root
+  RangeConstraint c2(Sum(), Interval(0, 4));      // never reached
+  RecordingListener listener;
+  SearchOptions options;
+  options.fail_fast = true;
+  SearchTree tree(root, {&c1, &c2}, &listener, options);
+  tree.Run();
+
+  ASSERT_EQ(listener.fails.size(), 1u);
+  EXPECT_TRUE(listener.fails[0].evaluated[0]);
+  EXPECT_FALSE(listener.fails[0].evaluated[1]);
+}
+
+TEST(SearchTest, NoFailFastEvaluatesEverything) {
+  const DomainBox root = {IntDomain(0, 2), IntDomain(0, 2)};
+  RangeConstraint c1(Sum(), Interval(10, 12));
+  RangeConstraint c2(Sum(), Interval(20, 22));
+  RecordingListener listener;
+  SearchOptions options;
+  options.fail_fast = false;
+  SearchTree tree(root, {&c1, &c2}, &listener, options);
+  tree.Run();
+
+  ASSERT_EQ(listener.fails.size(), 1u);
+  EXPECT_TRUE(listener.fails[0].evaluated[0]);
+  EXPECT_TRUE(listener.fails[0].evaluated[1]);
+  EXPECT_EQ(listener.fails[0].violated, (std::vector<int>{0, 1}));
+}
+
+TEST(SearchTest, MonitorPrunesSubtrees) {
+  const DomainBox root = {IntDomain(0, 15), IntDomain(0, 0)};
+  RangeConstraint c(Sum(), Interval(-100, 100));  // always satisfied
+  RecordingListener listener;
+  // Prune every box whose x-domain lies fully above 7.
+  listener.prune_predicate = [](const DomainBox& box) {
+    return box[0].lo > 7;
+  };
+  SearchTree tree(root, {&c}, &listener, SearchOptions{});
+  const SearchStats stats = tree.Run();
+
+  EXPECT_GT(stats.monitor_prunes, 0);
+  for (const auto& p : listener.solutions) EXPECT_LE(p[0], 7);
+  EXPECT_EQ(listener.solutions.size(), 8u);
+}
+
+TEST(SearchTest, CancellationStopsSearch) {
+  const DomainBox root = {IntDomain(0, 1000), IntDomain(0, 1000)};
+  RangeConstraint c(Sum(), Interval(-1e9, 1e9));
+  RecordingListener listener;
+  std::atomic<bool> cancel{true};
+  SearchOptions options;
+  options.cancel = &cancel;
+  SearchTree tree(root, {&c}, &listener, options);
+  const SearchStats stats = tree.Run();
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.nodes, 0);
+}
+
+TEST(SearchTest, MaxNodesBudget) {
+  const DomainBox root = {IntDomain(0, 1000), IntDomain(0, 1000)};
+  RangeConstraint c(Sum(), Interval(-1e9, 1e9));
+  RecordingListener listener;
+  SearchOptions options;
+  options.max_nodes = 50;
+  SearchTree tree(root, {&c}, &listener, options);
+  const SearchStats stats = tree.Run();
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.nodes, 50);
+}
+
+TEST(SearchTest, NoConstraintsEnumeratesEverything) {
+  const DomainBox root = {IntDomain(3, 5), IntDomain(7, 8)};
+  RecordingListener listener;
+  SearchTree tree(root, {}, &listener, SearchOptions{});
+  const SearchStats stats = tree.Run();
+  EXPECT_EQ(stats.leaves, 6);
+  EXPECT_EQ(listener.solutions.size(), 6u);
+}
+
+TEST(SearchTest, HeuristicsChangeOrderNotResults) {
+  const DomainBox root = {IntDomain(0, 17), IntDomain(0, 11)};
+  RangeConstraint c(Sum(), Interval(8, 14));
+
+  std::set<std::vector<int64_t>> reference;
+  bool first = true;
+  for (const VarSelect vs :
+       {VarSelect::kWidestDomain, VarSelect::kFirstUnbound,
+        VarSelect::kSmallestDomain}) {
+    for (const ValueSplit split :
+         {ValueSplit::kBisectLowFirst, ValueSplit::kBisectHighFirst}) {
+      RecordingListener listener;
+      SearchOptions options;
+      options.var_select = vs;
+      options.value_split = split;
+      SearchTree tree(root, {&c}, &listener, options);
+      const SearchStats stats = tree.Run();
+      EXPECT_TRUE(stats.completed);
+      if (first) {
+        reference = listener.solutions;
+        first = false;
+        EXPECT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(listener.solutions, reference)
+            << "heuristic changed the solution set";
+      }
+    }
+  }
+}
+
+TEST(SearchTest, HighFirstSplitFindsHighSolutionsEarlier) {
+  // With a single unconstrained variable, the first emitted leaf reveals
+  // the exploration order.
+  const DomainBox root = {IntDomain(0, 100), IntDomain(0, 0)};
+  std::vector<std::vector<int64_t>> order;
+  class OrderListener : public SearchListener {
+   public:
+    explicit OrderListener(std::vector<std::vector<int64_t>>* order)
+        : order_(*order) {}
+    void OnSolution(const std::vector<int64_t>& point,
+                    const std::vector<Interval>&) override {
+      order_.push_back(point);
+    }
+
+   private:
+    std::vector<std::vector<int64_t>>& order_;
+  };
+
+  SearchOptions low;
+  OrderListener low_listener(&order);
+  SearchTree(root, {}, &low_listener, low).Run();
+  EXPECT_EQ(order.front()[0], 0);
+
+  order.clear();
+  SearchOptions high;
+  high.value_split = ValueSplit::kBisectHighFirst;
+  OrderListener high_listener(&order);
+  SearchTree(root, {}, &high_listener, high).Run();
+  EXPECT_EQ(order.front()[0], 100);
+  EXPECT_EQ(order.size(), 101u);
+}
+
+TEST(SearchTest, ResumeFromRecordedFailBox) {
+  // A search restarted from a fail's box with relaxed bounds discovers
+  // exactly the assignments inside that box satisfying the new bounds —
+  // the primitive fail replaying builds on.
+  const DomainBox root = {IntDomain(0, 7), IntDomain(0, 7)};
+  RangeConstraint c(Sum(), Interval(100, 120));  // everything fails
+  RecordingListener listener;
+  SearchTree tree(root, {&c}, &listener, SearchOptions{});
+  tree.Run();
+  ASSERT_FALSE(listener.fails.empty());
+
+  const DomainBox replay_box = listener.fails[0].box;
+  c.SetEffectiveBounds(Interval(10, 120));
+  RecordingListener replay_listener;
+  SearchTree replay(replay_box, {&c}, &replay_listener, SearchOptions{});
+  replay.Run();
+  c.ResetEffectiveBounds();
+
+  std::set<std::vector<int64_t>> expected;
+  for (const auto& p : AllPoints(replay_box)) {
+    if (p[0] + p[1] >= 10) expected.insert(p);
+  }
+  EXPECT_EQ(replay_listener.solutions, expected);
+}
+
+}  // namespace
+}  // namespace dqr::cp

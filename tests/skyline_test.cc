@@ -1,0 +1,92 @@
+#include "core/skyline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqr::core {
+namespace {
+
+SkylineEntry Entry(std::vector<double> oriented) {
+  SkylineEntry e;
+  e.solution.point = {static_cast<int64_t>(oriented[0] * 100)};
+  e.oriented = std::move(oriented);
+  return e;
+}
+
+TEST(SkylineTest, DominatesSemantics) {
+  EXPECT_TRUE(Skyline::Dominates({2, 2}, {1, 2}));
+  EXPECT_TRUE(Skyline::Dominates({2, 3}, {1, 2}));
+  EXPECT_FALSE(Skyline::Dominates({2, 2}, {2, 2}));  // needs strictness
+  EXPECT_FALSE(Skyline::Dominates({3, 1}, {1, 3}));  // incomparable
+  EXPECT_FALSE(Skyline::Dominates({1, 2}, {2, 2}));
+}
+
+TEST(SkylineTest, AddRejectsDominatedAndEvicts) {
+  Skyline sky;
+  EXPECT_TRUE(sky.Add(Entry({2, 2})));
+  EXPECT_FALSE(sky.Add(Entry({1, 1})));   // dominated
+  EXPECT_TRUE(sky.Add(Entry({3, 1})));    // incomparable
+  EXPECT_EQ(sky.size(), 2u);
+  EXPECT_TRUE(sky.Add(Entry({4, 3})));    // dominates both
+  EXPECT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky.entries()[0].oriented, (std::vector<double>{4, 3}));
+}
+
+TEST(SkylineTest, EqualVectorsCoexist) {
+  Skyline sky;
+  EXPECT_TRUE(sky.Add(Entry({2, 2})));
+  EXPECT_TRUE(sky.Add(Entry({2, 2})));  // tie: not dominated
+  EXPECT_EQ(sky.size(), 2u);
+}
+
+TEST(SkylineTest, DominatesBoxPrunesOnlyStrictly) {
+  Skyline sky;
+  sky.Add(Entry({5, 5}));
+  EXPECT_TRUE(sky.DominatesBox({4, 4}));
+  EXPECT_TRUE(sky.DominatesBox({5, 4}));
+  EXPECT_FALSE(sky.DominatesBox({5, 5}));  // corner ties: keep searching
+  EXPECT_FALSE(sky.DominatesBox({6, 0}));
+}
+
+// Property: incrementally built skyline equals the brute-force Pareto
+// front, regardless of insertion order.
+class SkylinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkylinePropertyTest, MatchesBruteForcePareto) {
+  Rng rng(GetParam());
+  std::vector<std::vector<double>> vectors;
+  for (int i = 0; i < 200; ++i) {
+    vectors.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10),
+                       rng.Uniform(0, 10)});
+  }
+
+  Skyline sky;
+  for (const auto& v : vectors) sky.Add(Entry(v));
+
+  std::set<std::vector<double>> expected;
+  for (const auto& v : vectors) {
+    bool dominated = false;
+    for (const auto& w : vectors) {
+      if (Skyline::Dominates(w, v)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) expected.insert(v);
+  }
+
+  std::set<std::vector<double>> actual;
+  for (const auto& e : sky.entries()) actual.insert(e.oriented);
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylinePropertyTest,
+                         ::testing::Values(3u, 11u, 29u, 123u));
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dqr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorConstructors) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+
+  const Status status = InvalidArgumentError("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r(NotFoundError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  const Result<int> r(InternalError("boom"));
+  EXPECT_DEATH((void)r.value(), "boom");
+}
+
+}  // namespace
+}  // namespace dqr

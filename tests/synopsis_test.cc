@@ -1,0 +1,145 @@
+#include "synopsis/synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqr::synopsis {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<array::Array> array;
+  std::shared_ptr<Synopsis> synopsis;
+  std::vector<double> data;
+};
+
+Fixture MakeFixture(int64_t n, uint64_t seed, SynopsisOptions options) {
+  Fixture f;
+  Rng rng(seed);
+  f.data.resize(static_cast<size_t>(n));
+  for (double& v : f.data) v = rng.Uniform(50, 250);
+  array::ArraySchema schema;
+  schema.name = "syn_test";
+  schema.length = n;
+  schema.chunk_size = 64;
+  f.array = array::Array::FromData(schema, f.data).value();
+  f.synopsis = Synopsis::Build(*f.array, options).value();
+  return f;
+}
+
+TEST(SynopsisTest, BuildRejectsBadOptions) {
+  auto f = MakeFixture(100, 1, SynopsisOptions{{16, 4}, 8});
+  SynopsisOptions bad;
+  bad.cell_sizes = {};
+  EXPECT_FALSE(Synopsis::Build(*f.array, bad).ok());
+  bad.cell_sizes = {8, 16};  // not decreasing
+  EXPECT_FALSE(Synopsis::Build(*f.array, bad).ok());
+  bad.cell_sizes = {16, 16};
+  EXPECT_FALSE(Synopsis::Build(*f.array, bad).ok());
+  bad.cell_sizes = {0};
+  EXPECT_FALSE(Synopsis::Build(*f.array, bad).ok());
+  bad.cell_sizes = {16};
+  bad.max_cells_per_query = 1;
+  EXPECT_FALSE(Synopsis::Build(*f.array, bad).ok());
+}
+
+TEST(SynopsisTest, GlobalRangeMatchesData) {
+  auto f = MakeFixture(500, 3, SynopsisOptions{{64, 8}, 16});
+  double mn = f.data[0];
+  double mx = f.data[0];
+  for (const double v : f.data) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_DOUBLE_EQ(f.synopsis->global_value_range().lo, mn);
+  EXPECT_DOUBLE_EQ(f.synopsis->global_value_range().hi, mx);
+}
+
+// The central synopsis contract: every bound query returns an interval
+// containing the exact aggregate over the base data.
+class SynopsisSoundnessTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(SynopsisSoundnessTest, BoundsContainExactAggregates) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int levels = std::get<1>(GetParam());
+  SynopsisOptions options;
+  options.cell_sizes.clear();
+  for (int cell = 512, l = 0; l < levels; ++l, cell /= 4) {
+    options.cell_sizes.push_back(cell);
+  }
+  options.max_cells_per_query = 16;
+  auto f = MakeFixture(3000, seed, options);
+
+  Rng rng(seed ^ 0xabcdef);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int64_t lo = rng.UniformInt(0, 2998);
+    const int64_t hi = rng.UniformInt(lo + 1, 3000);
+    const array::WindowAggregates exact = f.array->AggregateWindow(lo, hi);
+
+    const Interval value = f.synopsis->ValueBounds(lo, hi);
+    EXPECT_LE(value.lo, exact.min);
+    EXPECT_GE(value.hi, exact.max);
+
+    const Interval sum = f.synopsis->SumBounds(lo, hi);
+    EXPECT_LE(sum.lo, exact.sum + 1e-9);
+    EXPECT_GE(sum.hi, exact.sum - 1e-9);
+
+    const Interval avg = f.synopsis->AvgBounds(lo, hi);
+    EXPECT_LE(avg.lo, exact.avg() + 1e-9);
+    EXPECT_GE(avg.hi, exact.avg() - 1e-9);
+
+    const Interval mx = f.synopsis->MaxBounds(lo, hi);
+    EXPECT_LE(mx.lo, exact.max + 1e-9);
+    EXPECT_GE(mx.hi, exact.max - 1e-9);
+
+    const Interval mn = f.synopsis->MinBounds(lo, hi);
+    EXPECT_LE(mn.lo, exact.min + 1e-9);
+    EXPECT_GE(mn.hi, exact.min - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLevels, SynopsisSoundnessTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 1234u),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SynopsisTest, FinerLevelsTightenCellAlignedEstimates) {
+  // On cell-aligned windows the synopsis is exact at a level whose cells
+  // divide the window; a multi-level synopsis must be at least as tight.
+  auto coarse = MakeFixture(1024, 5, SynopsisOptions{{256}, 16});
+  auto multi = MakeFixture(1024, 5, SynopsisOptions{{256, 16}, 16});
+  const Interval c = coarse.synopsis->ValueBounds(0, 64);
+  const Interval m = multi.synopsis->ValueBounds(0, 64);
+  EXPECT_GE(m.lo, c.lo);
+  EXPECT_LE(m.hi, c.hi);
+}
+
+TEST(SynopsisTest, ExactOnCellAlignedSums) {
+  auto f = MakeFixture(256, 9, SynopsisOptions{{16}, 64});
+  const array::WindowAggregates exact = f.array->AggregateWindow(16, 64);
+  const Interval sum = f.synopsis->SumBounds(16, 64);
+  EXPECT_NEAR(sum.lo, exact.sum, 1e-9);
+  EXPECT_NEAR(sum.hi, exact.sum, 1e-9);
+}
+
+TEST(SynopsisTest, QueryCounterTracks) {
+  auto f = MakeFixture(256, 9, SynopsisOptions{{16}, 64});
+  f.synopsis->ResetQueryCount();
+  (void)f.synopsis->ValueBounds(0, 10);
+  (void)f.synopsis->MaxBounds(0, 10);
+  EXPECT_EQ(f.synopsis->queries_served(), 2);
+}
+
+TEST(SynopsisTest, MemoryBytesPositiveAndProportional) {
+  auto small = MakeFixture(256, 9, SynopsisOptions{{64}, 16});
+  auto large = MakeFixture(256, 9, SynopsisOptions{{64, 8}, 16});
+  EXPECT_GT(small.synopsis->MemoryBytes(), 0);
+  EXPECT_GT(large.synopsis->MemoryBytes(), small.synopsis->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace dqr::synopsis

@@ -1,0 +1,119 @@
+#ifndef DQR_TESTS_TEST_UTIL_H_
+#define DQR_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "cp/domain.h"
+#include "cp/function.h"
+
+namespace dqr::testutil {
+
+// A constraint function over integer decision variables defined by a
+// scalar lambda, with *exact* interval estimates obtained by evaluating
+// the lambda on every assignment in the box (test domains are tiny).
+// Estimates are therefore sound and maximally tight, which makes search
+// behaviour fully predictable in tests.
+class ExactFunction : public cp::ConstraintFunction {
+ public:
+  using Fn = std::function<double(const std::vector<int64_t>&)>;
+
+  ExactFunction(std::string name, Fn fn, Interval value_range)
+      : name_(std::move(name)),
+        fn_(std::move(fn)),
+        value_range_(value_range) {}
+
+  std::string name() const override { return name_; }
+
+  Interval Estimate(const cp::DomainBox& box) override {
+    ++estimate_calls_;
+    Interval out = Interval::Empty();
+    std::vector<int64_t> point(box.size());
+    EnumerateBox(box, 0, &point, &out);
+    return out;
+  }
+
+  double Evaluate(const std::vector<int64_t>& point) override {
+    ++evaluate_calls_;
+    return fn_(point);
+  }
+
+  Interval value_range() const override { return value_range_; }
+
+  std::unique_ptr<cp::ConstraintFunction> Clone() const override {
+    return std::make_unique<ExactFunction>(name_, fn_, value_range_);
+  }
+
+  int64_t estimate_calls() const { return estimate_calls_; }
+  int64_t evaluate_calls() const { return evaluate_calls_; }
+
+ private:
+  void EnumerateBox(const cp::DomainBox& box, size_t var,
+                    std::vector<int64_t>* point, Interval* out) {
+    if (var == box.size()) {
+      *out = out->Union(Interval::Point(fn_(*point)));
+      return;
+    }
+    for (int64_t v = box[var].lo; v <= box[var].hi; ++v) {
+      (*point)[var] = v;
+      EnumerateBox(box, var + 1, point, out);
+    }
+  }
+
+  std::string name_;
+  Fn fn_;
+  Interval value_range_;
+  int64_t estimate_calls_ = 0;
+  int64_t evaluate_calls_ = 0;
+};
+
+// A loose variant: pads the exact estimate by `slack` on both sides
+// (clipped to the value range), modelling a lossy synopsis. Still sound.
+class PaddedFunction : public ExactFunction {
+ public:
+  PaddedFunction(std::string name, Fn fn, Interval value_range,
+                 double slack)
+      : ExactFunction(std::move(name), std::move(fn), value_range),
+        slack_(slack) {}
+
+  Interval Estimate(const cp::DomainBox& box) override {
+    const Interval exact = ExactFunction::Estimate(box);
+    return Interval(exact.lo - slack_, exact.hi + slack_)
+        .Intersect(value_range());
+  }
+
+  std::unique_ptr<cp::ConstraintFunction> Clone() const override {
+    return nullptr;  // not needed in tests that use PaddedFunction
+  }
+
+ private:
+  double slack_;
+};
+
+// Enumerates every assignment in `box` into a vector of points, in
+// lexicographic order.
+inline std::vector<std::vector<int64_t>> AllPoints(
+    const cp::DomainBox& box) {
+  std::vector<std::vector<int64_t>> points;
+  std::vector<int64_t> point(box.size());
+  const std::function<void(size_t)> rec = [&](size_t var) {
+    if (var == box.size()) {
+      points.push_back(point);
+      return;
+    }
+    for (int64_t v = box[var].lo; v <= box[var].hi; ++v) {
+      point[var] = v;
+      rec(var + 1);
+    }
+  };
+  rec(0);
+  return points;
+}
+
+}  // namespace dqr::testutil
+
+#endif  // DQR_TESTS_TEST_UTIL_H_
