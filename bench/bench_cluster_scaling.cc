@@ -9,10 +9,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dqr;
   using namespace dqr::bench;
 
+  InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::FromEnv();
   env.wave_length = std::min<int64_t>(env.wave_length, 1 << 20);
   const auto wave = WaveBundle(env);
@@ -43,6 +44,22 @@ int main() {
         points += s.ToString();
       }
       if (reference_points.empty()) reference_points = points;
+
+      JsonRecord record;
+      record.name = "bench_cluster_scaling/msel_auto";
+      record.config = {{"instances", std::to_string(instances)},
+                       {"broadcast_delay_us", std::to_string(delay_us)}};
+      record.seconds = result.stats.total_s;
+      record.results = {
+          {"first_result_s", std::to_string(result.stats.first_result_s)},
+          {"nodes", std::to_string(result.stats.main_search.nodes +
+                                   result.stats.replay_search.nodes)},
+          {"result_count", std::to_string(result.results.size())},
+          {"results_identical",
+           points == reference_points ? "true" : "false"},
+      };
+      RecordJson(record);
+
       table.AddRow({std::to_string(instances), std::to_string(delay_us),
                     Secs(result.stats.total_s),
                     Secs(result.stats.first_result_s),

@@ -16,6 +16,31 @@ double EnvDouble(const char* name, double fallback) {
   return value == nullptr ? fallback : std::atof(value);
 }
 
+// JSON output state: the target path (empty = disabled) and every record
+// serialized so far; the file is rewritten on each append.
+std::string& JsonPath() {
+  static std::string path = [] {
+    const char* env = std::getenv("DQR_BENCH_JSON");
+    return std::string(env == nullptr ? "" : env);
+  }();
+  return path;
+}
+
+std::vector<std::string>& JsonRecords() {
+  static std::vector<std::string> records;
+  return records;
+}
+
+std::string JsonObject(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonStr(fields[i].first) + ": " + fields[i].second;
+  }
+  return out + "}";
+}
+
 }  // namespace
 
 BenchEnv BenchEnv::FromEnv() {
@@ -120,6 +145,70 @@ UserFractions FractionsFor(data::QueryKind kind) {
       return {0.10, 0.30};
   }
   return {};
+}
+
+std::string JsonStr(const std::string& raw) {
+  std::string out = "\"";
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+void InitBenchJson(const std::string& path) { JsonPath() = path; }
+
+void InitBenchJson(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      InitBenchJson(argv[i + 1]);
+      return;
+    }
+  }
+}
+
+void RecordJson(const JsonRecord& record) {
+  if (JsonPath().empty()) return;
+  char seconds[32];
+  std::snprintf(seconds, sizeof(seconds), "%.6f", record.seconds);
+  std::string obj = "{";
+  obj += JsonStr("name") + ": " + JsonStr(record.name) + ", ";
+  obj += JsonStr("config") + ": " + JsonObject(record.config) + ", ";
+  obj += JsonStr("seconds") + ": " + seconds + ", ";
+  obj += JsonStr("results") + ": " + JsonObject(record.results);
+  obj += "}";
+  JsonRecords().push_back(std::move(obj));
+
+  std::FILE* f = std::fopen(JsonPath().c_str(), "w");
+  if (f == nullptr) return;  // diagnostics-only output: ignore IO errors
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < JsonRecords().size(); ++i) {
+    std::fputs("  ", f);
+    std::fputs(JsonRecords()[i].c_str(), f);
+    std::fputs(i + 1 < JsonRecords().size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
 }
 
 std::string Secs(double s, bool capped) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/refiner.h"
@@ -77,6 +78,32 @@ UserFractions FractionsFor(data::QueryKind kind);
 // Formats seconds like the paper's tables: "97", "2.4", "2h 8m"; capped
 // runs render as ">30".
 std::string Secs(double s, bool capped = false);
+
+// --- machine-readable output ---
+// One benchmark measurement: written as
+//   {"name": ..., "config": {...}, "seconds": ..., "results": {...}}
+// config/results entries map a key to an *already JSON-encoded* value —
+// numbers via std::to_string, strings via JsonStr.
+struct JsonRecord {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> config;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> results;
+};
+
+// JSON string literal with quoting/escaping.
+std::string JsonStr(const std::string& raw);
+
+// Enables JSON output to `path`. Benches call the argc/argv overload to
+// honor `--json <path>`; independent of that, the DQR_BENCH_JSON
+// environment variable enables it for benches run without flags. With
+// neither configured, RecordJson is a no-op.
+void InitBenchJson(const std::string& path);
+void InitBenchJson(int argc, char** argv);
+
+// Appends one record and rewrites the configured file as a JSON array, so
+// partial output survives an aborted run (`BENCH_*.json` perf trajectory).
+void RecordJson(const JsonRecord& record);
 
 // A fixed-width table printer with a title and a trailing note.
 class TablePrinter {

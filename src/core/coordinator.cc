@@ -1,5 +1,9 @@
 #include "core/coordinator.h"
 
+#include <utility>
+
+#include "common/check.h"
+
 namespace dqr::core {
 
 void DelayedBroadcast::Publish(double value) {
@@ -10,16 +14,29 @@ void DelayedBroadcast::Publish(double value) {
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back(
       Pending{Clock::now() + std::chrono::microseconds(delay_us_), value});
+  if (pending_.size() == 1) {
+    next_due_ns_.store(ToNs(pending_.front().at),
+                       std::memory_order_release);
+  }
 }
 
 double DelayedBroadcast::Read() const {
   if (delay_us_ <= 0) return visible_.load(std::memory_order_relaxed);
+  // Fast path: nothing pending, or the oldest pending update is not due
+  // yet — a pure atomic read, no mutex on the hot MRP/MRK check.
+  const int64_t due = next_due_ns_.load(std::memory_order_acquire);
+  if (ToNs(Clock::now()) < due) {
+    return visible_.load(std::memory_order_relaxed);
+  }
+  // Slow path (a flip is due): publish every elapsed update.
   std::lock_guard<std::mutex> lock(mu_);
   const auto now = Clock::now();
   while (!pending_.empty() && pending_.front().at <= now) {
     visible_.store(pending_.front().value, std::memory_order_relaxed);
     pending_.pop_front();
   }
+  next_due_ns_.store(pending_.empty() ? kIdle : ToNs(pending_.front().at),
+                     std::memory_order_release);
   return visible_.load(std::memory_order_relaxed);
 }
 
@@ -55,7 +72,30 @@ void Coordinator::NoteResult() {
   }
 }
 
+void Coordinator::SeedShards(std::vector<cp::IntDomain> shards) {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  DQR_CHECK(shards_.empty());
+  shards_.assign(shards.begin(), shards.end());
+  shards_seeded_ = static_cast<int64_t>(shards_.size());
+}
+
+std::optional<cp::IntDomain> Coordinator::PopShard() {
+  if (cancelled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  if (shards_.empty()) return std::nullopt;
+  cp::IntDomain shard = shards_.front();
+  shards_.pop_front();
+  return shard;
+}
+
 void Coordinator::ArriveMainSearchDone() {
+  {
+    // An instance only arrives after PopShard() handed it nullopt, so the
+    // pool is drained (or the query cancelled) by the time the last
+    // instance gets here.
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    DQR_CHECK(shards_.empty() || cancelled());
+  }
   std::unique_lock<std::mutex> lock(barrier_mu_);
   if (++barrier_arrived_ >= num_instances_) {
     barrier_cv_.notify_all();

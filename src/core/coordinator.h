@@ -5,12 +5,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
+#include <optional>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "core/options.h"
 #include "core/rank.h"
 #include "core/tracker.h"
+#include "cp/domain.h"
 
 namespace dqr::core {
 
@@ -18,6 +22,13 @@ namespace dqr::core {
 // configurable delay — the stand-in for Searchlight's asynchronous MRP/MRK
 // broadcasts between cluster instances ("MRP is (asynchronously) updated
 // for all Solvers/Validators", §4.1). Delay 0 uses a lock-free fast path.
+//
+// Delayed mode is also contention-free in the common case: readers check
+// an atomic "when is the oldest pending update due" timestamp and take the
+// mutex only when a flip is actually due. The flip itself happens on the
+// first Read() at or after the due time (reads pull updates visible; an
+// idle Publish side never needs to push them), so a value published before
+// instant t is guaranteed visible to every Read() from t + delay on.
 class DelayedBroadcast {
  public:
   DelayedBroadcast(double initial, int64_t delay_us)
@@ -33,16 +44,29 @@ class DelayedBroadcast {
     double value;
   };
 
+  // Sentinel for "nothing pending": any clock reading compares below it.
+  static constexpr int64_t kIdle = std::numeric_limits<int64_t>::max();
+
+  static int64_t ToNs(Clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+  }
+
   const int64_t delay_us_;
   mutable std::atomic<double> visible_;
+  // Due time (steady-clock ns) of pending_.front(), kIdle when empty. The
+  // hot-path read gate: while now < next_due_ns_ nothing can flip and
+  // Read() is two atomic loads.
+  mutable std::atomic<int64_t> next_due_ns_{kIdle};
   mutable std::mutex mu_;          // guards pending_ (delayed mode only)
   mutable std::deque<Pending> pending_;
 };
 
 // Shared per-query state across all simulated instances: the global result
-// tracker, the (possibly delayed) MRP/MRK views, the end-of-main-search
-// barrier that gates the relaxation decision, cancellation, and
-// first-result timing.
+// tracker, the (possibly delayed) MRP/MRK views, the shard pool instances
+// steal main-search work from, the end-of-main-search barrier that gates
+// the relaxation decision, cancellation, and first-result timing.
 class Coordinator {
  public:
   Coordinator(int num_instances, int64_t k, ConstrainMode mode,
@@ -74,8 +98,18 @@ class Coordinator {
   void NoteResult();
   double first_result_s() const { return first_result_s_.load(); }
 
-  // End-of-main-search barrier: each instance arrives once after draining
-  // its validator; the call returns when every instance has arrived.
+  // --- work-stealing shard pool ---
+  // Seeds the pool with the main search's variable-0 shards; call once
+  // before the instances start. Shards are handed out lowest-first.
+  void SeedShards(std::vector<cp::IntDomain> shards);
+  // Pulls the next shard; nullopt once the pool is drained or the query is
+  // cancelled. Never blocks.
+  std::optional<cp::IntDomain> PopShard();
+  int64_t shards_seeded() const { return shards_seeded_; }
+
+  // End-of-main-search barrier: each instance arrives once after the shard
+  // pool handed it nullopt and its validator drained; the call returns
+  // when the pool is drained AND every instance is quiescent (arrived).
   void ArriveMainSearchDone();
 
   const std::atomic<bool>& cancel_flag() const { return cancel_; }
@@ -97,6 +131,10 @@ class Coordinator {
   std::atomic<double> first_result_s_{-1.0};
   std::atomic<bool> have_first_{false};
   Stopwatch clock_;
+
+  std::mutex shard_mu_;
+  std::deque<cp::IntDomain> shards_;
+  int64_t shards_seeded_ = 0;
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

@@ -32,6 +32,11 @@ struct FailRecord {
   double brp = 0.0;
   int depth = 0;
   int64_t seq = 0;
+  // Instance whose solver recorded the fail. With the shared replay pool
+  // any instance may replay it; everything replay tightening needs (box,
+  // estimates, states, brp) travels in the record, so `origin` is pure
+  // provenance for the stolen-replay statistics.
+  int origin = 0;
 
   // Approximate footprint for memory stats.
   int64_t MemoryBytes() const;
@@ -42,7 +47,11 @@ struct FailRecord {
 // Records with BRP above the current MRP are discarded eagerly at record
 // time and lazily at pop time ("the MRP might have changed").
 //
-// Thread-safe: the main solver records while a speculative solver pops.
+// Thread-safe: one registry is shared by the whole cluster as the global
+// replay pool — every instance's solver records into it and every replayer
+// (regular or speculative, on any instance) pops the globally
+// most-promising fail, so MRP drops as fast as BRP ordering allows instead
+// of each instance being limited to its own fails.
 class FailRegistry {
  public:
   FailRegistry(ReplayOrder order, int64_t max_fails);

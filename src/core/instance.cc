@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "core/bundle.h"
 #include "core/fail_registry.h"
 #include "cp/search.h"
@@ -35,12 +37,10 @@ struct InstanceRunner::Impl {
                       ValidatorQueueOrder::kBrpPriority
                   ? CandidateQueue::Order::kPriority
                   : CandidateQueue::Order::kFifo,
-              cfg.options->validator_queue_capacity),
-        registry(cfg.options->replay_order,
-                 cfg.options->max_recorded_fails) {
+              cfg.options->validator_queue_capacity) {
     DQR_CHECK(cfg.query != nullptr && cfg.options != nullptr);
     DQR_CHECK(cfg.penalty != nullptr && cfg.rank != nullptr);
-    DQR_CHECK(cfg.coordinator != nullptr);
+    DQR_CHECK(cfg.coordinator != nullptr && cfg.registry != nullptr);
     for (const searchlight::QueryConstraint& qc : cfg.query->constraints) {
       relaxable.push_back(qc.relaxable ? 1 : 0);
     }
@@ -132,10 +132,11 @@ struct InstanceRunner::Impl {
     record.violated = std::move(info.violated);
     record.depth = info.depth;
     record.brp = brp;
+    record.origin = cfg.id;
     if (cfg.options->save_function_state) {
       record.states = bundle.SaveStates(record.box);
     }
-    registry.Record(std::move(record), ReplayMrp());
+    cfg.registry->Record(std::move(record), ReplayMrp());
     ++stats.fails_recorded;
   }
 
@@ -291,16 +292,29 @@ struct InstanceRunner::Impl {
     search_opts.var_select = cfg.options->var_select;
     search_opts.value_split = cfg.options->value_split;
     search_opts.cancel = &cfg.coordinator->cancel_flag();
-    cp::SearchTree main_tree(cfg.slice, bundle.pointers(), &main_listener,
-                             search_opts);
-    solver_stats.main_search += main_tree.Run();
+
+    // Work stealing: pull variable-0 shards from the shared pool until it
+    // drains. A skewed region splits across many shards, so no instance is
+    // pinned to it while the others idle.
+    const Stopwatch busy;
+    while (std::optional<cp::IntDomain> shard =
+               cfg.coordinator->PopShard()) {
+      cp::DomainBox slice = cfg.query->domains;
+      slice[0] = *shard;
+      cp::SearchTree tree(std::move(slice), bundle.pointers(),
+                          &main_listener, search_opts);
+      solver_stats.main_search += tree.Run();
+      ++solver_stats.shards_executed;
+    }
+    solver_stats.main_busy_s = busy.ElapsedSeconds();
 
     // Stop speculation before the regular replay phase takes over.
     spec_stop.store(true, std::memory_order_relaxed);
     if (spec_thread.joinable()) spec_thread.join();
 
     // The relaxation decision needs the confirmed result count: drain our
-    // validator, then wait for every instance to reach the same point.
+    // validator, then wait until the shard pool is drained and every
+    // instance is quiescent.
     queue.WaitDrained();
     cfg.coordinator->ArriveMainSearchDone();
     main_done_s = cfg.coordinator->ElapsedSeconds();
@@ -312,15 +326,20 @@ struct InstanceRunner::Impl {
       RefineListener replay_listener(this, &bundle, /*replay_mode=*/true,
                                      &solver_stats);
       while (!cfg.coordinator->cancelled()) {
-        std::optional<FailRecord> fail = registry.Pop(ReplayMrp());
+        // The shared pool hands every instance the globally
+        // most-promising fail, whoever recorded it.
+        std::optional<FailRecord> fail = cfg.registry->Pop(ReplayMrp());
         if (!fail.has_value()) break;
+        if (fail->origin != cfg.id) ++solver_stats.replays_stolen;
         ReplayOne(bundle, replay_listener, *fail,
                   &cfg.coordinator->cancel_flag(), solver_stats);
       }
       queue.WaitDrained();
     } else {
       // Not needed: free the recorded fails ("stops tracking fails").
-      registry.Clear();
+      // Every instance takes the same branch after the barrier, so the
+      // shared clear is idempotent across them.
+      cfg.registry->Clear();
     }
     queue.Close();
   }
@@ -414,19 +433,19 @@ struct InstanceRunner::Impl {
         std::this_thread::sleep_for(kSpeculationNap);
         continue;
       }
-      std::optional<FailRecord> fail =
-          registry.Pop(ReplayMrp());
+      std::optional<FailRecord> fail = cfg.registry->Pop(ReplayMrp());
       if (!fail.has_value()) {
         std::this_thread::sleep_for(kSpeculationNap);
         continue;
       }
+      if (fail->origin != cfg.id) ++spec_stats.replays_stolen;
       const ReplayOutcome outcome =
           ReplayOne(bundle, listener, *fail, &spec_stop, spec_stats);
       ++spec_stats.speculative_replays;
       if (!outcome.completed) {
         // Interrupted mid-replay: hand the fail back for the regular
         // replay phase (re-exploration is deduplicated by the tracker).
-        registry.Record(std::move(*fail), ReplayMrp());
+        cfg.registry->Record(std::move(*fail), ReplayMrp());
       }
     }
   }
@@ -436,12 +455,10 @@ struct InstanceRunner::Impl {
     total += solver_stats;
     total += validator_stats;
     total += spec_stats;
-    total.fails_discarded_at_record = registry.discarded_at_record();
-    total.fails_discarded_at_pop = registry.discarded_at_pop();
-    total.fails_dropped_full = registry.dropped_full();
-    total.peak_fail_bytes = registry.peak_state_bytes();
-    total.peak_fail_count = registry.peak_size();
+    // Fail-pool stats live on the shared registry and are attached once at
+    // the cluster level by ExecuteQuery; only per-instance gauges here.
     total.peak_queue = queue.peak_size();
+    total.max_peak_queue = queue.peak_size();
     total.main_search_s = main_done_s;
     return total;
   }
@@ -450,7 +467,6 @@ struct InstanceRunner::Impl {
 
   InstanceConfig cfg;
   CandidateQueue queue;
-  FailRegistry registry;
   std::vector<char> relaxable;
   std::vector<char> all_known;
 

@@ -5,6 +5,7 @@
 
 #include "cp/domain.h"
 #include "core/coordinator.h"
+#include "core/fail_registry.h"
 #include "core/options.h"
 #include "core/penalty.h"
 #include "core/rank.h"
@@ -17,21 +18,21 @@ namespace dqr::core {
 // pointers are borrowed and must outlive the runner.
 struct InstanceConfig {
   int id = 0;
-  // This instance's slice of the search space (the full domain box with
-  // variable 0 restricted to the instance's partition).
-  cp::DomainBox slice;
   const searchlight::QuerySpec* query = nullptr;
   const RefineOptions* options = nullptr;
   const PenaltyModel* penalty = nullptr;
   const RankModel* rank = nullptr;
   Coordinator* coordinator = nullptr;
+  // The cluster-wide replay pool, shared by every instance.
+  FailRegistry* registry = nullptr;
 };
 
 // One simulated cluster instance: a Solver thread and a Validator thread
 // connected by a bounded candidate queue, plus an optional speculative
-// relaxation thread (§4.2). The Solver runs the main search, then — if the
-// global query still lacks k results — replays its recorded fails with
-// relaxed constraints until its registry drains.
+// relaxation thread (§4.2). The Solver pulls main-search shards from the
+// coordinator's shared pool until it drains (morsel-style work stealing),
+// then — if the global query still lacks k results — replays the globally
+// most-promising recorded fails from the shared registry until it drains.
 class InstanceRunner {
  public:
   explicit InstanceRunner(InstanceConfig config);

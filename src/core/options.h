@@ -126,6 +126,15 @@ struct RefineOptions {
   // Simulated Searchlight instances; the search space is partitioned on
   // variable 0 and each instance runs its own solver + validator threads.
   int num_instances = 1;
+  // Morsel-style work stealing: variable 0 is split into roughly
+  // shards_per_instance * num_instances contiguous shards pushed into a
+  // shared pool; instances pull shards until the pool drains, so a skewed
+  // region no longer pins one instance while the others idle. 1 reproduces
+  // the legacy static 1-slice-per-instance partitioning (the back-compat
+  // escape hatch). The final result set is invariant under the shard count
+  // — MRP/MRK monotonicity makes pruning scheduler-independent (see
+  // DESIGN.md §3).
+  int shards_per_instance = 8;
   ValidatorQueueOrder validator_queue = ValidatorQueueOrder::kBrpPriority;
   size_t validator_queue_capacity = 1024;
   // Simulated broadcast latency for MRP/MRK updates between instances, in

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "core/coordinator.h"
+#include "core/fail_registry.h"
 #include "core/instance.h"
 #include "core/model_builders.h"
 #include "core/penalty.h"
@@ -90,6 +91,9 @@ Status ValidateInputs(const searchlight::QuerySpec& query,
   if (options.num_instances < 1) {
     return InvalidArgumentError("need at least one instance");
   }
+  if (options.shards_per_instance < 1) {
+    return InvalidArgumentError("shards_per_instance must be >= 1");
+  }
   if (options.max_recorded_fails <= 0) {
     return InvalidArgumentError("max_recorded_fails must be positive");
   }
@@ -145,17 +149,23 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   const ConstrainMode mode =
       effective_k > 0 ? options.constrain : ConstrainMode::kNone;
 
-  // Partition the search space on variable 0 into contiguous slices; the
-  // barrier in the coordinator must match the slice count exactly.
+  // Partition the search space on variable 0 into contiguous shards for
+  // the shared work-stealing pool: shards_per_instance shards per instance
+  // (capped by the domain size), pulled by instances until the pool
+  // drains. shards_per_instance == 1 degenerates to the legacy static
+  // 1-slice-per-instance split (same chunk arithmetic).
   const cp::IntDomain& split_dom = query.domains.front();
-  const int64_t want = std::min<int64_t>(options.num_instances,
-                                         std::max<int64_t>(1, split_dom.size()));
-  std::vector<cp::IntDomain> slices;
-  const int64_t chunk = (split_dom.size() + want - 1) / want;
+  const int64_t dom_size = std::max<int64_t>(1, split_dom.size());
+  const int instances = static_cast<int>(
+      std::min<int64_t>(options.num_instances, dom_size));
+  const int64_t want_shards = std::min<int64_t>(
+      dom_size,
+      static_cast<int64_t>(options.shards_per_instance) * instances);
+  std::vector<cp::IntDomain> shards;
+  const int64_t chunk = (split_dom.size() + want_shards - 1) / want_shards;
   for (int64_t lo = split_dom.lo; lo <= split_dom.hi; lo += chunk) {
-    slices.emplace_back(lo, std::min(split_dom.hi, lo + chunk - 1));
+    shards.emplace_back(lo, std::min(split_dom.hi, lo + chunk - 1));
   }
-  const int instances = static_cast<int>(slices.size());
 
   ResultTracker::Diversity diversity;
   if (effective_k > 0 && !options.result_spacing.empty()) {
@@ -165,6 +175,10 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   Coordinator coordinator(instances, effective_k, mode, &rank,
                           options.broadcast_delay_us,
                           std::move(diversity));
+  coordinator.SeedShards(std::move(shards));
+  // The cluster-wide replay pool: every instance records fails into it and
+  // replays the globally most-promising ones out of it.
+  FailRegistry registry(options.replay_order, options.max_recorded_fails);
   Watchdog watchdog(&coordinator, options.time_budget_s);
 
   std::vector<std::unique_ptr<InstanceRunner>> runners;
@@ -172,13 +186,12 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   for (int i = 0; i < instances; ++i) {
     InstanceConfig config;
     config.id = i;
-    config.slice = query.domains;
-    config.slice[0] = slices[static_cast<size_t>(i)];
     config.query = &query;
     config.options = &options;
     config.penalty = &penalty;
     config.rank = &rank;
     config.coordinator = &coordinator;
+    config.registry = &registry;
     runners.push_back(std::make_unique<InstanceRunner>(std::move(config)));
   }
 
@@ -201,6 +214,15 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   result.stats.exact_results = coordinator.tracker().exact_count();
   result.stats.mrp_updates = coordinator.tracker().mrp_updates();
   result.stats.mrk_updates = coordinator.tracker().mrk_updates();
+  // The replay pool is shared, so its gauges are cluster-level facts: the
+  // summed and max views coincide by construction.
+  result.stats.fails_discarded_at_record = registry.discarded_at_record();
+  result.stats.fails_discarded_at_pop = registry.discarded_at_pop();
+  result.stats.fails_dropped_full = registry.dropped_full();
+  result.stats.peak_fail_bytes = registry.peak_state_bytes();
+  result.stats.peak_fail_count = registry.peak_size();
+  result.stats.max_peak_fail_bytes = registry.peak_state_bytes();
+  result.stats.max_peak_fail_count = registry.peak_size();
   result.stats.completed =
       result.stats.completed && !coordinator.cancelled();
   return result;

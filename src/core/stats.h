@@ -1,6 +1,7 @@
 #ifndef DQR_CORE_STATS_H_
 #define DQR_CORE_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "cp/search.h"
@@ -17,9 +18,21 @@ struct RunStats {
   // Seconds until every instance finished its main (non-relaxed) search
   // and drained its validator.
   double main_search_s = 0.0;
+  // Seconds this instance's solver spent actually searching shards (not
+  // waiting at the barrier); aggregated by max — the cluster is as slow as
+  // its busiest instance. The min/max spread across per_instance entries
+  // is the work-stealing balance metric.
+  double main_busy_s = 0.0;
 
   cp::SearchStats main_search;
   cp::SearchStats replay_search;
+
+  // --- work stealing ---
+  // Shards this instance pulled from the shared pool during main search.
+  int64_t shards_executed = 0;
+  // Replays of fails that a *different* instance recorded (only possible
+  // with the shared replay pool).
+  int64_t replays_stolen = 0;
 
   // --- fail tracking / replaying ---
   int64_t fails_recorded = 0;
@@ -29,8 +42,16 @@ struct RunStats {
   int64_t replays = 0;
   int64_t replays_discarded = 0;  // popped but hopeless after re-check
   int64_t speculative_replays = 0;
+  // peak_* fields are *summed* by operator+= — across instances that is a
+  // cluster-wide footprint upper bound (each component may peak at a
+  // different moment), NOT a high-water mark any single component reached.
+  // The max_peak_* twins aggregate by max and give the worst single
+  // component. For the shared fail pool both views coincide and are set
+  // once from the pool by ExecuteQuery.
   int64_t peak_fail_bytes = 0;
   int64_t peak_fail_count = 0;
+  int64_t max_peak_fail_bytes = 0;
+  int64_t max_peak_fail_count = 0;
 
   // --- validation ---
   int64_t candidates = 0;
@@ -40,7 +61,8 @@ struct RunStats {
   int64_t exact_results = 0;
   int64_t relaxed_accepted = 0;
   int64_t duplicates = 0;
-  int64_t peak_queue = 0;
+  int64_t peak_queue = 0;      // summed: cluster-wide bound (see peak_*)
+  int64_t max_peak_queue = 0;  // max: deepest single validator queue
 
   // --- refinement bookkeeping ---
   int64_t mrp_updates = 0;
@@ -50,8 +72,11 @@ struct RunStats {
   bool completed = true;
 
   RunStats& operator+=(const RunStats& o) {
+    main_busy_s = std::max(main_busy_s, o.main_busy_s);
     main_search += o.main_search;
     replay_search += o.replay_search;
+    shards_executed += o.shards_executed;
+    replays_stolen += o.replays_stolen;
     fails_recorded += o.fails_recorded;
     fails_discarded_at_record += o.fails_discarded_at_record;
     fails_discarded_at_pop += o.fails_discarded_at_pop;
@@ -61,6 +86,8 @@ struct RunStats {
     speculative_replays += o.speculative_replays;
     peak_fail_bytes += o.peak_fail_bytes;
     peak_fail_count += o.peak_fail_count;
+    max_peak_fail_bytes = std::max(max_peak_fail_bytes, o.max_peak_fail_bytes);
+    max_peak_fail_count = std::max(max_peak_fail_count, o.max_peak_fail_count);
     candidates += o.candidates;
     validated += o.validated;
     dropped_precheck += o.dropped_precheck;
@@ -69,6 +96,7 @@ struct RunStats {
     relaxed_accepted += o.relaxed_accepted;
     duplicates += o.duplicates;
     peak_queue += o.peak_queue;
+    max_peak_queue = std::max(max_peak_queue, o.max_peak_queue);
     completed = completed && o.completed;
     return *this;
   }

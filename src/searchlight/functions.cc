@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/check.h"
 
@@ -21,6 +22,18 @@ void BusyWait(int64_t ns) {
              std::chrono::steady_clock::now() - start)
              .count() < ns) {
   }
+}
+
+// Charges one cache miss: spin for CPU-bound estimation, sleep for
+// latency-bound (I/O) estimation. Sleeping yields the core, so concurrent
+// misses on different threads overlap — see WindowFunctionContext.
+void ChargeCost(int64_t ns, bool latency) {
+  if (ns <= 0) return;
+  if (latency) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
+  BusyWait(ns);
 }
 
 // Picks the default value range for a contrast function: differences of
@@ -158,7 +171,7 @@ WindowFunction::WindowBox WindowFunction::ReadWindow(
 }
 
 void WindowFunction::ChargeMiss() const {
-  BusyWait(ctx_.estimate_cost_ns);
+  ChargeCost(ctx_.estimate_cost_ns, ctx_.cost_is_latency);
 }
 
 Interval WindowFunction::CachedValueBounds(int64_t lo, int64_t hi) {

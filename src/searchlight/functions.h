@@ -82,6 +82,12 @@ struct WindowFunctionContext {
   // expensive UDF estimation so that the optimizations of §4.2 reproduce
   // their measured effects at laptop scale. 0 by default.
   int64_t estimate_cost_ns = 0;
+  // How the miss cost is charged. false (default) spins, modeling
+  // CPU-bound estimation. true sleeps, modeling latency-bound misses
+  // (cold chunk fetches from disk/network-backed arrays, the dominant
+  // cost in the paper's SciDB deployment) — sleeping threads overlap, so
+  // scheduling quality shows up in wall clock even on few cores.
+  bool cost_is_latency = false;
 };
 
 // Base class implementing the window geometry shared by the concrete

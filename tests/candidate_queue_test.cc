@@ -109,6 +109,60 @@ TEST(CandidateQueueTest, PeakSizeTracksHighWater) {
   EXPECT_EQ(q.size(), 2u);
 }
 
+// N producers vs 1 consumer with Close() racing the pushes: every
+// successfully pushed candidate must be popped exactly once, nothing may
+// be popped after the close-drain, and peak_size() must be monotone.
+TEST(CandidateQueueTest, CloseRacingPushStress) {
+  for (int round = 0; round < 25; ++round) {
+    CandidateQueue q(round % 2 == 0 ? CandidateQueue::Order::kFifo
+                                    : CandidateQueue::Order::kPriority,
+                     8);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 250;
+    std::atomic<int> accepted{0};
+    std::atomic<int> consumed{0};
+
+    std::thread consumer([&] {
+      int64_t last_peak = 0;
+      while (auto c = q.Pop()) {
+        consumed.fetch_add(1);
+        const int64_t peak = q.peak_size();
+        EXPECT_GE(peak, last_peak);  // high-water mark never shrinks
+        last_peak = peak;
+        q.FinishedCurrent();
+      }
+    });
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          if (q.Push(Cand(p * kPerProducer + i, i * 0.01))) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Close at a varying point in the middle of the push storm.
+    std::thread closer([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      q.Close();
+    });
+
+    for (auto& t : producers) t.join();
+    closer.join();
+    consumer.join();
+
+    // Exactly the accepted candidates were delivered (pending candidates
+    // survive Close; rejected pushes are dropped), and the drained queue
+    // stays drained.
+    EXPECT_EQ(consumed.load(), accepted.load()) << "round " << round;
+    EXPECT_FALSE(q.Pop().has_value());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_GE(q.peak_size(), 0);
+  }
+}
+
 TEST(CandidateQueueTest, ConcurrentProducersConsumersDeliverEverything) {
   CandidateQueue q(CandidateQueue::Order::kPriority, 8);
   constexpr int kPerProducer = 200;

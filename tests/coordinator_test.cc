@@ -35,6 +35,91 @@ TEST(DelayedBroadcastTest, UpdatesDeliverInOrder) {
   EXPECT_DOUBLE_EQ(value.Read(), 0.4);  // latest wins after delay
 }
 
+// Pins the flip-visibility contract the lock-free restructure must keep:
+// delayed-mode updates flip on the *first read at or after* the due time,
+// even when nobody polled during the delay window and Publish has been
+// idle since. A reader must never have to wait for a second Publish (or a
+// second Read) to observe an elapsed update.
+TEST(DelayedBroadcastTest, FirstReadAfterDelayObservesUpdate) {
+  DelayedBroadcast value(1.0, /*delay_us=*/5000);  // 5 ms
+  value.Publish(0.25);
+  // No reads during the delay window; Publish stays idle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_DOUBLE_EQ(value.Read(), 0.25);  // the very first read flips
+  EXPECT_DOUBLE_EQ(value.Read(), 0.25);  // and it stays flipped
+}
+
+TEST(DelayedBroadcastTest, FastPathReadsDoNotFlipEarly) {
+  DelayedBroadcast value(1.0, /*delay_us=*/200000);  // 200 ms
+  value.Publish(0.5);
+  // Hammer the fast path while the update is still in flight.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_DOUBLE_EQ(value.Read(), 1.0);
+  }
+}
+
+TEST(DelayedBroadcastTest, ConcurrentReadersAgreeAfterDelay) {
+  DelayedBroadcast value(1.0, /*delay_us=*/2000);
+  value.Publish(0.3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::vector<std::thread> readers;
+  std::atomic<int> flipped{0};
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      if (value.Read() == 0.3) flipped.fetch_add(1);
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(flipped.load(), 4);
+}
+
+TEST(CoordinatorTest, ShardPoolDrainsInSeededOrder) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(2, 5, ConstrainMode::kNone, &rank, 0);
+  coordinator.SeedShards({cp::IntDomain(0, 9), cp::IntDomain(10, 19),
+                          cp::IntDomain(20, 29)});
+  EXPECT_EQ(coordinator.shards_seeded(), 3);
+  auto a = coordinator.PopShard();
+  auto b = coordinator.PopShard();
+  auto c = coordinator.PopShard();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->lo, 0);
+  EXPECT_EQ(b->lo, 10);
+  EXPECT_EQ(c->lo, 20);
+  EXPECT_FALSE(coordinator.PopShard().has_value());  // drained
+}
+
+TEST(CoordinatorTest, CancelledPoolStopsHandingOutShards) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(1, 5, ConstrainMode::kNone, &rank, 0);
+  coordinator.SeedShards({cp::IntDomain(0, 9), cp::IntDomain(10, 19)});
+  ASSERT_TRUE(coordinator.PopShard().has_value());
+  coordinator.Cancel();
+  EXPECT_FALSE(coordinator.PopShard().has_value());
+  coordinator.ArriveMainSearchDone();  // must not deadlock or assert
+}
+
+TEST(CoordinatorTest, BarrierReleasesOnceWorkStealersDrainPool) {
+  const RankModel rank = SimpleRank();
+  Coordinator coordinator(3, 5, ConstrainMode::kNone, &rank, 0);
+  coordinator.SeedShards({cp::IntDomain(0, 4), cp::IntDomain(5, 9),
+                          cp::IntDomain(10, 14), cp::IntDomain(15, 19),
+                          cp::IntDomain(20, 24)});
+  std::atomic<int> popped{0};
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      while (coordinator.PopShard().has_value()) popped.fetch_add(1);
+      coordinator.ArriveMainSearchDone();
+      released.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(popped.load(), 5);    // every shard executed exactly once
+  EXPECT_EQ(released.load(), 3);  // barrier == pool drained + quiescent
+}
+
 TEST(CoordinatorTest, TracksFirstResultOnce) {
   const RankModel rank = SimpleRank();
   Coordinator coordinator(1, 5, ConstrainMode::kNone, &rank, 0);

@@ -1,0 +1,74 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dqr::core {
+namespace {
+
+RunStats WithPeaks(int64_t fail_bytes, int64_t fail_count, int64_t queue) {
+  RunStats s;
+  s.peak_fail_bytes = fail_bytes;
+  s.peak_fail_count = fail_count;
+  s.peak_queue = queue;
+  s.max_peak_fail_bytes = fail_bytes;
+  s.max_peak_fail_count = fail_count;
+  s.max_peak_queue = queue;
+  return s;
+}
+
+// The peak_* fields aggregate by sum (a cluster-wide footprint upper
+// bound) while the max_peak_* twins aggregate by max (the worst single
+// component) — summing per-component high-water marks must not be passed
+// off as a per-component peak.
+TEST(RunStatsTest, PeakAggregationReportsBothSumAndMax) {
+  RunStats total = WithPeaks(100, 8, 3);
+  total += WithPeaks(40, 2, 7);
+  total += WithPeaks(60, 5, 5);
+
+  EXPECT_EQ(total.peak_fail_bytes, 200);
+  EXPECT_EQ(total.peak_fail_count, 15);
+  EXPECT_EQ(total.peak_queue, 15);
+
+  EXPECT_EQ(total.max_peak_fail_bytes, 100);
+  EXPECT_EQ(total.max_peak_fail_count, 8);
+  EXPECT_EQ(total.max_peak_queue, 7);
+}
+
+TEST(RunStatsTest, MaxAggregatedFieldsAreOrderIndependent) {
+  RunStats ab = WithPeaks(10, 1, 9);
+  ab += WithPeaks(90, 6, 2);
+  RunStats ba = WithPeaks(90, 6, 2);
+  ba += WithPeaks(10, 1, 9);
+  EXPECT_EQ(ab.max_peak_fail_bytes, ba.max_peak_fail_bytes);
+  EXPECT_EQ(ab.max_peak_fail_count, ba.max_peak_fail_count);
+  EXPECT_EQ(ab.max_peak_queue, ba.max_peak_queue);
+  EXPECT_EQ(ab.peak_fail_bytes, ba.peak_fail_bytes);
+}
+
+TEST(RunStatsTest, BusyTimeAggregatesByMax) {
+  RunStats a;
+  a.main_busy_s = 1.5;
+  RunStats b;
+  b.main_busy_s = 4.0;
+  a += b;
+  // The cluster is as slow as its busiest instance, not the sum.
+  EXPECT_DOUBLE_EQ(a.main_busy_s, 4.0);
+}
+
+TEST(RunStatsTest, CountersStillSum) {
+  RunStats a;
+  a.shards_executed = 3;
+  a.replays_stolen = 1;
+  a.fails_recorded = 10;
+  RunStats b;
+  b.shards_executed = 5;
+  b.replays_stolen = 2;
+  b.fails_recorded = 7;
+  a += b;
+  EXPECT_EQ(a.shards_executed, 8);
+  EXPECT_EQ(a.replays_stolen, 3);
+  EXPECT_EQ(a.fails_recorded, 17);
+}
+
+}  // namespace
+}  // namespace dqr::core

@@ -1,0 +1,213 @@
+// Scheduler independence of the work-stealing engine: the result set must
+// be identical — point for point, penalty for penalty — no matter how the
+// search space is sharded or how many instances steal from the pool, in
+// both refinement directions, and must match exhaustive enumeration. Also
+// pins the shard-accounting and replay-provenance statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::BruteForceAll;
+using testutil::ExactOnly;
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::Points;
+using testutil::TestQueryParams;
+
+std::string Fingerprint(const std::vector<Solution>& results) {
+  std::string out;
+  for (const Solution& s : results) out += s.ToString();
+  return out;
+}
+
+int64_t ExpectedShards(const searchlight::QuerySpec& query,
+                       const RefineOptions& options) {
+  const int64_t dom_size =
+      std::max<int64_t>(1, query.domains.front().size());
+  const int64_t instances =
+      std::min<int64_t>(options.num_instances, dom_size);
+  const int64_t want = std::min<int64_t>(
+      dom_size,
+      static_cast<int64_t>(options.shards_per_instance) * instances);
+  const int64_t chunk = (query.domains.front().size() + want - 1) / want;
+  return (query.domains.front().size() + chunk - 1) / chunk;
+}
+
+class WorkStealingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { bundle_ = MakeSmallBundle(600, 5); }
+  testutil::SmallBundle bundle_;
+};
+
+// Relaxation direction: fewer than k exact results, the engine replays
+// fails from the shared pool. Results must be byte-identical across every
+// shards_per_instance x num_instances combination and equal to the
+// brute-force best-k by RP.
+TEST_F(WorkStealingTest, RelaxationInvariantUnderSharding) {
+  TestQueryParams p;
+  p.avg_bounds = Interval(228, 250);  // scarce: forces relaxation
+  p.k = 6;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+  const auto all = BruteForceAll(query);
+  ASSERT_LT(ExactOnly(all).size(), static_cast<size_t>(p.k));
+
+  std::string reference;
+  for (const int instances : {1, 2, 4, 8}) {
+    for (const int shards : {1, 4, 8}) {
+      RefineOptions options;
+      options.num_instances = instances;
+      options.shards_per_instance = shards;
+      const auto run = ExecuteQuery(query, options);
+      ASSERT_TRUE(run.ok());
+      const auto& results = run.value().results;
+
+      const size_t expect_n =
+          std::min(all.size(), static_cast<size_t>(p.k));
+      ASSERT_EQ(results.size(), expect_n)
+          << "instances=" << instances << " shards=" << shards;
+      for (size_t i = 0; i < expect_n; ++i) {
+        EXPECT_EQ(results[i].point, all[i].point)
+            << "rank " << i << " instances=" << instances
+            << " shards=" << shards;
+        EXPECT_NEAR(results[i].rp, all[i].rp, 1e-9);
+      }
+      const std::string fp = Fingerprint(results);
+      if (reference.empty()) reference = fp;
+      EXPECT_EQ(fp, reference)
+          << "result bytes differ at instances=" << instances
+          << " shards=" << shards;
+    }
+  }
+}
+
+// Constraining direction: more than k exact results, the engine
+// constrains by rank. Same invariance contract.
+TEST_F(WorkStealingTest, ConstrainingInvariantUnderSharding) {
+  TestQueryParams p;
+  p.avg_bounds = Interval(110, 200);  // plentiful: forces constraining
+  p.contrast_min = 20.0;
+  p.k = 5;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+  auto exact = ExactOnly(BruteForceAll(query));
+  ASSERT_GT(exact.size(), static_cast<size_t>(p.k));
+  std::sort(exact.begin(), exact.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.rk != b.rk) return a.rk > b.rk;
+              return a.point < b.point;
+            });
+  exact.resize(static_cast<size_t>(p.k));
+
+  std::string reference;
+  for (const int instances : {1, 2, 4, 8}) {
+    for (const int shards : {1, 4, 8}) {
+      RefineOptions options;
+      options.num_instances = instances;
+      options.shards_per_instance = shards;
+      options.constrain = ConstrainMode::kRank;
+      const auto run = ExecuteQuery(query, options);
+      ASSERT_TRUE(run.ok());
+      EXPECT_EQ(Points(run.value().results), Points(exact))
+          << "instances=" << instances << " shards=" << shards;
+      const std::string fp = Fingerprint(run.value().results);
+      if (reference.empty()) reference = fp;
+      EXPECT_EQ(fp, reference)
+          << "instances=" << instances << " shards=" << shards;
+    }
+  }
+}
+
+// Speculative replayers pull from the same shared pool; invariance and
+// completion must hold with them enabled too.
+TEST_F(WorkStealingTest, SpeculationPullsFromSharedPool) {
+  TestQueryParams p;
+  p.avg_bounds = Interval(228, 250);
+  p.k = 6;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+  const auto all = BruteForceAll(query);
+
+  RefineOptions base;
+  base.num_instances = 1;
+  base.shards_per_instance = 1;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+
+  RefineOptions options;
+  options.num_instances = 4;
+  options.shards_per_instance = 8;
+  options.speculative = true;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(Fingerprint(run.value().results),
+            Fingerprint(reference.value().results));
+  // Stolen replays are a subset of all replays performed.
+  const RunStats& stats = run.value().stats;
+  EXPECT_LE(stats.replays_stolen, stats.replays + stats.speculative_replays);
+}
+
+// Every seeded shard is executed exactly once, and the per-instance
+// breakdown accounts for all of them.
+TEST_F(WorkStealingTest, ShardAccounting) {
+  TestQueryParams p;
+  p.k = 4;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+
+  for (const int instances : {1, 3, 4}) {
+    for (const int shards : {1, 4, 8}) {
+      RefineOptions options;
+      options.num_instances = instances;
+      options.shards_per_instance = shards;
+      const auto run = ExecuteQuery(query, options);
+      ASSERT_TRUE(run.ok());
+      const RunResult& result = run.value();
+      EXPECT_EQ(result.stats.shards_executed,
+                ExpectedShards(query, options))
+          << "instances=" << instances << " shards=" << shards;
+      int64_t per_instance_sum = 0;
+      for (const RunStats& s : result.per_instance) {
+        per_instance_sum += s.shards_executed;
+      }
+      EXPECT_EQ(per_instance_sum, result.stats.shards_executed);
+      // Aggregate gauges stay coherent: the max view never exceeds the
+      // summed view.
+      EXPECT_LE(result.stats.max_peak_queue, result.stats.peak_queue);
+      EXPECT_LE(result.stats.max_peak_fail_count,
+                result.stats.peak_fail_count);
+    }
+  }
+}
+
+// The degenerate escape hatch: shards_per_instance = 1 must split
+// variable 0 exactly like the legacy static partitioning did.
+TEST_F(WorkStealingTest, SingleShardDegeneratesToStaticSlicing) {
+  TestQueryParams p;
+  p.k = 4;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+  RefineOptions options;
+  options.num_instances = 4;
+  options.shards_per_instance = 1;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+  // Legacy arithmetic: ceil(|dom0| / instances) wide chunks.
+  const int64_t size = query.domains.front().size();
+  const int64_t chunk = (size + 4 - 1) / 4;
+  EXPECT_EQ(run.value().stats.shards_executed, (size + chunk - 1) / chunk);
+}
+
+TEST_F(WorkStealingTest, RejectsNonPositiveShardKnob) {
+  TestQueryParams p;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+  RefineOptions options;
+  options.shards_per_instance = 0;
+  EXPECT_FALSE(ExecuteQuery(query, options).ok());
+}
+
+}  // namespace
+}  // namespace dqr::core
