@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -15,8 +16,11 @@
 #include "core/rank.h"
 #include "core/tracker.h"
 #include "cp/domain.h"
+#include "searchlight/candidate.h"
 
 namespace dqr::core {
+
+class FailRegistry;
 
 // A scalar whose published updates become visible to readers only after a
 // configurable delay — the stand-in for Searchlight's asynchronous MRP/MRK
@@ -65,8 +69,11 @@ class DelayedBroadcast {
 
 // Shared per-query state across all simulated instances: the global result
 // tracker, the (possibly delayed) MRP/MRK views, the shard pool instances
-// steal main-search work from, the end-of-main-search barrier that gates
-// the relaxation decision, cancellation, and first-result timing.
+// steal main-search work from, the quiescence barriers that gate the
+// relaxation decision and query completion, cancellation, first-result
+// timing, and — for the instance-failure model (DESIGN.md §7) — shard
+// leases, heartbeats, the dead-instance bookkeeping and the orphaned
+// candidate depot.
 class Coordinator {
  public:
   Coordinator(int num_instances, int64_t k, ConstrainMode mode,
@@ -103,17 +110,69 @@ class Coordinator {
   // before the instances start. Shards are handed out lowest-first.
   void SeedShards(std::vector<cp::IntDomain> shards);
   // Pulls the next shard; nullopt once the pool is drained or the query is
-  // cancelled. Never blocks.
+  // cancelled. Never blocks. The id-less overload takes no lease (legacy
+  // callers without failure handling).
   std::optional<cp::IntDomain> PopShard();
+  // Leasing overload: the returned shard stays charged to `instance` until
+  // its next PopShard call (which marks the previous shard finished). If
+  // the instance dies while leased, DeclareDead requeues the shard.
+  std::optional<cp::IntDomain> PopShard(int instance);
   int64_t shards_seeded() const { return shards_seeded_; }
 
-  // End-of-main-search barrier: each instance arrives once after the shard
-  // pool handed it nullopt and its validator drained; the call returns
-  // when the pool is drained AND every instance is quiescent (arrived).
+  // Legacy end-of-main-search barrier: each instance arrives once after
+  // the shard pool handed it nullopt and its validator drained; the call
+  // returns when the pool is drained AND every instance arrived. No
+  // failure handling — kept for callers that drive the pool manually.
   void ArriveMainSearchDone();
 
+  // Failure-aware end-of-main-search barrier. Returns true once every
+  // *live* instance is quiescent and no shard is pooled, leased or
+  // orphaned (the relaxation decision is then frozen — see
+  // main_exact_count). Returns false when recovered work reappeared
+  // (requeued shards / orphaned candidates): the caller must go back to
+  // working and re-arrive later.
+  bool AwaitMainSearchDone(int instance);
+  // Confirmed exact results at the instant the main barrier completed;
+  // every instance bases its relaxation decision on this one snapshot so
+  // the cluster always takes the same branch.
+  int64_t main_exact_count() const;
+
+  // End-of-query barrier, same protocol as AwaitMainSearchDone. With
+  // `replaying` the pool of recorded fails (including leased replays of
+  // crashed instances, which the detector re-pools) must also be
+  // exhausted before the query can complete.
+  bool AwaitQueryDone(int instance, bool replaying);
+  // Gives AwaitQueryDone its view of the shared replay pool.
+  void AttachRegistry(FailRegistry* registry);
+
+  // --- failure detection & recovery (DESIGN.md §7) ---
+  void Heartbeat(int instance);
+  int64_t LastHeartbeatNs(int instance) const;
+  // True while the instance is subject to failure detection (live; not
+  // retired after normal completion, not already declared dead).
+  bool IsMonitorable(int instance) const;
+  // Declares the instance dead: requeues its leased shard (if any),
+  // updates the live count, cancels the query if nobody is left, and
+  // wakes the barriers. False if it was not live (idempotent).
+  bool DeclareDead(int instance);
+  // Normal completion: the instance stops heartbeating on purpose and
+  // must no longer be monitored.
+  void RetireInstance(int instance);
+  // Wakes barrier waiters after out-of-band work changes (e.g. the
+  // detector reclaimed leased replays into the registry).
+  void NotifyWorkChanged();
+
+  // Orphaned candidates of dead instances, awaiting re-validation by a
+  // surviving instance.
+  void DepositOrphans(std::vector<searchlight::Candidate> orphans);
+  std::optional<searchlight::Candidate> PopOrphan();
+
+  int num_instances() const { return num_instances_; }
+  int64_t instances_lost() const;
+  int64_t shards_requeued() const;
+
   const std::atomic<bool>& cancel_flag() const { return cancel_; }
-  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  void Cancel();
   bool cancelled() const {
     return cancel_.load(std::memory_order_relaxed);
   }
@@ -121,6 +180,13 @@ class Coordinator {
   double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
 
  private:
+  enum class InstanceState { kLive, kDead, kRetired };
+
+  // True when no live instance holds a shard lease.
+  bool NoShardLeasedLocked() const;
+  // Marks the main barrier complete and freezes the relaxation decision.
+  void FinishMainLocked();
+
   const int num_instances_;
   ResultTracker tracker_;
   // Skyline dominance checks must see the tracker's skyline; they are
@@ -132,13 +198,33 @@ class Coordinator {
   std::atomic<bool> have_first_{false};
   Stopwatch clock_;
 
-  std::mutex shard_mu_;
+  // Heartbeats are written on the hot path of every instance's beat
+  // thread; they bypass mu_ (plain atomics, one slot per instance).
+  std::unique_ptr<std::atomic<int64_t>[]> heartbeat_ns_;
+
+  // One mutex covers the shard pool, leases, barriers, orphan depot and
+  // instance liveness: every recovery transition (death, requeue,
+  // deposit) must be atomic against the barrier conditions.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
   std::deque<cp::IntDomain> shards_;
   int64_t shards_seeded_ = 0;
-
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_arrived_ = 0;
+  std::vector<std::optional<cp::IntDomain>> shard_lease_;
+  std::deque<searchlight::Candidate> orphans_;
+  std::vector<InstanceState> state_;
+  // Which instances currently count as "arrived" at each barrier; needed
+  // to discount a dead instance's arrival.
+  std::vector<char> main_arrived_flag_;
+  std::vector<char> query_arrived_flag_;
+  int live_count_;
+  FailRegistry* registry_ = nullptr;
+  int main_arrived_ = 0;
+  bool main_done_ = false;
+  int64_t main_exact_count_ = 0;
+  int query_arrived_ = 0;
+  bool query_done_ = false;
+  int64_t instances_lost_ = 0;
+  int64_t shards_requeued_ = 0;
 };
 
 }  // namespace dqr::core

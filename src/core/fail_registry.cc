@@ -47,6 +47,37 @@ void FailRegistry::SiftDown(size_t i) {
   }
 }
 
+void FailRegistry::PushLocked(FailRecord record) {
+  state_bytes_ += record.MemoryBytes();
+  peak_state_bytes_ = std::max(peak_state_bytes_, state_bytes_);
+  if (order_ == ReplayOrder::kBestFirst) {
+    heap_.push_back(std::move(record));
+    SiftUp(heap_.size() - 1);
+  } else {
+    fifo_.push_back(std::move(record));
+  }
+  peak_size_ = std::max(
+      peak_size_, static_cast<int64_t>(order_ == ReplayOrder::kBestFirst
+                                           ? heap_.size()
+                                           : fifo_.size()));
+}
+
+bool FailRegistry::PopAnyLocked(FailRecord* out) {
+  if (order_ == ReplayOrder::kBestFirst) {
+    if (heap_.empty()) return false;
+    *out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  } else {
+    if (fifo_.empty()) return false;
+    *out = std::move(fifo_.front());
+    fifo_.pop_front();
+  }
+  state_bytes_ -= out->MemoryBytes();
+  return true;
+}
+
 void FailRegistry::Record(FailRecord record, double mrp) {
   std::lock_guard<std::mutex> lock(mu_);
   if (record.brp > mrp) {
@@ -62,34 +93,14 @@ void FailRegistry::Record(FailRecord record, double mrp) {
     return;
   }
   record.seq = next_seq_++;
-  state_bytes_ += record.MemoryBytes();
-  peak_state_bytes_ = std::max(peak_state_bytes_, state_bytes_);
   ++recorded_;
-  if (order_ == ReplayOrder::kBestFirst) {
-    heap_.push_back(std::move(record));
-    SiftUp(heap_.size() - 1);
-  } else {
-    fifo_.push_back(std::move(record));
-  }
-  peak_size_ = std::max(peak_size_, count + 1);
+  PushLocked(std::move(record));
 }
 
 std::optional<FailRecord> FailRegistry::Pop(double mrp) {
   std::lock_guard<std::mutex> lock(mu_);
-  while (true) {
-    FailRecord record;
-    if (order_ == ReplayOrder::kBestFirst) {
-      if (heap_.empty()) return std::nullopt;
-      record = std::move(heap_.front());
-      heap_.front() = std::move(heap_.back());
-      heap_.pop_back();
-      if (!heap_.empty()) SiftDown(0);
-    } else {
-      if (fifo_.empty()) return std::nullopt;
-      record = std::move(fifo_.front());
-      fifo_.pop_front();
-    }
-    state_bytes_ -= record.MemoryBytes();
+  FailRecord record;
+  while (PopAnyLocked(&record)) {
     if (record.brp > mrp) {
       // Became hopeless since it was recorded (MRP shrank).
       ++discarded_at_pop_;
@@ -97,11 +108,93 @@ std::optional<FailRecord> FailRegistry::Pop(double mrp) {
     }
     return record;
   }
+  return std::nullopt;
+}
+
+FailRecord* FailRegistry::Lease(double mrp, int instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FailRecord record;
+  while (PopAnyLocked(&record)) {
+    if (record.brp > mrp) {
+      ++discarded_at_pop_;
+      continue;
+    }
+    LeaseEntry entry;
+    entry.record = std::make_unique<FailRecord>(std::move(record));
+    FailRecord* out = entry.record.get();
+    leases_[instance].push_back(std::move(entry));
+    ++leased_count_;
+    return out;
+  }
+  return nullptr;
+}
+
+size_t FailRegistry::FindLeaseLocked(int instance,
+                                     const FailRecord* record) const {
+  const auto it = leases_.find(instance);
+  DQR_CHECK(it != leases_.end());
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second[i].record.get() == record) return i;
+  }
+  DQR_CHECK(false);  // not a live lease of this instance
+  return 0;
+}
+
+void FailRegistry::Commit(int instance, FailRecord* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slots = leases_[instance];
+  slots.erase(slots.begin() +
+              static_cast<ptrdiff_t>(FindLeaseLocked(instance, record)));
+  --leased_count_;
+}
+
+void FailRegistry::Requeue(int instance, FailRecord* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slots = leases_[instance];
+  const size_t i = FindLeaseLocked(instance, record);
+  PushLocked(std::move(*slots[i].record));
+  slots.erase(slots.begin() + static_cast<ptrdiff_t>(i));
+  --leased_count_;
+}
+
+void FailRegistry::AbandonLease(int instance, FailRecord* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  leases_[instance][FindLeaseLocked(instance, record)].abandoned = true;
+}
+
+int64_t FailRegistry::ReclaimFrom(int instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = leases_.find(instance);
+  if (it == leases_.end()) return 0;
+  int64_t count = 0;
+  auto& slots = it->second;
+  for (size_t i = 0; i < slots.size();) {
+    if (!slots[i].abandoned) {
+      ++i;  // still being unwound by the dying instance; next pass
+      continue;
+    }
+    PushLocked(std::move(*slots[i].record));
+    slots.erase(slots.begin() + static_cast<ptrdiff_t>(i));
+    --leased_count_;
+    ++count;
+  }
+  reclaimed_ += count;
+  return count;
 }
 
 size_t FailRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return order_ == ReplayOrder::kBestFirst ? heap_.size() : fifo_.size();
+}
+
+size_t FailRegistry::leased_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leased_count_;
+}
+
+int64_t FailRegistry::reclaimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reclaimed_;
 }
 
 void FailRegistry::Clear() {

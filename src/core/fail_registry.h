@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/interval.h"
@@ -66,7 +67,29 @@ class FailRegistry {
   // registry is exhausted.
   std::optional<FailRecord> Pop(double mrp);
 
+  // --- leased replays (crash recovery; see DESIGN.md §7) ---
+  // Like Pop, but the registry keeps ownership: the record moves into an
+  // in-flight lease slot for `instance` and the returned pointer stays
+  // valid (and exclusively the caller's to touch) until Commit / Requeue /
+  // AbandonLease. nullptr when the pool is exhausted. If the instance
+  // dies mid-replay its leases are reclaimed into the pool, so no
+  // recorded fail is ever lost with the work that was replaying it.
+  FailRecord* Lease(double mrp, int instance);
+  // Replay finished: destroy the leased record.
+  void Commit(int instance, FailRecord* record);
+  // Replay interrupted (speculation shutdown): back into the pool.
+  void Requeue(int instance, FailRecord* record);
+  // Crash unwind: the dying instance relinquishes the lease without
+  // destroying it. The record becomes eligible for ReclaimFrom; the
+  // caller must not touch it afterwards.
+  void AbandonLease(int instance, FailRecord* record);
+  // Failure detector: moves `instance`'s abandoned leases back into the
+  // pool. Returns how many were reclaimed by this call; leases the dying
+  // instance has not abandoned yet are left for a later pass.
+  int64_t ReclaimFrom(int instance);
+
   size_t size() const;
+  size_t leased_count() const;
   void Clear();
 
   // --- statistics ---
@@ -74,17 +97,29 @@ class FailRegistry {
   int64_t discarded_at_record() const;
   int64_t discarded_at_pop() const;
   int64_t dropped_full() const;
+  int64_t reclaimed() const;
   int64_t peak_size() const;
   int64_t state_bytes() const;
   int64_t peak_state_bytes() const;
 
  private:
+  struct LeaseEntry {
+    std::unique_ptr<FailRecord> record;
+    bool abandoned = false;
+  };
+
   // Heap position helpers (min-heap on (brp, seq)).
   void SiftUp(size_t i);
   void SiftDown(size_t i);
   static bool Before(const FailRecord& a, const FailRecord& b) {
     return a.brp < b.brp || (a.brp == b.brp && a.seq < b.seq);
   }
+  // Pops the next record regardless of MRP; false when empty.
+  bool PopAnyLocked(FailRecord* out);
+  // Puts a record (back) into the ordered pool, keeping its seq.
+  void PushLocked(FailRecord record);
+  // Locates instance's lease for `record`; aborts if absent.
+  size_t FindLeaseLocked(int instance, const FailRecord* record) const;
 
   const ReplayOrder order_;
   const int64_t max_fails_;
@@ -93,11 +128,15 @@ class FailRegistry {
   // kBestFirst: heap_ is a binary min-heap; kFifo: fifo_ in arrival order.
   std::vector<FailRecord> heap_;
   std::deque<FailRecord> fifo_;
+  // In-flight replays keyed by instance id.
+  std::unordered_map<int, std::vector<LeaseEntry>> leases_;
+  size_t leased_count_ = 0;
   int64_t next_seq_ = 0;
   int64_t recorded_ = 0;
   int64_t discarded_at_record_ = 0;
   int64_t discarded_at_pop_ = 0;
   int64_t dropped_full_ = 0;
+  int64_t reclaimed_ = 0;
   int64_t peak_size_ = 0;
   int64_t state_bytes_ = 0;
   int64_t peak_state_bytes_ = 0;

@@ -1,0 +1,89 @@
+#include "core/fault.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dqr::core {
+
+bool FaultPlan::HasCrash() const {
+  for (const FaultEvent& e : events) {
+    if (e.action == FaultAction::kCrash) return true;
+  }
+  return false;
+}
+
+FaultPlan& FaultPlan::Crash(int instance, FaultSite site, int64_t at_index) {
+  events.push_back(
+      FaultEvent{instance, site, at_index, FaultAction::kCrash, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Stall(int instance, FaultSite site, int64_t at_index,
+                            int64_t delay_us) {
+  events.push_back(
+      FaultEvent{instance, site, at_index, FaultAction::kStall, delay_us});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Slow(int instance, FaultSite site, int64_t from_index,
+                           int64_t delay_us) {
+  events.push_back(
+      FaultEvent{instance, site, from_index, FaultAction::kSlow, delay_us});
+  return *this;
+}
+
+FaultPlan MakeRandomCrashPlan(uint64_t seed, int num_instances, int crashes,
+                              int64_t max_index) {
+  DQR_CHECK(num_instances > 0 && max_index >= 0);
+  Rng rng(seed);
+  FaultPlan plan;
+  for (int i = 0; i < crashes; ++i) {
+    const int instance =
+        static_cast<int>(rng.UniformInt(0, num_instances - 1));
+    const auto site =
+        static_cast<FaultSite>(rng.UniformInt(0, kNumFaultSites - 1));
+    plan.Crash(instance, site, rng.UniformInt(0, max_index));
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_instances) {
+  DQR_CHECK(num_instances > 0);
+  sites_.reserve(static_cast<size_t>(num_instances) * kNumFaultSites);
+  for (int i = 0; i < num_instances * kNumFaultSites; ++i) {
+    sites_.push_back(std::make_unique<SiteState>());
+  }
+  for (const FaultEvent& e : plan.events) {
+    DQR_CHECK(e.at_index >= 0 && e.delay_us >= 0);
+    if (e.instance < 0 || e.instance >= num_instances) continue;
+    At(e.instance, e.site).events.push_back(e);
+  }
+}
+
+std::optional<FaultDecision> FaultInjector::OnEvent(int instance,
+                                                    FaultSite site) {
+  SiteState& state = At(instance, site);
+  if (state.events.empty()) {
+    return std::nullopt;  // keep the no-fault path counter-only
+  }
+  const int64_t index =
+      state.counter.fetch_add(1, std::memory_order_relaxed);
+  std::optional<FaultDecision> decision;
+  for (const FaultEvent& e : state.events) {
+    const bool match = e.action == FaultAction::kSlow
+                           ? index >= e.at_index
+                           : index == e.at_index;
+    if (!match) continue;
+    if (e.action == FaultAction::kCrash) {
+      return FaultDecision{FaultAction::kCrash, 0};
+    }
+    if (!decision.has_value()) {
+      decision = FaultDecision{e.action, e.delay_us};
+    } else {
+      decision->delay_us += e.delay_us;  // overlapping sleeps accumulate
+    }
+  }
+  return decision;
+}
+
+}  // namespace dqr::core

@@ -1,0 +1,111 @@
+#ifndef DQR_CORE_FAULT_H_
+#define DQR_CORE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace dqr::core {
+
+// Where in an instance's lifecycle a fault event can fire. Events are
+// counted per (instance, site); the counters advance deterministically
+// with the work an instance performs, so a plan pins a fault to "the nth
+// time instance i does X" rather than to a wall-clock moment.
+enum class FaultSite {
+  // The solver pulled a shard from the coordinator's pool (the shard is
+  // leased but not yet executed — the crash-during-steal window).
+  kShardPickup = 0,
+  // The solver (or a speculative replayer) is about to record a fail into
+  // the shared replay pool.
+  kFailRecord = 1,
+  // The validator popped a candidate and is about to validate it.
+  kCandidateValidate = 2,
+};
+inline constexpr int kNumFaultSites = 3;
+
+// What happens when an event matches.
+enum class FaultAction {
+  // The instance dies: all of its threads stop cooperatively, it stops
+  // heartbeating, and it never touches shared state again. Recovery is
+  // the coordinator's job (lease-timeout detection).
+  kCrash,
+  // The acting thread sleeps for delay_us once, then continues. The
+  // instance keeps heartbeating, so a stall must never trigger recovery.
+  kStall,
+  // Like kStall, but the sleep repeats on this and every later event at
+  // the same site (a persistently slow instance / straggler).
+  kSlow,
+};
+
+// One scheduled fault: fires when instance `instance`'s event counter for
+// `site` reaches `at_index` (kSlow: reaches or exceeds it).
+struct FaultEvent {
+  int instance = 0;
+  FaultSite site = FaultSite::kShardPickup;
+  int64_t at_index = 0;
+  FaultAction action = FaultAction::kCrash;
+  int64_t delay_us = 0;  // sleep duration for kStall / kSlow
+};
+
+// A deterministic schedule of fault events for one query execution.
+// Thread through RefineOptions::fault_plan; the plan must outlive the
+// query. An index the run never reaches simply never fires.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  bool HasCrash() const;
+
+  // Builder conveniences (chainable).
+  FaultPlan& Crash(int instance, FaultSite site, int64_t at_index);
+  FaultPlan& Stall(int instance, FaultSite site, int64_t at_index,
+                   int64_t delay_us);
+  FaultPlan& Slow(int instance, FaultSite site, int64_t from_index,
+                  int64_t delay_us);
+};
+
+// Deterministic pseudo-random plan for stress sweeps: `crashes` crash
+// events spread over instances/sites/indices derived from `seed`.
+FaultPlan MakeRandomCrashPlan(uint64_t seed, int num_instances, int crashes,
+                              int64_t max_index);
+
+// What the instance must do at a matched event.
+struct FaultDecision {
+  FaultAction action = FaultAction::kCrash;
+  int64_t delay_us = 0;
+};
+
+// Runtime for a FaultPlan: thread-safe per-(instance, site) event
+// counters plus the match logic. One injector serves a whole cluster; the
+// hooks in instance.cc call OnEvent and apply the decision.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int num_instances);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Advances the (instance, site) counter and returns the action matching
+  // this event, if any. Crash wins over stall/slow when both match;
+  // overlapping sleeps accumulate.
+  std::optional<FaultDecision> OnEvent(int instance, FaultSite site);
+
+ private:
+  struct SiteState {
+    std::atomic<int64_t> counter{0};
+    std::vector<FaultEvent> events;  // immutable after construction
+  };
+
+  SiteState& At(int instance, FaultSite site) {
+    return *sites_[static_cast<size_t>(instance) * kNumFaultSites +
+                   static_cast<size_t>(site)];
+  }
+
+  std::vector<std::unique_ptr<SiteState>> sites_;
+};
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_FAULT_H_

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "common/stopwatch.h"
 #include "core/bundle.h"
 #include "core/fail_registry.h"
+#include "core/fault.h"
 #include "cp/search.h"
 #include "searchlight/candidate.h"
 #include "searchlight/candidate_queue.h"
@@ -81,6 +84,98 @@ struct InstanceRunner::Impl {
   };
 
   // ------------------------------------------------------------------
+  // Failure model (DESIGN.md §7).
+
+  bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  // Kills this instance cooperatively: all threads unwind at their next
+  // check, the validator queue rejects and releases everybody, and the
+  // heartbeat stops *last* — everything recovery must see (the candidate
+  // stash, the aborted queue) is published before death can be detected.
+  void CrashSelf() {
+    bool expected = false;
+    if (!crashed_.compare_exchange_strong(expected, true)) return;
+    spec_stop.store(true, std::memory_order_relaxed);
+    queue.Abort();
+    StopHeartbeat();
+  }
+
+  // Solver-side hook. Returns true when this instance is (now) crashed.
+  bool MaybeInjectFault(FaultSite site) {
+    if (cfg.injector == nullptr) return crashed();
+    const std::optional<FaultDecision> decision =
+        cfg.injector->OnEvent(cfg.id, site);
+    if (decision.has_value()) {
+      if (decision->action == FaultAction::kCrash) {
+        CrashSelf();
+      } else if (decision->delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(decision->delay_us));
+      }
+    }
+    return crashed();
+  }
+
+  // Validator-side hook. On a crash the in-flight candidate is stashed
+  // for the harvester *before* CrashSelf makes death detectable, so it
+  // can never slip through the recovery sweep.
+  bool InjectValidateFault(Candidate& cand) {
+    if (cfg.injector == nullptr) return false;
+    const std::optional<FaultDecision> decision =
+        cfg.injector->OnEvent(cfg.id, FaultSite::kCandidateValidate);
+    if (!decision.has_value()) return false;
+    if (decision->action == FaultAction::kCrash) {
+      {
+        std::lock_guard<std::mutex> lock(stash_mu);
+        stash.push_back(std::move(cand));
+      }
+      CrashSelf();
+      return true;
+    }
+    if (decision->delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(decision->delay_us));
+    }
+    return false;
+  }
+
+  void StopHeartbeat() {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+  }
+
+  void HeartbeatMain() {
+    const auto interval = std::chrono::microseconds(
+        std::max<int64_t>(1, cfg.options->heartbeat_interval_us));
+    std::unique_lock<std::mutex> lock(hb_mu);
+    while (!hb_stop) {
+      cfg.coordinator->Heartbeat(cfg.id);
+      hb_cv.wait_for(lock, interval, [&] { return hb_stop; });
+    }
+  }
+
+  // Moves orphaned candidates of dead instances into our own validator
+  // queue (counted as re-validations).
+  void SweepOrphans(RunStats& stats) {
+    while (std::optional<Candidate> orphan =
+               cfg.coordinator->PopOrphan()) {
+      if (!queue.PushIfOpen(*orphan)) {
+        // Our own queue died under us (concurrent crash): hand it back.
+        std::vector<Candidate> back;
+        back.push_back(std::move(*orphan));
+        cfg.coordinator->DepositOrphans(std::move(back));
+        return;
+      }
+      ++stats.candidates_revalidated;
+    }
+  }
+
+  // ------------------------------------------------------------------
   // Solver-side logic.
 
   bool RefinementActive() const {
@@ -102,6 +197,7 @@ struct InstanceRunner::Impl {
 
   void HandleFail(ConstraintBundle& bundle, cp::FailInfo info,
                   RunStats& stats) {
+    if (crashed()) return;
     if (!RefinementActive()) return;
     if (cfg.coordinator->CurrentPhase() == QueryPhase::kConstraining) {
       return;  // §4.3: constraining needs no fails
@@ -125,6 +221,12 @@ struct InstanceRunner::Impl {
         cfg.penalty->BestPenalty(info.estimates, info.evaluated);
     if (std::isinf(brp)) return;  // can never yield an acceptable result
 
+    // The fail is about to enter the shared pool — the kFailRecord fault
+    // window. A crash here loses the record, but the whole shard (or
+    // leased replay) it belongs to is re-executed by the recovery, which
+    // regenerates it.
+    if (MaybeInjectFault(FaultSite::kFailRecord)) return;
+
     FailRecord record;
     record.box = std::move(info.box);
     record.estimates = std::move(info.estimates);
@@ -141,6 +243,7 @@ struct InstanceRunner::Impl {
   }
 
   bool CheckNode(const std::vector<Interval>& estimates, bool replay_mode) {
+    if (crashed()) return false;  // prune everything: cooperative unwind
     if (!RefinementActive()) return true;
     const QueryPhase phase = cfg.coordinator->CurrentPhase();
     if (phase == QueryPhase::kConstraining) {
@@ -282,6 +385,52 @@ struct InstanceRunner::Impl {
   // ------------------------------------------------------------------
   // Threads.
 
+  // Pulls and executes shards until the pool drains, the query is
+  // cancelled, or this instance crashes. shards_executed counts only
+  // *fully* executed shards: a shard interrupted by a crash stays leased
+  // to us and is requeued (and counted) by the failure detector.
+  void RunShardLoop(ConstraintBundle& bundle, RefineListener& listener,
+                    const cp::SearchOptions& search_opts) {
+    const Stopwatch busy;
+    while (!crashed()) {
+      std::optional<cp::IntDomain> shard =
+          cfg.coordinator->PopShard(cfg.id);
+      if (!shard.has_value()) break;
+      if (MaybeInjectFault(FaultSite::kShardPickup)) break;
+      cp::DomainBox slice = cfg.query->domains;
+      slice[0] = *shard;
+      cp::SearchTree tree(std::move(slice), bundle.pointers(), &listener,
+                          search_opts);
+      solver_stats.main_search += tree.Run();
+      if (crashed()) break;
+      ++solver_stats.shards_executed;
+    }
+    solver_stats.main_busy_s += busy.ElapsedSeconds();
+  }
+
+  // Replays leased fails from the shared pool until it drains. Leases
+  // keep the registry the owner: a crash mid-replay abandons the lease
+  // and the detector re-pools the record for a surviving instance.
+  void RunReplayLoop(ConstraintBundle& bundle, RefineListener& listener) {
+    while (!crashed() && !cfg.coordinator->cancelled()) {
+      FailRecord* fail = cfg.registry->Lease(ReplayMrp(), cfg.id);
+      if (fail == nullptr) break;
+      if (fail->origin != cfg.id) ++solver_stats.replays_stolen;
+      ReplayOne(bundle, listener, *fail,
+                &cfg.coordinator->cancel_flag(), solver_stats);
+      if (crashed()) {
+        cfg.registry->AbandonLease(cfg.id, fail);
+        break;
+      }
+      cfg.registry->Commit(cfg.id, fail);
+    }
+  }
+
+  void StopSpeculation() {
+    spec_stop.store(true, std::memory_order_relaxed);
+    if (spec_thread.joinable()) spec_thread.join();
+  }
+
   void SolverMain() {
     ConstraintBundle bundle(*cfg.query);
     RefineListener main_listener(this, &bundle, /*replay_mode=*/false,
@@ -294,59 +443,70 @@ struct InstanceRunner::Impl {
     search_opts.cancel = &cfg.coordinator->cancel_flag();
 
     // Work stealing: pull variable-0 shards from the shared pool until it
-    // drains. A skewed region splits across many shards, so no instance is
-    // pinned to it while the others idle.
-    const Stopwatch busy;
-    while (std::optional<cp::IntDomain> shard =
-               cfg.coordinator->PopShard()) {
-      cp::DomainBox slice = cfg.query->domains;
-      slice[0] = *shard;
-      cp::SearchTree tree(std::move(slice), bundle.pointers(),
-                          &main_listener, search_opts);
-      solver_stats.main_search += tree.Run();
-      ++solver_stats.shards_executed;
+    // drains. The barrier can bounce us back to work when a dead
+    // instance's shard is requeued or its candidates need re-validation.
+    while (true) {
+      RunShardLoop(bundle, main_listener, search_opts);
+      if (crashed()) break;
+      // Stop speculation before the quiescence barrier: the relaxation
+      // decision must not race with speculative replays.
+      StopSpeculation();
+      SweepOrphans(solver_stats);
+      // The relaxation decision needs the confirmed result count: drain
+      // our validator before declaring ourselves quiescent.
+      queue.WaitDrained();
+      if (crashed()) break;
+      if (cfg.coordinator->AwaitMainSearchDone(cfg.id)) break;
     }
-    solver_stats.main_busy_s = busy.ElapsedSeconds();
-
-    // Stop speculation before the regular replay phase takes over.
-    spec_stop.store(true, std::memory_order_relaxed);
-    if (spec_thread.joinable()) spec_thread.join();
-
-    // The relaxation decision needs the confirmed result count: drain our
-    // validator, then wait until the shard pool is drained and every
-    // instance is quiescent.
-    queue.WaitDrained();
-    cfg.coordinator->ArriveMainSearchDone();
+    StopSpeculation();
+    if (crashed()) return;  // queue aborted; recovery is the detector's
     main_done_s = cfg.coordinator->ElapsedSeconds();
 
+    // All instances base the decision on the same frozen snapshot, so the
+    // cluster takes one branch even while results keep arriving during
+    // the replay phase.
     const bool relax_needed =
         RefinementActive() && !cfg.coordinator->cancelled() &&
-        cfg.coordinator->tracker().exact_count() < cfg.query->k;
+        cfg.coordinator->main_exact_count() < cfg.query->k;
     if (relax_needed) {
       RefineListener replay_listener(this, &bundle, /*replay_mode=*/true,
                                      &solver_stats);
-      while (!cfg.coordinator->cancelled()) {
+      while (true) {
         // The shared pool hands every instance the globally
         // most-promising fail, whoever recorded it.
-        std::optional<FailRecord> fail = cfg.registry->Pop(ReplayMrp());
-        if (!fail.has_value()) break;
-        if (fail->origin != cfg.id) ++solver_stats.replays_stolen;
-        ReplayOne(bundle, replay_listener, *fail,
-                  &cfg.coordinator->cancel_flag(), solver_stats);
+        RunReplayLoop(bundle, replay_listener);
+        if (crashed()) break;
+        SweepOrphans(solver_stats);
+        queue.WaitDrained();
+        if (crashed()) break;
+        if (cfg.coordinator->AwaitQueryDone(cfg.id, /*replaying=*/true)) {
+          break;
+        }
       }
-      queue.WaitDrained();
     } else {
       // Not needed: free the recorded fails ("stops tracking fails").
       // Every instance takes the same branch after the barrier, so the
       // shared clear is idempotent across them.
       cfg.registry->Clear();
+      while (true) {
+        SweepOrphans(solver_stats);
+        queue.WaitDrained();
+        if (crashed()) break;
+        if (cfg.coordinator->AwaitQueryDone(cfg.id, /*replaying=*/false)) {
+          break;
+        }
+      }
     }
+    if (crashed()) return;
     queue.Close();
+    cfg.coordinator->RetireInstance(cfg.id);
+    StopHeartbeat();
   }
 
   void ValidatorMain() {
     ConstraintBundle bundle(*cfg.query);
     while (std::optional<Candidate> cand = queue.Pop()) {
+      if (InjectValidateFault(*cand)) break;
       ProcessCandidate(bundle, *cand);
       queue.FinishedCurrent();
     }
@@ -433,8 +593,8 @@ struct InstanceRunner::Impl {
         std::this_thread::sleep_for(kSpeculationNap);
         continue;
       }
-      std::optional<FailRecord> fail = cfg.registry->Pop(ReplayMrp());
-      if (!fail.has_value()) {
+      FailRecord* fail = cfg.registry->Lease(ReplayMrp(), cfg.id);
+      if (fail == nullptr) {
         std::this_thread::sleep_for(kSpeculationNap);
         continue;
       }
@@ -442,10 +602,12 @@ struct InstanceRunner::Impl {
       const ReplayOutcome outcome =
           ReplayOne(bundle, listener, *fail, &spec_stop, spec_stats);
       ++spec_stats.speculative_replays;
-      if (!outcome.completed) {
+      if (!outcome.completed || crashed()) {
         // Interrupted mid-replay: hand the fail back for the regular
         // replay phase (re-exploration is deduplicated by the tracker).
-        cfg.registry->Record(std::move(*fail), ReplayMrp());
+        cfg.registry->Requeue(cfg.id, fail);
+      } else {
+        cfg.registry->Commit(cfg.id, fail);
       }
     }
   }
@@ -473,7 +635,18 @@ struct InstanceRunner::Impl {
   std::thread solver_thread;
   std::thread validator_thread;
   std::thread spec_thread;
+  std::thread heartbeat_thread;
   std::atomic<bool> spec_stop{false};
+  std::atomic<bool> crashed_{false};
+
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+
+  // The validator's in-flight candidate at crash time, parked for the
+  // failure detector's harvest.
+  std::mutex stash_mu;
+  std::vector<Candidate> stash;
 
   // Written by exactly one thread each; read after Join().
   RunStats solver_stats;
@@ -491,6 +664,9 @@ InstanceRunner::~InstanceRunner() {
 
 void InstanceRunner::Start() {
   Impl* impl = impl_.get();
+  if (impl->cfg.run_heartbeat) {
+    impl->heartbeat_thread = std::thread([impl] { impl->HeartbeatMain(); });
+  }
   if (impl->cfg.options->speculative) {
     impl->spec_thread = std::thread([impl] { impl->SpeculativeMain(); });
   }
@@ -502,6 +678,18 @@ void InstanceRunner::Join() {
   if (impl_->solver_thread.joinable()) impl_->solver_thread.join();
   if (impl_->spec_thread.joinable()) impl_->spec_thread.join();
   if (impl_->validator_thread.joinable()) impl_->validator_thread.join();
+  impl_->StopHeartbeat();
+  if (impl_->heartbeat_thread.joinable()) impl_->heartbeat_thread.join();
+}
+
+bool InstanceRunner::crashed() const { return impl_->crashed(); }
+
+std::vector<searchlight::Candidate> InstanceRunner::HarvestOrphans() {
+  std::vector<Candidate> out = impl_->queue.TakeAll();
+  std::lock_guard<std::mutex> lock(impl_->stash_mu);
+  for (Candidate& c : impl_->stash) out.push_back(std::move(c));
+  impl_->stash.clear();
+  return out;
 }
 
 RunStats InstanceRunner::stats() const { return impl_->CollectStats(); }

@@ -2,14 +2,17 @@
 #define DQR_CORE_INSTANCE_H_
 
 #include <memory>
+#include <vector>
 
 #include "cp/domain.h"
 #include "core/coordinator.h"
 #include "core/fail_registry.h"
+#include "core/fault.h"
 #include "core/options.h"
 #include "core/penalty.h"
 #include "core/rank.h"
 #include "core/stats.h"
+#include "searchlight/candidate.h"
 #include "searchlight/query.h"
 
 namespace dqr::core {
@@ -25,6 +28,12 @@ struct InstanceConfig {
   Coordinator* coordinator = nullptr;
   // The cluster-wide replay pool, shared by every instance.
   FailRegistry* registry = nullptr;
+  // Deterministic fault injection (null = no faults); shared by the
+  // cluster, counters are per (instance, site).
+  FaultInjector* injector = nullptr;
+  // Spawn the heartbeat thread (needed whenever the failure detector
+  // runs; pure overhead otherwise).
+  bool run_heartbeat = false;
 };
 
 // One simulated cluster instance: a Solver thread and a Validator thread
@@ -46,6 +55,14 @@ class InstanceRunner {
   // Blocks until all threads finish (the validator queue is closed and
   // drained).
   void Join();
+
+  // True once this instance died to an injected crash (its threads stop
+  // cooperatively and it no longer touches shared state).
+  bool crashed() const;
+
+  // Failure detector hook: removes every candidate this (dead) instance
+  // still had queued or in flight, for re-validation elsewhere.
+  std::vector<searchlight::Candidate> HarvestOrphans();
 
   // This instance's statistics; valid after Join().
   RunStats stats() const;

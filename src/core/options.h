@@ -12,6 +12,7 @@ namespace dqr::core {
 
 class PenaltyModel;
 class RankModel;
+struct FaultPlan;
 
 // What the engine does when the query yields more than k results (§3.2).
 enum class ConstrainMode {
@@ -144,6 +145,28 @@ struct RefineOptions {
   // is cancelled and the partial result returned with completed = false
   // (used for the USER-MAX ">1h" rows).
   double time_budget_s = 0.0;
+
+  // --- failure model (see DESIGN.md §7) ---
+  // Deterministic fault schedule (crash/stall/slow events keyed by
+  // instance id and per-site event index); null = no injection. The plan
+  // must outlive the query. Any crash event implies the failure detector.
+  const FaultPlan* fault_plan = nullptr;
+  // Run the heartbeat/lease failure detector even without a fault plan
+  // (production posture; the zero-fault overhead is what
+  // bench_fault_recovery measures). Off by default: a single-process
+  // simulation cannot lose an instance unless faults are injected.
+  bool enable_failure_detector = false;
+  // Heartbeat cadence of each instance's beat thread (also the failure
+  // detector's sweep interval). The default gives ~10 missed beats before
+  // the lease expires while keeping the beat threads' wakeups rare enough
+  // to stay under the < 2% zero-fault overhead budget even on a single
+  // hardware thread (see bench_fault_recovery).
+  int64_t heartbeat_interval_us = 25000;
+  // An instance whose last heartbeat is older than this is declared dead
+  // and recovered (shard requeue, replay reclaim, candidate
+  // revalidation). Must comfortably exceed the heartbeat interval; the
+  // default tolerates heavy scheduler noise (sanitizer runs).
+  int64_t lease_timeout_us = 250000;
 };
 
 }  // namespace dqr::core

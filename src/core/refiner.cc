@@ -4,12 +4,14 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "core/coordinator.h"
 #include "core/fail_registry.h"
+#include "core/fault.h"
 #include "core/instance.h"
 #include "core/model_builders.h"
 #include "core/penalty.h"
@@ -51,6 +53,93 @@ class Watchdog {
 
   Coordinator* coordinator_;
   double budget_s_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// The lease-timeout failure detector (DESIGN.md §7): a periodic sweep
+// over the instances' heartbeat slots. An instance whose last beat is
+// older than the lease timeout is declared dead and its in-flight work is
+// recovered — the leased shard back into the pool, abandoned replay
+// leases back into the registry, queued/in-flight candidates into the
+// coordinator's orphan depot for re-validation by a survivor.
+class FailureDetector {
+ public:
+  FailureDetector(Coordinator* coordinator, FailRegistry* registry,
+                  std::vector<std::unique_ptr<InstanceRunner>>* runners,
+                  int64_t interval_us, int64_t timeout_us)
+      : coordinator_(coordinator),
+        registry_(registry),
+        runners_(runners),
+        // Sweeping needs nowhere near heartbeat granularity: a quarter of
+        // the lease keeps the detection-latency bound at ~1.25x the lease
+        // timeout while the sweep's lock traffic stays negligible.
+        interval_us_(std::max(interval_us, timeout_us / 4)),
+        timeout_ns_(timeout_us * 1000) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~FailureDetector() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::microseconds(interval_us_),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      Tick();
+      lock.lock();
+    }
+  }
+
+  void Tick() {
+    const int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    bool changed = false;
+    for (int i = 0; i < coordinator_->num_instances(); ++i) {
+      if (dead_.count(i) != 0) {
+        // A dying thread may abandon its replay lease after we declared
+        // it dead; keep re-polling until everything is re-pooled.
+        if (registry_->ReclaimFrom(i) > 0) changed = true;
+        continue;
+      }
+      if (!coordinator_->IsMonitorable(i)) continue;
+      if (now - coordinator_->LastHeartbeatNs(i) < timeout_ns_) continue;
+      dead_.insert(i);
+      if (registry_->ReclaimFrom(i) > 0) changed = true;
+      // Deposit the orphans *before* DeclareDead shrinks the live count:
+      // the barriers must see the recovered work no later than the
+      // membership change, or they could complete without it.
+      std::vector<searchlight::Candidate> orphans =
+          (*runners_)[static_cast<size_t>(i)]->HarvestOrphans();
+      if (!orphans.empty()) {
+        coordinator_->DepositOrphans(std::move(orphans));
+      }
+      coordinator_->DeclareDead(i);
+      changed = true;
+    }
+    if (changed) coordinator_->NotifyWorkChanged();
+  }
+
+  Coordinator* coordinator_;
+  FailRegistry* registry_;
+  std::vector<std::unique_ptr<InstanceRunner>>* runners_;
+  const int64_t interval_us_;
+  const int64_t timeout_ns_;
+  std::set<int> dead_;
   std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -107,6 +196,26 @@ Status ValidateInputs(const searchlight::QuerySpec& query,
     }
     if (options.diversity_pool_factor < 1) {
       return InvalidArgumentError("diversity_pool_factor must be >= 1");
+    }
+  }
+  if (options.heartbeat_interval_us <= 0) {
+    return InvalidArgumentError("heartbeat_interval_us must be positive");
+  }
+  if (options.lease_timeout_us <= options.heartbeat_interval_us) {
+    return InvalidArgumentError(
+        "lease_timeout_us must exceed heartbeat_interval_us");
+  }
+  if (options.fault_plan != nullptr) {
+    for (const FaultEvent& e : options.fault_plan->events) {
+      if (e.instance < 0) {
+        return InvalidArgumentError("fault event instance must be >= 0");
+      }
+      if (e.at_index < 0) {
+        return InvalidArgumentError("fault event at_index must be >= 0");
+      }
+      if (e.delay_us < 0) {
+        return InvalidArgumentError("fault event delay_us must be >= 0");
+      }
     }
   }
   return Status::Ok();
@@ -179,7 +288,21 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   // The cluster-wide replay pool: every instance records fails into it and
   // replays the globally most-promising ones out of it.
   FailRegistry registry(options.replay_order, options.max_recorded_fails);
+  coordinator.AttachRegistry(&registry);
   Watchdog watchdog(&coordinator, options.time_budget_s);
+
+  // Failure model: an injector when a fault plan is supplied, and the
+  // heartbeat/lease detector whenever faults are possible or the caller
+  // wants the production posture measured.
+  const bool inject_faults =
+      options.fault_plan != nullptr && !options.fault_plan->empty();
+  const bool detect_failures =
+      inject_faults || options.enable_failure_detector;
+  std::unique_ptr<FaultInjector> injector;
+  if (inject_faults) {
+    injector =
+        std::make_unique<FaultInjector>(*options.fault_plan, instances);
+  }
 
   std::vector<std::unique_ptr<InstanceRunner>> runners;
   runners.reserve(static_cast<size_t>(instances));
@@ -192,11 +315,34 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
     config.rank = &rank;
     config.coordinator = &coordinator;
     config.registry = &registry;
+    config.injector = injector.get();
+    config.run_heartbeat = detect_failures;
     runners.push_back(std::make_unique<InstanceRunner>(std::move(config)));
   }
 
-  for (auto& runner : runners) runner->Start();
-  for (auto& runner : runners) runner->Join();
+  {
+    std::unique_ptr<FailureDetector> detector;
+    for (auto& runner : runners) runner->Start();
+    if (detect_failures) {
+      detector = std::make_unique<FailureDetector>(
+          &coordinator, &registry, &runners,
+          options.heartbeat_interval_us, options.lease_timeout_us);
+    }
+    for (auto& runner : runners) runner->Join();
+  }
+
+  // Settle accounts for crashes the detector never got to see: when the
+  // last instances die together every thread exits and Join returns
+  // before any lease can time out, so nobody was left to declare them.
+  // This is the same (idempotent) transition the detector would have
+  // made; with any survivor the barriers cannot complete around an
+  // undetected crash, so this sweep only fires on total-loss runs.
+  for (int i = 0; i < instances; ++i) {
+    if (runners[static_cast<size_t>(i)]->crashed()) {
+      coordinator.DeclareDead(i);
+      registry.ReclaimFrom(i);
+    }
+  }
 
   RunResult result;
   result.results = coordinator.tracker().FinalResults();
@@ -219,6 +365,11 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   result.stats.fails_discarded_at_record = registry.discarded_at_record();
   result.stats.fails_discarded_at_pop = registry.discarded_at_pop();
   result.stats.fails_dropped_full = registry.dropped_full();
+  // Recovery counters are cluster-level facts (candidates_revalidated is
+  // per-instance and already aggregated above).
+  result.stats.instances_lost = coordinator.instances_lost();
+  result.stats.shards_requeued = coordinator.shards_requeued();
+  result.stats.replays_reclaimed = registry.reclaimed();
   result.stats.peak_fail_bytes = registry.peak_state_bytes();
   result.stats.peak_fail_count = registry.peak_size();
   result.stats.max_peak_fail_bytes = registry.peak_state_bytes();

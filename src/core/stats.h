@@ -64,6 +64,17 @@ struct RunStats {
   int64_t peak_queue = 0;      // summed: cluster-wide bound (see peak_*)
   int64_t max_peak_queue = 0;  // max: deepest single validator queue
 
+  // --- failure recovery (all zero on a fault-free run) ---
+  // Instances declared dead by the lease-timeout detector.
+  int64_t instances_lost = 0;
+  // In-flight shards of dead instances returned to the shard pool.
+  int64_t shards_requeued = 0;
+  // Leased replay fails of dead instances reclaimed into the shared pool.
+  int64_t replays_reclaimed = 0;
+  // Orphaned candidates (queued/in-flight at a dead validator) that a
+  // surviving instance re-validated.
+  int64_t candidates_revalidated = 0;
+
   // --- refinement bookkeeping ---
   int64_t mrp_updates = 0;
   int64_t mrk_updates = 0;
@@ -95,6 +106,10 @@ struct RunStats {
     exact_results += o.exact_results;
     relaxed_accepted += o.relaxed_accepted;
     duplicates += o.duplicates;
+    instances_lost += o.instances_lost;
+    shards_requeued += o.shards_requeued;
+    replays_reclaimed += o.replays_reclaimed;
+    candidates_revalidated += o.candidates_revalidated;
     peak_queue += o.peak_queue;
     max_peak_queue = std::max(max_peak_queue, o.max_peak_queue);
     completed = completed && o.completed;

@@ -27,14 +27,16 @@ Candidate CandidateQueue::HeapPop() {
   return c;
 }
 
-bool CandidateQueue::Push(Candidate c) {
+bool CandidateQueue::Push(Candidate c) { return PushIfOpen(c); }
+
+bool CandidateQueue::PushIfOpen(Candidate& c) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [&] {
-    return closed_ ||
+    return closed_ || aborted_ ||
            (order_ == Order::kFifo ? fifo_.size() : heap_.size()) <
                capacity_;
   });
-  if (closed_) return false;
+  if (closed_ || aborted_) return false;
   if (order_ == Order::kFifo) {
     fifo_.push_back(std::move(c));
   } else {
@@ -50,8 +52,9 @@ bool CandidateQueue::Push(Candidate c) {
 std::optional<Candidate> CandidateQueue::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] {
-    return closed_ || !fifo_.empty() || !heap_.empty();
+    return closed_ || aborted_ || !fifo_.empty() || !heap_.empty();
   });
+  if (aborted_) return std::nullopt;
   Candidate c;
   if (order_ == Order::kFifo) {
     if (fifo_.empty()) return std::nullopt;
@@ -68,6 +71,7 @@ std::optional<Candidate> CandidateQueue::Pop() {
 
 void CandidateQueue::FinishedCurrent() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) return;
   DQR_CHECK(in_flight_ > 0);
   --in_flight_;
   if (fifo_.empty() && heap_.empty() && in_flight_ == 0) {
@@ -78,7 +82,7 @@ void CandidateQueue::FinishedCurrent() {
 void CandidateQueue::WaitDrained() {
   std::unique_lock<std::mutex> lock(mu_);
   drained_.wait(lock, [&] {
-    return fifo_.empty() && heap_.empty() && in_flight_ == 0;
+    return aborted_ || (fifo_.empty() && heap_.empty() && in_flight_ == 0);
   });
 }
 
@@ -89,6 +93,26 @@ void CandidateQueue::Close() {
   not_full_.notify_all();
 }
 
+void CandidateQueue::Abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  drained_.notify_all();
+}
+
+std::vector<Candidate> CandidateQueue::TakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Candidate> out;
+  out.reserve(fifo_.size() + heap_.size());
+  for (Candidate& c : fifo_) out.push_back(std::move(c));
+  fifo_.clear();
+  for (Candidate& c : heap_) out.push_back(std::move(c));
+  heap_.clear();
+  return out;
+}
+
 size_t CandidateQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return order_ == Order::kFifo ? fifo_.size() : heap_.size();
@@ -97,6 +121,11 @@ size_t CandidateQueue::size() const {
 bool CandidateQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+bool CandidateQueue::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_;
 }
 
 int64_t CandidateQueue::peak_size() const {

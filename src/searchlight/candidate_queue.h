@@ -33,8 +33,12 @@ class CandidateQueue {
   CandidateQueue& operator=(const CandidateQueue&) = delete;
 
   // Enqueues `c`; blocks while full. Returns false if the queue was
-  // closed (the candidate is dropped).
+  // closed or aborted (the candidate is dropped).
   bool Push(Candidate c);
+
+  // Like Push, but on rejection `c` is left intact so the caller can
+  // re-route it (orphan re-deposit during crash recovery).
+  bool PushIfOpen(Candidate& c);
 
   // Dequeues the next candidate; blocks while empty. Returns nullopt once
   // the queue is closed and drained. The consumer must call
@@ -51,8 +55,21 @@ class CandidateQueue {
   // No more pushes accepted; pending candidates can still be popped.
   void Close();
 
+  // Crash support: the owning instance died. Releases every waiter; Pop
+  // returns nullopt immediately even while candidates remain (a dead
+  // validator must not consume), Push is rejected, WaitDrained no longer
+  // blocks and FinishedCurrent becomes a no-op. The undelivered
+  // candidates stay harvestable via TakeAll() for re-validation
+  // elsewhere. Idempotent.
+  void Abort();
+
+  // Removes and returns every undelivered candidate (recovery after
+  // Abort). Priority order is irrelevant to the harvester.
+  std::vector<Candidate> TakeAll();
+
   size_t size() const;
   bool closed() const;
+  bool aborted() const;
   int64_t peak_size() const;
 
  private:
@@ -71,6 +88,7 @@ class CandidateQueue {
   std::vector<Candidate> heap_;
   int in_flight_ = 0;
   bool closed_ = false;
+  bool aborted_ = false;
   int64_t peak_size_ = 0;
 };
 

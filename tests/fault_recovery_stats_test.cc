@@ -1,0 +1,301 @@
+// Recovery accounting of the instance-failure model: the counters
+// surfaced in RunStats (instances_lost / shards_requeued /
+// replays_reclaimed / candidates_revalidated) must match the injected
+// fault plan, stall and slow events must recover without any requeue, and
+// the FailRegistry lease lifecycle must be exact at the unit level.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fail_registry.h"
+#include "core/fault.h"
+#include "core/refiner.h"
+#include "refiner_test_util.h"
+
+namespace dqr::core {
+namespace {
+
+using testutil::MakeSmallBundle;
+using testutil::MakeTestQuery;
+using testutil::TestQueryParams;
+
+std::string Fingerprint(const std::vector<Solution>& results) {
+  std::string out;
+  for (const Solution& s : results) out += s.ToString();
+  return out;
+}
+
+FailRecord MakeRecord(double brp) {
+  FailRecord r;
+  r.brp = brp;
+  return r;
+}
+
+// --- FailRegistry lease lifecycle (deterministic unit level) ---
+
+TEST(FailRegistryLeaseTest, CommitDestroysRequeueRepools) {
+  FailRegistry registry(ReplayOrder::kBestFirst, 100);
+  registry.Record(MakeRecord(0.1), 1.0);
+  registry.Record(MakeRecord(0.2), 1.0);
+  ASSERT_EQ(registry.size(), 2u);
+
+  FailRecord* a = registry.Lease(1.0, /*instance=*/0);
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->brp, 0.1);  // best-first: lowest BRP leaves first
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.leased_count(), 1u);
+
+  registry.Commit(0, a);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.leased_count(), 0u);
+
+  FailRecord* b = registry.Lease(1.0, 0);
+  ASSERT_NE(b, nullptr);
+  registry.Requeue(0, b);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.leased_count(), 0u);
+  EXPECT_EQ(registry.reclaimed(), 0);
+}
+
+TEST(FailRegistryLeaseTest, ReclaimTakesOnlyAbandonedLeases) {
+  FailRegistry registry(ReplayOrder::kBestFirst, 100);
+  registry.Record(MakeRecord(0.1), 1.0);
+  registry.Record(MakeRecord(0.2), 1.0);
+  registry.Record(MakeRecord(0.3), 1.0);
+
+  FailRecord* a = registry.Lease(1.0, /*instance=*/1);
+  FailRecord* b = registry.Lease(1.0, 1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(registry.leased_count(), 2u);
+
+  // Nothing abandoned yet: the detector's pass must take nothing (the
+  // dying instance may still be unwinding with the lease in hand).
+  EXPECT_EQ(registry.ReclaimFrom(1), 0);
+  EXPECT_EQ(registry.leased_count(), 2u);
+
+  registry.AbandonLease(1, a);
+  EXPECT_EQ(registry.ReclaimFrom(1), 1);
+  EXPECT_EQ(registry.size(), 2u);  // a is back in the pool
+  EXPECT_EQ(registry.leased_count(), 1u);
+  EXPECT_EQ(registry.reclaimed(), 1);
+
+  // The reclaimed record is replayable again, best-first order intact.
+  FailRecord* again = registry.Lease(1.0, 2);
+  ASSERT_NE(again, nullptr);
+  EXPECT_DOUBLE_EQ(again->brp, 0.1);
+
+  // The still-held lease abandons later; a second pass picks it up.
+  registry.AbandonLease(1, b);
+  EXPECT_EQ(registry.ReclaimFrom(1), 1);
+  EXPECT_EQ(registry.reclaimed(), 2);
+
+  // ReclaimFrom on an instance with no leases is a no-op.
+  EXPECT_EQ(registry.ReclaimFrom(7), 0);
+}
+
+// --- end-to-end counters against injected plans ---
+
+constexpr int64_t kLeaseTimeoutUs = 120000;
+
+class FaultRecoveryStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { bundle_ = MakeSmallBundle(600, 5); }
+
+  searchlight::QuerySpec RelaxQuery() const {
+    TestQueryParams p;
+    p.avg_bounds = Interval(228, 250);
+    p.k = 6;
+    return MakeTestQuery(bundle_, p);
+  }
+
+  testutil::SmallBundle bundle_;
+};
+
+// One instance crashes at a shard pickup while two paced peers hold their
+// first shards: exactly one instance is lost and exactly its one leased
+// shard is requeued. No replay lease was involved, so replays_reclaimed
+// must stay zero — matching the plan is also matching its absences.
+TEST_F(FaultRecoveryStatsTest, PickupCrashCountsOneLossOneRequeue) {
+  const searchlight::QuerySpec query = RelaxQuery();
+  RefineOptions base;
+  base.num_instances = 3;
+  base.shards_per_instance = 8;
+  base.lease_timeout_us = kLeaseTimeoutUs;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+
+  FaultPlan plan;
+  // Pace the peers so instance 1 is guaranteed to reach its pickup (the
+  // tiny pool can otherwise drain before its thread starts).
+  plan.Stall(0, FaultSite::kShardPickup, 0, 20000)
+      .Stall(2, FaultSite::kShardPickup, 0, 20000)
+      .Crash(1, FaultSite::kShardPickup, 0);
+  RefineOptions options = base;
+  options.fault_plan = &plan;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+
+  const RunStats& stats = run.value().stats;
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.instances_lost, 1);
+  EXPECT_EQ(stats.shards_requeued, 1);
+  EXPECT_EQ(stats.replays_reclaimed, 0);
+  EXPECT_EQ(Fingerprint(run.value().results),
+            Fingerprint(reference.value().results));
+}
+
+// Stall events pause a thread but the instance keeps heartbeating: no
+// loss, no requeue, no reclaim — and the results are untouched.
+TEST_F(FaultRecoveryStatsTest, StallRecoversWithoutRequeue) {
+  const searchlight::QuerySpec query = RelaxQuery();
+  RefineOptions base;
+  base.num_instances = 3;
+  base.shards_per_instance = 8;
+  base.lease_timeout_us = kLeaseTimeoutUs;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+
+  FaultPlan plan;
+  plan.Stall(0, FaultSite::kShardPickup, 0, 20000)
+      .Stall(1, FaultSite::kFailRecord, 3, 20000)
+      .Stall(2, FaultSite::kCandidateValidate, 0, 20000);
+  RefineOptions options = base;
+  options.fault_plan = &plan;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+
+  const RunStats& stats = run.value().stats;
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.instances_lost, 0);
+  EXPECT_EQ(stats.shards_requeued, 0);
+  EXPECT_EQ(stats.replays_reclaimed, 0);
+  EXPECT_EQ(stats.candidates_revalidated, 0);
+  EXPECT_EQ(Fingerprint(run.value().results),
+            Fingerprint(reference.value().results));
+}
+
+// A persistently slow straggler (kSlow sleeps on every pickup) outlives
+// its sluggishness: as long as heartbeats flow, slowness is never failure.
+TEST_F(FaultRecoveryStatsTest, SlowStragglerIsNotDeclaredDead) {
+  const searchlight::QuerySpec query = RelaxQuery();
+  RefineOptions base;
+  base.num_instances = 2;
+  base.shards_per_instance = 4;
+  base.lease_timeout_us = kLeaseTimeoutUs;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+
+  FaultPlan plan;
+  plan.Slow(1, FaultSite::kShardPickup, 0, 3000);
+  RefineOptions options = base;
+  options.fault_plan = &plan;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+
+  const RunStats& stats = run.value().stats;
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.instances_lost, 0);
+  EXPECT_EQ(stats.shards_requeued, 0);
+  EXPECT_EQ(Fingerprint(run.value().results),
+            Fingerprint(reference.value().results));
+}
+
+// A validator crash stashes its in-flight candidate before dying; the
+// survivor re-validates it (and anything still queued) from the orphan
+// depot, which the candidates_revalidated counter records. The query is
+// chosen so *every* shard emits candidates (all windows satisfy all
+// constraints), making the victim's first validate event — and thus the
+// planted crash — independent of which shards it happens to steal.
+TEST_F(FaultRecoveryStatsTest, ValidatorCrashRevalidatesOrphans) {
+  TestQueryParams p;
+  p.avg_bounds = Interval(50, 250);  // every window qualifies
+  p.contrast_min = -1e6;
+  p.k = 5;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+
+  RefineOptions base;
+  base.num_instances = 2;
+  base.shards_per_instance = 8;
+  base.constrain = ConstrainMode::kRank;
+  base.lease_timeout_us = 250000;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+
+  FaultPlan plan;
+  // A long first-pickup stall on the peer guarantees the victim steals
+  // shards (and hence validates candidates) before the pool can drain.
+  plan.Stall(0, FaultSite::kShardPickup, 0, 100000)
+      .Crash(1, FaultSite::kCandidateValidate, 0);
+  RefineOptions options = base;
+  options.fault_plan = &plan;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+
+  const RunStats& stats = run.value().stats;
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.instances_lost, 1);
+  EXPECT_GE(stats.candidates_revalidated, 1);
+  EXPECT_EQ(Fingerprint(run.value().results),
+            Fingerprint(reference.value().results));
+}
+
+// Crashing at a fail-record event during the replay phase abandons the
+// replay lease, and the detector must re-pool it: whenever a fail-record
+// crash fires with no shard in flight, the instance was replaying a
+// leased fail, so replays_reclaimed has to account for it. (Which phase a
+// given index lands in depends on scheduling; the implication — and the
+// result set — must hold either way.)
+TEST_F(FaultRecoveryStatsTest, ReplayPhaseCrashReclaimsLease) {
+  const searchlight::QuerySpec query = RelaxQuery();
+  RefineOptions base;
+  base.num_instances = 2;
+  base.shards_per_instance = 8;
+  base.lease_timeout_us = kLeaseTimeoutUs;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+  const std::string want = Fingerprint(reference.value().results);
+
+  int64_t fired = 0;
+  for (const int64_t at : {10, 20, 40}) {
+    FaultPlan plan;
+    plan.Crash(1, FaultSite::kFailRecord, at);
+    RefineOptions options = base;
+    options.fault_plan = &plan;
+    const auto run = ExecuteQuery(query, options);
+    ASSERT_TRUE(run.ok()) << "at=" << at;
+    const RunStats& stats = run.value().stats;
+    EXPECT_TRUE(stats.completed) << "at=" << at;
+    EXPECT_EQ(Fingerprint(run.value().results), want) << "at=" << at;
+    fired += stats.instances_lost;
+    if (stats.instances_lost == 1 && stats.shards_requeued == 0) {
+      // No shard leased at crash time => the fail-record event came from
+      // replaying, with a registry lease in hand.
+      EXPECT_GE(stats.replays_reclaimed, 1) << "at=" << at;
+    }
+  }
+  // The plan must not be a no-op across the whole ladder.
+  EXPECT_GE(fired, 1);
+}
+
+// Faults on instance ids outside the cluster never fire and never count.
+TEST_F(FaultRecoveryStatsTest, OutOfRangeInstanceIsInert) {
+  const searchlight::QuerySpec query = RelaxQuery();
+  FaultPlan plan;
+  plan.Crash(5, FaultSite::kShardPickup, 0);
+  RefineOptions options;
+  options.num_instances = 2;
+  options.shards_per_instance = 4;
+  options.fault_plan = &plan;
+  options.lease_timeout_us = kLeaseTimeoutUs;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().stats.completed);
+  EXPECT_EQ(run.value().stats.instances_lost, 0);
+  EXPECT_EQ(run.value().stats.shards_requeued, 0);
+}
+
+}  // namespace
+}  // namespace dqr::core

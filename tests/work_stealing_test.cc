@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/fault.h"
 #include "core/refiner.h"
 #include "refiner_test_util.h"
 
@@ -199,6 +200,52 @@ TEST_F(WorkStealingTest, SingleShardDegeneratesToStaticSlicing) {
   const int64_t size = query.domains.front().size();
   const int64_t chunk = (size + 4 - 1) / 4;
   EXPECT_EQ(run.value().stats.shards_executed, (size + chunk - 1) / chunk);
+}
+
+// A seeded crash at the moment a shard is stolen: the leased shard must
+// be neither lost nor executed twice. The crashed instance never counts
+// it (it died before running it), the detector requeues it exactly once,
+// and a survivor executes it — so the exactly-once shard accounting and
+// the result set are both intact.
+TEST_F(WorkStealingTest, CrashDuringStealKeepsExactlyOnceAccounting) {
+  TestQueryParams p;
+  p.avg_bounds = Interval(228, 250);
+  p.k = 6;
+  const searchlight::QuerySpec query = MakeTestQuery(bundle_, p);
+
+  RefineOptions base;
+  base.num_instances = 3;
+  base.shards_per_instance = 8;
+  base.lease_timeout_us = 120000;
+  const auto reference = ExecuteQuery(query, base);
+  ASSERT_TRUE(reference.ok());
+
+  FaultPlan plan;
+  // Pace the peers so the pool cannot drain before instance 1's first
+  // steal, then kill instance 1 right as it takes its shard.
+  plan.Stall(0, FaultSite::kShardPickup, 0, 20000)
+      .Stall(2, FaultSite::kShardPickup, 0, 20000)
+      .Crash(1, FaultSite::kShardPickup, 0);
+  RefineOptions options = base;
+  options.fault_plan = &plan;
+  const auto run = ExecuteQuery(query, options);
+  ASSERT_TRUE(run.ok());
+  const RunResult& result = run.value();
+
+  EXPECT_TRUE(result.stats.completed);
+  EXPECT_EQ(result.stats.instances_lost, 1);
+  EXPECT_EQ(result.stats.shards_requeued, 1);
+  // Every seeded shard ran to completion exactly once, the requeued one
+  // included — on a survivor, since the victim died before executing any.
+  EXPECT_EQ(result.stats.shards_executed, ExpectedShards(query, options));
+  EXPECT_EQ(result.per_instance[1].shards_executed, 0);
+  int64_t per_instance_sum = 0;
+  for (const RunStats& s : result.per_instance) {
+    per_instance_sum += s.shards_executed;
+  }
+  EXPECT_EQ(per_instance_sum, result.stats.shards_executed);
+  EXPECT_EQ(Fingerprint(result.results),
+            Fingerprint(reference.value().results));
 }
 
 TEST_F(WorkStealingTest, RejectsNonPositiveShardKnob) {
