@@ -1,0 +1,72 @@
+#ifndef DQR_COMMON_SHARDED_COUNTER_H_
+#define DQR_COMMON_SHARDED_COUNTER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace dqr {
+
+// A relaxed event counter sharded across cache lines. Hot-path increments
+// land on a per-thread shard (assigned round-robin on first use), so
+// concurrent counting from many solver/validator threads never contends on
+// one cache line; reads sum the shards. Counts are exact, ordering is
+// relaxed — suitable for stats, not for synchronization.
+//
+// Reset() is not atomic with respect to concurrent Add() calls: increments
+// racing with a reset may survive it. Callers reset only in quiescent
+// phases (e.g. between benchmark rounds), matching the previous
+// single-atomic behaviour.
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Add(int64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Sum() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  // Padded to a cache line so neighbouring shards never false-share.
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+
+  // Hot path: one zero-initialized TLS load and a predictable branch —
+  // no thread-safe-static guard, no TLS dynamic-init wrapper. The id is
+  // stored +1 so that 0 can mean "unassigned".
+  static size_t ShardIndex() {
+    thread_local uint32_t id_plus_one = 0;
+    uint32_t id = id_plus_one;
+    if (id == 0) {
+      id = next_thread_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      id_plus_one = id;
+    }
+    return (id - 1) % kShards;
+  }
+
+  static inline std::atomic<uint32_t> next_thread_id_{0};
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace dqr
+
+#endif  // DQR_COMMON_SHARDED_COUNTER_H_

@@ -60,6 +60,12 @@ void ConstraintBundle::ResetEffectiveBounds() {
   for (const auto& c : constraints_) c->ResetEffectiveBounds();
 }
 
+cp::FunctionMemoStats ConstraintBundle::MemoStats() const {
+  cp::FunctionMemoStats total;
+  for (const auto& c : constraints_) total += c->function().memo_stats();
+  return total;
+}
+
 std::vector<double> ConstraintBundle::EvaluateAll(
     const std::vector<int64_t>& point) {
   std::vector<double> values;

@@ -43,6 +43,10 @@ class ConstraintBundle {
   // Exact per-constraint values at a bound assignment (Validator side).
   std::vector<double> EvaluateAll(const std::vector<int64_t>& point);
 
+  // Sum of every constraint function's memo-cache counters; folded into
+  // the owning thread's RunStats when the bundle retires.
+  cp::FunctionMemoStats MemoStats() const;
+
  private:
   std::vector<std::unique_ptr<cp::RangeConstraint>> constraints_;
 };

@@ -31,6 +31,28 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Idle back-off of the speculative solver while the validator is busy.
 constexpr auto kSpeculationNap = std::chrono::microseconds(200);
 
+// Folds a thread-local bundle's memo-cache counters into that thread's
+// RunStats when the bundle's scope ends — including the early returns the
+// fault-injection paths take.
+class MemoStatsGuard {
+ public:
+  MemoStatsGuard(const ConstraintBundle* bundle, RunStats* stats)
+      : bundle_(bundle), stats_(stats) {}
+  MemoStatsGuard(const MemoStatsGuard&) = delete;
+  MemoStatsGuard& operator=(const MemoStatsGuard&) = delete;
+  ~MemoStatsGuard() {
+    const cp::FunctionMemoStats m = bundle_->MemoStats();
+    stats_->estimator_cache_hits += m.hits;
+    stats_->estimator_cache_misses += m.misses;
+    stats_->estimator_cache_evictions += m.evictions;
+    stats_->estimator_cache_restore_evictions += m.restore_evictions;
+  }
+
+ private:
+  const ConstraintBundle* bundle_;
+  RunStats* stats_;
+};
+
 }  // namespace
 
 struct InstanceRunner::Impl {
@@ -433,6 +455,7 @@ struct InstanceRunner::Impl {
 
   void SolverMain() {
     ConstraintBundle bundle(*cfg.query);
+    MemoStatsGuard memo_guard(&bundle, &solver_stats);
     RefineListener main_listener(this, &bundle, /*replay_mode=*/false,
                                  &solver_stats);
 
@@ -505,6 +528,7 @@ struct InstanceRunner::Impl {
 
   void ValidatorMain() {
     ConstraintBundle bundle(*cfg.query);
+    MemoStatsGuard memo_guard(&bundle, &validator_stats);
     while (std::optional<Candidate> cand = queue.Pop()) {
       if (InjectValidateFault(*cand)) break;
       ProcessCandidate(bundle, *cand);
@@ -584,6 +608,7 @@ struct InstanceRunner::Impl {
 
   void SpeculativeMain() {
     ConstraintBundle bundle(*cfg.query);
+    MemoStatsGuard memo_guard(&bundle, &spec_stats);
     RefineListener listener(this, &bundle, /*replay_mode=*/true,
                             &spec_stats);
     while (!spec_stop.load(std::memory_order_relaxed)) {

@@ -75,6 +75,15 @@ struct RunStats {
   // surviving instance re-validated.
   int64_t candidates_revalidated = 0;
 
+  // --- estimator memo caches (summed over constraint functions) ---
+  // BoundsCache behaviour of the UDFs this thread ran: hit/miss mix of
+  // synopsis lookups, Insert-path evictions, and cold entries displaced
+  // so restored fail-state snapshots always land (§4.2).
+  int64_t estimator_cache_hits = 0;
+  int64_t estimator_cache_misses = 0;
+  int64_t estimator_cache_evictions = 0;
+  int64_t estimator_cache_restore_evictions = 0;
+
   // --- refinement bookkeeping ---
   int64_t mrp_updates = 0;
   int64_t mrk_updates = 0;
@@ -112,6 +121,10 @@ struct RunStats {
     candidates_revalidated += o.candidates_revalidated;
     peak_queue += o.peak_queue;
     max_peak_queue = std::max(max_peak_queue, o.max_peak_queue);
+    estimator_cache_hits += o.estimator_cache_hits;
+    estimator_cache_misses += o.estimator_cache_misses;
+    estimator_cache_evictions += o.estimator_cache_evictions;
+    estimator_cache_restore_evictions += o.estimator_cache_restore_evictions;
     completed = completed && o.completed;
     return *this;
   }

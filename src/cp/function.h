@@ -29,6 +29,27 @@ class FunctionState {
   virtual int64_t SizeBytes() const = 0;
 };
 
+// Counters for a constraint function's internal memo cache (e.g. the
+// searchlight BoundsCache). Folded into RunStats per solver/validator
+// thread so runs expose estimator-cache behaviour — in particular how
+// often eviction had to make room during a snapshot Restore, the case the
+// paper's §4.2 state-saving depends on never silently dropping.
+struct FunctionMemoStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  // Cold entries evicted to make room for restored snapshot entries.
+  int64_t restore_evictions = 0;
+
+  FunctionMemoStats& operator+=(const FunctionMemoStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    restore_evictions += other.restore_evictions;
+    return *this;
+  }
+};
+
 // A constraint's black-box expression f_c(X): estimable over a whole
 // sub-tree (via the synopsis) and exactly evaluable at a bound assignment
 // (via the base array). Implementations live in src/searchlight; the CP
@@ -81,6 +102,10 @@ class ConstraintFunction {
   // searches (main search, each replay), mirroring the solver-state reset
   // of the modelled system; RestoreState then selectively re-seeds it.
   virtual void ClearState() {}
+
+  // Cumulative memo-cache counters since construction; zeroes for
+  // functions without a cache (the default).
+  virtual FunctionMemoStats memo_stats() const { return {}; }
 };
 
 }  // namespace dqr::cp

@@ -86,19 +86,56 @@ void BoundsCache::Touch(const Key& key) {
   recent_next_ = (recent_next_ + 1) % kRecentCapacity;
 }
 
+bool BoundsCache::IsRecent(const Key& key) const {
+  for (const Key& r : recent_) {
+    if (r == key) return true;
+  }
+  return false;
+}
+
+void BoundsCache::EvictOne() {
+  // Second-chance FIFO: rotate recency-protected keys to the back, evict
+  // the first unprotected one. If one full pass finds only protected keys
+  // (tiny capacities), fall through and evict the oldest anyway — the
+  // cache must shrink, just never wholesale.
+  for (size_t guard = fifo_.size(); guard > 0; --guard) {
+    const Key key = fifo_.front();
+    fifo_.pop_front();
+    if (IsRecent(key)) {
+      fifo_.push_back(key);
+      continue;
+    }
+    map_.erase(key);
+    return;
+  }
+  if (!fifo_.empty()) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+}
+
 const Interval* BoundsCache::Find(int kind, int64_t lo, int64_t hi) {
   const auto it = map_.find(Key{kind, lo, hi});
-  if (it == map_.end()) return nullptr;
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
   Touch(it->first);
   return &it->second;
 }
 
 void BoundsCache::Insert(int kind, int64_t lo, int64_t hi,
                          const Interval& value) {
-  if (map_.size() >= capacity_) map_.clear();
   const Key key{kind, lo, hi};
-  map_.emplace(key, value);
+  const auto [it, inserted] = map_.emplace(key, value);
+  (void)it;
+  if (inserted) fifo_.push_back(key);
   Touch(key);
+  while (map_.size() > capacity_) {
+    EvictOne();
+    ++stats_.evictions;
+  }
 }
 
 std::unique_ptr<cp::FunctionState> BoundsCache::SaveRecent() const {
@@ -115,9 +152,25 @@ void BoundsCache::Restore(const cp::FunctionState& state) {
   const auto* snapshot = dynamic_cast<const Snapshot*>(&state);
   DQR_CHECK_MSG(snapshot != nullptr, "foreign function state");
   for (const auto& [key, value] : snapshot->map()) {
-    if (map_.size() >= capacity_) break;
-    map_.emplace(key, value);
+    const auto [it, inserted] = map_.emplace(key, value);
+    (void)it;
+    if (!inserted) continue;
+    fifo_.push_back(key);
+    // Restored entries sit at the back of the FIFO, so the evictions
+    // making room for them hit the coldest entries first; a restore is
+    // never silently truncated.
+    while (map_.size() > capacity_) {
+      EvictOne();
+      ++stats_.restore_evictions;
+    }
   }
+}
+
+void BoundsCache::Clear() {
+  map_.clear();
+  fifo_.clear();
+  recent_.clear();
+  recent_next_ = 0;
 }
 
 // ---------------------------------------------------------------------

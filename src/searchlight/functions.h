@@ -2,6 +2,7 @@
 #define DQR_SEARCHLIGHT_FUNCTIONS_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -20,6 +21,13 @@ namespace dqr::searchlight {
 // the "support" information that makes re-derivation unnecessary. This is
 // the state captured by the UDF-state-saving optimization (§4.2): fails
 // snapshot the cache, replays restore it and skip recomputation.
+//
+// Eviction is second-chance FIFO: when the cache is full, the oldest
+// entry is evicted — unless it sits in the recency ring, in which case it
+// is given a second chance (rotated to the back) so the working set that
+// SaveRecent snapshots survives. The cache never drops everything at
+// once, and Restore always lands every snapshot entry, evicting cold
+// entries to make room if necessary.
 class BoundsCache {
  public:
   // Saved snapshot of a cache (a cp::FunctionState).
@@ -36,10 +44,17 @@ class BoundsCache {
   // their support information) that the most recent Estimate calls used.
   // O(recency ring) in time and size: this is what a fail record saves.
   std::unique_ptr<cp::FunctionState> SaveRecent() const;
+  // Inserts every snapshot entry, evicting cold (non-recent) entries when
+  // the cache is full — restored UDF state always lands.
   void Restore(const cp::FunctionState& state);
 
   size_t size() const { return map_.size(); }
-  void Clear() { map_.clear(); }
+  void Clear();
+
+  // Cumulative counters since construction (Clear does not reset them):
+  // `evictions` counts Insert-path evictions, `restore_evictions` the
+  // cold entries displaced to make room during Restore.
+  cp::FunctionMemoStats stats() const { return stats_; }
 
  private:
   struct Key {
@@ -58,14 +73,23 @@ class BoundsCache {
   };
 
   void Touch(const Key& key);
+  bool IsRecent(const Key& key) const;
+  // Evicts exactly one entry (second-chance FIFO). Precondition: the map
+  // is non-empty.
+  void EvictOne();
 
   size_t capacity_;
   std::unordered_map<Key, Interval, KeyHash> map_;
+  // Insertion-order queue over the map's keys (each key appears exactly
+  // once); front = eviction candidate, second-chance rotations move
+  // recently used keys to the back.
+  std::deque<Key> fifo_;
   // Ring of recently touched keys; bounds the cost and size of per-fail
-  // state snapshots.
+  // state snapshots and marks the entries eviction must protect.
   static constexpr size_t kRecentCapacity = 6;
   std::vector<Key> recent_;
   size_t recent_next_ = 0;
+  cp::FunctionMemoStats stats_;
 };
 
 // Shared construction context of a window aggregate function.
@@ -105,6 +129,10 @@ class WindowFunction : public cp::ConstraintFunction {
 
   // Number of exact (Validator-side) evaluations performed.
   int64_t evaluate_calls() const { return evaluate_calls_; }
+
+  cp::FunctionMemoStats memo_stats() const override {
+    return cache_.stats();
+  }
 
  protected:
   // Window start/length domains from the box, with the window end clamped

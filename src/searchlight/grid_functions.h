@@ -47,6 +47,10 @@ class RectFunction : public cp::ConstraintFunction {
   void RestoreState(const cp::FunctionState& state) override;
   void ClearState() override;
 
+  cp::FunctionMemoStats memo_stats() const override {
+    return cache_.stats();
+  }
+
  protected:
   struct RectBox {
     int64_t y_lo, y_hi, x_lo, x_hi;

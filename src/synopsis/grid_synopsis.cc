@@ -101,7 +101,7 @@ Interval GridSynopsis::ValueBounds(int64_t r0, int64_t r1, int64_t c0,
                                    int64_t c1) const {
   DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
   DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
   Interval out = Interval::Empty();
@@ -118,7 +118,7 @@ Interval GridSynopsis::SumBounds(int64_t r0, int64_t r1, int64_t c0,
                                  int64_t c1) const {
   DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
   DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
   const int64_t i_first = r0 / cs;
@@ -188,7 +188,7 @@ Interval GridSynopsis::MaxBounds(int64_t r0, int64_t r1, int64_t c0,
                                  int64_t c1) const {
   DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
   DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
 
@@ -218,7 +218,7 @@ Interval GridSynopsis::MinBounds(int64_t r0, int64_t r1, int64_t c0,
                                  int64_t c1) const {
   DQR_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_);
   DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
 

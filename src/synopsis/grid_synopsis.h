@@ -1,13 +1,13 @@
 #ifndef DQR_SYNOPSIS_GRID_SYNOPSIS_H_
 #define DQR_SYNOPSIS_GRID_SYNOPSIS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "array/grid.h"
 #include "common/interval.h"
+#include "common/sharded_counter.h"
 #include "common/status.h"
 #include "synopsis/synopsis.h"
 
@@ -56,9 +56,8 @@ class GridSynopsis {
 
   Interval global_value_range() const { return global_range_; }
   int64_t MemoryBytes() const;
-  int64_t queries_served() const {
-    return queries_.load(std::memory_order_relaxed);
-  }
+  // Summed over the per-thread shards; see ShardedCounter.
+  int64_t queries_served() const { return queries_.Sum(); }
 
  private:
   struct Level {
@@ -85,7 +84,7 @@ class GridSynopsis {
   int64_t max_cells_per_query_ = 256;
   Interval global_range_ = Interval::Empty();
   std::vector<Level> levels_;
-  mutable std::atomic<int64_t> queries_{0};
+  mutable ShardedCounter queries_;
 };
 
 }  // namespace dqr::synopsis

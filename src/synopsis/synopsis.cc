@@ -1,11 +1,145 @@
 #include "synopsis/synopsis.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
 
 namespace dqr::synopsis {
+namespace {
+
+// floor(log2(v)) for v >= 1 without shift/UB hazards.
+inline int64_t Log2Floor(int64_t v) {
+  DQR_CHECK(v >= 1);
+  return static_cast<int64_t>(std::bit_width(static_cast<uint64_t>(v))) - 1;
+}
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+void Synopsis::BuildLevelFromArray(Level* level, const array::Array& array) {
+  const int64_t cs = level->cell_size;
+  const int64_t n = CeilDiv(array.length(), cs);
+  level->num_cells = n;
+  level->min.reserve(static_cast<size_t>(n));
+  level->max.reserve(static_cast<size_t>(n));
+  level->sum.reserve(static_cast<size_t>(n));
+  for (int64_t c = 0; c < n; ++c) {
+    const int64_t lo = c * cs;
+    const int64_t hi = std::min(array.length(), lo + cs);
+    const array::WindowAggregates agg = array.AggregateWindow(lo, hi);
+    level->min.push_back(agg.min);
+    level->max.push_back(agg.max);
+    level->sum.push_back(agg.sum);
+  }
+}
+
+void Synopsis::BuildLevelFromFiner(Level* level, const Level& finer,
+                                   int64_t length) {
+  const int64_t cs = level->cell_size;
+  DQR_CHECK(cs % finer.cell_size == 0);
+  const int64_t ratio = cs / finer.cell_size;
+  const int64_t n = CeilDiv(length, cs);
+  level->num_cells = n;
+  level->min.reserve(static_cast<size_t>(n));
+  level->max.reserve(static_cast<size_t>(n));
+  level->sum.reserve(static_cast<size_t>(n));
+  // Because cs is a multiple of the finer cell size, the finer cells
+  // [c * ratio, (c + 1) * ratio) tile this cell exactly (the array tail
+  // just shortens the last finer cell), so min/max aggregate exactly and
+  // sums differ from a base scan only by FP association.
+  for (int64_t c = 0; c < n; ++c) {
+    const int64_t f0 = c * ratio;
+    const int64_t f1 = std::min(finer.num_cells, f0 + ratio);
+    double mn = finer.min[static_cast<size_t>(f0)];
+    double mx = finer.max[static_cast<size_t>(f0)];
+    double sm = finer.sum[static_cast<size_t>(f0)];
+    for (int64_t f = f0 + 1; f < f1; ++f) {
+      mn = std::min(mn, finer.min[static_cast<size_t>(f)]);
+      mx = std::max(mx, finer.max[static_cast<size_t>(f)]);
+      sm += finer.sum[static_cast<size_t>(f)];
+    }
+    level->min.push_back(mn);
+    level->max.push_back(mx);
+    level->sum.push_back(sm);
+  }
+}
+
+void Synopsis::FinalizeLevel(Level* level, bool is_coarsest) const {
+  const int64_t n = level->num_cells;
+
+  level->prefix_sum.reserve(static_cast<size_t>(n) + 1);
+  level->prefix_sum.push_back(0.0);
+  for (int64_t c = 0; c < n; ++c) {
+    level->prefix_sum.push_back(level->prefix_sum.back() +
+                                level->sum[static_cast<size_t>(c)]);
+  }
+
+  // Sparse tables only need rows for block counts a query routed here can
+  // actually produce: any non-coarsest level is picked because its exact
+  // cell count fits the budget; the coarsest also absorbs the fallback
+  // for spans nothing else fits, so it gets the full table.
+  const int64_t max_query_cells =
+      is_coarsest ? n : std::min<int64_t>(n, max_cells_per_query_);
+  level->num_blocks = CeilDiv(n, kRmqBlock);
+  const int64_t max_blocks = std::clamp<int64_t>(
+      max_query_cells / kRmqBlock, int64_t{1}, level->num_blocks);
+  level->rmq_rows = Log2Floor(max_blocks) + 1;
+
+  const size_t stride = static_cast<size_t>(level->num_blocks);
+  level->rmq.assign(static_cast<size_t>(level->rmq_rows) * stride * 2,
+                    0.0);
+
+  // Row 0: block aggregates straight from the cell arrays.
+  for (int64_t b = 0; b < level->num_blocks; ++b) {
+    const int64_t c0 = b * kRmqBlock;
+    const int64_t c1 = std::min(n, c0 + kRmqBlock);
+    double mn = level->min[static_cast<size_t>(c0)];
+    double mx = level->max[static_cast<size_t>(c0)];
+    for (int64_t c = c0 + 1; c < c1; ++c) {
+      mn = std::min(mn, level->min[static_cast<size_t>(c)]);
+      mx = std::max(mx, level->max[static_cast<size_t>(c)]);
+    }
+    level->rmq[static_cast<size_t>(b) * 2] = mn;
+    level->rmq[static_cast<size_t>(b) * 2 + 1] = mx;
+  }
+  // Row r doubles row r - 1. Entries whose window would run off the end
+  // aggregate the clamped window [b, num_blocks) — never read by queries,
+  // but kept sound instead of left undefined.
+  for (int64_t r = 1; r < level->rmq_rows; ++r) {
+    const double* prev = level->rmq.data() + (r - 1) * stride * 2;
+    double* cur = level->rmq.data() + r * stride * 2;
+    const int64_t half = int64_t{1} << (r - 1);
+    for (int64_t b = 0; b < level->num_blocks; ++b) {
+      if (b + half < level->num_blocks) {
+        cur[b * 2] = std::min(prev[b * 2], prev[(b + half) * 2]);
+        cur[b * 2 + 1] =
+            std::max(prev[b * 2 + 1], prev[(b + half) * 2 + 1]);
+      } else {
+        cur[b * 2] = prev[b * 2];
+        cur[b * 2 + 1] = prev[b * 2 + 1];
+      }
+    }
+  }
+
+  // Level-selection thresholds. Exact cell count for a window of span s at
+  // alignment a is (a + s - 1) / cs - a / cs + 1: at worst
+  // floor((s - 1) / cs) + 2, which fits the budget B iff s <= (B - 1)*cs;
+  // at best ceil(s / cs), which can fit only if s <= B*cs. Levels with no
+  // more cells than the budget fit every window outright.
+  const int64_t b = max_cells_per_query_;
+  const int64_t cs = level->cell_size;
+  if (n <= b) {
+    level->span_fits_any = length_;
+  } else {
+    level->span_fits_any = std::min(length_, (b - 1) * cs);
+  }
+  level->span_fits_aligned =
+      cs > length_ / b ? length_ : std::min(length_, b * cs);
+}
 
 Result<std::shared_ptr<Synopsis>> Synopsis::Build(const array::Array& array,
                                                   SynopsisOptions options) {
@@ -31,108 +165,205 @@ Result<std::shared_ptr<Synopsis>> Synopsis::Build(const array::Array& array,
   syn->length_ = array.length();
   syn->max_cells_per_query_ = options.max_cells_per_query;
 
-  for (const int64_t cell_size : options.cell_sizes) {
-    Level level;
-    level.cell_size = cell_size;
-    const int64_t num_cells = (array.length() + cell_size - 1) / cell_size;
-    level.cells.reserve(static_cast<size_t>(num_cells));
-    level.prefix_sum.reserve(static_cast<size_t>(num_cells) + 1);
-    level.prefix_sum.push_back(0.0);
-    for (int64_t c = 0; c < num_cells; ++c) {
-      const int64_t lo = c * cell_size;
-      const int64_t hi = std::min(array.length(), lo + cell_size);
-      const array::WindowAggregates agg = array.AggregateWindow(lo, hi);
-      level.cells.push_back({agg.min, agg.max, agg.sum});
-      level.prefix_sum.push_back(level.prefix_sum.back() + agg.sum);
+  const size_t num_levels = options.cell_sizes.size();
+  syn->levels_.resize(num_levels);
+  for (size_t i = 0; i < num_levels; ++i) {
+    syn->levels_[i].cell_size = options.cell_sizes[i];
+  }
+
+  // Bottom-up build: only the finest level scans the base array; each
+  // coarser level aggregates the next finer one when its cell size
+  // divides evenly, falling back to a base scan otherwise.
+  BuildLevelFromArray(&syn->levels_[num_levels - 1], array);
+  for (size_t i = num_levels - 1; i-- > 0;) {
+    Level& level = syn->levels_[i];
+    const Level& finer = syn->levels_[i + 1];
+    if (level.cell_size % finer.cell_size == 0) {
+      BuildLevelFromFiner(&level, finer, array.length());
+    } else {
+      BuildLevelFromArray(&level, array);
     }
-    syn->levels_.push_back(std::move(level));
+  }
+  for (size_t i = 0; i < num_levels; ++i) {
+    syn->FinalizeLevel(&syn->levels_[i], /*is_coarsest=*/i == 0);
   }
 
   Interval range = Interval::Empty();
-  for (const SynopsisCell& cell : syn->levels_.front().cells) {
-    range = range.Union(Interval(cell.min, cell.max));
+  const Level& coarsest = syn->levels_.front();
+  for (int64_t c = 0; c < coarsest.num_cells; ++c) {
+    range = range.Union(Interval(coarsest.min[static_cast<size_t>(c)],
+                                 coarsest.max[static_cast<size_t>(c)]));
   }
   syn->global_range_ = range;
   return syn;
 }
 
-const Synopsis::Level& Synopsis::PickLevel(int64_t lo, int64_t hi) const {
+size_t Synopsis::PickLevelIndex(int64_t lo, int64_t hi) const {
   const int64_t span = hi - lo;
-  // Levels are coarsest-first; walk toward finer levels while the cell
-  // count stays within budget.
-  const Level* chosen = &levels_.front();
-  for (const Level& level : levels_) {
-    const int64_t cells = span / level.cell_size + 2;
-    if (cells <= max_cells_per_query_) chosen = &level;
+  // Levels are coarsest-first; the first fit walking finest-to-coarsest
+  // is the answer, so small spans — the common case as search domains
+  // shrink — resolve in one threshold comparison. Only spans in the
+  // narrow alignment-dependent band pay the divisions for the exact
+  // overlapped-cell count.
+  for (size_t i = levels_.size(); i-- > 1;) {
+    const Level& level = levels_[i];
+    if (span <= level.span_fits_any) return i;
+    if (span <= level.span_fits_aligned) {
+      const int64_t cells =
+          (hi - 1) / level.cell_size - lo / level.cell_size + 1;
+      if (cells <= max_cells_per_query_) return i;
+    }
   }
-  return *chosen;
+  return 0;  // the coarsest absorbs whatever fits nowhere else
+}
+
+Synopsis::LevelView Synopsis::level_view(size_t index) const {
+  DQR_CHECK(index < levels_.size());
+  const Level& level = levels_[index];
+  LevelView view;
+  view.cell_size = level.cell_size;
+  view.num_cells = level.num_cells;
+  view.min = level.min.data();
+  view.max = level.max.data();
+  view.sum = level.sum.data();
+  view.prefix_sum = level.prefix_sum.data();
+  return view;
+}
+
+double Synopsis::CellRangeMin(const Level& level, int64_t first,
+                              int64_t last) {
+  const double* mn = level.min.data();
+  // For short ranges a direct scan of dense doubles beats the table: the
+  // block lookups save nothing until the scan is several blocks long, and
+  // ranges under 4 * kRmqBlock cells may not even contain a full aligned
+  // block pair worth skipping.
+  if (last - first + 1 < 4 * kRmqBlock) {
+    double out = mn[first];
+    for (int64_t c = first + 1; c <= last; ++c) out = std::min(out, mn[c]);
+    return out;
+  }
+  const int64_t bs = CeilDiv(first, kRmqBlock);
+  const int64_t be = (last + 1) / kRmqBlock;  // full blocks [bs, be)
+  const int64_t k = Log2Floor(be - bs);
+  DQR_CHECK(k < level.rmq_rows);
+  const double* row = level.rmq.data() + k * level.num_blocks * 2;
+  double out =
+      std::min(row[bs * 2], row[(be - (int64_t{1} << k)) * 2]);
+  for (int64_t c = first; c < bs * kRmqBlock; ++c) out = std::min(out, mn[c]);
+  for (int64_t c = be * kRmqBlock; c <= last; ++c) out = std::min(out, mn[c]);
+  return out;
+}
+
+double Synopsis::CellRangeMax(const Level& level, int64_t first,
+                              int64_t last) {
+  const double* mx = level.max.data();
+  if (last - first + 1 < 4 * kRmqBlock) {
+    double out = mx[first];
+    for (int64_t c = first + 1; c <= last; ++c) out = std::max(out, mx[c]);
+    return out;
+  }
+  const int64_t bs = CeilDiv(first, kRmqBlock);
+  const int64_t be = (last + 1) / kRmqBlock;
+  const int64_t k = Log2Floor(be - bs);
+  DQR_CHECK(k < level.rmq_rows);
+  const double* row = level.rmq.data() + k * level.num_blocks * 2;
+  double out =
+      std::max(row[bs * 2 + 1], row[(be - (int64_t{1} << k)) * 2 + 1]);
+  for (int64_t c = first; c < bs * kRmqBlock; ++c) out = std::max(out, mx[c]);
+  for (int64_t c = be * kRmqBlock; c <= last; ++c) out = std::max(out, mx[c]);
+  return out;
+}
+
+void Synopsis::CellRangeMinMax(const Level& level, int64_t first,
+                               int64_t last, double* mn_out,
+                               double* mx_out) {
+  const double* mn = level.min.data();
+  const double* mx = level.max.data();
+  if (last - first + 1 < 4 * kRmqBlock) {
+    double lo = mn[first];
+    double hi = mx[first];
+    for (int64_t c = first + 1; c <= last; ++c) {
+      lo = std::min(lo, mn[c]);
+      hi = std::max(hi, mx[c]);
+    }
+    *mn_out = lo;
+    *mx_out = hi;
+    return;
+  }
+  const int64_t bs = CeilDiv(first, kRmqBlock);
+  const int64_t be = (last + 1) / kRmqBlock;
+  const int64_t k = Log2Floor(be - bs);
+  DQR_CHECK(k < level.rmq_rows);
+  const double* row = level.rmq.data() + k * level.num_blocks * 2;
+  const int64_t b2 = be - (int64_t{1} << k);
+  double lo = std::min(row[bs * 2], row[b2 * 2]);
+  double hi = std::max(row[bs * 2 + 1], row[b2 * 2 + 1]);
+  for (int64_t c = first; c < bs * kRmqBlock; ++c) {
+    lo = std::min(lo, mn[c]);
+    hi = std::max(hi, mx[c]);
+  }
+  for (int64_t c = be * kRmqBlock; c <= last; ++c) {
+    lo = std::min(lo, mn[c]);
+    hi = std::max(hi, mx[c]);
+  }
+  *mn_out = lo;
+  *mx_out = hi;
 }
 
 Interval Synopsis::ValueBounds(int64_t lo, int64_t hi) const {
   DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const Level& level = PickLevel(lo, hi);
+  queries_.Add();
+  const Level& level = levels_[PickLevelIndex(lo, hi)];
   const int64_t first = lo / level.cell_size;
   const int64_t last = (hi - 1) / level.cell_size;
-  Interval out = Interval::Empty();
-  for (int64_t c = first; c <= last; ++c) {
-    const SynopsisCell& cell = level.cells[static_cast<size_t>(c)];
-    out = out.Union(Interval(cell.min, cell.max));
+  double mn;
+  double mx;
+  CellRangeMinMax(level, first, last, &mn, &mx);
+  return Interval(mn, mx);
+}
+
+void Synopsis::AddSumEdgeCell(const Level& level, int64_t c, int64_t overlap,
+                              double* lo_sum, double* hi_sum) const {
+  const int64_t cell_lo = c * level.cell_size;
+  const int64_t cell_hi = std::min(length_, cell_lo + level.cell_size);
+  if (overlap == cell_hi - cell_lo) {
+    *lo_sum += level.sum[static_cast<size_t>(c)];
+    *hi_sum += level.sum[static_cast<size_t>(c)];
+  } else {
+    *lo_sum += static_cast<double>(overlap) *
+               level.min[static_cast<size_t>(c)];
+    *hi_sum += static_cast<double>(overlap) *
+               level.max[static_cast<size_t>(c)];
   }
-  return out;
 }
 
 Interval Synopsis::SumBounds(int64_t lo, int64_t hi) const {
   DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const Level& level = PickLevel(lo, hi);
+  queries_.Add();
+  const Level& level = levels_[PickLevelIndex(lo, hi)];
   const int64_t cs = level.cell_size;
   const int64_t first = lo / cs;
   const int64_t last = (hi - 1) / cs;
 
   if (first == last) {
-    const SynopsisCell& cell = level.cells[static_cast<size_t>(first)];
     const double overlap = static_cast<double>(hi - lo);
-    return Interval(overlap * cell.min, overlap * cell.max);
+    return Interval(overlap * level.min[static_cast<size_t>(first)],
+                    overlap * level.max[static_cast<size_t>(first)]);
   }
 
   double sum_lo = 0.0;
   double sum_hi = 0.0;
-  // Leading partial cell.
-  {
-    const SynopsisCell& cell = level.cells[static_cast<size_t>(first)];
-    const int64_t cell_hi = (first + 1) * cs;
-    const int64_t overlap = cell_hi - lo;
-    if (overlap == cs) {
-      sum_lo += cell.sum;
-      sum_hi += cell.sum;
-    } else {
-      sum_lo += static_cast<double>(overlap) * cell.min;
-      sum_hi += static_cast<double>(overlap) * cell.max;
-    }
-  }
-  // Fully covered middle cells: exact via prefix sums.
+  // Leading partial cell, exact interior via prefix sums, trailing
+  // partial cell — in this order, to keep the FP accumulation identical
+  // to a left-to-right cell walk.
+  AddSumEdgeCell(level, first, (first + 1) * cs - lo, &sum_lo, &sum_hi);
   if (last - first >= 2) {
     const double mid = level.prefix_sum[static_cast<size_t>(last)] -
                        level.prefix_sum[static_cast<size_t>(first + 1)];
     sum_lo += mid;
     sum_hi += mid;
   }
-  // Trailing partial cell.
-  {
-    const SynopsisCell& cell = level.cells[static_cast<size_t>(last)];
-    const int64_t cell_lo = last * cs;
-    const int64_t cell_end =
-        std::min(length_, cell_lo + cs);
-    const int64_t overlap = hi - cell_lo;
-    if (overlap == cell_end - cell_lo) {
-      sum_lo += cell.sum;
-      sum_hi += cell.sum;
-    } else {
-      sum_lo += static_cast<double>(overlap) * cell.min;
-      sum_hi += static_cast<double>(overlap) * cell.max;
-    }
-  }
+  AddSumEdgeCell(level, last, hi - last * cs, &sum_lo, &sum_hi);
   return Interval(sum_lo, sum_hi);
 }
 
@@ -144,70 +375,93 @@ Interval Synopsis::AvgBounds(int64_t lo, int64_t hi) const {
 
 Interval Synopsis::MaxBounds(int64_t lo, int64_t hi) const {
   DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const Level& level = PickLevel(lo, hi);
+  queries_.Add();
+  const Level& level = levels_[PickLevelIndex(lo, hi)];
   const int64_t cs = level.cell_size;
   const int64_t first = lo / cs;
   const int64_t last = (hi - 1) / cs;
 
-  double upper = -std::numeric_limits<double>::infinity();
-  double contained_witness = -std::numeric_limits<double>::infinity();
-  double overlap_floor = -std::numeric_limits<double>::infinity();
-  bool have_contained = false;
-  for (int64_t c = first; c <= last; ++c) {
-    const SynopsisCell& cell = level.cells[static_cast<size_t>(c)];
-    upper = std::max(upper, cell.max);
-    overlap_floor = std::max(overlap_floor, cell.min);
-    const int64_t cell_lo = c * cs;
-    const int64_t cell_hi = std::min(length_, cell_lo + cs);
-    if (lo <= cell_lo && cell_hi <= hi) {
-      have_contained = true;
-      // The cell's maximum is attained inside the window, so it is a true
-      // witness: max(window) >= cell.max.
-      contained_witness = std::max(contained_witness, cell.max);
+  const double upper = CellRangeMax(level, first, last);
+
+  // A cell is fully contained iff the window reaches both its edges; that
+  // can only fail at the two boundary cells. Contained cells witness
+  // their max from below; an uncontained boundary cell still guarantees
+  // its min is attained somewhere in the window overlap.
+  const bool first_contained = lo <= first * cs;
+  const bool last_contained = std::min(length_, (last + 1) * cs) <= hi;
+  const int64_t wf = first + (first_contained ? 0 : 1);
+  const int64_t wl = last - (last_contained ? 0 : 1);
+
+  double lower;
+  if (first_contained && last_contained) {
+    // Every cell is contained, so the span max itself is witnessed.
+    lower = upper;
+  } else if (wf <= wl) {
+    lower = CellRangeMax(level, wf, wl);
+    if (!first_contained) {
+      lower = std::max(lower, level.min[static_cast<size_t>(first)]);
+    }
+    if (!last_contained) {
+      lower = std::max(lower, level.min[static_cast<size_t>(last)]);
+    }
+  } else {
+    // No contained cell: possible only when the window touches <= 2
+    // cells, so the overlap floor is a direct read or two.
+    lower = level.min[static_cast<size_t>(first)];
+    if (last != first) {
+      lower = std::max(lower, level.min[static_cast<size_t>(last)]);
     }
   }
-  const double lower = have_contained
-                           ? std::max(contained_witness, overlap_floor)
-                           : overlap_floor;
   return Interval(lower, upper);
 }
 
 Interval Synopsis::MinBounds(int64_t lo, int64_t hi) const {
   DQR_CHECK(lo >= 0 && lo < hi && hi <= length_);
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const Level& level = PickLevel(lo, hi);
+  queries_.Add();
+  const Level& level = levels_[PickLevelIndex(lo, hi)];
   const int64_t cs = level.cell_size;
   const int64_t first = lo / cs;
   const int64_t last = (hi - 1) / cs;
 
-  double lower = std::numeric_limits<double>::infinity();
-  double contained_witness = std::numeric_limits<double>::infinity();
-  double overlap_ceil = std::numeric_limits<double>::infinity();
-  bool have_contained = false;
-  for (int64_t c = first; c <= last; ++c) {
-    const SynopsisCell& cell = level.cells[static_cast<size_t>(c)];
-    lower = std::min(lower, cell.min);
-    overlap_ceil = std::min(overlap_ceil, cell.max);
-    const int64_t cell_lo = c * cs;
-    const int64_t cell_hi = std::min(length_, cell_lo + cs);
-    if (lo <= cell_lo && cell_hi <= hi) {
-      have_contained = true;
-      contained_witness = std::min(contained_witness, cell.min);
+  const double lower = CellRangeMin(level, first, last);
+
+  const bool first_contained = lo <= first * cs;
+  const bool last_contained = std::min(length_, (last + 1) * cs) <= hi;
+  const int64_t wf = first + (first_contained ? 0 : 1);
+  const int64_t wl = last - (last_contained ? 0 : 1);
+
+  double upper;
+  if (first_contained && last_contained) {
+    upper = lower;
+  } else if (wf <= wl) {
+    upper = CellRangeMin(level, wf, wl);
+    if (!first_contained) {
+      upper = std::min(upper, level.max[static_cast<size_t>(first)]);
+    }
+    if (!last_contained) {
+      upper = std::min(upper, level.max[static_cast<size_t>(last)]);
+    }
+  } else {
+    upper = level.max[static_cast<size_t>(first)];
+    if (last != first) {
+      upper = std::min(upper, level.max[static_cast<size_t>(last)]);
     }
   }
-  const double upper = have_contained
-                           ? std::min(contained_witness, overlap_ceil)
-                           : overlap_ceil;
   return Interval(lower, upper);
+}
+
+int64_t Synopsis::LevelMemoryBytes(size_t index) const {
+  DQR_CHECK(index < levels_.size());
+  const Level& level = levels_[index];
+  return static_cast<int64_t>(
+      (level.min.size() + level.max.size() + level.sum.size() +
+       level.prefix_sum.size() + level.rmq.size()) *
+      sizeof(double));
 }
 
 int64_t Synopsis::MemoryBytes() const {
   int64_t bytes = 0;
-  for (const Level& level : levels_) {
-    bytes += static_cast<int64_t>(level.cells.size() * sizeof(SynopsisCell));
-    bytes += static_cast<int64_t>(level.prefix_sum.size() * sizeof(double));
-  }
+  for (size_t i = 0; i < levels_.size(); ++i) bytes += LevelMemoryBytes(i);
   return bytes;
 }
 

@@ -1,13 +1,13 @@
 #ifndef DQR_SYNOPSIS_SYNOPSIS_H_
 #define DQR_SYNOPSIS_SYNOPSIS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "array/array.h"
 #include "common/interval.h"
+#include "common/sharded_counter.h"
 #include "common/status.h"
 
 namespace dqr::synopsis {
@@ -19,11 +19,19 @@ struct SynopsisOptions {
   // within `max_cells_per_query`, so estimates tighten as search domains
   // shrink toward leaves — the behaviour §3 of the paper relies on
   // ("estimations tend to become better closer to leaves").
+  //
+  // When every cell size is a multiple of the next finer one (the default
+  // is an 8x chain), Build aggregates each coarser level from the next
+  // finer level's cells instead of rescanning the base array — O(N +
+  // cells) instead of O(levels * N). Non-divisible chains still work; the
+  // offending level just falls back to a base-array scan.
   std::vector<int64_t> cell_sizes = {65536, 8192, 1024, 128};
   int64_t max_cells_per_query = 64;
 };
 
-// Aggregate summary of one synopsis cell.
+// Aggregate summary of one synopsis cell. Retained as the exchange type
+// for the 2-D GridSynopsis; the 1-D Synopsis stores its cells as
+// structure-of-arrays (see Synopsis::LevelView).
 struct SynopsisCell {
   double min = 0.0;
   double max = 0.0;
@@ -37,14 +45,32 @@ struct SynopsisCell {
 // pruning on disjointness never loses a valid result, while leaves may
 // still be false positives that the Validator filters.
 //
-// Thread-compatible for reads after Build(); the query counter is atomic.
+// This is the hottest function family in the system (every propagation
+// step and every BRP/BRK computation at a fail goes through it), so the
+// estimator is built as a constant-time kernel:
+//   * cells live in structure-of-arrays form (min[] / max[] / sum[] /
+//     prefix_sum[]) — dense homogeneous memory that scans touch linearly;
+//   * per-level block sparse tables (doubling RMQ over blocks of
+//     kRmqBlock cells) answer any full-cell min/max span with two
+//     overlapping power-of-two lookups plus at most kRmqBlock - 1 direct
+//     cell reads on each side — O(1) regardless of span;
+//   * sums use prefix sums; only the two boundary cells get the
+//     partial-overlap proration, via one shared edge helper;
+//   * level selection is precomputed span thresholds (no per-level
+//     division on the common path);
+//   * the query counter is sharded per thread (cache-line padded) so
+//     concurrent instances never contend on one counter line.
+//
+// Thread-compatible for reads after Build().
 class Synopsis {
  public:
-  // Scans `array` once per level and builds the cell grids. The array must
-  // outlive nothing here: the synopsis copies what it needs and holds no
-  // reference. Resets no stats on `array`; callers typically call
-  // array.ResetAccessStats() afterwards since synopsis construction is an
-  // offline step in the modelled system.
+  // Builds the cell grids: one scan of `array` for the finest level, then
+  // coarser levels aggregate bottom-up from the next finer level when
+  // cell sizes divide evenly (exact for min/max; sums may differ from a
+  // direct scan by FP rounding only). The synopsis copies what it needs
+  // and holds no reference. Resets no stats on `array`; callers typically
+  // call array.ResetAccessStats() afterwards since synopsis construction
+  // is an offline step in the modelled system.
   static Result<std::shared_ptr<Synopsis>> Build(const array::Array& array,
                                                  SynopsisOptions options);
 
@@ -78,34 +104,110 @@ class Synopsis {
   // relaxation distances when a constraint declares no explicit range.
   Interval global_value_range() const { return global_range_; }
 
-  // Rough memory footprint of the cell grids, for stats.
+  // Rough memory footprint of the cell grids and sparse tables, for stats.
   int64_t MemoryBytes() const;
 
-  // Number of interval queries served since construction/reset.
-  int64_t queries_served() const {
-    return queries_.load(std::memory_order_relaxed);
-  }
-  void ResetQueryCount() { queries_.store(0, std::memory_order_relaxed); }
+  // Number of interval queries served since construction/reset; summed
+  // over the per-thread shards.
+  int64_t queries_served() const { return queries_.Sum(); }
+  void ResetQueryCount() { queries_.Reset(); }
+
+  // --- introspection (tests, benchmarks, tooling) ---
+
+  // Read-only view of one level's cell arrays. Pointers stay valid for
+  // the synopsis' lifetime. `prefix_sum` has num_cells + 1 entries.
+  struct LevelView {
+    int64_t cell_size = 0;
+    int64_t num_cells = 0;
+    const double* min = nullptr;
+    const double* max = nullptr;
+    const double* sum = nullptr;
+    const double* prefix_sum = nullptr;
+  };
+
+  size_t num_levels() const { return levels_.size(); }
+  LevelView level_view(size_t index) const;
+
+  // One level's share of MemoryBytes() (cell arrays + sparse tables);
+  // lets benchmarks report the per-level cost of the RMQ acceleration.
+  int64_t LevelMemoryBytes(size_t index) const;
+
+  // Index (into level_view) of the level a [lo, hi) query would use:
+  // the finest level whose exact overlapped-cell count stays within the
+  // per-query budget, falling back to the coarsest. Does not count as a
+  // served query.
+  size_t PickLevelIndex(int64_t lo, int64_t hi) const;
 
  private:
+  // Cells per sparse-table block. Blocked tables cost
+  // rows * num_cells / kRmqBlock doubles per aggregate instead of the
+  // rows * num_cells of a plain sparse table, which is what keeps the
+  // per-level memory growth under 2x (see DESIGN.md "Estimator fast
+  // path"); the price is <= kRmqBlock - 1 direct cell reads per edge.
+  static constexpr int64_t kRmqBlock = 4;
+
   struct Level {
     int64_t cell_size = 0;
-    std::vector<SynopsisCell> cells;
-    // prefix_sum[i] = sum of cells [0, i); enables O(1) full-cell sums.
+    int64_t num_cells = 0;
+
+    // Structure-of-arrays cell aggregates; each vector has num_cells
+    // entries, prefix_sum has num_cells + 1 (prefix_sum[i] = sum of cells
+    // [0, i)).
+    std::vector<double> min;
+    std::vector<double> max;
+    std::vector<double> sum;
     std::vector<double> prefix_sum;
+
+    // Doubling sparse tables over blocks of kRmqBlock cells, stored
+    // row-major with rows padded to num_blocks entries: row r entry b
+    // aggregates blocks [b, min(b + 2^r, num_blocks)). Rows are built
+    // only up to what queries routed to this level can span. The min and
+    // max tables are interleaved ({min, max} pair per entry, at index
+    // (r * num_blocks + b) * 2) so a fused min+max lookup touches one
+    // cache line per block position instead of two.
+    int64_t num_blocks = 0;
+    int64_t rmq_rows = 0;
+    std::vector<double> rmq;
+
+    // Precomputed level-selection thresholds: spans <= span_fits_any fit
+    // the per-query cell budget at any alignment; spans in
+    // (span_fits_any, span_fits_aligned] fit only for favourable
+    // alignments and need the exact cell count.
+    int64_t span_fits_any = 0;
+    int64_t span_fits_aligned = 0;
   };
 
   Synopsis() = default;
 
-  // Finest level whose overlapped-cell count for [lo, hi) stays within the
-  // per-query budget; falls back to the coarsest level.
-  const Level& PickLevel(int64_t lo, int64_t hi) const;
+  static void BuildLevelFromArray(Level* level, const array::Array& array);
+  static void BuildLevelFromFiner(Level* level, const Level& finer,
+                                  int64_t length);
+  void FinalizeLevel(Level* level, bool is_coarsest) const;
+
+  // Exact min/max over cells [first, last] (inclusive) of a level: two
+  // overlapping power-of-two block lookups plus direct reads of the <=
+  // kRmqBlock - 1 cells outside full blocks on each side.
+  static double CellRangeMin(const Level& level, int64_t first,
+                             int64_t last);
+  static double CellRangeMax(const Level& level, int64_t first,
+                             int64_t last);
+  // Both at once, sharing the block-index math and edge loops — the
+  // ValueBounds fast path.
+  static void CellRangeMinMax(const Level& level, int64_t first,
+                              int64_t last, double* mn, double* mx);
+
+  // Adds boundary cell `c`'s contribution to a [lo_sum, hi_sum] window-sum
+  // bound: the exact cell sum when `overlap` covers the whole cell,
+  // otherwise the [overlap * min, overlap * max] proration. Shared by the
+  // leading and trailing edge of SumBounds.
+  void AddSumEdgeCell(const Level& level, int64_t c, int64_t overlap,
+                      double* lo_sum, double* hi_sum) const;
 
   int64_t length_ = 0;
   int64_t max_cells_per_query_ = 64;
   Interval global_range_ = Interval::Empty();
   std::vector<Level> levels_;  // coarsest first
-  mutable std::atomic<int64_t> queries_{0};
+  mutable ShardedCounter queries_;
 };
 
 }  // namespace dqr::synopsis

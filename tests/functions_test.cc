@@ -208,5 +208,102 @@ TEST(FunctionsTest, ContrastDefaultValueRangeSpansGlobalWidth) {
                    f.synopsis->global_value_range().width());
 }
 
+// ---------------------------------------------------------------------
+// BoundsCache eviction policy.
+
+TEST(BoundsCacheTest, EvictsIncrementallyNeverWholesale) {
+  BoundsCache cache(/*capacity=*/16);
+  for (int64_t i = 0; i < 200; ++i) {
+    cache.Insert(0, i, i + 1, Interval(0.0, static_cast<double>(i)));
+    // The old policy cleared the whole map when full, dropping the size
+    // to 1 right after crossing capacity; second-chance FIFO keeps the
+    // cache pinned at capacity instead.
+    EXPECT_LE(cache.size(), 16u);
+    if (i >= 16) EXPECT_EQ(cache.size(), 16u);
+  }
+  const cp::FunctionMemoStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 200 - 16);
+  EXPECT_EQ(stats.restore_evictions, 0);
+}
+
+TEST(BoundsCacheTest, RecentlyTouchedEntriesSurviveEviction) {
+  BoundsCache cache(/*capacity=*/16);
+  // Fill, then keep one entry hot by touching it while a stream of cold
+  // inserts forces evictions: the hot entry must survive (it is what
+  // SaveRecent would snapshot).
+  for (int64_t i = 0; i < 16; ++i) {
+    cache.Insert(0, i, i + 1, Interval(0.0, 1.0));
+  }
+  for (int64_t i = 16; i < 200; ++i) {
+    ASSERT_NE(cache.Find(0, 0, 1), nullptr) << "hot entry evicted at " << i;
+    cache.Insert(0, i, i + 1, Interval(0.0, 1.0));
+  }
+  EXPECT_NE(cache.Find(0, 0, 1), nullptr);
+}
+
+TEST(BoundsCacheTest, SaveRecentSurvivesInsertStorm) {
+  Fixture f = MakeFixture(512, 43);
+  MaxFunction mx(f.Ctx());
+  const cp::DomainBox box = {cp::IntDomain(50, 80), cp::IntDomain(4, 8)};
+  const Interval before = mx.Estimate(box);
+  auto state = mx.SaveState(box);
+  ASSERT_NE(state, nullptr);
+
+  // Hammer the function with other windows, then restore: the snapshot
+  // must land regardless of how full the cache got in between.
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t lo = rng.UniformInt(0, 480);
+    (void)mx.Estimate({cp::IntDomain(lo, lo + 16), cp::IntDomain(4, 8)});
+  }
+  mx.ClearState();
+  mx.RestoreState(*state);
+  EXPECT_EQ(mx.Estimate(box), before);
+}
+
+TEST(BoundsCacheTest, RestoreAlwaysLandsAndCountsEvictions) {
+  BoundsCache donor(/*capacity=*/16);
+  donor.Insert(0, 1000, 1001, Interval(1.0, 2.0));
+  donor.Insert(0, 2000, 2001, Interval(3.0, 4.0));
+  auto snapshot = donor.SaveRecent();
+  ASSERT_NE(snapshot, nullptr);
+
+  BoundsCache cache(/*capacity=*/16);
+  for (int64_t i = 0; i < 16; ++i) {
+    cache.Insert(0, i, i + 1, Interval(0.0, 1.0));
+  }
+  ASSERT_EQ(cache.size(), 16u);
+  cache.Restore(*snapshot);
+  // Both snapshot entries landed (the old policy silently dropped them
+  // when the cache was full), displacing cold entries one-for-one.
+  EXPECT_NE(cache.Find(0, 1000, 1001), nullptr);
+  EXPECT_NE(cache.Find(0, 2000, 2001), nullptr);
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.stats().restore_evictions, 2);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(BoundsCacheTest, StatsCountHitsAndMisses) {
+  BoundsCache cache;
+  EXPECT_EQ(cache.Find(0, 0, 8), nullptr);
+  cache.Insert(0, 0, 8, Interval(0.0, 1.0));
+  EXPECT_NE(cache.Find(0, 0, 8), nullptr);
+  EXPECT_NE(cache.Find(0, 0, 8), nullptr);
+  const cp::FunctionMemoStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(FunctionsTest, MemoStatsExposeCacheCounters) {
+  Fixture f = MakeFixture(256, 77);
+  MaxFunction mx(f.Ctx());
+  const cp::DomainBox box = {cp::IntDomain(10, 40), cp::IntDomain(4, 8)};
+  (void)mx.Estimate(box);
+  (void)mx.Estimate(box);  // same box: pure cache hits
+  const cp::FunctionMemoStats stats = mx.memo_stats();
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_GT(stats.hits, 0);
+}
+
 }  // namespace
 }  // namespace dqr::searchlight

@@ -70,5 +70,23 @@ TEST(RunStatsTest, CountersStillSum) {
   EXPECT_EQ(a.fails_recorded, 17);
 }
 
+TEST(RunStatsTest, EstimatorCacheCountersSum) {
+  RunStats a;
+  a.estimator_cache_hits = 100;
+  a.estimator_cache_misses = 20;
+  a.estimator_cache_evictions = 5;
+  a.estimator_cache_restore_evictions = 1;
+  RunStats b;
+  b.estimator_cache_hits = 50;
+  b.estimator_cache_misses = 10;
+  b.estimator_cache_evictions = 2;
+  b.estimator_cache_restore_evictions = 3;
+  a += b;
+  EXPECT_EQ(a.estimator_cache_hits, 150);
+  EXPECT_EQ(a.estimator_cache_misses, 30);
+  EXPECT_EQ(a.estimator_cache_evictions, 7);
+  EXPECT_EQ(a.estimator_cache_restore_evictions, 4);
+}
+
 }  // namespace
 }  // namespace dqr::core

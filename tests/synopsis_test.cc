@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -124,6 +125,40 @@ TEST(SynopsisTest, ExactOnCellAlignedSums) {
   const Interval sum = f.synopsis->SumBounds(16, 64);
   EXPECT_NEAR(sum.lo, exact.sum, 1e-9);
   EXPECT_NEAR(sum.hi, exact.sum, 1e-9);
+}
+
+TEST(SynopsisTest, PickLevelUsesExactCellCount) {
+  // Budget 4, levels of 256 and 64. A cell-aligned [0, 256) window
+  // overlaps exactly 4 cells of size 64, so the exact count admits the
+  // finer level; the old `span / cell_size + 2` estimate (6 > 4) pushed
+  // it a level coarser. A misaligned window of the same span overlaps 5
+  // cells and must stay coarse.
+  auto f = MakeFixture(4096, 21, SynopsisOptions{{256, 64}, 4});
+  EXPECT_EQ(f.synopsis->PickLevelIndex(0, 256), 1u);
+  EXPECT_EQ(f.synopsis->PickLevelIndex(1, 257), 0u);
+  // And the finer routing is visible in the bounds: aligned windows now
+  // get estimates at least as tight as the coarse level's.
+  const Interval fine = f.synopsis->ValueBounds(0, 256);
+  const Interval coarse = f.synopsis->ValueBounds(1, 257);
+  EXPECT_GE(fine.lo, coarse.lo);
+  EXPECT_LE(fine.hi, coarse.hi);
+}
+
+TEST(SynopsisTest, QueryCounterSumsAcrossThreads) {
+  auto f = MakeFixture(4096, 13, SynopsisOptions{{256, 32}, 16});
+  f.synopsis->ResetQueryCount();
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&syn = *f.synopsis] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        (void)syn.ValueBounds(i % 100, i % 100 + 64);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(f.synopsis->queries_served(), kThreads * kQueriesPerThread);
 }
 
 TEST(SynopsisTest, QueryCounterTracks) {
