@@ -1,0 +1,53 @@
+#include "core/canonical.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dqr::core {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  if (std::isnan(v)) {
+    *out += "nan";
+    return;
+  }
+  if (std::isinf(v)) {
+    *out += v > 0 ? "inf" : "-inf";
+    return;
+  }
+  if (v == 0.0) v = 0.0;  // collapse -0.0
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string CanonicalLine(const Solution& solution) {
+  std::string out = "(";
+  for (size_t i = 0; i < solution.point.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(solution.point[i]);
+  }
+  out += ") f=(";
+  for (size_t i = 0; i < solution.values.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendDouble(&out, solution.values[i]);
+  }
+  out += ") rp=";
+  AppendDouble(&out, solution.rp);
+  out += " rk=";
+  AppendDouble(&out, solution.rk);
+  return out;
+}
+
+std::string Canonicalize(const std::vector<Solution>& results) {
+  std::string out;
+  for (const Solution& s : results) {
+    out += CanonicalLine(s);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dqr::core

@@ -1,0 +1,29 @@
+#ifndef DQR_CORE_CANONICAL_H_
+#define DQR_CORE_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/solution.h"
+
+namespace dqr::core {
+
+// Canonical text form of a result list, the exchange format of every
+// determinism check in the repo: the cross-config invariance sweeps, the
+// fault-injection differential tests, and the oracle-differential fuzz
+// harness all compare these strings byte for byte.
+//
+// Points print exactly; scores and constraint values print with %.12g,
+// which pins 12 significant digits — far below the engine's deterministic
+// bit-identical guarantee, far above any real refinement bug — while
+// normalizing -0.0 and the inf spellings across platforms.
+std::string CanonicalLine(const Solution& solution);
+
+// One CanonicalLine per solution, '\n'-terminated each, in result order.
+// The engine's final ordering is itself deterministic, so no re-sorting
+// happens here; callers comparing order-free sets should sort first.
+std::string Canonicalize(const std::vector<Solution>& results);
+
+}  // namespace dqr::core
+
+#endif  // DQR_CORE_CANONICAL_H_

@@ -82,7 +82,16 @@ AddOutcome ResultTracker::AddLocked(Solution solution) {
       ++mrp_updates_;
     }
   }
+  const QueryPhase phase_before = phase_;
   MaybeStartConstraining();
+  if (phase_before == QueryPhase::kCollecting &&
+      phase_ == QueryPhase::kConstraining) {
+    // This solution triggered the transition; the seeding loop above has
+    // already inserted it (from exact_all_). Inserting it again here
+    // would duplicate it — equal values dominate neither direction, so a
+    // skyline would keep both copies.
+    return AddOutcome::kAcceptedExact;
+  }
 
   if (phase_ == QueryPhase::kConstraining) {
     if (mode_ == ConstrainMode::kSkyline) {

@@ -54,24 +54,19 @@ bool ParseInt(const std::string& token, int64_t* out) {
   return end != nullptr && *end == '\0' && !token.empty();
 }
 
-// Accumulates one constraint's clauses before the QueryConstraint is
-// assembled.
-struct PendingConstraint {
-  std::string fn;        // avg | max | min | contrast_left | contrast_right
-  int64_t width = 0;     // contrast only
-  Interval bounds = Interval::All();
-  Interval range = Interval::Empty();  // empty = function default
-  double weight = 1.0;
-  double rank_weight = -1.0;
-  bool relaxable = true;
-  bool constrainable = true;
-  bool maximize = true;
-};
+// Round-trip-exact double for the serializer; strtod reads back the same
+// bit pattern.
+std::string NumberToken(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
 
 // Parses trailing options: range/weight/rankweight/norelax/noconstrain/
 // minimize. `i` indexes the first option token.
-Status ParseOptions(const std::vector<std::string>& t, size_t i,
-                    int line_no, PendingConstraint* c) {
+Status ParseConstraintOptions(const std::vector<std::string>& t, size_t i,
+                              int line_no, ParsedConstraint* c) {
   while (i < t.size()) {
     if (t[i] == "range") {
       double lo = 0.0;
@@ -111,18 +106,9 @@ Status ParseOptions(const std::vector<std::string>& t, size_t i,
 
 }  // namespace
 
-Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
-                                          const DatasetBundle& bundle) {
-  if (bundle.array == nullptr || bundle.synopsis == nullptr) {
-    return InvalidArgumentError("dataset bundle is incomplete");
-  }
-
-  searchlight::QuerySpec query;
-  query.name = "parsed_query";
-  query.k = 10;
+Result<ParsedQuery> ParseQueryText(const std::string& text) {
+  ParsedQuery query;
   std::map<std::string, int> var_index;
-  std::vector<cp::IntDomain> domains;
-  std::vector<PendingConstraint> pending;
 
   std::istringstream in(text);
   std::string line;
@@ -148,11 +134,12 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
       if (var_index.count(t[1]) != 0) {
         return ParseError(line_no, "duplicate variable '" + t[1] + "'");
       }
-      var_index[t[1]] = static_cast<int>(domains.size());
-      domains.emplace_back(lo, hi);
+      var_index[t[1]] = static_cast<int>(query.domains.size());
+      query.var_names.push_back(t[1]);
+      query.domains.emplace_back(lo, hi);
     } else if (t[0] == "avg" || t[0] == "max" || t[0] == "min" ||
                t[0] == "contrast_left" || t[0] == "contrast_right") {
-      PendingConstraint c;
+      ParsedConstraint c;
       c.fn = t[0];
       const bool contrast = t[0].rfind("contrast", 0) == 0;
       // Fixed part: <start> <len> [width] in <a> <b>
@@ -173,8 +160,7 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
                           "constraints must use the first declared "
                           "variable as start and the second as length");
       }
-      if (contrast &&
-          (!ParseInt(t[3], &c.width) || c.width < 1)) {
+      if (contrast && (!ParseInt(t[3], &c.width) || c.width < 1)) {
         return ParseError(line_no, "contrast width must be >= 1");
       }
       double a = 0.0;
@@ -184,29 +170,87 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
         return ParseError(line_no, "bounds need two ordered numbers");
       }
       c.bounds = Interval(a, b);
-      if (Status s = ParseOptions(t, in_pos + 3, line_no, &c); !s.ok()) {
+      if (Status s = ParseConstraintOptions(t, in_pos + 3, line_no, &c);
+          !s.ok()) {
         return s;
       }
-      pending.push_back(std::move(c));
+      query.constraints.push_back(std::move(c));
     } else {
       return ParseError(line_no, "unknown statement '" + t[0] + "'");
     }
   }
 
-  if (domains.size() != 2) {
+  if (query.domains.size() != 2) {
     return InvalidArgumentError(
         "exactly two variables (window start, length) must be declared");
   }
-  if (domains[0].lo < 0 || domains[0].hi >= bundle.array->length()) {
-    return InvalidArgumentError("start variable exceeds the array");
+  if (query.domains[0].lo < 0) {
+    return InvalidArgumentError("start variable must be >= 0");
   }
-  if (domains[1].lo < 1) {
+  if (query.domains[1].lo < 1) {
     return InvalidArgumentError("length variable must be >= 1");
   }
-  if (pending.empty()) {
+  if (query.constraints.empty()) {
     return InvalidArgumentError("query declares no constraints");
   }
-  query.domains = domains;
+  return query;
+}
+
+std::string SerializeQuery(const ParsedQuery& query) {
+  std::string out = "k " + std::to_string(query.k) + "\n";
+  for (size_t i = 0; i < query.domains.size(); ++i) {
+    out += "var " + query.var_names[i] + " " +
+           std::to_string(query.domains[i].lo) + " " +
+           std::to_string(query.domains[i].hi) + "\n";
+  }
+  for (const ParsedConstraint& c : query.constraints) {
+    out += c.fn + " " + query.var_names[0] + " " + query.var_names[1];
+    if (c.fn.rfind("contrast", 0) == 0) {
+      out += " " + std::to_string(c.width);
+    }
+    out += " in " + NumberToken(c.bounds.lo) + " " +
+           NumberToken(c.bounds.hi);
+    if (!c.range.empty()) {
+      out += " range " + NumberToken(c.range.lo) + " " +
+             NumberToken(c.range.hi);
+    }
+    if (c.weight != 1.0) out += " weight " + NumberToken(c.weight);
+    if (c.rank_weight != -1.0) {
+      out += " rankweight " + NumberToken(c.rank_weight);
+    }
+    if (!c.relaxable) out += " norelax";
+    if (!c.constrainable) out += " noconstrain";
+    if (!c.maximize) out += " minimize";
+    out += "\n";
+  }
+  return out;
+}
+
+Result<searchlight::QuerySpec> BuildQuery(const ParsedQuery& parsed,
+                                          const DatasetBundle& bundle) {
+  if (bundle.array == nullptr || bundle.synopsis == nullptr) {
+    return InvalidArgumentError("dataset bundle is incomplete");
+  }
+  if (parsed.domains.size() != 2 ||
+      parsed.var_names.size() != parsed.domains.size()) {
+    return InvalidArgumentError(
+        "parsed query must declare exactly two variables");
+  }
+  if (parsed.domains[0].lo < 0 ||
+      parsed.domains[0].hi >= bundle.array->length()) {
+    return InvalidArgumentError("start variable exceeds the array");
+  }
+  if (parsed.domains[1].lo < 1) {
+    return InvalidArgumentError("length variable must be >= 1");
+  }
+  if (parsed.constraints.empty()) {
+    return InvalidArgumentError("query declares no constraints");
+  }
+
+  searchlight::QuerySpec query;
+  query.name = "parsed_query";
+  query.k = parsed.k;
+  query.domains = parsed.domains;
 
   WindowFunctionContext base_ctx;
   base_ctx.array = bundle.array;
@@ -214,7 +258,7 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
   base_ctx.x_var = 0;
   base_ctx.len_var = 1;
 
-  for (PendingConstraint& c : pending) {
+  for (const ParsedConstraint& c : parsed.constraints) {
     searchlight::QueryConstraint qc;
     WindowFunctionContext ctx = base_ctx;
     ctx.value_range = c.range;
@@ -230,7 +274,7 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
       qc.make_function = [ctx] {
         return std::make_unique<MinFunction>(ctx);
       };
-    } else {
+    } else if (c.fn == "contrast_left" || c.fn == "contrast_right") {
       const auto side = c.fn == "contrast_left"
                             ? NeighborhoodContrastFunction::Side::kLeft
                             : NeighborhoodContrastFunction::Side::kRight;
@@ -239,6 +283,9 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
         return std::make_unique<NeighborhoodContrastFunction>(ctx, side,
                                                               width);
       };
+    } else {
+      return InvalidArgumentError("unknown constraint function '" + c.fn +
+                                  "'");
     }
     qc.bounds = c.bounds;
     qc.relax_weight = c.weight;
@@ -251,6 +298,13 @@ Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
     query.constraints.push_back(std::move(qc));
   }
   return query;
+}
+
+Result<searchlight::QuerySpec> ParseQuery(const std::string& text,
+                                          const DatasetBundle& bundle) {
+  Result<ParsedQuery> parsed = ParseQueryText(text);
+  if (!parsed.ok()) return parsed.status();
+  return BuildQuery(parsed.value(), bundle);
 }
 
 Result<searchlight::QuerySpec> ParseQueryFile(const std::string& path,

@@ -1,0 +1,122 @@
+#ifndef DQR_TESTING_GENERATOR_H_
+#define DQR_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "common/status.h"
+#include "core/fault.h"
+#include "core/options.h"
+#include "searchlight/query.h"
+#include "synopsis/synopsis.h"
+
+namespace dqr::fuzz {
+
+// Which refinement direction a generated workload targets. Targeting is
+// statistical (the generator aims the anchor constraint's bounds at a
+// scarce or plentiful quantile of the generated signal); the oracle and
+// the differential check are direction-agnostic, so a workload that lands
+// on the other side of k still checks something real.
+enum class FuzzMode { kRelax, kConstrain, kSkyline };
+
+const char* FuzzModeName(FuzzMode mode);
+Result<FuzzMode> FuzzModeFromName(const std::string& name);
+
+// Shrinking knobs: caps applied on top of the seed-derived draw. 0 / false
+// means "no override". Same seed + same overrides = same workload, which
+// is what lets the shrinker re-run a failing case at reduced size and keep
+// a reduction only when the failure persists.
+struct WorkloadOverrides {
+  int64_t length_cap = 0;    // clamp the array length (min 32 cells)
+  int max_constraints = 0;   // truncate the constraint list (min 1)
+  int64_t k_cap = 0;         // clamp the result cardinality (min 1)
+  int64_t x_width_cap = 0;   // clamp the width of variable 0's domain
+  bool no_diversity = false; // drop any result-spacing configuration
+  bool default_alpha = false;  // force alpha = 0.5
+
+  bool any() const {
+    return length_cap != 0 || max_constraints != 0 || k_cap != 0 ||
+           x_width_cap != 0 || no_diversity || default_alpha;
+  }
+  // "len<=96 cons<=2 k<=1 ..." for reproducer lines; "" when !any().
+  std::string ToString() const;
+};
+
+// One self-contained generated problem: data + synopsis + query + the
+// semantic knobs (alpha, constrain mode, diversity) that define what the
+// correct answer *is*. Engine-side execution knobs that must never change
+// the answer live in EngineConfig instead.
+struct Workload {
+  uint64_t seed = 0;
+  FuzzMode mode = FuzzMode::kRelax;
+  WorkloadOverrides overrides;
+
+  std::shared_ptr<array::Array> array;
+  std::shared_ptr<const synopsis::Synopsis> synopsis;
+  searchlight::QuerySpec query;
+
+  double alpha = 0.5;
+  core::ConstrainMode constrain = core::ConstrainMode::kRank;
+  std::vector<int64_t> result_spacing;  // empty = diversity off
+  int64_t diversity_pool_factor = 8;
+
+  // One-line human-readable description for logs and repro files.
+  std::string summary;
+};
+
+// Derives a complete workload from a single uint64 seed: array schema +
+// synthetic signal (plateaus, spikes, noise over a calm base), a synopsis,
+// 1-4 window constraints (avg/min/max/neighborhood contrast) with seeded
+// bounds/ranges/weights/relaxability/preferences, k, alpha, constrain
+// mode, and optional diversity spacing. Deterministic in (seed, mode,
+// overrides); independent draws are decorrelated across seeds by
+// splitmix64.
+Workload MakeWorkload(uint64_t seed, FuzzMode mode,
+                      const WorkloadOverrides& overrides = {});
+
+// One engine execution configuration. Everything here is, per the §3
+// guarantees, answer-preserving: the differential harness runs the same
+// workload under several of these and demands byte-identical canonical
+// results, all equal to the oracle.
+struct EngineConfig {
+  int num_instances = 1;
+  int shards_per_instance = 1;
+  core::FailEvalMode fail_eval = core::FailEvalMode::kLazy;
+  bool speculative = false;
+  bool save_function_state = true;
+  double rrd = 1.0;  // replay_relaxation_distance
+  core::ReplayOrder replay_order = core::ReplayOrder::kBestFirst;
+  core::ValidatorQueueOrder validator_queue =
+      core::ValidatorQueueOrder::kBrpPriority;
+  // > 0 plants this many deterministic crash events (derived from the
+  // workload seed) on distinct victim instances; instance 0 is never a
+  // victim, so the cluster always retains a survivor and the run must
+  // still complete with the full, correct result set.
+  int fault_crashes = 0;
+  bool enable_failure_detector = false;
+
+  // Compact, parseable "inst=4;shards=8;..." form used by --config= and
+  // reproducer lines. FromString accepts exactly what ToString emits
+  // (order-insensitive, unknown keys rejected).
+  std::string ToString() const;
+  static Result<EngineConfig> FromString(const std::string& text);
+
+  // Materializes RefineOptions for `workload`. When fault_crashes > 0 the
+  // derived crash plan is written into *plan (which must outlive the
+  // query execution) and referenced from the returned options.
+  core::RefineOptions ToOptions(const Workload& workload,
+                                core::FaultPlan* plan) const;
+};
+
+// The per-seed config matrix: [0] is always the 1x1 sequential baseline,
+// [1] a work-stealing multi-instance config, [2] a fault-injection config
+// (crashes + detector + stealing), and any further entries are fully
+// seeded random draws. count is clamped to [3, 8].
+std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count);
+
+}  // namespace dqr::fuzz
+
+#endif  // DQR_TESTING_GENERATOR_H_

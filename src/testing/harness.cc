@@ -1,0 +1,297 @@
+#include "testing/harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "core/canonical.h"
+#include "core/fault.h"
+#include "core/refiner.h"
+#include "testing/oracle.h"
+
+namespace dqr::fuzz {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ApplyBug(InjectedBug bug, std::vector<core::Solution>* results) {
+  switch (bug) {
+    case InjectedBug::kNone:
+      break;
+    case InjectedBug::kDropLast:
+      if (!results->empty()) results->pop_back();
+      break;
+    case InjectedBug::kPerturbRp:
+      if (!results->empty()) results->front().rp += 1e-3;
+      break;
+  }
+}
+
+}  // namespace
+
+Result<InjectedBug> InjectedBugFromName(const std::string& name) {
+  if (name == "none") return InjectedBug::kNone;
+  if (name == "drop-last") return InjectedBug::kDropLast;
+  if (name == "perturb-rp") return InjectedBug::kPerturbRp;
+  return InvalidArgumentError("unknown injected bug: " + name +
+                              " (want none|drop-last|perturb-rp)");
+}
+
+CaseResult RunCase(const CaseConfig& c, InjectedBug bug) {
+  CaseResult out;
+  const Workload workload = MakeWorkload(c.seed, c.mode, c.overrides);
+
+  core::FaultPlan plan;
+  const core::RefineOptions options = c.config.ToOptions(workload, &plan);
+
+  Result<OracleResult> oracle = OracleRun(workload.query, options);
+  if (!oracle.ok()) {
+    out.error = "oracle: " + oracle.status().ToString();
+    return out;
+  }
+
+  Result<core::RunResult> engine = core::ExecuteQuery(workload.query, options);
+  if (!engine.ok()) {
+    out.error = "engine: " + engine.status().ToString();
+    return out;
+  }
+  if (!engine.value().stats.completed) {
+    out.error = "engine: run did not complete (lost work not recovered?)";
+    return out;
+  }
+
+  std::vector<core::Solution> actual = std::move(engine.value().results);
+  ApplyBug(bug, &actual);
+
+  out.expected = core::Canonicalize(oracle.value().results);
+  out.actual = core::Canonicalize(actual);
+  out.ok = out.expected == out.actual;
+  out.detail = workload.summary +
+               " space=" + std::to_string(oracle.value().space_size) +
+               " exact=" + std::to_string(oracle.value().exact_count) +
+               " finite=" + std::to_string(oracle.value().finite_count) +
+               " | config " + c.config.ToString();
+  return out;
+}
+
+namespace {
+
+// One shrink attempt: a named transformation of the case. Returns false
+// when the transformation does not apply (already at the floor).
+using ShrinkStep = bool (*)(CaseConfig*);
+
+bool StripFaults(CaseConfig* c) {
+  if (c->config.fault_crashes == 0 && !c->config.enable_failure_detector) {
+    return false;
+  }
+  c->config.fault_crashes = 0;
+  c->config.enable_failure_detector = false;
+  return true;
+}
+
+bool SingleInstance(CaseConfig* c) {
+  if (c->config.num_instances == 1 && c->config.shards_per_instance == 1) {
+    return false;
+  }
+  c->config.num_instances = 1;
+  c->config.shards_per_instance = 1;
+  c->config.fault_crashes = 0;
+  c->config.enable_failure_detector = false;
+  return true;
+}
+
+bool DefaultEngineKnobs(CaseConfig* c) {
+  EngineConfig plain;
+  plain.num_instances = c->config.num_instances;
+  plain.shards_per_instance = c->config.shards_per_instance;
+  plain.fault_crashes = c->config.fault_crashes;
+  plain.enable_failure_detector = c->config.enable_failure_detector;
+  if (plain.ToString() == c->config.ToString()) return false;
+  c->config = plain;
+  return true;
+}
+
+bool HalveArray(CaseConfig* c) {
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const int64_t current = w.array->length();
+  if (current <= 32) return false;
+  c->overrides.length_cap = std::max<int64_t>(32, current / 2);
+  return true;
+}
+
+bool DropConstraints(CaseConfig* c) {
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const int current = static_cast<int>(w.query.constraints.size());
+  if (current <= 1) return false;
+  c->overrides.max_constraints = current - 1;
+  return true;
+}
+
+bool LowerK(CaseConfig* c) {
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  if (w.query.k <= 1) return false;
+  c->overrides.k_cap = w.query.k / 2;
+  return true;
+}
+
+bool NarrowX(CaseConfig* c) {
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const int64_t width = w.query.domains[0].hi - w.query.domains[0].lo + 1;
+  if (width <= 8) return false;
+  c->overrides.x_width_cap = width / 2;
+  return true;
+}
+
+bool DropDiversity(CaseConfig* c) {
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  if (w.result_spacing.empty()) return false;
+  c->overrides.no_diversity = true;
+  return true;
+}
+
+bool DefaultAlpha(CaseConfig* c) {
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  if (w.alpha == 0.5) return false;
+  c->overrides.default_alpha = true;
+  return true;
+}
+
+}  // namespace
+
+CaseConfig Shrink(CaseConfig failing, InjectedBug bug) {
+  static constexpr ShrinkStep kSteps[] = {
+      StripFaults,  SingleInstance, DefaultEngineKnobs, HalveArray,
+      HalveArray,   HalveArray,     DropConstraints,    DropConstraints,
+      DropConstraints, LowerK,      LowerK,             NarrowX,
+      NarrowX,      NarrowX,        DropDiversity,      DefaultAlpha,
+  };
+  // Up to two passes: a step that was a no-op early (e.g. NarrowX when
+  // the domain was already small) can become productive after HalveArray.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool any = false;
+    for (ShrinkStep step : kSteps) {
+      CaseConfig candidate = failing;
+      if (!step(&candidate)) continue;
+      if (RunCase(candidate, bug).failed()) {
+        failing = std::move(candidate);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return failing;
+}
+
+std::string ReproLine(const CaseConfig& c) {
+  std::string line = "dqr_fuzz --seed=" + std::to_string(c.seed) +
+                     " --mode=" + FuzzModeName(c.mode) + " --config=\"" +
+                     c.config.ToString() + "\"";
+  if (c.overrides.length_cap != 0) {
+    line += " --len-cap=" + std::to_string(c.overrides.length_cap);
+  }
+  if (c.overrides.max_constraints != 0) {
+    line += " --max-cons=" + std::to_string(c.overrides.max_constraints);
+  }
+  if (c.overrides.k_cap != 0) {
+    line += " --k-cap=" + std::to_string(c.overrides.k_cap);
+  }
+  if (c.overrides.x_width_cap != 0) {
+    line += " --x-width-cap=" + std::to_string(c.overrides.x_width_cap);
+  }
+  if (c.overrides.no_diversity) line += " --no-diversity";
+  if (c.overrides.default_alpha) line += " --default-alpha";
+  return line;
+}
+
+Result<std::string> WriteReproFile(const std::string& dir,
+                                   const CaseConfig& c,
+                                   const CaseResult& result) {
+  const std::string path = dir + "/repro_" + std::to_string(c.seed) + "_" +
+                           FuzzModeName(c.mode) + ".txt";
+  std::ofstream out(path);
+  if (!out) return InvalidArgumentError("cannot write repro file: " + path);
+  out << "# replay with:\n" << ReproLine(c) << "\n\n";
+  out << "# case: " << result.detail << "\n";
+  if (!result.error.empty()) {
+    out << "\n# error:\n" << result.error << "\n";
+  } else {
+    out << "\n# expected (oracle):\n"
+        << (result.expected.empty() ? "<empty>" : result.expected) << "\n";
+    out << "\n# actual (engine):\n"
+        << (result.actual.empty() ? "<empty>" : result.actual) << "\n";
+  }
+  out.close();
+  return path;
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  std::vector<FuzzMode> modes = options.modes;
+  if (modes.empty()) {
+    modes = {FuzzMode::kRelax, FuzzMode::kConstrain, FuzzMode::kSkyline};
+  }
+  const int64_t started_ms = NowMs();
+
+  for (int i = 0; i < options.num_seeds; ++i) {
+    if (options.time_budget_ms > 0 &&
+        NowMs() - started_ms >= options.time_budget_ms) {
+      std::fprintf(stderr,
+                   "dqr_fuzz: time budget reached after %lld seeds\n",
+                   static_cast<long long>(report.seeds_run));
+      break;
+    }
+    const uint64_t seed = options.start_seed + static_cast<uint64_t>(i);
+    ++report.seeds_run;
+    // One mode per seed (cycled) keeps a campaign of N seeds at N
+    // workloads; --mode pins it for reproduction.
+    const FuzzMode mode = modes[static_cast<size_t>(i) % modes.size()];
+    const std::vector<EngineConfig> configs =
+        MakeConfigMatrix(seed, options.configs_per_seed);
+
+    for (const EngineConfig& config : configs) {
+      CaseConfig c;
+      c.seed = seed;
+      c.mode = mode;
+      c.config = config;
+      ++report.cases_run;
+      CaseResult r = RunCase(c, options.inject_bug);
+      if (r.ok) {
+        if (options.verbose) {
+          std::fprintf(stderr, "dqr_fuzz: ok   %s\n", r.detail.c_str());
+        }
+        continue;
+      }
+      if (!r.error.empty()) ++report.errors;
+      if (r.error.empty()) ++report.mismatches;
+      std::fprintf(stderr, "dqr_fuzz: FAIL %s\n", r.detail.c_str());
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "dqr_fuzz:   %s\n", r.error.c_str());
+      }
+      const CaseConfig shrunk = Shrink(c, options.inject_bug);
+      const CaseResult shrunk_result = RunCase(shrunk, options.inject_bug);
+      const std::string line = ReproLine(shrunk);
+      report.repro_lines.push_back(line);
+      std::fprintf(stderr, "dqr_fuzz:   reproduce: %s\n", line.c_str());
+      if (!options.repro_dir.empty()) {
+        Result<std::string> file =
+            WriteReproFile(options.repro_dir, shrunk, shrunk_result);
+        if (file.ok()) {
+          std::fprintf(stderr, "dqr_fuzz:   repro file: %s\n",
+                       file.value().c_str());
+          report.repro_files.push_back(std::move(file).value());
+        } else {
+          std::fprintf(stderr, "dqr_fuzz:   %s\n",
+                       file.status().ToString().c_str());
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dqr::fuzz

@@ -1,0 +1,113 @@
+#ifndef DQR_TESTING_HARNESS_H_
+#define DQR_TESTING_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "testing/generator.h"
+
+namespace dqr::fuzz {
+
+// Engine bugs the harness can plant on purpose — applied to the engine's
+// result list after a run, before canonicalization. Used by the harness's
+// own tests (and --inject-bug) to prove that the differential check
+// catches a wrong answer and that the shrinker reduces it.
+enum class InjectedBug {
+  kNone,
+  kDropLast,    // drop the last final result (a lost-result bug)
+  kPerturbRp,   // add 1e-3 to the first result's RP (a scoring bug)
+};
+
+Result<InjectedBug> InjectedBugFromName(const std::string& name);
+
+// One fully specified differential case: which workload and which engine
+// configuration. Everything derives from (seed, mode, overrides, config),
+// so a case is its own reproducer.
+struct CaseConfig {
+  uint64_t seed = 0;
+  FuzzMode mode = FuzzMode::kRelax;
+  WorkloadOverrides overrides;
+  EngineConfig config;
+};
+
+// Outcome of running one case engine-vs-oracle.
+struct CaseResult {
+  bool ok = false;
+  // Canonicalized result sets (core::Canonicalize) — byte-comparable.
+  std::string expected;  // oracle
+  std::string actual;    // engine
+  // Populated diagnostics (search-space size, exact/finite counts, the
+  // workload summary line). For logs and repro files.
+  std::string detail;
+  // Set when the case could not even run (engine/oracle returned an
+  // error); distinct from a differential mismatch.
+  std::string error;
+  bool failed() const { return !ok; }
+};
+
+// Runs one case: generates the workload, runs the oracle and the engine,
+// canonicalizes both result lists, compares byte-for-byte. `bug` plants an
+// artificial engine bug post-run (kNone in production fuzzing).
+CaseResult RunCase(const CaseConfig& c, InjectedBug bug = InjectedBug::kNone);
+
+// Greedy shrinking: starting from a failing case, repeatedly tries
+// reductions (strip the fault plan, collapse to one instance, reset engine
+// knobs to defaults, halve the array, drop satellite constraints, lower k,
+// narrow the x domain, drop diversity, default alpha) and keeps each
+// reduction only if the case still fails. Deterministic; bounded by a
+// fixed pass budget. Returns the reduced case (== input if nothing could
+// be removed).
+CaseConfig Shrink(CaseConfig failing, InjectedBug bug = InjectedBug::kNone);
+
+// The one-line reproducer for a case:
+//   dqr_fuzz --seed=92 --mode=relax --config="inst=1;..." [--len-cap=64 ...]
+std::string ReproLine(const CaseConfig& c);
+
+// Options for a fuzz campaign.
+struct FuzzOptions {
+  uint64_t start_seed = 1;
+  int num_seeds = 100;
+  // Configs drawn per seed (clamped to [3, 8] by MakeConfigMatrix).
+  int configs_per_seed = 4;
+  // Stop early once this many milliseconds have elapsed (0 = no budget).
+  int64_t time_budget_ms = 0;
+  // Directory for repro files of failing cases ("" = don't write files).
+  std::string repro_dir;
+  // Plant an artificial bug in every engine run (self-test only).
+  InjectedBug inject_bug = InjectedBug::kNone;
+  // Which modes to cycle through; empty = all three.
+  std::vector<FuzzMode> modes;
+  bool verbose = false;
+};
+
+// Aggregate outcome of a campaign.
+struct FuzzReport {
+  int64_t cases_run = 0;
+  int64_t seeds_run = 0;
+  int64_t mismatches = 0;
+  int64_t errors = 0;
+  // Reproducer lines for (shrunk) failures, in discovery order.
+  std::vector<std::string> repro_lines;
+  // Paths of repro files written (when repro_dir was set).
+  std::vector<std::string> repro_files;
+  bool clean() const { return mismatches == 0 && errors == 0; }
+};
+
+// Runs the campaign: for each seed, derives a workload per mode and runs
+// it under the seed's config matrix, comparing every run against the
+// oracle. Each failure is shrunk before being reported. Progress and
+// failures go to stderr; the report is the machine-readable summary.
+FuzzReport RunFuzz(const FuzzOptions& options);
+
+// Serializes a failing (already shrunk) case into a self-contained repro
+// file: the reproducer line, the workload summary, and the expected vs
+// actual canonical result sets. Returns the path written.
+Result<std::string> WriteReproFile(const std::string& dir,
+                                   const CaseConfig& c,
+                                   const CaseResult& result);
+
+}  // namespace dqr::fuzz
+
+#endif  // DQR_TESTING_HARNESS_H_

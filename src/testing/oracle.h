@@ -1,0 +1,58 @@
+#ifndef DQR_TESTING_ORACLE_H_
+#define DQR_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "core/solution.h"
+#include "searchlight/query.h"
+
+namespace dqr::fuzz {
+
+// What the reference oracle computed for one (query, options) pair.
+struct OracleResult {
+  // The final result set the engine is required to return, in the
+  // engine's own final ordering (see core::ResultTracker::FinalResults).
+  std::vector<core::Solution> results;
+  // Size of the enumerated search space (product of domain sizes).
+  int64_t space_size = 0;
+  // Assignments with RP == 0 (exact results).
+  int64_t exact_count = 0;
+  // Assignments with finite RP (reachable by relaxation at all).
+  int64_t finite_count = 0;
+};
+
+// The brute-force reference oracle of the differential fuzz harness: it
+// enumerates *every* assignment of the query's domains, scores each one
+// with the engine's own penalty/rank models, and assembles the final
+// result set straight from the paper's §3 guarantees:
+//
+//   * refinement off (or k == 0): every exact result, in point order;
+//   * >= k exact results, rank constraining: the top-k by RK
+//     (descending, point tie-break), diversity-filtered if configured;
+//   * >= k exact results, skyline constraining: the exact non-dominated
+//     frontier, in point order;
+//   * fewer than k exact results: the best-k by RP (ascending, point
+//     tie-break) over all finite-RP assignments, diversity-filtered.
+//
+// The oracle shares only the Solution scoring path (ConstraintBundle +
+// models) with the engine; it is independent of the CP solver, the
+// synopsis estimator, the fail registry/replay machinery, the scheduler,
+// and the failure model — which is exactly what makes engine-vs-oracle
+// disagreement evidence of an engine bug.
+//
+// Honors options.enable / constrain / alpha / result_spacing /
+// diversity_pool_factor / custom models; every other option is, by the
+// engine's correctness contract, irrelevant to the final result set.
+//
+// Returns InvalidArgument when the search space exceeds `max_space`
+// assignments (the generator keeps fuzz workloads far below this).
+Result<OracleResult> OracleRun(const searchlight::QuerySpec& query,
+                               const core::RefineOptions& options,
+                               int64_t max_space = int64_t{1} << 22);
+
+}  // namespace dqr::fuzz
+
+#endif  // DQR_TESTING_ORACLE_H_

@@ -1,0 +1,61 @@
+#include "core/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dqr::core {
+namespace {
+
+Solution Make(std::vector<int64_t> point, std::vector<double> values,
+              double rp, double rk) {
+  Solution s;
+  s.point = std::move(point);
+  s.values = std::move(values);
+  s.rp = rp;
+  s.rk = rk;
+  return s;
+}
+
+TEST(CanonicalTest, LineFormat) {
+  EXPECT_EQ(CanonicalLine(Make({3, 7}, {92.5, 0.25}, 0.0, 1.0)),
+            "(3,7) f=(92.5,0.25) rp=0 rk=1");
+}
+
+TEST(CanonicalTest, NormalizesNegativeZeroAndNonFinite) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const std::string line =
+      CanonicalLine(Make({0}, {-0.0, inf, -inf, std::nan("")}, -0.0, 0.0));
+  EXPECT_EQ(line, "(0) f=(0,inf,-inf,nan) rp=0 rk=0");
+}
+
+TEST(CanonicalTest, TwelveSignificantDigits) {
+  // Doubles differing beyond 12 significant digits canonicalize equal —
+  // the determinism checks demand bit-identical engine behaviour, and
+  // %.12g leaves slack only below any plausible scoring difference.
+  const std::string a = CanonicalLine(Make({1}, {}, 0.1234567890123, 0.0));
+  const std::string b =
+      CanonicalLine(Make({1}, {}, 0.12345678901234, 0.0));
+  EXPECT_EQ(a, b);
+  const std::string c = CanonicalLine(Make({1}, {}, 0.123456789013, 0.0));
+  EXPECT_NE(a, c);
+}
+
+TEST(CanonicalTest, ListFormIsLinePerSolution) {
+  const std::vector<Solution> results = {Make({1, 2}, {5.0}, 0.0, 1.0),
+                                         Make({3, 4}, {6.0}, 0.5, 0.0)};
+  EXPECT_EQ(Canonicalize(results),
+            "(1,2) f=(5) rp=0 rk=1\n(3,4) f=(6) rp=0.5 rk=0\n");
+  EXPECT_EQ(Canonicalize({}), "");
+}
+
+TEST(CanonicalTest, PreservesResultOrder) {
+  const std::vector<Solution> ab = {Make({1}, {}, 0.0, 0.0),
+                                    Make({2}, {}, 0.0, 0.0)};
+  const std::vector<Solution> ba = {ab[1], ab[0]};
+  EXPECT_NE(Canonicalize(ab), Canonicalize(ba));
+}
+
+}  // namespace
+}  // namespace dqr::core

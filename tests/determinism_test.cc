@@ -1,0 +1,75 @@
+// Cross-configuration determinism: the same seeded workload must produce
+// byte-identical canonicalized final results under every cluster shape.
+// This is the engine's §3 answer-preservation guarantee stated as an
+// executable invariant — scheduling, sharding, and work stealing may
+// reorder everything internal, but never the answer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/refiner.h"
+#include "testing/generator.h"
+
+namespace dqr::fuzz {
+namespace {
+
+struct Shape {
+  int instances;
+  int shards;
+};
+
+constexpr Shape kShapes[] = {{1, 1}, {2, 4}, {4, 8}};
+
+std::string RunCanonical(const Workload& workload, const Shape& shape) {
+  EngineConfig config;
+  config.num_instances = shape.instances;
+  config.shards_per_instance = shape.shards;
+  const core::RefineOptions options = config.ToOptions(workload, nullptr);
+  const auto run = core::ExecuteQuery(workload.query, options);
+  if (!run.ok()) return "error: " + run.status().ToString();
+  if (!run.value().stats.completed) return "error: incomplete";
+  return core::Canonicalize(run.value().results);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<FuzzMode> {};
+
+TEST_P(DeterminismTest, SameSeedSameResultsAcrossClusterShapes) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Workload workload = MakeWorkload(seed, GetParam());
+    const std::string baseline = RunCanonical(workload, kShapes[0]);
+    ASSERT_EQ(baseline.rfind("error:", 0), std::string::npos)
+        << workload.summary << ": " << baseline;
+    for (size_t i = 1; i < std::size(kShapes); ++i) {
+      const std::string got = RunCanonical(workload, kShapes[i]);
+      EXPECT_EQ(got, baseline)
+          << workload.summary << " diverged at " << kShapes[i].instances
+          << "x" << kShapes[i].shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismTest,
+                         ::testing::Values(FuzzMode::kRelax,
+                                           FuzzMode::kConstrain,
+                                           FuzzMode::kSkyline),
+                         [](const auto& info) {
+                           return FuzzModeName(info.param);
+                         });
+
+// Repeated runs of the *same* shape must agree too (no dependence on
+// thread interleaving within a shape).
+TEST(DeterminismTest, RepeatedRunsAreStable) {
+  const Workload workload = MakeWorkload(11, FuzzMode::kConstrain);
+  const Shape shape{3, 6};
+  const std::string first = RunCanonical(workload, shape);
+  ASSERT_EQ(first.rfind("error:", 0), std::string::npos) << first;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(RunCanonical(workload, shape), first) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dqr::fuzz

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/fail_registry.h"
+#include "core/canonical.h"
 #include "core/fault.h"
 #include "core/refiner.h"
 #include "refiner_test_util.h"
@@ -21,10 +22,10 @@ using testutil::MakeSmallBundle;
 using testutil::MakeTestQuery;
 using testutil::TestQueryParams;
 
+// The shared canonical form (see core/canonical.h); every determinism
+// check in the repo compares these strings byte for byte.
 std::string Fingerprint(const std::vector<Solution>& results) {
-  std::string out;
-  for (const Solution& s : results) out += s.ToString();
-  return out;
+  return Canonicalize(results);
 }
 
 FailRecord MakeRecord(double brp) {

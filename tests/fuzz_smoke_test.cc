@@ -1,0 +1,42 @@
+// The PR-CI fuzz slice: a short oracle-differential campaign (label
+// `fuzz`, run via `ctest -L fuzz`). Small enough for every PR; the
+// nightly CI job runs the same campaign two orders of magnitude longer
+// with a date-derived seed.
+
+#include <gtest/gtest.h>
+
+#include "testing/harness.h"
+
+namespace dqr::fuzz {
+namespace {
+
+TEST(FuzzSmokeTest, ShortCampaignIsClean) {
+  FuzzOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 12;
+  options.configs_per_seed = 3;
+  options.time_budget_ms = 30000;
+  const FuzzReport report = RunFuzz(options);
+  EXPECT_GT(report.cases_run, 0);
+  EXPECT_EQ(report.mismatches, 0) << "reproducers:\n"
+                                  << (report.repro_lines.empty()
+                                          ? ""
+                                          : report.repro_lines[0]);
+  EXPECT_EQ(report.errors, 0);
+}
+
+// The smoke slice also proves the harness would notice a wrong answer —
+// a fuzzer that cannot fail is worse than no fuzzer.
+TEST(FuzzSmokeTest, CampaignDetectsAPlantedBug) {
+  FuzzOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 3;
+  options.configs_per_seed = 3;
+  options.inject_bug = InjectedBug::kDropLast;
+  const FuzzReport report = RunFuzz(options);
+  EXPECT_GT(report.mismatches, 0);
+  EXPECT_FALSE(report.repro_lines.empty());
+}
+
+}  // namespace
+}  // namespace dqr::fuzz

@@ -1,0 +1,137 @@
+#include "data/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/array.h"
+
+namespace dqr::data {
+namespace {
+
+WaveformOptions SmallOptions(uint64_t seed = 7) {
+  WaveformOptions opts;
+  opts.length = 1 << 14;
+  opts.chunk_size = 1 << 10;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(WaveformTest, DeterministicRegenerationFromFixedSeed) {
+  const auto a = GenerateAbpWaveform(SmallOptions(42));
+  const auto b = GenerateAbpWaveform(SmallOptions(42));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Bit-identical, not merely statistically similar: replay of a recorded
+  // workload (fuzz repro files, benchmarks) depends on exact regeneration.
+  EXPECT_EQ(a.value()->Dump(), b.value()->Dump());
+}
+
+TEST(WaveformTest, DifferentSeedsDiverge) {
+  const auto a = GenerateAbpWaveform(SmallOptions(1));
+  const auto b = GenerateAbpWaveform(SmallOptions(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->Dump(), b.value()->Dump());
+}
+
+TEST(WaveformTest, ValuesStayWithinThePhysiologicalClamp) {
+  const auto result = GenerateAbpWaveform(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  const array::Array& arr = *result.value();
+  const array::WindowAggregates all = arr.AggregateWindow(0, arr.length());
+  EXPECT_GE(all.min, 50.0);
+  EXPECT_LE(all.max, 250.0);
+  EXPECT_EQ(all.count, arr.length());
+}
+
+TEST(WaveformTest, WindowAveragesReachTheHypertensiveBand) {
+  // The paper's running query searches for 8-16 second windows with an
+  // average in [150, 200]; the simulator must produce some (episodes) but
+  // not be dominated by them (the baseline sits near 95).
+  const auto result = GenerateAbpWaveform(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  const array::Array& arr = *result.value();
+  const int64_t w = 12;
+  int64_t in_band = 0;
+  int64_t windows = 0;
+  for (int64_t x = 0; x + w <= arr.length(); x += w) {
+    const double avg = arr.AggregateWindow(x, x + w).avg();
+    in_band += (avg >= 150.0 && avg <= 200.0) ? 1 : 0;
+    ++windows;
+  }
+  EXPECT_GT(in_band, 0);
+  EXPECT_LT(in_band, windows / 2);
+}
+
+TEST(WaveformTest, EventsCreateNeighborhoodContrast) {
+  const auto result = GenerateAbpWaveform(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  const array::Array& arr = *result.value();
+  // Somewhere a short window's max exceeds its 16-cell left neighborhood's
+  // max by a strong-event margin.
+  double best = 0.0;
+  for (int64_t x = 16; x + 3 <= arr.length(); ++x) {
+    const double here = arr.MaxOver(x, x + 3);
+    const double left = arr.MaxOver(x - 16, x);
+    best = std::max(best, here - left);
+  }
+  EXPECT_GE(best, 35.0);
+}
+
+TEST(WaveformTest, EdgeLengthRecords) {
+  // A single-cell array: every stage (episodes, events, clamp) must cope
+  // with windows that collapse to one position.
+  WaveformOptions one = SmallOptions();
+  one.length = 1;
+  one.chunk_size = 4;
+  const auto single = GenerateAbpWaveform(one);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value()->length(), 1);
+  const double v = single.value()->At(0);
+  EXPECT_GE(v, 50.0);
+  EXPECT_LE(v, 250.0);
+
+  // Shorter than one episode and one event width: placement clamps to 0.
+  WaveformOptions tiny = SmallOptions();
+  tiny.length = 2;
+  tiny.episode_len_lo = 64;
+  tiny.episode_len_hi = 1024;
+  tiny.episodes_per_million = 1e6;  // force at least one episode
+  tiny.events_per_million = 1e6;    // and at least one event
+  const auto two = GenerateAbpWaveform(tiny);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two.value()->length(), 2);
+
+  // Length not a multiple of the chunk size: the last chunk is partial.
+  WaveformOptions ragged = SmallOptions();
+  ragged.length = 1000;
+  ragged.chunk_size = 64;
+  const auto partial = GenerateAbpWaveform(ragged);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial.value()->length(), 1000);
+  EXPECT_EQ(partial.value()->schema().num_chunks(), 16);
+  EXPECT_EQ(partial.value()->AggregateWindow(960, 1000).count, 40);
+}
+
+TEST(WaveformTest, RejectsBadOptions) {
+  WaveformOptions empty = SmallOptions();
+  empty.length = 0;
+  EXPECT_FALSE(GenerateAbpWaveform(empty).ok());
+
+  WaveformOptions negative = SmallOptions();
+  negative.length = -5;
+  EXPECT_FALSE(GenerateAbpWaveform(negative).ok());
+
+  WaveformOptions bad_episodes = SmallOptions();
+  bad_episodes.episode_len_lo = 10;
+  bad_episodes.episode_len_hi = 5;
+  EXPECT_FALSE(GenerateAbpWaveform(bad_episodes).ok());
+
+  WaveformOptions zero_len_episode = SmallOptions();
+  zero_len_episode.episode_len_lo = 0;
+  EXPECT_FALSE(GenerateAbpWaveform(zero_len_episode).ok());
+}
+
+}  // namespace
+}  // namespace dqr::data

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/canonical.h"
 #include "core/fault.h"
 #include "core/refiner.h"
 #include "refiner_test_util.h"
@@ -23,10 +24,10 @@ using testutil::MakeTestQuery;
 using testutil::Points;
 using testutil::TestQueryParams;
 
+// The shared canonical form (see core/canonical.h); every determinism
+// check in the repo compares these strings byte for byte.
 std::string Fingerprint(const std::vector<Solution>& results) {
-  std::string out;
-  for (const Solution& s : results) out += s.ToString();
-  return out;
+  return Canonicalize(results);
 }
 
 int64_t ExpectedShards(const searchlight::QuerySpec& query,
