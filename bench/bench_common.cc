@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/export_chrome.h"
 
 namespace dqr::bench {
 namespace {
@@ -29,6 +30,15 @@ std::string& JsonPath() {
 std::vector<std::string>& JsonRecords() {
   static std::vector<std::string> records;
   return records;
+}
+
+// Trace output state: the target path (empty = disabled).
+std::string& TracePath() {
+  static std::string path = [] {
+    const char* env = std::getenv("DQR_BENCH_TRACE");
+    return std::string(env == nullptr ? "" : env);
+  }();
+  return path;
 }
 
 std::string JsonObject(
@@ -94,7 +104,9 @@ core::RefineOptions ManualOptions(const BenchEnv& env) {
 
 RunOutcome Run(const searchlight::QuerySpec& query,
                const core::RefineOptions& options) {
-  auto result = core::ExecuteQuery(query, options);
+  core::RefineOptions traced = options;
+  traced.trace = BenchTrace();
+  auto result = core::ExecuteQuery(query, traced);
   DQR_CHECK_MSG(result.ok(), result.status().ToString().c_str());
   RunOutcome outcome;
   outcome.total_s = result.value().stats.total_s;
@@ -179,12 +191,59 @@ std::string JsonStr(const std::string& raw) {
 void InitBenchJson(const std::string& path) { JsonPath() = path; }
 
 void InitBenchJson(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
       InitBenchJson(argv[i + 1]);
+      ++i;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      InitBenchTrace(argv[i + 1]);
+      ++i;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      InitBenchTrace(arg.substr(8));
+    }
+  }
+}
+
+void InitBenchTrace(const std::string& path) { TracePath() = path; }
+
+void InitBenchTrace(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      InitBenchTrace(argv[i + 1]);
+      return;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      InitBenchTrace(arg.substr(8));
       return;
     }
   }
+}
+
+obs::Trace* BenchTrace() {
+  if (TracePath().empty()) return nullptr;
+  // Created on first use; the atexit hook makes sure whatever was
+  // recorded lands on disk even if the bench never calls WriteBenchTrace.
+  static obs::Trace* trace = [] {
+    std::atexit(WriteBenchTrace);
+    return new obs::Trace;
+  }();
+  return trace;
+}
+
+void WriteBenchTrace() {
+  if (TracePath().empty()) return;
+  const Status status = obs::WriteChromeTrace(*BenchTrace(), TracePath());
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "trace written to %s (%lld events, %lld dropped)\n",
+               TracePath().c_str(),
+               static_cast<long long>(BenchTrace()->total_emitted()),
+               static_cast<long long>(BenchTrace()->total_dropped()));
 }
 
 void RecordJson(const JsonRecord& record) {

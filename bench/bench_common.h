@@ -8,6 +8,7 @@
 
 #include "core/refiner.h"
 #include "data/queries.h"
+#include "obs/trace.h"
 
 namespace dqr::bench {
 
@@ -97,9 +98,26 @@ std::string JsonStr(const std::string& raw);
 // Enables JSON output to `path`. Benches call the argc/argv overload to
 // honor `--json <path>`; independent of that, the DQR_BENCH_JSON
 // environment variable enables it for benches run without flags. With
-// neither configured, RecordJson is a no-op.
+// neither configured, RecordJson is a no-op. The argc/argv overload also
+// handles the shared `--trace` flag (see InitBenchTrace below), so every
+// bench that parses its CLI through here can dump a timeline.
 void InitBenchJson(const std::string& path);
 void InitBenchJson(int argc, char** argv);
+
+// --- flight-recorder tracing (DESIGN.md §8) ---
+// Enables tracing for every Run() in this binary and dumps a Chrome
+// trace_event JSON file at process exit (open in ui.perfetto.dev or
+// chrome://tracing, inspect with tools/dqr_trace). Benches get it via
+// `--trace <path>` / `--trace=<path>` through InitBenchJson(argc, argv),
+// or via the DQR_BENCH_TRACE environment variable.
+void InitBenchTrace(const std::string& path);
+void InitBenchTrace(int argc, char** argv);
+// The shared per-binary Trace; null when tracing is disabled. Benches
+// that build RefineOptions by hand attach it as `options.trace`.
+obs::Trace* BenchTrace();
+// Writes/rewrites the configured trace file now (no-op when disabled);
+// also registered via atexit, so explicit calls are optional.
+void WriteBenchTrace();
 
 // Appends one record and rewrites the configured file as a JSON array, so
 // partial output survives an aborted run (`BENCH_*.json` perf trajectory).

@@ -1,18 +1,26 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace dqr {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
-// Serializes lines from concurrent solver/validator threads.
+// Serializes lines from concurrent solver/validator threads and guards
+// the sink swap.
 std::mutex& LogMutex() {
   static std::mutex* mu = new std::mutex;
   return *mu;
+}
+
+LogSink& GlobalSink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
 }
 
 const char* LevelName(LogLevel level) {
@@ -29,6 +37,24 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Seconds since the first log line of the process (steady clock, so the
+// offsets line up with trace timestamps even if wall time jumps).
+double MonotonicSeconds() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin)
+      .count();
+}
+
+// Small sequential per-thread ids: easier to eyeball in interleaved
+// output than 15-digit native handles.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -37,6 +63,11 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  GlobalSink() = std::move(sink);
 }
 
 namespace internal {
@@ -52,9 +83,16 @@ void LogLine(LogLevel level, const char* file, int line,
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s %.6f t%02d %s:%d] ",
+                LevelName(level), MonotonicSeconds(), ThreadId(), base,
+                line);
   std::lock_guard<std::mutex> lock(LogMutex());
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
-               message.c_str());
+  if (GlobalSink()) {
+    GlobalSink()(prefix + message);
+    return;
+  }
+  std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
 }
 
 }  // namespace internal

@@ -1,6 +1,7 @@
 #ifndef DQR_COMMON_LOGGING_H_
 #define DQR_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,9 +14,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Redirects formatted log lines (without the trailing newline) to `sink`
+// instead of stderr; pass nullptr to restore stderr. The sink is invoked
+// under the logging mutex — keep it cheap and never log from within it.
+// Intended for tests that assert on log output without scraping stderr.
+using LogSink = std::function<void(const std::string& line)>;
+void SetLogSink(LogSink sink);
+
 namespace internal {
 
-// Writes one formatted line to stderr if `level` passes the filter.
+// Writes one formatted line if `level` passes the filter. The line
+// carries a monotonic timestamp (seconds since process start) and a
+// small per-thread id: "[I 12.345678 t03 file.cc:42] message".
 void LogLine(LogLevel level, const char* file, int line,
              const std::string& message);
 

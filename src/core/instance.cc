@@ -17,6 +17,7 @@
 #include "core/fail_registry.h"
 #include "core/fault.h"
 #include "cp/search.h"
+#include "obs/trace.h"
 #include "searchlight/candidate.h"
 #include "searchlight/candidate_queue.h"
 
@@ -78,24 +79,27 @@ struct InstanceRunner::Impl {
   class RefineListener : public cp::SearchListener {
    public:
     RefineListener(Impl* impl, ConstraintBundle* bundle, bool replay_mode,
-                   RunStats* stats)
+                   RunStats* stats, obs::ThreadTracer tracer)
         : impl_(*impl),
           bundle_(*bundle),
           replay_mode_(replay_mode),
-          stats_(*stats) {}
+          stats_(*stats),
+          tracer_(tracer) {}
 
     void OnFail(cp::FailInfo info) override { impl_.HandleFail(
-        bundle_, std::move(info), stats_); }
+        bundle_, std::move(info), stats_, tracer_); }
 
     bool OnNode(const cp::DomainBox& box,
                 const std::vector<Interval>& estimates) override {
       (void)box;
+      // Deliberately untraced: OnNode fires once per search node and
+      // would swamp the ring with no analytical payoff.
       return impl_.CheckNode(estimates, replay_mode_);
     }
 
     void OnSolution(const std::vector<int64_t>& point,
                     const std::vector<Interval>& estimates) override {
-      impl_.EmitCandidate(point, estimates, stats_);
+      impl_.EmitCandidate(point, estimates, stats_, tracer_);
     }
 
    private:
@@ -103,6 +107,7 @@ struct InstanceRunner::Impl {
     ConstraintBundle& bundle_;
     bool replay_mode_;
     RunStats& stats_;
+    obs::ThreadTracer tracer_;
   };
 
   // ------------------------------------------------------------------
@@ -125,12 +130,14 @@ struct InstanceRunner::Impl {
   }
 
   // Solver-side hook. Returns true when this instance is (now) crashed.
-  bool MaybeInjectFault(FaultSite site) {
+  bool MaybeInjectFault(FaultSite site, obs::ThreadTracer& tracer) {
     if (cfg.injector == nullptr) return crashed();
     const std::optional<FaultDecision> decision =
         cfg.injector->OnEvent(cfg.id, site);
     if (decision.has_value()) {
       if (decision->action == FaultAction::kCrash) {
+        tracer.Instant(obs::EventName::kCrash,
+                       static_cast<double>(static_cast<int>(site)));
         CrashSelf();
       } else if (decision->delay_us > 0) {
         std::this_thread::sleep_for(
@@ -143,12 +150,15 @@ struct InstanceRunner::Impl {
   // Validator-side hook. On a crash the in-flight candidate is stashed
   // for the harvester *before* CrashSelf makes death detectable, so it
   // can never slip through the recovery sweep.
-  bool InjectValidateFault(Candidate& cand) {
+  bool InjectValidateFault(Candidate& cand, obs::ThreadTracer& tracer) {
     if (cfg.injector == nullptr) return false;
     const std::optional<FaultDecision> decision =
         cfg.injector->OnEvent(cfg.id, FaultSite::kCandidateValidate);
     if (!decision.has_value()) return false;
     if (decision->action == FaultAction::kCrash) {
+      tracer.Instant(obs::EventName::kCrash,
+                     static_cast<double>(static_cast<int>(
+                         FaultSite::kCandidateValidate)));
       {
         std::lock_guard<std::mutex> lock(stash_mu);
         stash.push_back(std::move(cand));
@@ -172,11 +182,16 @@ struct InstanceRunner::Impl {
   }
 
   void HeartbeatMain() {
+    obs::ThreadTracer tracer =
+        obs::MakeTracer(cfg.options->trace, cfg.id,
+                        obs::ThreadRole::kHeartbeat,
+                        cfg.options->trace_buffer_events);
     const auto interval = std::chrono::microseconds(
         std::max<int64_t>(1, cfg.options->heartbeat_interval_us));
     std::unique_lock<std::mutex> lock(hb_mu);
     while (!hb_stop) {
       cfg.coordinator->Heartbeat(cfg.id);
+      tracer.Instant(obs::EventName::kHeartbeat);
       hb_cv.wait_for(lock, interval, [&] { return hb_stop; });
     }
   }
@@ -218,7 +233,7 @@ struct InstanceRunner::Impl {
   }
 
   void HandleFail(ConstraintBundle& bundle, cp::FailInfo info,
-                  RunStats& stats) {
+                  RunStats& stats, obs::ThreadTracer& tracer) {
     if (crashed()) return;
     if (!RefinementActive()) return;
     if (cfg.coordinator->CurrentPhase() == QueryPhase::kConstraining) {
@@ -247,7 +262,7 @@ struct InstanceRunner::Impl {
     // window. A crash here loses the record, but the whole shard (or
     // leased replay) it belongs to is re-executed by the recovery, which
     // regenerates it.
-    if (MaybeInjectFault(FaultSite::kFailRecord)) return;
+    if (MaybeInjectFault(FaultSite::kFailRecord, tracer)) return;
 
     FailRecord record;
     record.box = std::move(info.box);
@@ -262,6 +277,7 @@ struct InstanceRunner::Impl {
     }
     cfg.registry->Record(std::move(record), ReplayMrp());
     ++stats.fails_recorded;
+    tracer.Instant(obs::EventName::kFailRecord, brp);
   }
 
   bool CheckNode(const std::vector<Interval>& estimates, bool replay_mode) {
@@ -297,7 +313,7 @@ struct InstanceRunner::Impl {
 
   void EmitCandidate(const std::vector<int64_t>& point,
                      const std::vector<Interval>& estimates,
-                     RunStats& stats) {
+                     RunStats& stats, obs::ThreadTracer& tracer) {
     Candidate cand;
     cand.point = point;
     cand.estimates = estimates;
@@ -308,6 +324,7 @@ struct InstanceRunner::Impl {
             ? -cand.brk
             : cand.brp;
     ++stats.candidates;
+    tracer.Instant(obs::EventName::kCandidateEnqueue, cand.priority);
     queue.Push(std::move(cand));
   }
 
@@ -412,18 +429,24 @@ struct InstanceRunner::Impl {
   // *fully* executed shards: a shard interrupted by a crash stays leased
   // to us and is requeued (and counted) by the failure detector.
   void RunShardLoop(ConstraintBundle& bundle, RefineListener& listener,
-                    const cp::SearchOptions& search_opts) {
+                    const cp::SearchOptions& search_opts,
+                    obs::ThreadTracer& tracer) {
     const Stopwatch busy;
     while (!crashed()) {
       std::optional<cp::IntDomain> shard =
           cfg.coordinator->PopShard(cfg.id);
       if (!shard.has_value()) break;
-      if (MaybeInjectFault(FaultSite::kShardPickup)) break;
+      tracer.Instant(obs::EventName::kShardPickup,
+                     static_cast<double>(shard->lo));
+      if (MaybeInjectFault(FaultSite::kShardPickup, tracer)) break;
       cp::DomainBox slice = cfg.query->domains;
       slice[0] = *shard;
       cp::SearchTree tree(std::move(slice), bundle.pointers(), &listener,
                           search_opts);
-      solver_stats.main_search += tree.Run();
+      {
+        obs::SpanScope span = tracer.Scope(obs::EventName::kShardExecute);
+        solver_stats.main_search += tree.Run();
+      }
       if (crashed()) break;
       ++solver_stats.shards_executed;
     }
@@ -433,13 +456,22 @@ struct InstanceRunner::Impl {
   // Replays leased fails from the shared pool until it drains. Leases
   // keep the registry the owner: a crash mid-replay abandons the lease
   // and the detector re-pools the record for a surviving instance.
-  void RunReplayLoop(ConstraintBundle& bundle, RefineListener& listener) {
+  void RunReplayLoop(ConstraintBundle& bundle, RefineListener& listener,
+                     obs::ThreadTracer& tracer) {
     while (!crashed() && !cfg.coordinator->cancelled()) {
       FailRecord* fail = cfg.registry->Lease(ReplayMrp(), cfg.id);
       if (fail == nullptr) break;
-      if (fail->origin != cfg.id) ++solver_stats.replays_stolen;
-      ReplayOne(bundle, listener, *fail,
-                &cfg.coordinator->cancel_flag(), solver_stats);
+      tracer.Instant(obs::EventName::kReplayPop, fail->brp);
+      if (fail->origin != cfg.id) {
+        ++solver_stats.replays_stolen;
+        tracer.Instant(obs::EventName::kReplaySteal,
+                       static_cast<double>(fail->origin));
+      }
+      {
+        obs::SpanScope span = tracer.Scope(obs::EventName::kReplayExecute);
+        ReplayOne(bundle, listener, *fail,
+                  &cfg.coordinator->cancel_flag(), solver_stats);
+      }
       if (crashed()) {
         cfg.registry->AbandonLease(cfg.id, fail);
         break;
@@ -454,10 +486,13 @@ struct InstanceRunner::Impl {
   }
 
   void SolverMain() {
+    obs::ThreadTracer tracer =
+        obs::MakeTracer(cfg.options->trace, cfg.id, obs::ThreadRole::kSolver,
+                        cfg.options->trace_buffer_events);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &solver_stats);
     RefineListener main_listener(this, &bundle, /*replay_mode=*/false,
-                                 &solver_stats);
+                                 &solver_stats, tracer);
 
     cp::SearchOptions search_opts;
     search_opts.fail_fast = true;
@@ -469,11 +504,12 @@ struct InstanceRunner::Impl {
     // drains. The barrier can bounce us back to work when a dead
     // instance's shard is requeued or its candidates need re-validation.
     while (true) {
-      RunShardLoop(bundle, main_listener, search_opts);
+      RunShardLoop(bundle, main_listener, search_opts, tracer);
       if (crashed()) break;
       // Stop speculation before the quiescence barrier: the relaxation
       // decision must not race with speculative replays.
       StopSpeculation();
+      obs::SpanScope barrier = tracer.Scope(obs::EventName::kBarrierWait);
       SweepOrphans(solver_stats);
       // The relaxation decision needs the confirmed result count: drain
       // our validator before declaring ourselves quiescent.
@@ -492,13 +528,15 @@ struct InstanceRunner::Impl {
         RefinementActive() && !cfg.coordinator->cancelled() &&
         cfg.coordinator->main_exact_count() < cfg.query->k;
     if (relax_needed) {
+      tracer.Instant(obs::EventName::kPhaseRelaxing);
       RefineListener replay_listener(this, &bundle, /*replay_mode=*/true,
-                                     &solver_stats);
+                                     &solver_stats, tracer);
       while (true) {
         // The shared pool hands every instance the globally
         // most-promising fail, whoever recorded it.
-        RunReplayLoop(bundle, replay_listener);
+        RunReplayLoop(bundle, replay_listener, tracer);
         if (crashed()) break;
+        obs::SpanScope barrier = tracer.Scope(obs::EventName::kBarrierWait);
         SweepOrphans(solver_stats);
         queue.WaitDrained();
         if (crashed()) break;
@@ -527,16 +565,24 @@ struct InstanceRunner::Impl {
   }
 
   void ValidatorMain() {
+    obs::ThreadTracer tracer =
+        obs::MakeTracer(cfg.options->trace, cfg.id,
+                        obs::ThreadRole::kValidator,
+                        cfg.options->trace_buffer_events);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &validator_stats);
     while (std::optional<Candidate> cand = queue.Pop()) {
-      if (InjectValidateFault(*cand)) break;
-      ProcessCandidate(bundle, *cand);
+      if (InjectValidateFault(*cand, tracer)) break;
+      {
+        obs::SpanScope span = tracer.Scope(obs::EventName::kValidate);
+        ProcessCandidate(bundle, *cand, tracer);
+      }
       queue.FinishedCurrent();
     }
   }
 
-  void ProcessCandidate(ConstraintBundle& bundle, const Candidate& cand) {
+  void ProcessCandidate(ConstraintBundle& bundle, const Candidate& cand,
+                        obs::ThreadTracer& tracer) {
     RunStats& stats = validator_stats;
     const bool refined = RefinementActive();
     const QueryPhase phase = cfg.coordinator->CurrentPhase();
@@ -571,7 +617,10 @@ struct InstanceRunner::Impl {
     solution.values = bundle.EvaluateAll(cand.point);
     solution.rp = cfg.penalty->Penalty(solution.values);
     solution.rk = cfg.rank->Rank(solution.values);
-    if (solution.rp != 0.0) ++stats.false_positives;
+    if (solution.rp != 0.0) {
+      ++stats.false_positives;
+      tracer.Instant(obs::EventName::kFalsePositive, solution.rp);
+    }
 
     if (solution.rp == 0.0) {
       ++stats.exact_results;
@@ -581,6 +630,8 @@ struct InstanceRunner::Impl {
     }
 
     const bool streaming = static_cast<bool>(cfg.options->on_result);
+    const double rp = solution.rp;
+    const double rk = solution.rk;
     Solution streamed;
     if (streaming) streamed = solution;
     const AddOutcome outcome =
@@ -589,12 +640,14 @@ struct InstanceRunner::Impl {
       case AddOutcome::kAcceptedExact:
         cfg.coordinator->NoteResult();
         cfg.coordinator->PublishProgress();
+        tracer.Instant(obs::EventName::kResultExact, rk);
         if (streaming) cfg.options->on_result(streamed);
         break;
       case AddOutcome::kAcceptedRelaxed:
         ++stats.relaxed_accepted;
         cfg.coordinator->NoteResult();
         cfg.coordinator->PublishProgress();
+        tracer.Instant(obs::EventName::kResultRelaxed, rp);
         if (streaming) cfg.options->on_result(streamed);
         break;
       case AddOutcome::kRejected:
@@ -604,13 +657,30 @@ struct InstanceRunner::Impl {
         ++stats.duplicates;
         break;
     }
+    // Sampled MRP/MRK + the collecting -> constraining flip, observed
+    // from the validator that just published. The extra coordinator reads
+    // happen only with tracing on, keeping the disabled path untouched.
+    if (tracer.enabled() && refined) {
+      const double mrp = cfg.coordinator->CurrentMrp();
+      const double mrk = cfg.coordinator->CurrentMrk();
+      if (std::isfinite(mrp)) tracer.Counter(obs::EventName::kMrp, mrp);
+      if (std::isfinite(mrk)) tracer.Counter(obs::EventName::kMrk, mrk);
+      if (phase == QueryPhase::kCollecting &&
+          cfg.coordinator->CurrentPhase() == QueryPhase::kConstraining) {
+        tracer.Instant(obs::EventName::kPhaseConstraining);
+      }
+    }
   }
 
   void SpeculativeMain() {
+    obs::ThreadTracer tracer =
+        obs::MakeTracer(cfg.options->trace, cfg.id,
+                        obs::ThreadRole::kSpeculative,
+                        cfg.options->trace_buffer_events);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &spec_stats);
     RefineListener listener(this, &bundle, /*replay_mode=*/true,
-                            &spec_stats);
+                            &spec_stats, tracer);
     while (!spec_stop.load(std::memory_order_relaxed)) {
       if (!RefinementActive() ||
           cfg.coordinator->CurrentPhase() != QueryPhase::kCollecting ||
@@ -623,9 +693,17 @@ struct InstanceRunner::Impl {
         std::this_thread::sleep_for(kSpeculationNap);
         continue;
       }
-      if (fail->origin != cfg.id) ++spec_stats.replays_stolen;
-      const ReplayOutcome outcome =
-          ReplayOne(bundle, listener, *fail, &spec_stop, spec_stats);
+      tracer.Instant(obs::EventName::kReplayPop, fail->brp);
+      if (fail->origin != cfg.id) {
+        ++spec_stats.replays_stolen;
+        tracer.Instant(obs::EventName::kReplaySteal,
+                       static_cast<double>(fail->origin));
+      }
+      ReplayOutcome outcome;
+      {
+        obs::SpanScope span = tracer.Scope(obs::EventName::kReplayExecute);
+        outcome = ReplayOne(bundle, listener, *fail, &spec_stop, spec_stats);
+      }
       ++spec_stats.speculative_replays;
       if (!outcome.completed || crashed()) {
         // Interrupted mid-replay: hand the fail back for the regular

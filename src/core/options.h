@@ -8,6 +8,10 @@
 #include "core/solution.h"
 #include "cp/search.h"
 
+namespace dqr::obs {
+class Trace;
+}  // namespace dqr::obs
+
 namespace dqr::core {
 
 class PenaltyModel;
@@ -167,6 +171,19 @@ struct RefineOptions {
   // revalidation). Must comfortably exceed the heartbeat interval; the
   // default tolerates heavy scheduler noise (sanitizer runs).
   int64_t lease_timeout_us = 250000;
+
+  // --- observability (DESIGN.md §8) ---
+  // Flight-recorder sink. Null (the default) disables tracing entirely —
+  // every hook reduces to one predicted branch. When set, each engine
+  // thread records spans/instants/counters into its own ring inside this
+  // Trace; export with obs::WriteChromeTrace. The Trace must outlive the
+  // query and may be shared across queries (each gets its own process
+  // group in the export). Tracing never changes query results.
+  obs::Trace* trace = nullptr;
+  // Per-thread ring capacity in events (rounded up to a power of two).
+  // On overflow the *oldest* events are overwritten, preserving the
+  // newest trace_buffer_events per thread.
+  int64_t trace_buffer_events = 1 << 16;
 };
 
 }  // namespace dqr::core

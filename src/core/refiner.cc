@@ -17,6 +17,7 @@
 #include "core/penalty.h"
 #include "core/rank.h"
 #include "cp/function.h"
+#include "obs/trace.h"
 
 namespace dqr::core {
 namespace {
@@ -69,10 +70,12 @@ class FailureDetector {
  public:
   FailureDetector(Coordinator* coordinator, FailRegistry* registry,
                   std::vector<std::unique_ptr<InstanceRunner>>* runners,
-                  int64_t interval_us, int64_t timeout_us)
+                  int64_t interval_us, int64_t timeout_us,
+                  obs::ThreadTracer tracer)
       : coordinator_(coordinator),
         registry_(registry),
         runners_(runners),
+        tracer_(tracer),
         // Sweeping needs nowhere near heartbeat granularity: a quarter of
         // the lease keeps the detection-latency bound at ~1.25x the lease
         // timeout while the sweep's lock traffic stays negligible.
@@ -113,13 +116,23 @@ class FailureDetector {
       if (dead_.count(i) != 0) {
         // A dying thread may abandon its replay lease after we declared
         // it dead; keep re-polling until everything is re-pooled.
-        if (registry_->ReclaimFrom(i) > 0) changed = true;
+        if (const int64_t n = registry_->ReclaimFrom(i); n > 0) {
+          changed = true;
+          tracer_.Instant(obs::EventName::kLeaseReclaim,
+                          static_cast<double>(n));
+        }
         continue;
       }
       if (!coordinator_->IsMonitorable(i)) continue;
       if (now - coordinator_->LastHeartbeatNs(i) < timeout_ns_) continue;
       dead_.insert(i);
-      if (registry_->ReclaimFrom(i) > 0) changed = true;
+      tracer_.Instant(obs::EventName::kInstanceDead,
+                      static_cast<double>(i));
+      if (const int64_t n = registry_->ReclaimFrom(i); n > 0) {
+        changed = true;
+        tracer_.Instant(obs::EventName::kLeaseReclaim,
+                        static_cast<double>(n));
+      }
       // Deposit the orphans *before* DeclareDead shrinks the live count:
       // the barriers must see the recovered work no later than the
       // membership change, or they could complete without it.
@@ -137,6 +150,7 @@ class FailureDetector {
   Coordinator* coordinator_;
   FailRegistry* registry_;
   std::vector<std::unique_ptr<InstanceRunner>>* runners_;
+  obs::ThreadTracer tracer_;
   const int64_t interval_us_;
   const int64_t timeout_ns_;
   std::set<int> dead_;
@@ -198,6 +212,9 @@ Status ValidateInputs(const searchlight::QuerySpec& query,
       return InvalidArgumentError("diversity_pool_factor must be >= 1");
     }
   }
+  if (options.trace != nullptr && options.trace_buffer_events <= 0) {
+    return InvalidArgumentError("trace_buffer_events must be positive");
+  }
   if (options.heartbeat_interval_us <= 0) {
     return InvalidArgumentError("heartbeat_interval_us must be positive");
   }
@@ -228,6 +245,9 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   if (Status status = ValidateInputs(query, options); !status.ok()) {
     return status;
   }
+  // Each query gets its own trace epoch so successive queries recorded
+  // into one Trace export as separate process groups.
+  if (options.trace != nullptr) options.trace->BeginQuery();
 
   Result<PenaltyModel> penalty_result =
       BuildPenaltyModel(query, options.alpha);
@@ -326,7 +346,10 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
     if (detect_failures) {
       detector = std::make_unique<FailureDetector>(
           &coordinator, &registry, &runners,
-          options.heartbeat_interval_us, options.lease_timeout_us);
+          options.heartbeat_interval_us, options.lease_timeout_us,
+          obs::MakeTracer(options.trace, /*instance=*/-1,
+                          obs::ThreadRole::kDetector,
+                          options.trace_buffer_events));
     }
     for (auto& runner : runners) runner->Join();
   }

@@ -8,124 +8,130 @@
 
 namespace dqr::core {
 
+// The RunStats field table. One X-macro drives the struct definition,
+// the cross-instance merge (operator+=), and the Prometheus exporter
+// (obs/metrics.cc) — adding a field here gets all three at once, so a
+// field can never again be declared but silently dropped by the merge
+// (the fate of mrp_updates/mrk_updates under the old hand-written +=).
+//
+//   X(type, name, init, AGG, "help")
+//
+// AGG is how operator+= folds the field across instances:
+//   SUM   - additive counter
+//   MAX   - high-water mark; the cluster is as bad as its worst member
+//   AND   - boolean conjunction (completed)
+//   QUERY - cluster-level fact assigned once by ExecuteQuery after the
+//           merge (wall-clock times); += leaves it untouched
+//   SUB   - nested cp::SearchStats, merged with its own +=
+//
+// Semantics worth keeping in mind (formerly inline comments):
+//  * first_result_s: seconds until a Validator confirmed the first result
+//    (exact, or relaxed during relaxation); negative if none.
+//  * main_search_s: seconds until every instance finished its main
+//    (non-relaxed) search and drained its validator.
+//  * main_busy_s: solver time actually spent searching shards (not
+//    waiting at the barrier); the min/max spread across per_instance
+//    entries is the work-stealing balance metric.
+//  * peak_fail_bytes/count and peak_queue are *summed*: across instances
+//    that is a cluster-wide footprint upper bound (each component may
+//    peak at a different moment), NOT a high-water mark any single
+//    component reached. The max_peak_* twins give the worst single
+//    component. For the shared fail pool both views coincide and are set
+//    once from the pool by ExecuteQuery.
+//  * instances_lost / shards_requeued / replays_reclaimed /
+//    candidates_revalidated are the failure-recovery audit counters; all
+//    zero on a fault-free run.
+//  * estimator_cache_*: BoundsCache behaviour of the UDFs this thread
+//    ran — hit/miss mix of synopsis lookups, Insert-path evictions, and
+//    cold entries displaced so restored fail-state snapshots always land
+//    (§4.2).
+#define DQR_RUN_STATS_FIELDS(X)                                              \
+  X(double, total_s, 0.0, QUERY,                                             \
+    "Wall-clock seconds for the whole query")                                \
+  X(double, first_result_s, -1.0, QUERY,                                     \
+    "Seconds until the first confirmed result; negative if none")            \
+  X(double, main_search_s, 0.0, QUERY,                                       \
+    "Seconds until the main (non-relaxed) search drained everywhere")        \
+  X(double, main_busy_s, 0.0, MAX,                                           \
+    "Busiest instance's solver seconds spent searching shards")              \
+  X(cp::SearchStats, main_search, {}, SUB,                                   \
+    "Main-search tree statistics")                                           \
+  X(cp::SearchStats, replay_search, {}, SUB,                                 \
+    "Replay-search tree statistics")                                         \
+  X(int64_t, shards_executed, 0, SUM,                                        \
+    "Shards pulled from the shared pool during main search")                 \
+  X(int64_t, replays_stolen, 0, SUM,                                         \
+    "Replays of fails recorded by a different instance")                     \
+  X(int64_t, fails_recorded, 0, SUM, "Fails recorded into the registry")     \
+  X(int64_t, fails_discarded_at_record, 0, SUM,                              \
+    "Fails rejected at record time (BRP already above MRP)")                 \
+  X(int64_t, fails_discarded_at_pop, 0, SUM,                                 \
+    "Fails rejected when popped (MRP improved meanwhile)")                   \
+  X(int64_t, fails_dropped_full, 0, SUM,                                     \
+    "Fails evicted by the max_recorded_fails cap")                           \
+  X(int64_t, replays, 0, SUM, "Fail replays executed")                       \
+  X(int64_t, replays_discarded, 0, SUM,                                      \
+    "Replays popped but hopeless after re-check")                            \
+  X(int64_t, speculative_replays, 0, SUM,                                    \
+    "Replays run by the speculative solver")                                 \
+  X(int64_t, peak_fail_bytes, 0, SUM,                                        \
+    "Summed per-component peak bytes of recorded fail state")                \
+  X(int64_t, peak_fail_count, 0, SUM,                                        \
+    "Summed per-component peak recorded-fail count")                         \
+  X(int64_t, max_peak_fail_bytes, 0, MAX,                                    \
+    "Worst single component's peak bytes of recorded fail state")            \
+  X(int64_t, max_peak_fail_count, 0, MAX,                                    \
+    "Worst single component's peak recorded-fail count")                     \
+  X(int64_t, candidates, 0, SUM, "Candidates emitted by solvers")            \
+  X(int64_t, validated, 0, SUM, "Candidates exactly evaluated")              \
+  X(int64_t, dropped_precheck, 0, SUM,                                       \
+    "Candidates dropped by the pre-validation check")                        \
+  X(int64_t, false_positives, 0, SUM,                                        \
+    "Validated candidates whose exact penalty was nonzero")                  \
+  X(int64_t, exact_results, 0, SUM, "Exact results confirmed")               \
+  X(int64_t, relaxed_accepted, 0, SUM,                                       \
+    "Relaxed results accepted into the tracked set")                         \
+  X(int64_t, duplicates, 0, SUM, "Duplicate results rejected")               \
+  X(int64_t, peak_queue, 0, SUM,                                             \
+    "Summed per-validator peak queue depth")                                 \
+  X(int64_t, max_peak_queue, 0, MAX, "Deepest single validator queue")       \
+  X(int64_t, instances_lost, 0, SUM,                                         \
+    "Instances declared dead by the lease-timeout detector")                 \
+  X(int64_t, shards_requeued, 0, SUM,                                        \
+    "In-flight shards of dead instances returned to the pool")               \
+  X(int64_t, replays_reclaimed, 0, SUM,                                      \
+    "Leased replay fails of dead instances reclaimed")                       \
+  X(int64_t, candidates_revalidated, 0, SUM,                                 \
+    "Orphaned candidates re-validated by a survivor")                        \
+  X(int64_t, estimator_cache_hits, 0, SUM, "BoundsCache hits")               \
+  X(int64_t, estimator_cache_misses, 0, SUM, "BoundsCache misses")           \
+  X(int64_t, estimator_cache_evictions, 0, SUM,                              \
+    "BoundsCache Insert-path evictions")                                     \
+  X(int64_t, estimator_cache_restore_evictions, 0, SUM,                      \
+    "BoundsCache evictions forced by fail-state Restore")                    \
+  X(int64_t, mrp_updates, 0, SUM, "MRP tightenings broadcast")               \
+  X(int64_t, mrk_updates, 0, SUM, "MRK tightenings broadcast")               \
+  X(bool, completed, true, AND,                                              \
+    "False iff the run was cancelled (time budget / external cancel)")
+
+// Per-field merge operations, selected by the AGG tag.
+#define DQR_STATS_AGG_SUM(name) name += o.name;
+#define DQR_STATS_AGG_MAX(name) name = std::max(name, o.name);
+#define DQR_STATS_AGG_AND(name) name = name && o.name;
+#define DQR_STATS_AGG_QUERY(name) /* assigned once by ExecuteQuery */
+#define DQR_STATS_AGG_SUB(name) name += o.name;
+
 // Execution statistics of one refined query, aggregated over all
 // instances. Times are wall-clock seconds.
 struct RunStats {
-  double total_s = 0.0;
-  // Seconds until the first result was confirmed by a Validator (exact,
-  // or relaxed during relaxation); negative if no result was produced.
-  double first_result_s = -1.0;
-  // Seconds until every instance finished its main (non-relaxed) search
-  // and drained its validator.
-  double main_search_s = 0.0;
-  // Seconds this instance's solver spent actually searching shards (not
-  // waiting at the barrier); aggregated by max — the cluster is as slow as
-  // its busiest instance. The min/max spread across per_instance entries
-  // is the work-stealing balance metric.
-  double main_busy_s = 0.0;
-
-  cp::SearchStats main_search;
-  cp::SearchStats replay_search;
-
-  // --- work stealing ---
-  // Shards this instance pulled from the shared pool during main search.
-  int64_t shards_executed = 0;
-  // Replays of fails that a *different* instance recorded (only possible
-  // with the shared replay pool).
-  int64_t replays_stolen = 0;
-
-  // --- fail tracking / replaying ---
-  int64_t fails_recorded = 0;
-  int64_t fails_discarded_at_record = 0;
-  int64_t fails_discarded_at_pop = 0;
-  int64_t fails_dropped_full = 0;
-  int64_t replays = 0;
-  int64_t replays_discarded = 0;  // popped but hopeless after re-check
-  int64_t speculative_replays = 0;
-  // peak_* fields are *summed* by operator+= — across instances that is a
-  // cluster-wide footprint upper bound (each component may peak at a
-  // different moment), NOT a high-water mark any single component reached.
-  // The max_peak_* twins aggregate by max and give the worst single
-  // component. For the shared fail pool both views coincide and are set
-  // once from the pool by ExecuteQuery.
-  int64_t peak_fail_bytes = 0;
-  int64_t peak_fail_count = 0;
-  int64_t max_peak_fail_bytes = 0;
-  int64_t max_peak_fail_count = 0;
-
-  // --- validation ---
-  int64_t candidates = 0;
-  int64_t validated = 0;
-  int64_t dropped_precheck = 0;
-  int64_t false_positives = 0;
-  int64_t exact_results = 0;
-  int64_t relaxed_accepted = 0;
-  int64_t duplicates = 0;
-  int64_t peak_queue = 0;      // summed: cluster-wide bound (see peak_*)
-  int64_t max_peak_queue = 0;  // max: deepest single validator queue
-
-  // --- failure recovery (all zero on a fault-free run) ---
-  // Instances declared dead by the lease-timeout detector.
-  int64_t instances_lost = 0;
-  // In-flight shards of dead instances returned to the shard pool.
-  int64_t shards_requeued = 0;
-  // Leased replay fails of dead instances reclaimed into the shared pool.
-  int64_t replays_reclaimed = 0;
-  // Orphaned candidates (queued/in-flight at a dead validator) that a
-  // surviving instance re-validated.
-  int64_t candidates_revalidated = 0;
-
-  // --- estimator memo caches (summed over constraint functions) ---
-  // BoundsCache behaviour of the UDFs this thread ran: hit/miss mix of
-  // synopsis lookups, Insert-path evictions, and cold entries displaced
-  // so restored fail-state snapshots always land (§4.2).
-  int64_t estimator_cache_hits = 0;
-  int64_t estimator_cache_misses = 0;
-  int64_t estimator_cache_evictions = 0;
-  int64_t estimator_cache_restore_evictions = 0;
-
-  // --- refinement bookkeeping ---
-  int64_t mrp_updates = 0;
-  int64_t mrk_updates = 0;
-
-  // False iff the run was cancelled (time budget / external cancel).
-  bool completed = true;
+#define DQR_STATS_DECLARE(type, name, init, agg, help) type name = init;
+  DQR_RUN_STATS_FIELDS(DQR_STATS_DECLARE)
+#undef DQR_STATS_DECLARE
 
   RunStats& operator+=(const RunStats& o) {
-    main_busy_s = std::max(main_busy_s, o.main_busy_s);
-    main_search += o.main_search;
-    replay_search += o.replay_search;
-    shards_executed += o.shards_executed;
-    replays_stolen += o.replays_stolen;
-    fails_recorded += o.fails_recorded;
-    fails_discarded_at_record += o.fails_discarded_at_record;
-    fails_discarded_at_pop += o.fails_discarded_at_pop;
-    fails_dropped_full += o.fails_dropped_full;
-    replays += o.replays;
-    replays_discarded += o.replays_discarded;
-    speculative_replays += o.speculative_replays;
-    peak_fail_bytes += o.peak_fail_bytes;
-    peak_fail_count += o.peak_fail_count;
-    max_peak_fail_bytes = std::max(max_peak_fail_bytes, o.max_peak_fail_bytes);
-    max_peak_fail_count = std::max(max_peak_fail_count, o.max_peak_fail_count);
-    candidates += o.candidates;
-    validated += o.validated;
-    dropped_precheck += o.dropped_precheck;
-    false_positives += o.false_positives;
-    exact_results += o.exact_results;
-    relaxed_accepted += o.relaxed_accepted;
-    duplicates += o.duplicates;
-    instances_lost += o.instances_lost;
-    shards_requeued += o.shards_requeued;
-    replays_reclaimed += o.replays_reclaimed;
-    candidates_revalidated += o.candidates_revalidated;
-    peak_queue += o.peak_queue;
-    max_peak_queue = std::max(max_peak_queue, o.max_peak_queue);
-    estimator_cache_hits += o.estimator_cache_hits;
-    estimator_cache_misses += o.estimator_cache_misses;
-    estimator_cache_evictions += o.estimator_cache_evictions;
-    estimator_cache_restore_evictions += o.estimator_cache_restore_evictions;
-    completed = completed && o.completed;
+#define DQR_STATS_MERGE(type, name, init, agg, help) DQR_STATS_AGG_##agg(name)
+    DQR_RUN_STATS_FIELDS(DQR_STATS_MERGE)
+#undef DQR_STATS_MERGE
     return *this;
   }
 };

@@ -1,0 +1,190 @@
+#include "obs/export_chrome.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace dqr::obs {
+namespace {
+
+// pid layout: one process per (epoch, instance). Instance -1 (the
+// cluster-level detector) maps to slot 0 of its epoch. 4096 instances per
+// epoch is far beyond anything the simulator runs.
+constexpr int64_t kEpochStride = 4096;
+
+int64_t PidFor(int epoch, int instance) {
+  return static_cast<int64_t>(epoch) * kEpochStride + instance + 1;
+}
+
+std::string ProcessNameFor(int epoch, int instance) {
+  char buf[64];
+  if (instance < 0) {
+    std::snprintf(buf, sizeof(buf), "q%d/cluster", epoch);
+  } else {
+    std::snprintf(buf, sizeof(buf), "q%d/instance %d", epoch, instance);
+  }
+  return buf;
+}
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                              sizeof(buf) - 1));
+}
+
+// Doubles are emitted with enough digits to round-trip; JSON has no
+// inf/nan, clamp those to 0 (they never occur in practice).
+void AppendDouble(std::string& out, double v) {
+  if (!(v == v) || v > 1e300 || v < -1e300) v = 0.0;
+  AppendF(out, "%.17g", v);
+}
+
+void AppendMetadata(std::string& out, const char* what, int64_t pid,
+                    int64_t tid, const std::string& name, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  AppendF(out, "{\"ph\":\"M\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+               ",\"name\":\"%s\",\"args\":{\"name\":\"%s\"}}",
+          pid, tid, what, name.c_str());
+}
+
+}  // namespace
+
+std::string ExportChromeJson(const Trace& trace) {
+  const std::vector<const TraceRing*> rings = trace.rings();
+  const int64_t origin = trace.origin_ns();
+
+  std::string out;
+  out.reserve(4096 + rings.size() * 4096);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: process and thread names, deduplicated.
+  std::map<int64_t, std::string> procs;
+  std::map<std::pair<int64_t, int64_t>, std::string> threads;
+  for (const TraceRing* ring : rings) {
+    const int64_t pid = PidFor(ring->epoch(), ring->instance());
+    const int64_t tid = static_cast<int64_t>(ring->role());
+    procs.emplace(pid, ProcessNameFor(ring->epoch(), ring->instance()));
+    threads.emplace(std::make_pair(pid, tid), ThreadRoleString(ring->role()));
+  }
+  for (const auto& [pid, name] : procs) {
+    AppendMetadata(out, "process_name", pid, 0, name, first);
+  }
+  for (const auto& [key, name] : threads) {
+    AppendMetadata(out, "thread_name", key.first, key.second, name, first);
+  }
+
+  for (const TraceRing* ring : rings) {
+    const int64_t pid = PidFor(ring->epoch(), ring->instance());
+    const int64_t tid = static_cast<int64_t>(ring->role());
+    const std::vector<TraceEvent> events = ring->Snapshot();
+
+    // Span integrity after drop-oldest truncation: an E whose B was
+    // dropped must itself be dropped (depth would go negative), and a B
+    // still open at the end is closed synthetically at the last
+    // timestamp, so the JSON always balances.
+    int depth = 0;
+    std::vector<std::pair<EventName, double>> open;  // (name, begin ts_us)
+    int64_t last_ts = 0;
+    for (const TraceEvent& ev : events) {
+      const double ts_us =
+          static_cast<double>(ev.ts_ns - origin) / 1000.0;
+      last_ts = std::max(last_ts, ev.ts_ns);
+      const char* name = EventNameString(ev.name);
+      switch (ev.kind) {
+        case EventKind::kBegin:
+          ++depth;
+          open.emplace_back(ev.name, ts_us);
+          if (!first) out += ",\n";
+          first = false;
+          AppendF(out, "{\"ph\":\"B\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                       ",\"name\":\"%s\",\"cat\":\"dqr\",\"ts\":",
+                  pid, tid, name);
+          AppendDouble(out, ts_us);
+          out += "}";
+          break;
+        case EventKind::kEnd:
+          if (depth == 0) break;  // begin lost to drop-oldest
+          --depth;
+          open.pop_back();
+          if (!first) out += ",\n";
+          first = false;
+          AppendF(out, "{\"ph\":\"E\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                       ",\"name\":\"%s\",\"cat\":\"dqr\",\"ts\":",
+                  pid, tid, name);
+          AppendDouble(out, ts_us);
+          out += "}";
+          break;
+        case EventKind::kInstant:
+          if (!first) out += ",\n";
+          first = false;
+          AppendF(out, "{\"ph\":\"i\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                       ",\"name\":\"%s\",\"cat\":\"dqr\",\"s\":\"t\",\"ts\":",
+                  pid, tid, name);
+          AppendDouble(out, ts_us);
+          out += ",\"args\":{\"value\":";
+          AppendDouble(out, ev.value);
+          out += "}}";
+          break;
+        case EventKind::kCounter:
+          if (!first) out += ",\n";
+          first = false;
+          AppendF(out, "{\"ph\":\"C\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                       ",\"name\":\"%s\",\"cat\":\"dqr\",\"ts\":",
+                  pid, tid, name);
+          AppendDouble(out, ts_us);
+          out += ",\"args\":{\"value\":";
+          AppendDouble(out, ev.value);
+          out += "}}";
+          break;
+      }
+    }
+    while (!open.empty()) {
+      const auto [name, begin_us] = open.back();
+      open.pop_back();
+      const double ts_us = std::max(
+          begin_us, static_cast<double>(last_ts - origin) / 1000.0);
+      if (!first) out += ",\n";
+      first = false;
+      AppendF(out, "{\"ph\":\"E\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                   ",\"name\":\"%s\",\"cat\":\"dqr\",\"ts\":",
+              pid, tid, EventNameString(name));
+      AppendDouble(out, ts_us);
+      out += "}";
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  AppendF(out, "\"emitted\":%" PRId64 ",\"dropped\":%" PRId64,
+          trace.total_emitted(), trace.total_dropped());
+  out += "}}";
+  return out;
+}
+
+Status WriteChromeTrace(const Trace& trace, const std::string& path) {
+  const std::string json = ExportChromeJson(trace);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return InternalError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dqr::obs

@@ -1,0 +1,28 @@
+#ifndef DQR_OBS_EXPORT_CHROME_H_
+#define DQR_OBS_EXPORT_CHROME_H_
+
+// Chrome trace_event JSON exporter: the output loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Mapping:
+//   process = one engine instance of one query ("q<epoch>/instance <id>";
+//             the cluster-level detector is "q<epoch>/cluster")
+//   thread  = one engine thread role (solver, validator, ...)
+//   B/E     = span events, i = instants, C = counters
+// Timestamps are microseconds relative to Trace::origin_ns().
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace dqr::obs {
+
+// Serializes every ring of `trace` into one trace_event JSON document.
+// Always valid JSON, even for an empty trace.
+std::string ExportChromeJson(const Trace& trace);
+
+// ExportChromeJson + write to `path` (overwrites).
+Status WriteChromeTrace(const Trace& trace, const std::string& path);
+
+}  // namespace dqr::obs
+
+#endif  // DQR_OBS_EXPORT_CHROME_H_

@@ -1,0 +1,75 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace dqr::obs {
+namespace {
+
+// Prometheus metric type per aggregation category: additive fields are
+// counters, everything else (high-water marks, cluster-level facts,
+// booleans) a gauge.
+constexpr const char* kTypeSUM = "counter";
+constexpr const char* kTypeMAX = "gauge";
+constexpr const char* kTypeAND = "gauge";
+constexpr const char* kTypeQUERY = "gauge";
+constexpr const char* kTypeSUB = "counter";
+
+void EmitSample(std::string& out, const std::string& name,
+                const char* help, const char* type,
+                const std::string& labels, double value) {
+  out += "# HELP dqr_" + name + " ";
+  out += help;
+  out += "\n# TYPE dqr_" + name + " ";
+  out += type;
+  out += "\ndqr_" + name;
+  if (!labels.empty()) out += "{" + labels + "}";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.17g\n", value);
+  out += buf;
+}
+
+void EmitField(std::string& out, const char* name, const char* help,
+               const char* type, const std::string& labels, double v) {
+  EmitSample(out, name, help, type, labels, v);
+}
+void EmitField(std::string& out, const char* name, const char* help,
+               const char* type, const std::string& labels, int64_t v) {
+  EmitSample(out, name, help, type, labels, static_cast<double>(v));
+}
+void EmitField(std::string& out, const char* name, const char* help,
+               const char* type, const std::string& labels, bool v) {
+  EmitSample(out, name, help, type, labels, v ? 1.0 : 0.0);
+}
+// Nested search-tree stats expand to one sample per sub-field.
+void EmitField(std::string& out, const char* name, const char* help,
+               const char* type, const std::string& labels,
+               const cp::SearchStats& s) {
+  const std::string base = name;
+  const std::string h = help;
+  EmitSample(out, base + "_nodes", (h + ": nodes expanded").c_str(), type,
+             labels, static_cast<double>(s.nodes));
+  EmitSample(out, base + "_fails", (h + ": failed nodes").c_str(), type,
+             labels, static_cast<double>(s.fails));
+  EmitSample(out, base + "_leaves", (h + ": solution leaves").c_str(),
+             type, labels, static_cast<double>(s.leaves));
+  EmitSample(out, base + "_monitor_prunes",
+             (h + ": monitor-pruned nodes").c_str(), type, labels,
+             static_cast<double>(s.monitor_prunes));
+  EmitSample(out, base + "_completed", (h + ": ran to completion").c_str(),
+             "gauge", labels, s.completed ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot(const core::RunStats& stats,
+                            const std::string& labels) {
+  std::string out;
+  out.reserve(8192);
+#define DQR_METRICS_EMIT(type, name, init, agg, help) \
+  EmitField(out, #name, help, kType##agg, labels, stats.name);
+  DQR_RUN_STATS_FIELDS(DQR_METRICS_EMIT)
+#undef DQR_METRICS_EMIT
+  return out;
+}
+
+}  // namespace dqr::obs

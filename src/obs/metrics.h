@@ -1,0 +1,24 @@
+#ifndef DQR_OBS_METRICS_H_
+#define DQR_OBS_METRICS_H_
+
+// Prometheus-style text exposition of RunStats. Generated from the
+// DQR_RUN_STATS_FIELDS X-macro in core/stats.h, so the snapshot always
+// covers every field — a stat cannot be added without showing up here.
+
+#include <string>
+
+#include "core/stats.h"
+
+namespace dqr::obs {
+
+// Renders `stats` in the Prometheus text exposition format (one
+// HELP/TYPE/value triplet per field, `dqr_` prefix; SUM fields are
+// counters, everything else a gauge; nested SearchStats expand as
+// dqr_<field>_<sub>). `labels` is inserted verbatim into each sample's
+// label set (e.g. "query=\"q1\"") and may be empty.
+std::string MetricsSnapshot(const core::RunStats& stats,
+                            const std::string& labels = "");
+
+}  // namespace dqr::obs
+
+#endif  // DQR_OBS_METRICS_H_

@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dqr::obs {
+namespace {
+
+// Smallest power of two >= n (n >= 1).
+int64_t RoundUpPow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* EventNameString(EventName name) {
+  switch (name) {
+#define DQR_OBS_EVENT_CASE(sym, str) \
+  case EventName::sym:               \
+    return str;
+    DQR_TRACE_EVENTS(DQR_OBS_EVENT_CASE)
+#undef DQR_OBS_EVENT_CASE
+  }
+  return "unknown";
+}
+
+const char* ThreadRoleString(ThreadRole role) {
+  switch (role) {
+    case ThreadRole::kSolver:
+      return "solver";
+    case ThreadRole::kValidator:
+      return "validator";
+    case ThreadRole::kSpeculative:
+      return "speculative";
+    case ThreadRole::kHeartbeat:
+      return "heartbeat";
+    case ThreadRole::kDetector:
+      return "detector";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(int instance, ThreadRole role, int epoch,
+                     int64_t capacity)
+    : instance_(instance),
+      role_(role),
+      epoch_(epoch),
+      slots_(static_cast<size_t>(RoundUpPow2(std::max<int64_t>(capacity, 2)))),
+      mask_(static_cast<int64_t>(slots_.size()) - 1) {
+  DQR_CHECK(capacity > 0);
+}
+
+int64_t TraceRing::Now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceRing::EmitAt(int64_t ts_ns, EventKind kind, EventName name,
+                       double value) {
+  const int64_t i = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(i & mask_)];
+  // Invalidate, write payload, revalidate with the new index. Readers that
+  // catch the slot mid-write see seq == 0 or mismatched before/after
+  // values and skip it.
+  slot.seq.store(0, std::memory_order_release);
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  slot.value_bits.store(bits, std::memory_order_relaxed);
+  slot.meta.store(static_cast<uint32_t>(name) |
+                      (static_cast<uint32_t>(kind) << 8),
+                  std::memory_order_relaxed);
+  slot.seq.store(i + 1, std::memory_order_release);
+  head_.store(i + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const int64_t head = head_.load(std::memory_order_acquire);
+  const int64_t cap = capacity();
+  const int64_t lo = head > cap ? head - cap : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(head - lo));
+  for (int64_t i = lo; i < head; ++i) {
+    const Slot& slot = slots_[static_cast<size_t>(i & mask_)];
+    const int64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before != i + 1) continue;  // overwritten or mid-write
+    TraceEvent ev;
+    ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    const uint64_t bits = slot.value_bits.load(std::memory_order_relaxed);
+    const uint32_t meta = slot.meta.load(std::memory_order_relaxed);
+    const int64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != i + 1) continue;  // torn by a concurrent overwrite
+    std::memcpy(&ev.value, &bits, sizeof(ev.value));
+    ev.name = static_cast<EventName>(meta & 0xff);
+    ev.kind = static_cast<EventKind>((meta >> 8) & 0xff);
+    out.push_back(ev);
+  }
+  return out;
+}
+
+Trace::Trace() : origin_ns_(TraceRing::Now()) {}
+
+int Trace::BeginQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++epoch_;
+}
+
+TraceRing* Trace::CreateRing(int instance, ThreadRole role,
+                             int64_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(
+      std::make_unique<TraceRing>(instance, role, epoch_, capacity));
+  return rings_.back().get();
+}
+
+std::vector<const TraceRing*> Trace::rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const TraceRing*> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) out.push_back(ring.get());
+  return out;
+}
+
+int Trace::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int64_t Trace::total_emitted() const {
+  int64_t total = 0;
+  for (const TraceRing* ring : rings()) total += ring->emitted();
+  return total;
+}
+
+int64_t Trace::total_dropped() const {
+  int64_t total = 0;
+  for (const TraceRing* ring : rings()) total += ring->dropped();
+  return total;
+}
+
+}  // namespace dqr::obs

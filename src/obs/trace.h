@@ -1,0 +1,241 @@
+#ifndef DQR_OBS_TRACE_H_
+#define DQR_OBS_TRACE_H_
+
+// Flight-recorder tracing (DESIGN.md §8).
+//
+// Each engine thread records into its own fixed-capacity single-producer
+// ring buffer: no locks, no heap allocation, and no inter-thread
+// synchronization on the hot path. The ring drops the *oldest* events on
+// overflow, so what survives a long run is the interesting tail (the
+// moments before a crash, the end-game of a drain). Readers (exporters,
+// tests) snapshot rings concurrently through a per-slot seqlock; a torn
+// slot is simply skipped.
+//
+// The whole layer compiles down to a single well-predicted null check
+// when `RefineOptions::trace == nullptr` — ThreadTracer is a tagged
+// pointer wrapper, and every Emit call starts with `if (ring_ == nullptr)
+// return;`. Tracing must never perturb query results: hooks only *read*
+// engine state that the instrumented code already computed.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dqr::obs {
+
+// Event taxonomy: one X-macro so the enum, its wire name, and the
+// exporters can never drift apart. Names are stable — the trace reader,
+// golden tests, and CI schema check all key on them.
+//
+//   spans  (Begin/End pair on one thread): shard_execute, replay_execute,
+//          validate, barrier_wait
+//   instants: everything punctual (value column in parentheses)
+//   counters: sampled monotone engine state (mrp, mrk)
+#define DQR_TRACE_EVENTS(X)                                              \
+  X(kShardExecute, "shard_execute")       /* span: one shard search */   \
+  X(kReplayExecute, "replay_execute")     /* span: one fail replay */    \
+  X(kValidate, "validate")                /* span: one candidate */      \
+  X(kBarrierWait, "barrier_wait")         /* span: quiescence wait */    \
+  X(kShardPickup, "shard_pickup")         /* instant (shard lo) */       \
+  X(kFailRecord, "fail_record")           /* instant (brp) */            \
+  X(kReplayPop, "replay_pop")             /* instant (brp) */            \
+  X(kReplaySteal, "replay_steal")         /* instant (origin id) */      \
+  X(kCandidateEnqueue, "candidate_enqueue") /* instant (priority) */     \
+  X(kFalsePositive, "false_positive")     /* instant (rp) */             \
+  X(kResultExact, "result_exact")         /* instant (rk) */             \
+  X(kResultRelaxed, "result_relaxed")     /* instant (rp) */             \
+  X(kPhaseRelaxing, "phase_relaxing")     /* instant: relax begins */    \
+  X(kPhaseConstraining, "phase_constraining") /* instant: k-th exact */  \
+  X(kHeartbeat, "heartbeat")              /* instant */                  \
+  X(kInstanceDead, "instance_dead")       /* instant (dead id) */        \
+  X(kLeaseReclaim, "lease_reclaim")       /* instant (fails) */          \
+  X(kCrash, "crash")                      /* instant (fault site) */     \
+  X(kMrp, "mrp")                          /* counter */                  \
+  X(kMrk, "mrk")                          /* counter */
+
+enum class EventName : uint8_t {
+#define DQR_OBS_EVENT_ENUM(sym, str) sym,
+  DQR_TRACE_EVENTS(DQR_OBS_EVENT_ENUM)
+#undef DQR_OBS_EVENT_ENUM
+};
+
+const char* EventNameString(EventName name);
+
+enum class EventKind : uint8_t {
+  kBegin = 0,    // span opens on this thread
+  kEnd = 1,      // span closes (innermost open span of `name`)
+  kInstant = 2,  // punctual event; `value` is the payload
+  kCounter = 3,  // sampled value of a monotone engine quantity
+};
+
+// Which engine thread owns a ring; becomes the Perfetto track name.
+enum class ThreadRole : uint8_t {
+  kSolver = 0,
+  kValidator = 1,
+  kSpeculative = 2,
+  kHeartbeat = 3,
+  kDetector = 4,  // cluster-level failure detector (instance -1)
+};
+
+const char* ThreadRoleString(ThreadRole role);
+
+// One decoded trace record (the snapshot/export form, not the wire form).
+struct TraceEvent {
+  int64_t ts_ns = 0;  // steady-clock, relative to Trace::origin_ns()
+  double value = 0.0;
+  EventName name{};
+  EventKind kind{};
+};
+
+// Fixed-capacity single-producer ring. Exactly one thread may call Emit;
+// any thread may Snapshot concurrently. Overflow overwrites the oldest
+// slot (power-of-two mask), so the ring always holds the newest
+// `capacity()` events and `dropped()` reports how many were lost.
+//
+// Concurrency discipline (the per-slot seqlock):
+//   writer: slot.seq = 0 (release)     -- invalidate
+//           payload stores (relaxed)
+//           slot.seq = index+1 (release)
+//           head_ = index+1 (release)
+//   reader: h = head_ (acquire); for each slot: s0 = seq (acquire),
+//           payload loads, s1 = seq (acquire); keep iff s0 == s1 ==
+//           expected index+1. A concurrent overwrite changes seq, so a
+//           torn read is detected and the slot skipped — never blocked.
+class TraceRing {
+ public:
+  TraceRing(int instance, ThreadRole role, int epoch, int64_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Producer side (single thread).
+  void Emit(EventKind kind, EventName name, double value) {
+    EmitAt(Now(), kind, name, value);
+  }
+  // Deterministic-timestamp variant for golden tests.
+  void EmitAt(int64_t ts_ns, EventKind kind, EventName name, double value);
+
+  // Consumer side (any thread, any time). Returns the surviving events in
+  // emission order; slots mid-overwrite are skipped.
+  std::vector<TraceEvent> Snapshot() const;
+
+  int instance() const { return instance_; }
+  ThreadRole role() const { return role_; }
+  int epoch() const { return epoch_; }
+  int64_t capacity() const { return static_cast<int64_t>(slots_.size()); }
+  // Total events ever emitted / lost to overwrite. `dropped()` is derived,
+  // so it is exact once the producer thread has quiesced.
+  int64_t emitted() const { return head_.load(std::memory_order_acquire); }
+  int64_t dropped() const {
+    const int64_t e = emitted();
+    return e > capacity() ? e - capacity() : 0;
+  }
+
+  static int64_t Now();
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> seq{0};  // index+1 when valid, 0 while written
+    std::atomic<int64_t> ts_ns{0};
+    std::atomic<uint64_t> value_bits{0};
+    std::atomic<uint32_t> meta{0};  // name | kind << 8
+  };
+
+  const int instance_;
+  const ThreadRole role_;
+  const int epoch_;
+  std::atomic<int64_t> head_{0};  // next emission index
+  std::vector<Slot> slots_;       // size is a power of two
+  const int64_t mask_;
+};
+
+// Owner of all rings recorded during one or more queries. Thread-safe;
+// rings are created once per engine thread per query and stay valid until
+// the Trace is destroyed (deque => stable addresses).
+class Trace {
+ public:
+  Trace();
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Marks the start of a query; rings created afterwards carry the new
+  // epoch. Exporters map each (epoch, instance) pair to its own process,
+  // so successive queries traced into one file do not overlay.
+  int BeginQuery();
+
+  TraceRing* CreateRing(int instance, ThreadRole role, int64_t capacity);
+
+  std::vector<const TraceRing*> rings() const;
+  // steady-clock ns at construction; exporters subtract it so timestamps
+  // start near zero.
+  int64_t origin_ns() const { return origin_ns_; }
+  int epoch() const;
+
+  int64_t total_emitted() const;
+  int64_t total_dropped() const;
+
+ private:
+  const int64_t origin_ns_;
+  mutable std::mutex mu_;
+  int epoch_ = 0;
+  std::deque<std::unique_ptr<TraceRing>> rings_;
+};
+
+// Span guard: emits kBegin on construction, kEnd on destruction. Obtain
+// via ThreadTracer::Scope; a null tracer makes both ends no-ops.
+class SpanScope {
+ public:
+  SpanScope(TraceRing* ring, EventName name) : ring_(ring), name_(name) {
+    if (ring_ != nullptr) ring_->Emit(EventKind::kBegin, name_, 0.0);
+  }
+  ~SpanScope() {
+    if (ring_ != nullptr) ring_->Emit(EventKind::kEnd, name_, 0.0);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  TraceRing* ring_;
+  EventName name_;
+};
+
+// The per-thread handle the engine code holds. Copyable value type; when
+// tracing is off it wraps nullptr and every call is one branch.
+class ThreadTracer {
+ public:
+  ThreadTracer() = default;
+  explicit ThreadTracer(TraceRing* ring) : ring_(ring) {}
+
+  void Instant(EventName name, double value = 0.0) {
+    if (ring_ != nullptr) ring_->Emit(EventKind::kInstant, name, value);
+  }
+  void Counter(EventName name, double value) {
+    if (ring_ != nullptr) ring_->Emit(EventKind::kCounter, name, value);
+  }
+  SpanScope Scope(EventName name) { return SpanScope(ring_, name); }
+
+  bool enabled() const { return ring_ != nullptr; }
+  TraceRing* ring() const { return ring_; }
+
+ private:
+  TraceRing* ring_ = nullptr;
+};
+
+// Creates the thread's tracer, or a no-op tracer when `trace` is null.
+inline ThreadTracer MakeTracer(Trace* trace, int instance, ThreadRole role,
+                               int64_t capacity) {
+  if (trace == nullptr) return ThreadTracer();
+  return ThreadTracer(trace->CreateRing(instance, role, capacity));
+}
+
+}  // namespace dqr::obs
+
+#endif  // DQR_OBS_TRACE_H_

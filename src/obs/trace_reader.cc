@@ -1,0 +1,493 @@
+#include "obs/trace_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace dqr::obs {
+namespace {
+
+// ------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: just enough for trace_event
+// documents (objects, arrays, strings with simple escapes, numbers,
+// true/false/null). Errors carry the byte offset.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    if (Status s = ParseValue(v); !s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("JSON error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return ParseString(out.str);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      if (Status s = ParseString(key); !s.ok()) return s;
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      if (Status s = ParseValue(value); !s.ok()) return s;
+      out.obj.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      if (Status s = ParseValue(value); !s.ok()) return s;
+      out.arr.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // The exporter never emits non-ASCII; anything else decodes to
+          // '?' rather than growing a full UTF-16 decoder here.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseKeyword(JsonValue& out) {
+    auto match = [&](const char* kw) {
+      const size_t n = std::string(kw).size();
+      if (text_.compare(pos_, n, kw) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out.kind = JsonValue::kBool;
+      out.boolean = true;
+      return Status::Ok();
+    }
+    if (match("false")) {
+      out.kind = JsonValue::kBool;
+      out.boolean = false;
+      return Status::Ok();
+    }
+    if (match("null")) {
+      out.kind = JsonValue::kNull;
+      return Status::Ok();
+    }
+    return Error("unknown keyword");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    out.kind = JsonValue::kNumber;
+    char* end = nullptr;
+    out.number = std::strtod(text_.c_str() + start, &end);
+    if (end != text_.c_str() + pos_) return Error("malformed number");
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->kind == JsonValue::kNumber ? v->number
+                                                       : fallback;
+}
+
+}  // namespace
+
+Result<LoadedTrace> ParseChromeTrace(const std::string& json) {
+  JsonParser parser(json);
+  Result<JsonValue> root = parser.Parse();
+  if (!root.ok()) return root.status();
+  const JsonValue& doc = root.value();
+  if (doc.kind != JsonValue::kObject) {
+    return InvalidArgumentError("trace root is not an object");
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::kArray) {
+    return InvalidArgumentError("missing traceEvents array");
+  }
+
+  LoadedTrace out;
+  for (const JsonValue& ev : events->arr) {
+    if (ev.kind != JsonValue::kObject) {
+      return InvalidArgumentError("trace event is not an object");
+    }
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* name = ev.Find("name");
+    if (ph == nullptr || ph->kind != JsonValue::kString ||
+        name == nullptr || name->kind != JsonValue::kString) {
+      return InvalidArgumentError("trace event lacks ph/name");
+    }
+    const int64_t pid =
+        static_cast<int64_t>(NumberOr(ev.Find("pid"), -1));
+    const int64_t tid =
+        static_cast<int64_t>(NumberOr(ev.Find("tid"), -1));
+    if (ph->str == "M") {
+      const JsonValue* args = ev.Find("args");
+      const JsonValue* value =
+          args != nullptr ? args->Find("name") : nullptr;
+      if (value == nullptr || value->kind != JsonValue::kString) {
+        return InvalidArgumentError("metadata event lacks args.name");
+      }
+      if (name->str == "process_name") {
+        out.process_names[pid] = value->str;
+      } else if (name->str == "thread_name") {
+        out.thread_names[{pid, tid}] = value->str;
+      }
+      continue;
+    }
+    LoadedEvent e;
+    e.name = name->str;
+    e.ph = ph->str;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts_us = NumberOr(ev.Find("ts"), 0.0);
+    const JsonValue* args = ev.Find("args");
+    if (const JsonValue* v = args ? args->Find("value") : nullptr;
+        v != nullptr && v->kind == JsonValue::kNumber) {
+      e.value = v->number;
+      e.has_value = true;
+    }
+    out.events.push_back(std::move(e));
+  }
+
+  if (const JsonValue* other = doc.Find("otherData")) {
+    out.emitted = static_cast<int64_t>(NumberOr(other->Find("emitted"), 0));
+    out.dropped = static_cast<int64_t>(NumberOr(other->Find("dropped"), 0));
+  }
+  return out;
+}
+
+Result<LoadedTrace> LoadChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open trace file: " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseChromeTrace(text);
+}
+
+Status CheckChromeTrace(const LoadedTrace& trace) {
+  static const std::set<std::string> kKnownPh = {"B", "E", "i", "C"};
+  std::map<std::pair<int64_t, int64_t>, double> last_ts;
+  std::map<std::pair<int64_t, int64_t>, std::vector<std::string>> open;
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const LoadedEvent& e = trace.events[i];
+    const std::string where = "event " + std::to_string(i) + " (" +
+                              e.name + ")";
+    if (kKnownPh.count(e.ph) == 0) {
+      return InvalidArgumentError(where + ": unknown ph '" + e.ph + "'");
+    }
+    if (e.pid < 0 || e.tid < 0) {
+      return InvalidArgumentError(where + ": missing pid/tid");
+    }
+    if (e.name.empty()) {
+      return InvalidArgumentError(where + ": empty name");
+    }
+    if (trace.process_names.count(e.pid) == 0) {
+      return InvalidArgumentError(where + ": unnamed process " +
+                                  std::to_string(e.pid));
+    }
+    if (trace.thread_names.count({e.pid, e.tid}) == 0) {
+      return InvalidArgumentError(where + ": unnamed thread " +
+                                  std::to_string(e.tid));
+    }
+    const auto track = std::make_pair(e.pid, e.tid);
+    if (auto it = last_ts.find(track);
+        it != last_ts.end() && e.ts_us < it->second) {
+      return InvalidArgumentError(where + ": timestamp regression");
+    }
+    last_ts[track] = e.ts_us;
+    if (e.ph == "B") {
+      open[track].push_back(e.name);
+    } else if (e.ph == "E") {
+      auto& stack = open[track];
+      if (stack.empty()) {
+        return InvalidArgumentError(where + ": E without B");
+      }
+      if (stack.back() != e.name) {
+        return InvalidArgumentError(where + ": E does not match open B '" +
+                                    stack.back() + "'");
+      }
+      stack.pop_back();
+    } else if ((e.ph == "i" || e.ph == "C") && !e.has_value) {
+      return InvalidArgumentError(where + ": missing args.value");
+    }
+  }
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty()) {
+      return InvalidArgumentError("unclosed span '" + stack.back() +
+                                  "' on pid " + std::to_string(track.first));
+    }
+  }
+  return Status::Ok();
+}
+
+TraceSummary Summarize(const LoadedTrace& trace) {
+  TraceSummary out;
+  out.events = static_cast<int64_t>(trace.events.size());
+  out.emitted = trace.emitted;
+  out.dropped = trace.dropped;
+  out.first_result_us = -1.0;
+  if (trace.events.empty()) return out;
+
+  double min_ts = trace.events.front().ts_us;
+  double max_ts = min_ts;
+  for (const LoadedEvent& e : trace.events) {
+    min_ts = std::min(min_ts, e.ts_us);
+    max_ts = std::max(max_ts, e.ts_us);
+  }
+  out.duration_us = max_ts - min_ts;
+
+  struct TrackState {
+    TrackSummary summary;
+    std::vector<std::pair<std::string, double>> open;  // (name, begin)
+    double last_span_end = -1.0;  // end ts of previous shard_execute
+  };
+  std::map<std::pair<int64_t, int64_t>, TrackState> tracks;
+
+  for (const LoadedEvent& e : trace.events) {
+    const auto key = std::make_pair(e.pid, e.tid);
+    TrackState& state = tracks[key];
+    if (state.summary.process.empty()) {
+      auto pit = trace.process_names.find(e.pid);
+      auto tit = trace.thread_names.find(key);
+      state.summary.process =
+          pit != trace.process_names.end() ? pit->second : "?";
+      state.summary.thread =
+          tit != trace.thread_names.end() ? tit->second : "?";
+    }
+    const double rel = e.ts_us - min_ts;
+    if (e.ph == "B") {
+      state.open.emplace_back(e.name, e.ts_us);
+    } else if (e.ph == "E") {
+      if (state.open.empty()) continue;
+      const auto [name, begin] = state.open.back();
+      state.open.pop_back();
+      // Only top-level spans count toward busy time (nested spans would
+      // double-bill); the engine currently nests nothing.
+      if (!state.open.empty()) continue;
+      const double span_us = e.ts_us - begin;
+      if (name == "barrier_wait") {
+        state.summary.barrier_us += span_us;
+      } else {
+        state.summary.busy_us += span_us;
+        ++state.summary.spans;
+        if (name == "shard_execute") state.last_span_end = e.ts_us;
+      }
+    } else if (e.ph == "i") {
+      ++state.summary.instants[e.name];
+      if (e.name == "result_exact" || e.name == "result_relaxed") {
+        if (out.first_result_us < 0.0 || rel < out.first_result_us) {
+          out.first_result_us = rel;
+        }
+      } else if (e.name == "phase_relaxing") {
+        if (out.relax_start_us < 0.0) out.relax_start_us = rel;
+      } else if (e.name == "phase_constraining") {
+        if (out.constrain_start_us < 0.0) out.constrain_start_us = rel;
+      } else if (e.name == "shard_pickup" && state.last_span_end >= 0.0) {
+        const double gap = e.ts_us - state.last_span_end;
+        const int bucket = gap < 10.0 ? 0
+                           : gap < 100.0 ? 1
+                           : gap < 1000.0 ? 2
+                           : gap < 10000.0 ? 3
+                                           : 4;
+        ++out.steal_latency[bucket];
+        state.last_span_end = -1.0;
+      }
+    }
+  }
+
+  for (auto& [key, state] : tracks) {
+    out.tracks.push_back(std::move(state.summary));
+  }
+  return out;
+}
+
+std::string FormatSummary(const TraceSummary& s) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "events: %lld (emitted %lld, dropped %lld), duration %.3f ms\n",
+                static_cast<long long>(s.events),
+                static_cast<long long>(s.emitted),
+                static_cast<long long>(s.dropped), s.duration_us / 1000.0);
+  out += buf;
+  if (s.first_result_us >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "time-to-first-result: %.3f ms\n",
+                  s.first_result_us / 1000.0);
+    out += buf;
+  } else {
+    out += "time-to-first-result: (no results)\n";
+  }
+  if (s.relax_start_us >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "phase: relaxing from %.3f ms\n",
+                  s.relax_start_us / 1000.0);
+    out += buf;
+  }
+  if (s.constrain_start_us >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "phase: constraining from %.3f ms\n",
+                  s.constrain_start_us / 1000.0);
+    out += buf;
+  }
+  out += "tracks:\n";
+  for (const TrackSummary& t : s.tracks) {
+    const double denom = s.duration_us > 0.0 ? s.duration_us : 1.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  %s/%s: busy %.1f%% (%lld spans), barrier %.1f%%",
+                  t.process.c_str(), t.thread.c_str(),
+                  100.0 * t.busy_us / denom,
+                  static_cast<long long>(t.spans),
+                  100.0 * t.barrier_us / denom);
+    out += buf;
+    int64_t instants = 0;
+    for (const auto& [name, count] : t.instants) instants += count;
+    if (instants > 0) {
+      std::snprintf(buf, sizeof(buf), ", %lld instants",
+                    static_cast<long long>(instants));
+      out += buf;
+    }
+    out += "\n";
+  }
+  const int64_t total_gaps = s.steal_latency[0] + s.steal_latency[1] +
+                             s.steal_latency[2] + s.steal_latency[3] +
+                             s.steal_latency[4];
+  if (total_gaps > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "shard handoff latency: <10us:%lld <100us:%lld <1ms:%lld "
+        "<10ms:%lld >=10ms:%lld\n",
+        static_cast<long long>(s.steal_latency[0]),
+        static_cast<long long>(s.steal_latency[1]),
+        static_cast<long long>(s.steal_latency[2]),
+        static_cast<long long>(s.steal_latency[3]),
+        static_cast<long long>(s.steal_latency[4]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dqr::obs

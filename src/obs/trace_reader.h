@@ -1,0 +1,81 @@
+#ifndef DQR_OBS_TRACE_READER_H_
+#define DQR_OBS_TRACE_READER_H_
+
+// Loader + schema checker + analyzer for the Chrome trace_event JSON the
+// exporter writes. Self-contained (a minimal JSON parser lives in the
+// .cc), so tools/dqr_trace and the golden tests need no external JSON
+// dependency. Only the subset the exporter emits is understood; the
+// checker is deliberately strict so a malformed exporter change fails CI.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dqr::obs {
+
+// One non-metadata trace_event record.
+struct LoadedEvent {
+  std::string name;
+  std::string ph;  // "B", "E", "i", or "C"
+  int64_t pid = 0;
+  int64_t tid = 0;
+  double ts_us = 0.0;
+  double value = 0.0;  // args.value
+  bool has_value = false;
+};
+
+struct LoadedTrace {
+  std::vector<LoadedEvent> events;  // file order (= per-track time order)
+  std::map<int64_t, std::string> process_names;
+  std::map<std::pair<int64_t, int64_t>, std::string> thread_names;
+  int64_t emitted = 0;  // otherData bookkeeping (0 if absent)
+  int64_t dropped = 0;
+};
+
+Result<LoadedTrace> ParseChromeTrace(const std::string& json);
+Result<LoadedTrace> LoadChromeTrace(const std::string& path);
+
+// Schema validation (the `dqr_trace --check` CI gate): every event names
+// a known ph, carries pid/tid/ts, every track's timestamps are
+// monotonically non-decreasing, B/E nest and balance per track, and
+// every (pid, tid) track is named by metadata.
+Status CheckChromeTrace(const LoadedTrace& trace);
+
+// --- analysis -------------------------------------------------------
+
+struct TrackSummary {
+  std::string process;  // "q1/instance 0"
+  std::string thread;   // "solver", "validator", ...
+  double busy_us = 0.0;         // inside spans other than barrier_wait
+  double barrier_us = 0.0;      // inside barrier_wait spans
+  int64_t spans = 0;            // non-barrier span count
+  std::map<std::string, int64_t> instants;  // name -> count
+};
+
+struct TraceSummary {
+  double duration_us = 0.0;  // last ts - first ts over all events
+  double first_result_us = 0.0;  // first result_* instant; < 0 if none
+  int64_t events = 0;
+  int64_t emitted = 0;
+  int64_t dropped = 0;
+  std::vector<TrackSummary> tracks;  // pid, then tid order
+  // Phase-transition instants (us since trace start), < 0 if absent.
+  double relax_start_us = -1.0;
+  double constrain_start_us = -1.0;
+  // Shard-handoff latency histogram: gap between a solver finishing one
+  // shard_execute and its next shard_pickup. Buckets: <10us, <100us,
+  // <1ms, <10ms, >=10ms.
+  int64_t steal_latency[5] = {0, 0, 0, 0, 0};
+};
+
+TraceSummary Summarize(const LoadedTrace& trace);
+// Human-readable rendering (what `dqr_trace FILE` prints).
+std::string FormatSummary(const TraceSummary& summary);
+
+}  // namespace dqr::obs
+
+#endif  // DQR_OBS_TRACE_READER_H_

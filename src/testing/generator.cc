@@ -382,6 +382,7 @@ std::string EngineConfig::ToString() const {
                : "fifo");
   AppendKv(&out, "crashes", std::to_string(fault_crashes));
   AppendKv(&out, "det", enable_failure_detector ? "1" : "0");
+  AppendKv(&out, "trace", trace ? "1" : "0");
   return out;
 }
 
@@ -446,6 +447,8 @@ Result<EngineConfig> EngineConfig::FromString(const std::string& text) {
       }
     } else if (key == "det") {
       config.enable_failure_detector = value == "1";
+    } else if (key == "trace") {
+      config.trace = value == "1";
     } else {
       return InvalidArgumentError("config: unknown key '" + key + "'");
     }

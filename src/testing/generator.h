@@ -97,6 +97,10 @@ struct EngineConfig {
   // still complete with the full, correct result set.
   int fault_crashes = 0;
   bool enable_failure_detector = false;
+  // Attach a flight recorder to the engine run (DESIGN.md §8). Tracing is
+  // an execution knob like the others: it must never change the answer,
+  // and the differential check proves that per case.
+  bool trace = false;
 
   // Compact, parseable "inst=4;shards=8;..." form used by --config= and
   // reproducer lines. FromString accepts exactly what ToString emits

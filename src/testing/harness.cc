@@ -8,6 +8,7 @@
 #include "core/canonical.h"
 #include "core/fault.h"
 #include "core/refiner.h"
+#include "obs/trace.h"
 #include "testing/oracle.h"
 
 namespace dqr::fuzz {
@@ -47,12 +48,21 @@ CaseResult RunCase(const CaseConfig& c, InjectedBug bug) {
   const Workload workload = MakeWorkload(c.seed, c.mode, c.overrides);
 
   core::FaultPlan plan;
-  const core::RefineOptions options = c.config.ToOptions(workload, &plan);
+  core::RefineOptions options = c.config.ToOptions(workload, &plan);
 
   Result<OracleResult> oracle = OracleRun(workload.query, options);
   if (!oracle.ok()) {
     out.error = "oracle: " + oracle.status().ToString();
     return out;
+  }
+
+  // The recorder only observes the engine run; a small ring forces the
+  // drop-oldest path on any non-trivial case, so the differential check
+  // also covers truncated-trace bookkeeping.
+  obs::Trace trace;
+  if (c.config.trace) {
+    options.trace = &trace;
+    options.trace_buffer_events = 1 << 10;
   }
 
   Result<core::RunResult> engine = core::ExecuteQuery(workload.query, options);
@@ -84,6 +94,12 @@ namespace {
 // One shrink attempt: a named transformation of the case. Returns false
 // when the transformation does not apply (already at the floor).
 using ShrinkStep = bool (*)(CaseConfig*);
+
+bool DropTrace(CaseConfig* c) {
+  if (!c->config.trace) return false;
+  c->config.trace = false;
+  return true;
+}
 
 bool StripFaults(CaseConfig* c) {
   if (c->config.fault_crashes == 0 && !c->config.enable_failure_detector) {
@@ -165,10 +181,11 @@ bool DefaultAlpha(CaseConfig* c) {
 
 CaseConfig Shrink(CaseConfig failing, InjectedBug bug) {
   static constexpr ShrinkStep kSteps[] = {
-      StripFaults,  SingleInstance, DefaultEngineKnobs, HalveArray,
-      HalveArray,   HalveArray,     DropConstraints,    DropConstraints,
-      DropConstraints, LowerK,      LowerK,             NarrowX,
-      NarrowX,      NarrowX,        DropDiversity,      DefaultAlpha,
+      DropTrace,       StripFaults, SingleInstance, DefaultEngineKnobs,
+      HalveArray,      HalveArray,  HalveArray,     DropConstraints,
+      DropConstraints, DropConstraints, LowerK,     LowerK,
+      NarrowX,         NarrowX,     NarrowX,        DropDiversity,
+      DefaultAlpha,
   };
   // Up to two passes: a step that was a no-op early (e.g. NarrowX when
   // the domain was already small) can become productive after HalveArray.
@@ -253,11 +270,15 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
     const std::vector<EngineConfig> configs =
         MakeConfigMatrix(seed, options.configs_per_seed);
 
-    for (const EngineConfig& config : configs) {
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
       CaseConfig c;
       c.seed = seed;
       c.mode = mode;
-      c.config = config;
+      c.config = configs[ci];
+      // Alternate the trace dimension deterministically across the
+      // matrix so every campaign covers traced and untraced runs of
+      // otherwise-identical configs.
+      if (options.trace_mix) c.config.trace = ((seed + ci) & 1) != 0;
       ++report.cases_run;
       CaseResult r = RunCase(c, options.inject_bug);
       if (r.ok) {

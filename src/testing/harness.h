@@ -77,6 +77,10 @@ struct FuzzOptions {
   std::string repro_dir;
   // Plant an artificial bug in every engine run (self-test only).
   InjectedBug inject_bug = InjectedBug::kNone;
+  // Enable flight-recorder tracing on roughly half the cases (alternating
+  // deterministically per seed/config), adding a trace dimension to the
+  // matrix: tracing must never change an answer.
+  bool trace_mix = false;
   // Which modes to cycle through; empty = all three.
   std::vector<FuzzMode> modes;
   bool verbose = false;

@@ -11,6 +11,7 @@
 
 #include "core/canonical.h"
 #include "core/refiner.h"
+#include "obs/trace.h"
 #include "testing/generator.h"
 
 namespace dqr::fuzz {
@@ -23,11 +24,15 @@ struct Shape {
 
 constexpr Shape kShapes[] = {{1, 1}, {2, 4}, {4, 8}};
 
-std::string RunCanonical(const Workload& workload, const Shape& shape) {
+std::string RunCanonical(const Workload& workload, const Shape& shape,
+                         obs::Trace* trace = nullptr,
+                         int64_t trace_ring = 1 << 16) {
   EngineConfig config;
   config.num_instances = shape.instances;
   config.shards_per_instance = shape.shards;
-  const core::RefineOptions options = config.ToOptions(workload, nullptr);
+  core::RefineOptions options = config.ToOptions(workload, nullptr);
+  options.trace = trace;
+  options.trace_buffer_events = trace_ring;
   const auto run = core::ExecuteQuery(workload.query, options);
   if (!run.ok()) return "error: " + run.status().ToString();
   if (!run.value().stats.completed) return "error: incomplete";
@@ -58,6 +63,32 @@ INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismTest,
                          [](const auto& info) {
                            return FuzzModeName(info.param);
                          });
+
+// The flight recorder is an observer, not a participant: with tracing
+// off, on, and on-with-a-tiny-ring (forcing drop-oldest wraps mid-run),
+// every cluster shape must still produce byte-identical results.
+TEST(DeterminismTest, TracingIsAnswerPreserving) {
+  for (const FuzzMode mode : {FuzzMode::kRelax, FuzzMode::kConstrain}) {
+    const Workload workload = MakeWorkload(4, mode);
+    for (const Shape& shape : kShapes) {
+      const std::string baseline = RunCanonical(workload, shape);
+      ASSERT_EQ(baseline.rfind("error:", 0), std::string::npos)
+          << workload.summary << ": " << baseline;
+
+      obs::Trace traced;
+      EXPECT_EQ(RunCanonical(workload, shape, &traced), baseline)
+          << workload.summary << " diverged under tracing at "
+          << shape.instances << "x" << shape.shards;
+      EXPECT_GT(traced.total_emitted(), 0);
+
+      obs::Trace tiny;
+      EXPECT_EQ(RunCanonical(workload, shape, &tiny, /*trace_ring=*/16),
+                baseline)
+          << workload.summary << " diverged under ring-wrap tracing at "
+          << shape.instances << "x" << shape.shards;
+    }
+  }
+}
 
 // Repeated runs of the *same* shape must agree too (no dependence on
 // thread interleaving within a shape).

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "obs/metrics.h"
+
 namespace dqr::core {
 namespace {
 
@@ -68,6 +72,59 @@ TEST(RunStatsTest, CountersStillSum) {
   EXPECT_EQ(a.shards_executed, 8);
   EXPECT_EQ(a.replays_stolen, 3);
   EXPECT_EQ(a.fails_recorded, 17);
+}
+
+// Regression: the hand-written operator+= silently dropped the MRP/MRK
+// update counters, so any merged (per-instance or multi-query) stats
+// reported 0 refinement activity. The X-macro field table makes the
+// merge total by construction; this pins the two fields that were lost.
+TEST(RunStatsTest, MrpMrkUpdateCountersSurviveMerge) {
+  RunStats a;
+  a.mrp_updates = 3;
+  a.mrk_updates = 2;
+  RunStats b;
+  b.mrp_updates = 4;
+  b.mrk_updates = 5;
+  a += b;
+  EXPECT_EQ(a.mrp_updates, 7);
+  EXPECT_EQ(a.mrk_updates, 7);
+}
+
+TEST(RunStatsTest, CompletedAggregatesByAnd) {
+  RunStats a;
+  RunStats b;
+  b.completed = false;
+  a += b;
+  EXPECT_FALSE(a.completed);
+}
+
+TEST(MetricsSnapshotTest, CoversEveryFieldWithHelpAndType) {
+  RunStats s;
+  s.shards_executed = 12;
+  s.mrp_updates = 4;
+  s.main_busy_s = 1.25;
+  s.completed = true;
+  s.main_search.nodes = 99;
+  const std::string text = obs::MetricsSnapshot(s);
+
+  // One HELP/TYPE pair per sample, `dqr_` prefix throughout.
+  EXPECT_NE(text.find("# HELP dqr_shards_executed "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dqr_shards_executed counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dqr_shards_executed 12\n"), std::string::npos);
+  EXPECT_NE(text.find("dqr_mrp_updates 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dqr_main_busy_s gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dqr_completed 1\n"), std::string::npos);
+  // Nested SearchStats expand with a suffix per sub-counter.
+  EXPECT_NE(text.find("dqr_main_search_nodes 99\n"), std::string::npos);
+  EXPECT_NE(text.find("dqr_replay_search_nodes 0\n"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, LabelsAreInsertedVerbatim) {
+  RunStats s;
+  s.replays = 3;
+  const std::string text = obs::MetricsSnapshot(s, "query=\"q7\"");
+  EXPECT_NE(text.find("dqr_replays{query=\"q7\"} 3\n"), std::string::npos);
 }
 
 TEST(RunStatsTest, EstimatorCacheCountersSum) {

@@ -1,0 +1,178 @@
+// TraceRing semantics: emission order, drop-oldest overflow, capacity
+// rounding, and — the part TSan is for — snapshotting a ring while its
+// producer is still writing. The seqlock discipline must make concurrent
+// snapshots linearizable-enough: every event a snapshot returns is a
+// fully written one, in emission order, never torn.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dqr::obs {
+namespace {
+
+TEST(TraceRingTest, EmitsInOrderBelowCapacity) {
+  TraceRing ring(/*instance=*/0, ThreadRole::kSolver, /*epoch=*/1,
+                 /*capacity=*/64);
+  ring.EmitAt(10, EventKind::kBegin, EventName::kShardExecute, 0.0);
+  ring.EmitAt(20, EventKind::kInstant, EventName::kShardPickup, 5.0);
+  ring.EmitAt(30, EventKind::kEnd, EventName::kShardExecute, 0.0);
+
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts_ns, 10);
+  EXPECT_EQ(events[0].kind, EventKind::kBegin);
+  EXPECT_EQ(events[0].name, EventName::kShardExecute);
+  EXPECT_EQ(events[1].kind, EventKind::kInstant);
+  EXPECT_DOUBLE_EQ(events[1].value, 5.0);
+  EXPECT_EQ(events[2].ts_ns, 30);
+  EXPECT_EQ(ring.emitted(), 3);
+  EXPECT_EQ(ring.dropped(), 0);
+}
+
+TEST(TraceRingTest, OverflowDropsOldestKeepsNewest) {
+  TraceRing ring(0, ThreadRole::kSolver, 1, /*capacity=*/8);
+  ASSERT_EQ(ring.capacity(), 8);
+  for (int i = 0; i < 20; ++i) {
+    ring.EmitAt(i, EventKind::kInstant, EventName::kHeartbeat,
+                static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.emitted(), 20);
+  EXPECT_EQ(ring.dropped(), 12);
+
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The surviving window is exactly the newest `capacity()` events.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].value, 12.0 + static_cast<double>(i));
+  }
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(0, ThreadRole::kSolver, 1, 5).capacity(), 8);
+  EXPECT_EQ(TraceRing(0, ThreadRole::kSolver, 1, 1).capacity(), 2);
+  EXPECT_EQ(TraceRing(0, ThreadRole::kSolver, 1, 256).capacity(), 256);
+}
+
+// The TSan target: one producer hammers the ring through many wraps while
+// readers snapshot concurrently. Every snapshot must contain only fully
+// written events (value == ts pattern) in strictly increasing order.
+TEST(TraceRingTest, SnapshotRacesProducerWithoutTearing) {
+  TraceRing ring(0, ThreadRole::kSolver, 1, /*capacity=*/64);
+  constexpr int kEvents = 200000;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> snapshots{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      // ts and value move in lockstep; a torn slot would break the pair.
+      ring.EmitAt(i, EventKind::kInstant, EventName::kHeartbeat,
+                  static_cast<double>(i));
+      // Rendezvous mid-stream so at least one snapshot provably races
+      // live emission (the producer is otherwise too fast to catch).
+      if (i == kEvents / 2) {
+        while (snapshots.load(std::memory_order_acquire) == 0) {
+          std::this_thread::yield();
+        }
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  while (!done.load(std::memory_order_acquire)) {
+    const std::vector<TraceEvent> events = ring.Snapshot();
+    snapshots.fetch_add(1, std::memory_order_release);
+    int64_t prev = -1;
+    for (const TraceEvent& e : events) {
+      EXPECT_EQ(e.ts_ns, static_cast<int64_t>(e.value)) << "torn slot";
+      EXPECT_GT(e.ts_ns, prev) << "events out of order";
+      prev = e.ts_ns;
+    }
+  }
+  producer.join();
+  EXPECT_GT(snapshots.load(), 0);
+  EXPECT_EQ(ring.emitted(), kEvents);
+
+  const std::vector<TraceEvent> final_events = ring.Snapshot();
+  EXPECT_EQ(final_events.size(), 64u);
+  EXPECT_EQ(final_events.back().ts_ns, kEvents - 1);
+}
+
+TEST(TraceTest, RingsCarryEpochAndAggregateTotals) {
+  Trace trace;
+  EXPECT_EQ(trace.BeginQuery(), 1);
+  TraceRing* a = trace.CreateRing(0, ThreadRole::kSolver, 16);
+  EXPECT_EQ(trace.BeginQuery(), 2);
+  TraceRing* b = trace.CreateRing(1, ThreadRole::kValidator, 4);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->epoch(), 1);
+  EXPECT_EQ(b->epoch(), 2);
+
+  for (int i = 0; i < 3; ++i) {
+    a->EmitAt(i, EventKind::kInstant, EventName::kHeartbeat, 0.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    b->EmitAt(i, EventKind::kInstant, EventName::kHeartbeat, 0.0);
+  }
+  EXPECT_EQ(trace.rings().size(), 2u);
+  EXPECT_EQ(trace.total_emitted(), 13);
+  EXPECT_EQ(trace.total_dropped(), 6);  // b holds 4 of 10
+}
+
+// Ring creation must be thread-safe: every engine thread registers its
+// own ring against the shared Trace on startup.
+TEST(TraceTest, ConcurrentRingCreation) {
+  Trace trace;
+  trace.BeginQuery();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      TraceRing* ring = trace.CreateRing(t, ThreadRole::kSolver, 8);
+      ring->EmitAt(t, EventKind::kInstant, EventName::kHeartbeat,
+                   static_cast<double>(t));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace.rings().size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(trace.total_emitted(), kThreads);
+}
+
+TEST(ThreadTracerTest, NullTracerIsInertEverywhere) {
+  ThreadTracer tracer;  // tracing disabled
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Instant(EventName::kHeartbeat);
+  tracer.Counter(EventName::kMrp, 1.0);
+  { SpanScope span = tracer.Scope(EventName::kValidate); }
+  ThreadTracer made = MakeTracer(nullptr, 0, ThreadRole::kSolver, 64);
+  EXPECT_FALSE(made.enabled());
+}
+
+TEST(ThreadTracerTest, ScopeEmitsBeginEndPair) {
+  Trace trace;
+  trace.BeginQuery();
+  ThreadTracer tracer = MakeTracer(&trace, 0, ThreadRole::kValidator, 16);
+  ASSERT_TRUE(tracer.enabled());
+  { SpanScope span = tracer.Scope(EventName::kValidate); }
+  const std::vector<TraceEvent> events = tracer.ring()->Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kBegin);
+  EXPECT_EQ(events[1].kind, EventKind::kEnd);
+  EXPECT_EQ(events[0].name, EventName::kValidate);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST(EventNameTest, WireNamesAreStable) {
+  EXPECT_STREQ(EventNameString(EventName::kShardExecute), "shard_execute");
+  EXPECT_STREQ(EventNameString(EventName::kMrk), "mrk");
+  EXPECT_STREQ(ThreadRoleString(ThreadRole::kDetector), "detector");
+}
+
+}  // namespace
+}  // namespace dqr::obs

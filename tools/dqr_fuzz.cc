@@ -45,6 +45,8 @@ void Usage() {
       "  --time-budget=SEC   stop early after SEC seconds\n"
       "  --repro-dir=DIR     write repro files for failures into DIR\n"
       "  --inject-bug=B      none|drop-last|perturb-rp (self-test)\n"
+      "  --trace-mix         enable flight-recorder tracing on ~half the\n"
+      "                      cases (tracing must never change an answer)\n"
       "  --verbose           log every passing case too\n"
       "\n"
       "replay mode (all from a reproducer line):\n"
@@ -112,6 +114,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.inject_bug = bug.value();
+    } else if (MatchFlag(arg, "--trace-mix")) {
+      options.trace_mix = true;
     } else if (MatchFlag(arg, "--verbose")) {
       options.verbose = true;
     } else if (MatchValue(arg, "--seed", &value)) {

@@ -1,0 +1,88 @@
+// Trace inspector for the Chrome trace_event JSON the engine exports.
+//
+// Summary mode (the default) prints the per-phase/per-instance digest:
+//
+//   dqr_trace out.json
+//
+// Check mode validates the schema (the CI gate for exporter changes) and
+// prints nothing on success:
+//
+//   dqr_trace --check out.json
+//
+// Exit codes: 0 = ok, 1 = malformed trace (check failed), 2 = bad usage
+// or unreadable file.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace_reader.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dqr_trace [--check] FILE.json\n"
+               "\n"
+               "  (default)   print per-instance busy fractions, phase\n"
+               "              transitions, time-to-first-result, and the\n"
+               "              shard handoff latency histogram\n"
+               "  --check     validate the trace schema; exit 1 if bad\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check_only = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "dqr_trace: unknown flag '%s'\n", argv[i]);
+      Usage();
+      return 2;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  dqr::Result<dqr::obs::LoadedTrace> loaded =
+      dqr::obs::LoadChromeTrace(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "dqr_trace: %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    // A parse failure is a schema failure in check mode, an I/O-ish
+    // failure otherwise.
+    return check_only ? 1 : 2;
+  }
+
+  if (const dqr::Status status =
+          dqr::obs::CheckChromeTrace(loaded.value());
+      !status.ok()) {
+    std::fprintf(stderr, "dqr_trace: %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (check_only) {
+    std::printf("%s: ok (%zu events)\n", path.c_str(),
+                loaded.value().events.size());
+    return 0;
+  }
+
+  const dqr::obs::TraceSummary summary =
+      dqr::obs::Summarize(loaded.value());
+  std::printf("trace: %s\n%s", path.c_str(),
+              dqr::obs::FormatSummary(summary).c_str());
+  return 0;
+}
