@@ -4,9 +4,12 @@
 // manual guess-and-rerun scenarios, and the loose variant's maximal
 // manual relaxation drowns in results.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
 #include "data/grid_synthetic.h"
 
 namespace {
@@ -38,7 +41,8 @@ bench::RunOutcome RunManual2d(const BenchEnv& env,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchJson(argc, argv);
   const BenchEnv env = BenchEnv::FromEnv();
   // Grid sized so rows*cols is comparable to the 1-D lengths.
   const int64_t side = 1 << 10;
@@ -75,9 +79,64 @@ int main() {
                 selective ? "G-SEL" : "G-LOS", sl.results,
                 static_cast<long long>(sl.stats.fails_recorded),
                 static_cast<long long>(sl.stats.replays));
+    RecordJson({"2d_relax",
+                {{"query", JsonStr(selective ? "G-SEL" : "G-LOS")},
+                 {"side", std::to_string(side)}},
+                sl.total_s,
+                {{"results", std::to_string(sl.results)},
+                 {"user3_s", std::to_string(u3.total_s)},
+                 {"user2_s", std::to_string(u2.total_s)},
+                 {"usermax_s",
+                  std::to_string(umax.completed ? umax.total_s
+                                                : env.timeout_s)},
+                 {"usermax_capped", umax.completed ? "false" : "true"},
+                 {"fails", std::to_string(sl.stats.fails_recorded)},
+                 {"replays", std::to_string(sl.stats.replays)}}});
   }
   table.Print();
   std::printf("Expected shape (as in Tables 1-2): SL < USER-2 < USER-3; "
               "G-LOS USER-MAX hits the cap.\n");
+
+  // Raw synopsis bounds-query throughput on the bench dataset's own
+  // synopsis: the O(1) rectangle path the relaxation runs above lean on.
+  {
+    const auto& syn = *bundle.synopsis;
+    const int64_t rows = bundle.grid->rows();
+    const int64_t cols = bundle.grid->cols();
+    constexpr int kProbes = 200000;
+    Rng rng(515);
+    std::vector<int64_t> r0(kProbes), r1(kProbes), c0(kProbes),
+        c1(kProbes);
+    // Reduced-scale runs (CI smoke) can shrink a dimension below the
+    // nominal span range; clamp so probes always fit.
+    const int64_t max_span =
+        std::min<int64_t>(256, std::min(rows, cols));
+    const int64_t min_span = std::min<int64_t>(8, max_span);
+    for (int i = 0; i < kProbes; ++i) {
+      const int64_t span = rng.UniformInt(min_span, max_span);
+      r0[i] = rng.UniformInt(0, rows - span);
+      c0[i] = rng.UniformInt(0, cols - span);
+      r1[i] = r0[i] + span;
+      c1[i] = c0[i] + span;
+    }
+    double sink = 0.0;
+    Stopwatch watch;
+    for (int i = 0; i < kProbes; ++i) {
+      const auto max_b = syn.MaxBounds(r0[i], r1[i], c0[i], c1[i]);
+      const auto val_b = syn.ValueBounds(r0[i], r1[i], c0[i], c1[i]);
+      sink += max_b.lo + val_b.hi;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const double qps = 2.0 * kProbes / seconds;
+    std::printf("bounds queries: %.0f queries/sec (%d probes, checksum "
+                "%.3f)\n",
+                qps, kProbes, sink);
+    RecordJson({"2d_bounds_throughput",
+                {{"rows", std::to_string(rows)},
+                 {"cols", std::to_string(cols)},
+                 {"probes", std::to_string(2 * kProbes)}},
+                seconds,
+                {{"queries_per_sec", std::to_string(qps)}}});
+  }
   return 0;
 }

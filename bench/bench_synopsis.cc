@@ -19,13 +19,16 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "array/array.h"
+#include "array/grid.h"
 #include "bench_common.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "synopsis/grid_synopsis.h"
 #include "synopsis/synopsis.h"
 
 namespace {
@@ -34,6 +37,7 @@ using namespace dqr;
 using namespace dqr::bench;
 
 using View = synopsis::Synopsis::LevelView;
+using GridView = synopsis::GridSynopsis::LevelView;
 
 std::shared_ptr<array::Array> MakeArray(int64_t n) {
   Rng rng(2026);
@@ -145,6 +149,140 @@ double Checksum(const Interval& i) { return i.lo + i.hi; }
 // contention hotspot the sharded counter replaced); the old-path loops
 // charge the same increment.
 std::atomic<int64_t> old_queries{0};
+
+// ---------------------------------------------------------------------
+// 2-D old-path replica. The pre-change GridSynopsis stored each level as
+// a row-major vector of {min, max, sum} cell structs and answered every
+// bounds query with a scan over all overlapped cells; cells here are
+// copied from the new SoA planes so both sides aggregate identical
+// doubles, and the sanity pass demands bit-identical intervals.
+
+struct AosGridLevel {
+  int64_t cell_size = 0;
+  int64_t cell_rows = 0;
+  int64_t cell_cols = 0;
+  std::vector<synopsis::SynopsisCell> cells;
+};
+
+std::vector<AosGridLevel> MakeAosGridReplica(
+    const synopsis::GridSynopsis& syn) {
+  std::vector<AosGridLevel> levels(syn.num_levels());
+  for (size_t li = 0; li < syn.num_levels(); ++li) {
+    const GridView v = syn.level_view(li);
+    levels[li].cell_size = v.cell_size;
+    levels[li].cell_rows = v.cell_rows;
+    levels[li].cell_cols = v.cell_cols;
+    levels[li].cells.resize(
+        static_cast<size_t>(v.cell_rows * v.cell_cols));
+    for (int64_t c = 0; c < v.cell_rows * v.cell_cols; ++c) {
+      levels[li].cells[static_cast<size_t>(c)] = {v.min[c], v.max[c],
+                                                  v.sum[c]};
+    }
+  }
+  return levels;
+}
+
+// Pre-change PickLevel: the same worst-case overlapped-cell estimate the
+// new PickLevelIndex preserves, evaluated with one walk over the levels.
+size_t OldGridPickLevel(const std::vector<AosGridLevel>& levels,
+                        int64_t budget, int64_t rspan, int64_t cspan) {
+  size_t chosen = 0;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int64_t cells = (rspan / levels[i].cell_size + 2) *
+                          (cspan / levels[i].cell_size + 2);
+    if (cells <= budget) chosen = i;
+  }
+  return chosen;
+}
+
+// Pre-change ValueBounds: row-major scan over every overlapped cell.
+Interval OldGridValueBounds(const AosGridLevel& level, int64_t r0,
+                            int64_t r1, int64_t c0, int64_t c1) {
+  const int64_t cs = level.cell_size;
+  const int64_t cc = level.cell_cols;
+  const int64_t i0 = r0 / cs;
+  const int64_t i1 = (r1 - 1) / cs;
+  const int64_t j0 = c0 / cs;
+  const int64_t j1 = (c1 - 1) / cs;
+  double mn = level.cells[static_cast<size_t>(i0 * cc + j0)].min;
+  double mx = level.cells[static_cast<size_t>(i0 * cc + j0)].max;
+  for (int64_t i = i0; i <= i1; ++i) {
+    for (int64_t j = j0; j <= j1; ++j) {
+      const synopsis::SynopsisCell& cell =
+          level.cells[static_cast<size_t>(i * cc + j)];
+      mn = std::min(mn, cell.min);
+      mx = std::max(mx, cell.max);
+    }
+  }
+  return Interval(mn, mx);
+}
+
+// Pre-change MaxBounds: all-cell scan with containment tests; contained
+// cells witness their max from below, any overlapped cell guarantees its
+// min is attained somewhere in the overlap.
+Interval OldGridMaxBounds(const AosGridLevel& level, int64_t rows,
+                          int64_t cols, int64_t r0, int64_t r1, int64_t c0,
+                          int64_t c1) {
+  const int64_t cs = level.cell_size;
+  const int64_t cc = level.cell_cols;
+  const int64_t i0 = r0 / cs;
+  const int64_t i1 = (r1 - 1) / cs;
+  const int64_t j0 = c0 / cs;
+  const int64_t j1 = (c1 - 1) / cs;
+  double upper = level.cells[static_cast<size_t>(i0 * cc + j0)].max;
+  double floor = level.cells[static_cast<size_t>(i0 * cc + j0)].min;
+  double witness = 0.0;
+  bool have_contained = false;
+  for (int64_t i = i0; i <= i1; ++i) {
+    for (int64_t j = j0; j <= j1; ++j) {
+      const synopsis::SynopsisCell& cell =
+          level.cells[static_cast<size_t>(i * cc + j)];
+      upper = std::max(upper, cell.max);
+      floor = std::max(floor, cell.min);
+      const int64_t cr0 = i * cs;
+      const int64_t cr1 = std::min(rows, cr0 + cs);
+      const int64_t cc0 = j * cs;
+      const int64_t cc1 = std::min(cols, cc0 + cs);
+      if (r0 <= cr0 && cr1 <= r1 && c0 <= cc0 && cc1 <= c1) {
+        witness = have_contained ? std::max(witness, cell.max) : cell.max;
+        have_contained = true;
+      }
+    }
+  }
+  return Interval(
+      have_contained ? std::max(witness, floor) : floor, upper);
+}
+
+struct GridQuerySet {
+  std::vector<int64_t> r0, r1, c0, c1;
+};
+
+GridQuerySet MakeGridQueries(int64_t side, int64_t span, int count,
+                             uint64_t seed) {
+  GridQuerySet q;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const int64_t r = rng.UniformInt(0, side - span);
+    const int64_t c = rng.UniformInt(0, side - span);
+    q.r0.push_back(r);
+    q.r1.push_back(r + span);
+    q.c0.push_back(c);
+    q.c1.push_back(c + span);
+  }
+  return q;
+}
+
+std::shared_ptr<array::Grid> MakeBenchGrid(int64_t side) {
+  Rng rng(2027);
+  std::vector<double> data(static_cast<size_t>(side * side));
+  for (double& v : data) v = rng.Uniform(50, 250);
+  array::GridSchema schema;
+  schema.name = "bench_grid_synopsis";
+  schema.rows = side;
+  schema.cols = side;
+  schema.tile_size = 256;
+  return array::Grid::FromData(std::move(schema), std::move(data)).value();
+}
 
 }  // namespace
 
@@ -320,5 +458,165 @@ int main(int argc, char** argv) {
               sink, static_cast<long long>(syn->queries_served()),
               static_cast<long long>(
                   old_queries.load(std::memory_order_relaxed)));
+
+  // =====================================================================
+  // 2-D: the same differential on GridSynopsis (blocked 2-D RMQ + SIMD
+  // fringe folds vs the per-cell AoS scan it replaced).
+  const int64_t side = 2048;
+  const auto grid = MakeBenchGrid(side);
+  synopsis::GridSynopsisOptions grid_options;  // default {512,64,16}/256
+
+  Stopwatch grid_build_watch;
+  auto gsyn = synopsis::GridSynopsis::Build(*grid, grid_options).value();
+  const double grid_build_s = grid_build_watch.ElapsedSeconds();
+
+  // The pre-change build scanned the base grid once per level.
+  Stopwatch grid_rescan_watch;
+  for (const int64_t cs : grid_options.cell_sizes) {
+    synopsis::GridSynopsisOptions single;
+    single.cell_sizes = {cs};
+    single.max_cells_per_query = grid_options.max_cells_per_query;
+    auto s = synopsis::GridSynopsis::Build(*grid, single).value();
+    DQR_CHECK(s->MemoryBytes() > 0);
+  }
+  const double grid_rescan_s = grid_rescan_watch.ElapsedSeconds();
+
+  TablePrinter grid_build_table(
+      "2-D synopsis build (" + std::to_string(side) + "x" +
+          std::to_string(side) + ")",
+      {"strategy", "seconds"});
+  grid_build_table.AddRow({"bottom-up", Secs(grid_build_s)});
+  grid_build_table.AddRow({"per-level rescan", Secs(grid_rescan_s)});
+  grid_build_table.Print();
+  RecordJson({"grid_synopsis_build",
+              {{"side", std::to_string(side)},
+               {"levels",
+                std::to_string(grid_options.cell_sizes.size())}},
+              grid_build_s,
+              {{"rescan_seconds", std::to_string(grid_rescan_s)},
+               {"speedup",
+                std::to_string(grid_rescan_s / grid_build_s)}}});
+
+  // Square spans routed (by the shared worst-case estimate) to each
+  // level: cs=16 up to span 224, cs=64 up to span 896, cs=512 beyond.
+  const std::vector<int64_t> grid_spans = {64, 128, 224, 512, 896, 2048};
+  const auto grid_aos = MakeAosGridReplica(*gsyn);
+
+  TablePrinter grid_query_table(
+      "2-D bounds queries (ns/query, " +
+          std::to_string(kQueries * kRounds) + " queries per cell)",
+      {"span", "level_cs", "cells", "value_rmq", "value_old", "max_rmq",
+       "max_old", "speedup"});
+
+  // Interleave the two paths rep by rep so both sample the same
+  // frequency / scheduler-noise windows, and take more reps than the 1-D
+  // sweep — a grid rep is only a few milliseconds, and run-to-run noise
+  // otherwise dominates the comparison.
+  const auto measure_pair = [&](const auto& a, const auto& b) {
+    constexpr int kGridReps = 21;
+    double best_a = std::numeric_limits<double>::infinity();
+    double best_b = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kGridReps; ++rep) {
+      {
+        Stopwatch watch;
+        for (int r = 0; r < kRounds; ++r) a();
+        best_a = std::min(best_a, watch.ElapsedSeconds());
+      }
+      {
+        Stopwatch watch;
+        for (int r = 0; r < kRounds; ++r) b();
+        best_b = std::min(best_b, watch.ElapsedSeconds());
+      }
+    }
+    const double scale = 1e9 / (kRounds * kQueries);
+    return std::make_pair(best_a * scale, best_b * scale);
+  };
+
+  for (const int64_t span : grid_spans) {
+    if (span > side) continue;
+    const GridQuerySet q = MakeGridQueries(side, span, kQueries, 8888);
+    const size_t li =
+        gsyn->PickLevelIndex(q.r0[0], q.r1[0], q.c0[0], q.c1[0]);
+    const GridView v = gsyn->level_view(li);
+    const int64_t cells_per_dim =
+        (q.r1[0] - 1) / v.cell_size - q.r0[0] / v.cell_size + 1;
+
+    // Sanity: bit-identical intervals, value and max, at the same level.
+    for (int i = 0; i < kQueries; ++i) {
+      const size_t pli =
+          gsyn->PickLevelIndex(q.r0[i], q.r1[i], q.c0[i], q.c1[i]);
+      DQR_CHECK(gsyn->ValueBounds(q.r0[i], q.r1[i], q.c0[i], q.c1[i]) ==
+                OldGridValueBounds(grid_aos[pli], q.r0[i], q.r1[i],
+                                   q.c0[i], q.c1[i]));
+      DQR_CHECK(gsyn->MaxBounds(q.r0[i], q.r1[i], q.c0[i], q.c1[i]) ==
+                OldGridMaxBounds(grid_aos[pli], side, side, q.r0[i],
+                                 q.r1[i], q.c0[i], q.c1[i]));
+    }
+
+    const auto [value_rmq_ns, value_old_ns] = measure_pair(
+        [&] {
+          for (int i = 0; i < kQueries; ++i) {
+            sink += Checksum(
+                gsyn->ValueBounds(q.r0[i], q.r1[i], q.c0[i], q.c1[i]));
+          }
+        },
+        [&] {
+          for (int i = 0; i < kQueries; ++i) {
+            old_queries.fetch_add(1, std::memory_order_relaxed);
+            const size_t pli = OldGridPickLevel(
+                grid_aos, grid_options.max_cells_per_query,
+                q.r1[i] - q.r0[i], q.c1[i] - q.c0[i]);
+            sink += Checksum(OldGridValueBounds(
+                grid_aos[pli], q.r0[i], q.r1[i], q.c0[i], q.c1[i]));
+          }
+        });
+
+    const auto [max_rmq_ns, max_old_ns] = measure_pair(
+        [&] {
+          for (int i = 0; i < kQueries; ++i) {
+            sink += Checksum(
+                gsyn->MaxBounds(q.r0[i], q.r1[i], q.c0[i], q.c1[i]));
+          }
+        },
+        [&] {
+          for (int i = 0; i < kQueries; ++i) {
+            old_queries.fetch_add(1, std::memory_order_relaxed);
+            const size_t pli = OldGridPickLevel(
+                grid_aos, grid_options.max_cells_per_query,
+                q.r1[i] - q.r0[i], q.c1[i] - q.c0[i]);
+            sink += Checksum(OldGridMaxBounds(grid_aos[pli], side, side,
+                                              q.r0[i], q.r1[i], q.c0[i],
+                                              q.c1[i]));
+          }
+        });
+
+    const double speedup = value_old_ns / value_rmq_ns;
+    char speedup_buf[32];
+    std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx", speedup);
+    grid_query_table.AddRow(
+        {std::to_string(span), std::to_string(v.cell_size),
+         std::to_string(cells_per_dim * cells_per_dim),
+         std::to_string(value_rmq_ns), std::to_string(value_old_ns),
+         std::to_string(max_rmq_ns), std::to_string(max_old_ns),
+         speedup_buf});
+    RecordJson({"grid_synopsis_query",
+                {{"span", std::to_string(span)},
+                 {"level_cell_size", std::to_string(v.cell_size)},
+                 {"cells",
+                  std::to_string(cells_per_dim * cells_per_dim)}},
+                value_rmq_ns * kRounds * kQueries / 1e9,
+                {{"value_rmq_ns", std::to_string(value_rmq_ns)},
+                 {"value_old_ns", std::to_string(value_old_ns)},
+                 {"max_rmq_ns", std::to_string(max_rmq_ns)},
+                 {"max_old_ns", std::to_string(max_old_ns)},
+                 {"value_speedup", std::to_string(speedup)},
+                 {"max_speedup",
+                  std::to_string(max_old_ns / max_rmq_ns)}}});
+  }
+  grid_query_table.Print();
+  std::printf(
+      "2-D checksum %.3f, grid queries served %lld (+%lld old-path)\n",
+      sink, static_cast<long long>(gsyn->queries_served()),
+      static_cast<long long>(old_queries.load(std::memory_order_relaxed)));
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace dqr::array {
 namespace {
@@ -80,6 +81,54 @@ WindowAggregates Array::AggregateWindow(int64_t lo, int64_t hi) const {
   out.count = hi - lo;
   ChargeAccess(lo / cs, (hi - 1) / cs, hi - lo);
   return out;
+}
+
+void Array::MaxOverBatch(const int64_t* lo, const int64_t* hi, int64_t n,
+                         double* out) const {
+  const int64_t cs = schema_.chunk_size;
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t l = lo[k];
+    const int64_t h = hi[k];
+    DQR_CHECK(l >= 0 && l < h && h <= schema_.length);
+    double mx = chunks_[static_cast<size_t>(l / cs)]
+                       [static_cast<size_t>(l % cs)];
+    int64_t pos = l;
+    while (pos < h) {
+      const int64_t chunk = pos / cs;
+      const int64_t chunk_end = std::min(h, (chunk + 1) * cs);
+      const std::vector<double>& values =
+          chunks_[static_cast<size_t>(chunk)];
+      mx = std::max(
+          mx, simd::MaxReduce(values.data() + pos % cs, chunk_end - pos));
+      pos = chunk_end;
+    }
+    out[k] = mx;
+    ChargeAccess(l / cs, (h - 1) / cs, h - l);
+  }
+}
+
+void Array::MinOverBatch(const int64_t* lo, const int64_t* hi, int64_t n,
+                         double* out) const {
+  const int64_t cs = schema_.chunk_size;
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t l = lo[k];
+    const int64_t h = hi[k];
+    DQR_CHECK(l >= 0 && l < h && h <= schema_.length);
+    double mn = chunks_[static_cast<size_t>(l / cs)]
+                       [static_cast<size_t>(l % cs)];
+    int64_t pos = l;
+    while (pos < h) {
+      const int64_t chunk = pos / cs;
+      const int64_t chunk_end = std::min(h, (chunk + 1) * cs);
+      const std::vector<double>& values =
+          chunks_[static_cast<size_t>(chunk)];
+      mn = std::min(
+          mn, simd::MinReduce(values.data() + pos % cs, chunk_end - pos));
+      pos = chunk_end;
+    }
+    out[k] = mn;
+    ChargeAccess(l / cs, (h - 1) / cs, h - l);
+  }
 }
 
 void Array::ChargeAccess(int64_t first_chunk, int64_t last_chunk,

@@ -64,6 +64,16 @@ class Array {
     return AggregateWindow(lo, hi).max;
   }
 
+  // Exact extrema over a batch of half-open windows:
+  // out[i] = max (resp. min) over [lo[i], hi[i]). Values and per-window
+  // access accounting are identical to calling MaxOver per window; the
+  // scans use the SIMD kernels in common/simd.h (min/max folds are
+  // order-insensitive, so results match the scalar walk bit for bit).
+  void MaxOverBatch(const int64_t* lo, const int64_t* hi, int64_t n,
+                    double* out) const;
+  void MinOverBatch(const int64_t* lo, const int64_t* hi, int64_t n,
+                    double* out) const;
+
   // Per-chunk artificial access cost in nanoseconds of busy-waiting; 0 by
   // default. Used by benchmarks to emulate disk-resident data, keeping the
   // Solver-fast / Validator-slow balance of the original system.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace dqr::array {
 namespace {
@@ -68,6 +69,27 @@ WindowAggregates Grid::AggregateRect(int64_t r0, int64_t r1, int64_t c0,
       ((r1 - 1) / ts - r0 / ts + 1) * ((c1 - 1) / ts - c0 / ts + 1);
   ChargeAccess(tiles, out.count);
   return out;
+}
+
+void Grid::MaxOverRectsBatch(const int64_t* r0, const int64_t* r1,
+                             const int64_t* c0, const int64_t* c1,
+                             int64_t n, double* out) const {
+  const int64_t ts = schema_.tile_size;
+  for (int64_t k = 0; k < n; ++k) {
+    DQR_CHECK(0 <= r0[k] && r0[k] < r1[k] && r1[k] <= schema_.rows);
+    DQR_CHECK(0 <= c0[k] && c0[k] < c1[k] && c1[k] <= schema_.cols);
+    const int64_t width = c1[k] - c0[k];
+    double mx = data_[static_cast<size_t>(r0[k] * schema_.cols + c0[k])];
+    for (int64_t r = r0[k]; r < r1[k]; ++r) {
+      const double* row =
+          &data_[static_cast<size_t>(r * schema_.cols + c0[k])];
+      mx = std::max(mx, simd::MaxReduce(row, width));
+    }
+    out[k] = mx;
+    const int64_t tiles = ((r1[k] - 1) / ts - r0[k] / ts + 1) *
+                          ((c1[k] - 1) / ts - c0[k] / ts + 1);
+    ChargeAccess(tiles, (r1[k] - r0[k]) * width);
+  }
 }
 
 void Grid::ChargeAccess(int64_t tiles, int64_t cells) const {

@@ -58,6 +58,16 @@ class Grid {
     return AggregateRect(r0, r1, c0, c1).max;
   }
 
+  // Exact maxima over a batch of rectangles:
+  // out[i] = max over [r0[i], r1[i]) x [c0[i], c1[i]). Values and
+  // per-rectangle access accounting are identical to calling MaxOver per
+  // rectangle; rows are folded with the SIMD kernels in common/simd.h
+  // (max folds are order-insensitive, so results match the scalar walk
+  // bit for bit).
+  void MaxOverRectsBatch(const int64_t* r0, const int64_t* r1,
+                         const int64_t* c0, const int64_t* c1, int64_t n,
+                         double* out) const;
+
   // Simulated I/O cost per touched tile (see Array).
   void set_tile_access_cost_ns(int64_t ns) { tile_cost_ns_ = ns; }
 

@@ -1,0 +1,262 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace dqr::simd {
+namespace {
+
+bool EnvDisablesSimd() {
+  const char* env = std::getenv("DQR_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+         std::strcmp(env, "scalar") == 0 || std::strcmp(env, "false") == 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled(!EnvDisablesSimd());
+  return enabled;
+}
+
+}  // namespace
+
+Kernel DetectedKernel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool have_avx2 = __builtin_cpu_supports("avx2") != 0;
+  return have_avx2 ? Kernel::kAvx2 : Kernel::kScalar;
+#elif defined(__aarch64__)
+  return Kernel::kNeon;  // NEON is baseline on aarch64
+#else
+  return Kernel::kScalar;
+#endif
+}
+
+bool SimdEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetSimdEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Kernel ActiveKernel() {
+  return SimdEnabled() ? DetectedKernel() : Kernel::kScalar;
+}
+
+std::string KernelName(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+// --- scalar --------------------------------------------------------------
+
+double MinReduceScalar(const double* v, int64_t n) {
+  double out = v[0];
+  for (int64_t i = 1; i < n; ++i) out = std::min(out, v[i]);
+  return out;
+}
+
+double MaxReduceScalar(const double* v, int64_t n) {
+  double out = v[0];
+  for (int64_t i = 1; i < n; ++i) out = std::max(out, v[i]);
+  return out;
+}
+
+void MinMaxReduceScalar(const double* mn, const double* mx, int64_t n,
+                        double* mn_out, double* mx_out) {
+  double lo = mn[0];
+  double hi = mx[0];
+  for (int64_t i = 1; i < n; ++i) {
+    lo = std::min(lo, mn[i]);
+    hi = std::max(hi, mx[i]);
+  }
+  *mn_out = lo;
+  *mx_out = hi;
+}
+
+// --- AVX2 ----------------------------------------------------------------
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+__attribute__((target("avx2"))) double MinReduceAvx2(const double* v,
+                                                     int64_t n) {
+  if (n < 8) return MinReduceScalar(v, n);
+  __m256d acc = _mm256_loadu_pd(v);
+  int64_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_min_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  if (i < n) acc = _mm256_min_pd(acc, _mm256_loadu_pd(v + n - 4));
+  const __m128d lo128 =
+      _mm_min_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  const __m128d lo64 = _mm_min_sd(lo128, _mm_unpackhi_pd(lo128, lo128));
+  return _mm_cvtsd_f64(lo64);
+}
+
+__attribute__((target("avx2"))) double MaxReduceAvx2(const double* v,
+                                                     int64_t n) {
+  if (n < 8) return MaxReduceScalar(v, n);
+  __m256d acc = _mm256_loadu_pd(v);
+  int64_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  if (i < n) acc = _mm256_max_pd(acc, _mm256_loadu_pd(v + n - 4));
+  const __m128d hi128 =
+      _mm_max_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  const __m128d hi64 = _mm_max_sd(hi128, _mm_unpackhi_pd(hi128, hi128));
+  return _mm_cvtsd_f64(hi64);
+}
+
+__attribute__((target("avx2"))) void MinMaxReduceAvx2(const double* mn,
+                                                      const double* mx,
+                                                      int64_t n,
+                                                      double* mn_out,
+                                                      double* mx_out) {
+  if (n < 8) {
+    MinMaxReduceScalar(mn, mx, n, mn_out, mx_out);
+    return;
+  }
+  __m256d lo = _mm256_loadu_pd(mn);
+  __m256d hi = _mm256_loadu_pd(mx);
+  int64_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    lo = _mm256_min_pd(lo, _mm256_loadu_pd(mn + i));
+    hi = _mm256_max_pd(hi, _mm256_loadu_pd(mx + i));
+  }
+  if (i < n) {
+    lo = _mm256_min_pd(lo, _mm256_loadu_pd(mn + n - 4));
+    hi = _mm256_max_pd(hi, _mm256_loadu_pd(mx + n - 4));
+  }
+  const __m128d lo128 =
+      _mm_min_pd(_mm256_castpd256_pd128(lo), _mm256_extractf128_pd(lo, 1));
+  const __m128d hi128 =
+      _mm_max_pd(_mm256_castpd256_pd128(hi), _mm256_extractf128_pd(hi, 1));
+  *mn_out = _mm_cvtsd_f64(_mm_min_sd(lo128, _mm_unpackhi_pd(lo128, lo128)));
+  *mx_out = _mm_cvtsd_f64(_mm_max_sd(hi128, _mm_unpackhi_pd(hi128, hi128)));
+}
+
+#endif  // x86_64
+
+// --- NEON ----------------------------------------------------------------
+
+#if defined(__aarch64__)
+
+double MinReduceNeon(const double* v, int64_t n) {
+  if (n < 4) return MinReduceScalar(v, n);
+  float64x2_t acc = vld1q_f64(v);
+  int64_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    acc = vminq_f64(acc, vld1q_f64(v + i));
+  }
+  if (i < n) acc = vminq_f64(acc, vld1q_f64(v + n - 2));
+  return vminvq_f64(acc);
+}
+
+double MaxReduceNeon(const double* v, int64_t n) {
+  if (n < 4) return MaxReduceScalar(v, n);
+  float64x2_t acc = vld1q_f64(v);
+  int64_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    acc = vmaxq_f64(acc, vld1q_f64(v + i));
+  }
+  if (i < n) acc = vmaxq_f64(acc, vld1q_f64(v + n - 2));
+  return vmaxvq_f64(acc);
+}
+
+void MinMaxReduceNeon(const double* mn, const double* mx, int64_t n,
+                      double* mn_out, double* mx_out) {
+  if (n < 4) {
+    MinMaxReduceScalar(mn, mx, n, mn_out, mx_out);
+    return;
+  }
+  float64x2_t lo = vld1q_f64(mn);
+  float64x2_t hi = vld1q_f64(mx);
+  int64_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    lo = vminq_f64(lo, vld1q_f64(mn + i));
+    hi = vmaxq_f64(hi, vld1q_f64(mx + i));
+  }
+  if (i < n) {
+    lo = vminq_f64(lo, vld1q_f64(mn + n - 2));
+    hi = vmaxq_f64(hi, vld1q_f64(mx + n - 2));
+  }
+  *mn_out = vminvq_f64(lo);
+  *mx_out = vmaxvq_f64(hi);
+}
+
+#endif  // aarch64
+
+// --- dispatch ------------------------------------------------------------
+
+double MinReduce(const double* v, int64_t n) {
+  DQR_CHECK(n >= 1);
+  switch (ActiveKernel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Kernel::kAvx2:
+      return MinReduceAvx2(v, n);
+#endif
+#if defined(__aarch64__)
+    case Kernel::kNeon:
+      return MinReduceNeon(v, n);
+#endif
+    default:
+      return MinReduceScalar(v, n);
+  }
+}
+
+double MaxReduce(const double* v, int64_t n) {
+  DQR_CHECK(n >= 1);
+  switch (ActiveKernel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Kernel::kAvx2:
+      return MaxReduceAvx2(v, n);
+#endif
+#if defined(__aarch64__)
+    case Kernel::kNeon:
+      return MaxReduceNeon(v, n);
+#endif
+    default:
+      return MaxReduceScalar(v, n);
+  }
+}
+
+void MinMaxReduce(const double* mn, const double* mx, int64_t n,
+                  double* mn_out, double* mx_out) {
+  DQR_CHECK(n >= 1);
+  switch (ActiveKernel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Kernel::kAvx2:
+      MinMaxReduceAvx2(mn, mx, n, mn_out, mx_out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Kernel::kNeon:
+      MinMaxReduceNeon(mn, mx, n, mn_out, mx_out);
+      return;
+#endif
+    default:
+      MinMaxReduceScalar(mn, mx, n, mn_out, mx_out);
+      return;
+  }
+}
+
+}  // namespace dqr::simd

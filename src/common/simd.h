@@ -1,0 +1,91 @@
+#ifndef DQR_COMMON_SIMD_H_
+#define DQR_COMMON_SIMD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dqr::simd {
+
+// Which instruction set the process dispatches min/max reduction kernels
+// to. Resolved once at startup from the CPU (AVX2 on x86-64, NEON on
+// aarch64) and the DQR_SIMD environment knob; the fuzz harness can flip
+// it per case via SetSimdEnabled to prove scalar == SIMD answers.
+//
+// All kernels are value-identical to the scalar std::min/std::max folds
+// for the data this system processes: min/max of a set is independent of
+// association order, the inputs contain no NaNs, and -0.0 vs +0.0
+// tie-breaking differences compare equal under ==. No kernel touches
+// sums — FP addition order is preserved by keeping summation scalar.
+enum class Kernel {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+// The kernel reductions dispatch to right now (kScalar when SIMD is
+// disabled or the CPU lacks the extension).
+Kernel ActiveKernel();
+std::string KernelName(Kernel kernel);
+
+// The best kernel this CPU supports, ignoring the enable switch.
+Kernel DetectedKernel();
+
+// Process-wide enable switch. Initialized from the DQR_SIMD environment
+// variable on first use ("off" / "0" / "scalar" / "false" disable);
+// SetSimdEnabled overrides it afterwards (used by the fuzz harness's
+// `simd` config dimension).
+bool SimdEnabled();
+void SetSimdEnabled(bool enabled);
+
+// RAII override for one fuzz case / test body.
+class ScopedSimdOverride {
+ public:
+  explicit ScopedSimdOverride(bool enabled)
+      : previous_(SimdEnabled()) {
+    SetSimdEnabled(enabled);
+  }
+  ~ScopedSimdOverride() { SetSimdEnabled(previous_); }
+  ScopedSimdOverride(const ScopedSimdOverride&) = delete;
+  ScopedSimdOverride& operator=(const ScopedSimdOverride&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// --- dispatched reductions (n >= 1) --------------------------------------
+
+// min / max over the contiguous range v[0, n).
+double MinReduce(const double* v, int64_t n);
+double MaxReduce(const double* v, int64_t n);
+
+// Fused: *mn_out = min(mn[0, n)), *mx_out = max(mx[0, n)). The two arrays
+// are walked in lockstep — the SoA ValueBounds hot path.
+void MinMaxReduce(const double* mn, const double* mx, int64_t n,
+                  double* mn_out, double* mx_out);
+
+// --- per-ISA entry points (kernel-dispatch tests) ------------------------
+// Each is always safe to *link*; calling an unsupported one is undefined
+// (guard with DetectedKernel()).
+
+double MinReduceScalar(const double* v, int64_t n);
+double MaxReduceScalar(const double* v, int64_t n);
+void MinMaxReduceScalar(const double* mn, const double* mx, int64_t n,
+                        double* mn_out, double* mx_out);
+
+#if defined(__x86_64__) || defined(_M_X64)
+double MinReduceAvx2(const double* v, int64_t n);
+double MaxReduceAvx2(const double* v, int64_t n);
+void MinMaxReduceAvx2(const double* mn, const double* mx, int64_t n,
+                      double* mn_out, double* mx_out);
+#endif
+
+#if defined(__aarch64__)
+double MinReduceNeon(const double* v, int64_t n);
+double MaxReduceNeon(const double* v, int64_t n);
+void MinMaxReduceNeon(const double* mn, const double* mx, int64_t n,
+                      double* mn_out, double* mx_out);
+#endif
+
+}  // namespace dqr::simd
+
+#endif  // DQR_COMMON_SIMD_H_

@@ -76,4 +76,16 @@ std::vector<double> ConstraintBundle::EvaluateAll(
   return values;
 }
 
+std::vector<std::vector<double>> ConstraintBundle::EvaluateAllBatch(
+    const std::vector<const std::vector<int64_t>*>& points) {
+  std::vector<std::vector<double>> values(
+      points.size(), std::vector<double>(constraints_.size()));
+  std::vector<double> column(points.size());
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    constraints_[c]->function().EvaluateBatch(points, column.data());
+    for (size_t i = 0; i < points.size(); ++i) values[i][c] = column[i];
+  }
+  return values;
+}
+
 }  // namespace dqr::core

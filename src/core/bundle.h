@@ -43,6 +43,14 @@ class ConstraintBundle {
   // Exact per-constraint values at a bound assignment (Validator side).
   std::vector<double> EvaluateAll(const std::vector<int64_t>& point);
 
+  // Exact values for a batch of bound assignments: result[i] is
+  // EvaluateAll(*points[i]). Each constraint function sees the whole
+  // batch at once (ConstraintFunction::EvaluateBatch), letting it share
+  // one SIMD pass over the base data; values are identical to the
+  // one-at-a-time path.
+  std::vector<std::vector<double>> EvaluateAllBatch(
+      const std::vector<const std::vector<int64_t>*>& points);
+
   // Sum of every constraint function's memo-cache counters; folded into
   // the owning thread's RunStats when the bundle retires.
   cp::FunctionMemoStats MemoStats() const;

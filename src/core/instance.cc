@@ -571,50 +571,102 @@ struct InstanceRunner::Impl {
                         cfg.options->trace_buffer_events);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &validator_stats);
-    while (std::optional<Candidate> cand = queue.Pop()) {
-      if (InjectValidateFault(*cand, tracer)) break;
-      {
-        obs::SpanScope span = tracer.Scope(obs::EventName::kValidate);
-        ProcessCandidate(bundle, *cand, tracer);
+    // Candidates validate in batches: the fault hook and pre-validation
+    // check run per candidate in pop order, then the survivors are
+    // evaluated together — one (SIMD) pass per constraint over the base
+    // data instead of one per candidate — and finished in pop order.
+    constexpr size_t kValidateBatch = 8;
+    std::vector<Candidate> batch;
+    std::vector<size_t> survivors;
+    while (queue.PopBatch(kValidateBatch, &batch)) {
+      survivors.clear();
+      size_t crashed_at = batch.size();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (InjectValidateFault(batch[i], tracer)) {
+          crashed_at = i;
+          break;
+        }
+        if (!PrecheckDrop(batch[i])) survivors.push_back(i);
       }
-      queue.FinishedCurrent();
+      if (crashed_at < batch.size()) {
+        // The hook stashed batch[crashed_at] itself; park the prechecked-
+        // but-unevaluated survivors and the untouched tail too, so
+        // recovery revalidates everything this batch popped but never
+        // finished. Precheck drops are final: their best case cannot
+        // qualify under the current (or any tighter) MRP/MRK, so a
+        // revalidation elsewhere could only drop them again.
+        std::lock_guard<std::mutex> lock(stash_mu);
+        for (size_t i : survivors) stash.push_back(std::move(batch[i]));
+        for (size_t i = crashed_at + 1; i < batch.size(); ++i) {
+          stash.push_back(std::move(batch[i]));
+        }
+        break;
+      }
+      if (!survivors.empty()) {
+        obs::SpanScope span = tracer.Scope(obs::EventName::kValidate);
+        std::vector<const std::vector<int64_t>*> points;
+        points.reserve(survivors.size());
+        for (size_t i : survivors) points.push_back(&batch[i].point);
+        std::vector<std::vector<double>> values =
+            bundle.EvaluateAllBatch(points);
+        if (survivors.size() >= 2) {
+          ++validator_stats.validate_batches;
+          validator_stats.validate_batched_candidates +=
+              static_cast<int64_t>(survivors.size());
+        }
+        for (size_t k = 0; k < survivors.size(); ++k) {
+          FinishCandidate(batch[survivors[k]], std::move(values[k]),
+                          tracer);
+        }
+      }
+      queue.FinishedN(batch.size());
     }
   }
 
-  void ProcessCandidate(ConstraintBundle& bundle, const Candidate& cand,
-                        obs::ThreadTracer& tracer) {
+  // Pre-validation check (§4): avoid the expensive exact evaluation if
+  // the candidate's best case already cannot qualify. Returns true when
+  // the candidate was dropped (and counted). Safe to run before earlier
+  // candidates of the same batch finish: MRP/MRK only tighten over time,
+  // so checking earlier can only drop fewer candidates, and any dropped
+  // candidate would also be rejected by the tracker at insertion time.
+  bool PrecheckDrop(const Candidate& cand) {
+    if (!RefinementActive()) return false;
+    RunStats& stats = validator_stats;
+    const QueryPhase phase = cfg.coordinator->CurrentPhase();
+    if (phase == QueryPhase::kCollecting &&
+        cand.brp > cfg.coordinator->CurrentMrp()) {
+      ++stats.dropped_precheck;
+      return true;
+    }
+    if (phase == QueryPhase::kConstraining) {
+      if (cfg.options->constrain == ConstrainMode::kRank &&
+          cand.brk < cfg.coordinator->CurrentMrk()) {
+        ++stats.dropped_precheck;
+        return true;
+      }
+      if (cfg.options->constrain == ConstrainMode::kSkyline &&
+          cfg.coordinator->SkylineDominatesBox(
+              cfg.rank->BestCornerForSkyline(cand.estimates))) {
+        ++stats.dropped_precheck;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Publishes one exactly evaluated candidate — penalty/rank, tracker
+  // insertion, progress and tracing — with the per-constraint values
+  // precomputed by the batch evaluation.
+  void FinishCandidate(const Candidate& cand, std::vector<double> values,
+                       obs::ThreadTracer& tracer) {
     RunStats& stats = validator_stats;
     const bool refined = RefinementActive();
     const QueryPhase phase = cfg.coordinator->CurrentPhase();
 
-    // Pre-validation check (§4): avoid the expensive exact evaluation if
-    // the candidate's best case already cannot qualify.
-    if (refined) {
-      if (phase == QueryPhase::kCollecting &&
-          cand.brp > cfg.coordinator->CurrentMrp()) {
-        ++stats.dropped_precheck;
-        return;
-      }
-      if (phase == QueryPhase::kConstraining) {
-        if (cfg.options->constrain == ConstrainMode::kRank &&
-            cand.brk < cfg.coordinator->CurrentMrk()) {
-          ++stats.dropped_precheck;
-          return;
-        }
-        if (cfg.options->constrain == ConstrainMode::kSkyline &&
-            cfg.coordinator->SkylineDominatesBox(
-                cfg.rank->BestCornerForSkyline(cand.estimates))) {
-          ++stats.dropped_precheck;
-          return;
-        }
-      }
-    }
-
-    // Exact evaluation over the base data.
     ++stats.validated;
     Solution solution;
     solution.point = cand.point;
-    solution.values = bundle.EvaluateAll(cand.point);
+    solution.values = std::move(values);
     solution.rp = cfg.penalty->Penalty(solution.values);
     solution.rk = cfg.rank->Rank(solution.values);
     if (solution.rp != 0.0) {

@@ -84,6 +84,10 @@ namespace dqr::core {
     "Worst single component's peak recorded-fail count")                     \
   X(int64_t, candidates, 0, SUM, "Candidates emitted by solvers")            \
   X(int64_t, validated, 0, SUM, "Candidates exactly evaluated")              \
+  X(int64_t, validate_batches, 0, SUM,                                       \
+    "Multi-candidate exact-evaluation batches executed")                     \
+  X(int64_t, validate_batched_candidates, 0, SUM,                            \
+    "Candidates evaluated inside a multi-candidate batch")                   \
   X(int64_t, dropped_precheck, 0, SUM,                                       \
     "Candidates dropped by the pre-validation check")                        \
   X(int64_t, false_positives, 0, SUM,                                        \

@@ -73,6 +73,17 @@ class ConstraintFunction {
   // Used by the Validator; counts as (simulated) I/O.
   virtual double Evaluate(const std::vector<int64_t>& point) = 0;
 
+  // Exact values at a batch of fully bound assignments:
+  // out[i] = Evaluate(*points[i]), out must hold points.size() doubles.
+  // The default loops Evaluate; implementations may override with a
+  // vectorized kernel, but the values (and the simulated I/O charged per
+  // point) must be identical to the one-at-a-time path — batching is an
+  // optimization, never a semantic change.
+  virtual void EvaluateBatch(
+      const std::vector<const std::vector<int64_t>*>& points, double* out) {
+    for (size_t i = 0; i < points.size(); ++i) out[i] = Evaluate(*points[i]);
+  }
+
   // Static range of possible f values, derived from domain knowledge
   // (e.g. signal amplitudes lie in [50, 250]). Normalizes relaxation
   // distances and ranks, and acts as the hard relaxation limit (§3.1).

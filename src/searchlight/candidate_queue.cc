@@ -69,11 +69,36 @@ std::optional<Candidate> CandidateQueue::Pop() {
   return c;
 }
 
-void CandidateQueue::FinishedCurrent() {
+void CandidateQueue::FinishedCurrent() { FinishedN(1); }
+
+bool CandidateQueue::PopBatch(size_t max_n, std::vector<Candidate>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] {
+    return closed_ || aborted_ || !fifo_.empty() || !heap_.empty();
+  });
+  if (aborted_) return false;
+  while (out->size() < max_n) {
+    if (order_ == Order::kFifo) {
+      if (fifo_.empty()) break;
+      out->push_back(std::move(fifo_.front()));
+      fifo_.pop_front();
+    } else {
+      if (heap_.empty()) break;
+      out->push_back(HeapPop());
+    }
+  }
+  if (out->empty()) return false;  // closed and drained
+  in_flight_ += static_cast<int>(out->size());
+  not_full_.notify_all();
+  return true;
+}
+
+void CandidateQueue::FinishedN(size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   if (aborted_) return;
-  DQR_CHECK(in_flight_ > 0);
-  --in_flight_;
+  DQR_CHECK(in_flight_ >= static_cast<int>(n));
+  in_flight_ -= static_cast<int>(n);
   if (fifo_.empty() && heap_.empty() && in_flight_ == 0) {
     drained_.notify_all();
   }

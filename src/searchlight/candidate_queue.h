@@ -49,6 +49,17 @@ class CandidateQueue {
   // Marks the most recently popped candidate as fully processed.
   void FinishedCurrent();
 
+  // Dequeues up to `max_n` candidates into `out` (cleared first): blocks
+  // for the first like Pop, then drains whatever is immediately available
+  // without further waiting (heap order preserved under kPriority).
+  // Returns false with `out` empty once the queue is closed and drained,
+  // or aborted. Every popped candidate counts as in-flight until
+  // FinishedN accounts for it.
+  bool PopBatch(size_t max_n, std::vector<Candidate>* out);
+
+  // Marks `n` previously popped candidates as fully processed.
+  void FinishedN(size_t n);
+
   // Blocks until the queue is empty and no candidate is being processed.
   void WaitDrained();
 

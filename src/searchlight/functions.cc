@@ -324,6 +324,24 @@ double MaxFunction::Evaluate(const std::vector<int64_t>& point) {
   return array().MaxOver(x, hi);
 }
 
+void MaxFunction::EvaluateBatch(
+    const std::vector<const std::vector<int64_t>*>& points, double* out) {
+  const int64_t n = static_cast<int64_t>(points.size());
+  std::vector<int64_t> lo(points.size());
+  std::vector<int64_t> hi(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    CountEvaluate();
+    const std::vector<int64_t>& point = *points[i];
+    const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+    const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+    const int64_t end = std::min(array_length(), x + l);
+    DQR_CHECK(x >= 0 && end > x);
+    lo[i] = x;
+    hi[i] = end;
+  }
+  array().MaxOverBatch(lo.data(), hi.data(), n, out);
+}
+
 // ---------------------------------------------------------------------
 // MinFunction
 
@@ -353,6 +371,24 @@ double MinFunction::Evaluate(const std::vector<int64_t>& point) {
   const int64_t hi = std::min(array_length(), x + l);
   DQR_CHECK(x >= 0 && hi > x);
   return array().AggregateWindow(x, hi).min;
+}
+
+void MinFunction::EvaluateBatch(
+    const std::vector<const std::vector<int64_t>*>& points, double* out) {
+  const int64_t n = static_cast<int64_t>(points.size());
+  std::vector<int64_t> lo(points.size());
+  std::vector<int64_t> hi(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    CountEvaluate();
+    const std::vector<int64_t>& point = *points[i];
+    const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+    const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+    const int64_t end = std::min(array_length(), x + l);
+    DQR_CHECK(x >= 0 && end > x);
+    lo[i] = x;
+    hi[i] = end;
+  }
+  array().MinOverBatch(lo.data(), hi.data(), n, out);
 }
 
 // ---------------------------------------------------------------------
@@ -437,6 +473,46 @@ double NeighborhoodContrastFunction::Evaluate(
   if (nb_lo >= nb_hi) return 0.0;
   const double nbhd = array().MaxOver(nb_lo, nb_hi);
   return std::abs(main - nbhd);
+}
+
+void NeighborhoodContrastFunction::EvaluateBatch(
+    const std::vector<const std::vector<int64_t>*>& points, double* out) {
+  const size_t n = points.size();
+  std::vector<int64_t> main_lo(n);
+  std::vector<int64_t> main_hi(n);
+  std::vector<int64_t> nb_lo;
+  std::vector<int64_t> nb_hi;
+  std::vector<size_t> nb_owner;  // point index of each neighborhood window
+  for (size_t i = 0; i < n; ++i) {
+    CountEvaluate();
+    const std::vector<int64_t>& point = *points[i];
+    const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+    const int64_t l = point[static_cast<size_t>(ctx().len_var)];
+    const int64_t end = std::min(array_length(), x + l);
+    DQR_CHECK(x >= 0 && end > x);
+    main_lo[i] = x;
+    main_hi[i] = end;
+    const auto [b, e] = NeighborhoodFor(x, l);
+    if (b < e) {
+      nb_lo.push_back(b);
+      nb_hi.push_back(e);
+      nb_owner.push_back(i);
+    }
+  }
+  // The scalar path reads the main window even when the neighborhood is
+  // empty (and then returns 0), so the batch must charge it for every
+  // point too.
+  std::vector<double> main_max(n);
+  array().MaxOverBatch(main_lo.data(), main_hi.data(),
+                       static_cast<int64_t>(n), main_max.data());
+  std::fill(out, out + n, 0.0);
+  if (nb_lo.empty()) return;
+  std::vector<double> nb_max(nb_lo.size());
+  array().MaxOverBatch(nb_lo.data(), nb_hi.data(),
+                       static_cast<int64_t>(nb_lo.size()), nb_max.data());
+  for (size_t k = 0; k < nb_owner.size(); ++k) {
+    out[nb_owner[k]] = std::abs(main_max[nb_owner[k]] - nb_max[k]);
+  }
 }
 
 }  // namespace dqr::searchlight

@@ -195,6 +195,9 @@ class MaxFunction : public WindowFunction {
   std::string name() const override { return "max"; }
   Interval Estimate(const cp::DomainBox& box) override;
   double Evaluate(const std::vector<int64_t>& point) override;
+  // Batched windows share one SIMD pass over the base array.
+  void EvaluateBatch(const std::vector<const std::vector<int64_t>*>& points,
+                     double* out) override;
   std::unique_ptr<cp::ConstraintFunction> Clone() const override {
     return std::make_unique<MaxFunction>(ctx());
   }
@@ -209,6 +212,9 @@ class MinFunction : public WindowFunction {
   std::string name() const override { return "min"; }
   Interval Estimate(const cp::DomainBox& box) override;
   double Evaluate(const std::vector<int64_t>& point) override;
+  // Batched windows share one SIMD pass over the base array.
+  void EvaluateBatch(const std::vector<const std::vector<int64_t>*>& points,
+                     double* out) override;
   std::unique_ptr<cp::ConstraintFunction> Clone() const override {
     return std::make_unique<MinFunction>(ctx());
   }
@@ -229,6 +235,10 @@ class NeighborhoodContrastFunction : public WindowFunction {
   }
   Interval Estimate(const cp::DomainBox& box) override;
   double Evaluate(const std::vector<int64_t>& point) override;
+  // Main windows and non-empty neighborhoods are gathered into one SIMD
+  // batch each; empty neighborhoods keep their scalar value of 0.
+  void EvaluateBatch(const std::vector<const std::vector<int64_t>*>& points,
+                     double* out) override;
   std::unique_ptr<cp::ConstraintFunction> Clone() const override {
     return std::make_unique<NeighborhoodContrastFunction>(ctx(), side_,
                                                           width_);

@@ -204,6 +204,26 @@ double RectMaxFunction::Evaluate(const std::vector<int64_t>& point) {
   return grid().MaxOver(y, r1, x, c1);
 }
 
+void RectMaxFunction::EvaluateBatch(
+    const std::vector<const std::vector<int64_t>*>& points, double* out) {
+  const size_t n = points.size();
+  std::vector<int64_t> r0(n), r1(n), c0(n), c1(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<int64_t>& point = *points[i];
+    const int64_t y = point[static_cast<size_t>(ctx().y_var)];
+    const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+    const int64_t h = point[static_cast<size_t>(ctx().h_var)];
+    const int64_t w = point[static_cast<size_t>(ctx().w_var)];
+    r0[i] = y;
+    r1[i] = std::min(grid_rows(), y + h);
+    c0[i] = x;
+    c1[i] = std::min(grid_cols(), x + w);
+    DQR_CHECK(r1[i] > y && c1[i] > x);
+  }
+  grid().MaxOverRectsBatch(r0.data(), r1.data(), c0.data(), c1.data(),
+                           static_cast<int64_t>(n), out);
+}
+
 // ---------------------------------------------------------------------
 // RectContrastFunction
 
@@ -282,6 +302,48 @@ double RectContrastFunction::Evaluate(const std::vector<int64_t>& point) {
   if (nb_c0 >= nb_c1) return 0.0;
   const double nbhd = grid().MaxOver(y, r1, nb_c0, nb_c1);
   return std::abs(main - nbhd);
+}
+
+void RectContrastFunction::EvaluateBatch(
+    const std::vector<const std::vector<int64_t>*>& points, double* out) {
+  const size_t n = points.size();
+  std::vector<int64_t> mr0(n), mr1(n), mc0(n), mc1(n);
+  std::vector<int64_t> nr0, nr1, nc0, nc1;
+  std::vector<size_t> nb_owner;  // point index of each neighborhood band
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<int64_t>& point = *points[i];
+    const int64_t y = point[static_cast<size_t>(ctx().y_var)];
+    const int64_t x = point[static_cast<size_t>(ctx().x_var)];
+    const int64_t h = point[static_cast<size_t>(ctx().h_var)];
+    const int64_t w = point[static_cast<size_t>(ctx().w_var)];
+    mr0[i] = y;
+    mr1[i] = std::min(grid_rows(), y + h);
+    mc0[i] = x;
+    mc1[i] = std::min(grid_cols(), x + w);
+    DQR_CHECK(mr1[i] > y && mc1[i] > x);
+    const auto [nb_c0, nb_c1] = NeighborhoodCols(x, w);
+    if (nb_c0 < nb_c1) {
+      nr0.push_back(y);
+      nr1.push_back(mr1[i]);
+      nc0.push_back(nb_c0);
+      nc1.push_back(nb_c1);
+      nb_owner.push_back(i);
+    }
+  }
+  // The scalar path reads the main rectangle even when the band is empty
+  // (and then returns 0), so the batch must charge it for every point.
+  std::vector<double> main_max(n);
+  grid().MaxOverRectsBatch(mr0.data(), mr1.data(), mc0.data(), mc1.data(),
+                           static_cast<int64_t>(n), main_max.data());
+  std::fill(out, out + n, 0.0);
+  if (nb_owner.empty()) return;
+  std::vector<double> nb_max(nb_owner.size());
+  grid().MaxOverRectsBatch(nr0.data(), nr1.data(), nc0.data(), nc1.data(),
+                           static_cast<int64_t>(nb_owner.size()),
+                           nb_max.data());
+  for (size_t k = 0; k < nb_owner.size(); ++k) {
+    out[nb_owner[k]] = std::abs(main_max[nb_owner[k]] - nb_max[k]);
+  }
 }
 
 }  // namespace dqr::searchlight

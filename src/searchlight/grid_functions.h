@@ -109,6 +109,9 @@ class RectMaxFunction : public RectFunction {
   std::string name() const override { return "rect_max"; }
   Interval Estimate(const cp::DomainBox& box) override;
   double Evaluate(const std::vector<int64_t>& point) override;
+  // Batched rectangles share one SIMD pass over the base grid.
+  void EvaluateBatch(const std::vector<const std::vector<int64_t>*>& points,
+                     double* out) override;
   std::unique_ptr<cp::ConstraintFunction> Clone() const override {
     return std::make_unique<RectMaxFunction>(ctx());
   }
@@ -129,6 +132,10 @@ class RectContrastFunction : public RectFunction {
   }
   Interval Estimate(const cp::DomainBox& box) override;
   double Evaluate(const std::vector<int64_t>& point) override;
+  // Main rectangles and non-empty neighborhood bands are gathered into
+  // one SIMD batch each; empty bands keep their scalar value of 0.
+  void EvaluateBatch(const std::vector<const std::vector<int64_t>*>& points,
+                     double* out) override;
   std::unique_ptr<cp::ConstraintFunction> Clone() const override {
     return std::make_unique<RectContrastFunction>(ctx(), side_, width_);
   }

@@ -1,12 +1,25 @@
 #include "synopsis/grid_synopsis.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace dqr::synopsis {
+namespace {
+
+// floor(log2(v)) for v >= 1 without shift/UB hazards.
+inline int64_t Log2Floor(int64_t v) {
+  DQR_CHECK(v >= 1);
+  return static_cast<int64_t>(std::bit_width(static_cast<uint64_t>(v))) - 1;
+}
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
 
 double GridSynopsis::Level::BlockSum(int64_t i0, int64_t i1, int64_t j0,
                                      int64_t j1) const {
@@ -16,6 +29,265 @@ double GridSynopsis::Level::BlockSum(int64_t i0, int64_t i1, int64_t j0,
     return prefix_sum[static_cast<size_t>(i * stride + j)];
   };
   return at(i1, j1) - at(i0, j1) - at(i1, j0) + at(i0, j0);
+}
+
+void GridSynopsis::BuildLevelFromGrid(Level* level,
+                                      const array::Grid& grid) {
+  const int64_t cs = level->cell_size;
+  level->cell_rows = CeilDiv(grid.rows(), cs);
+  level->cell_cols = CeilDiv(grid.cols(), cs);
+  const size_t n =
+      static_cast<size_t>(level->cell_rows * level->cell_cols);
+  level->min.reserve(n);
+  level->max.reserve(n);
+  level->sum.reserve(n);
+  for (int64_t i = 0; i < level->cell_rows; ++i) {
+    for (int64_t j = 0; j < level->cell_cols; ++j) {
+      const int64_t r0 = i * cs;
+      const int64_t r1 = std::min(grid.rows(), r0 + cs);
+      const int64_t c0 = j * cs;
+      const int64_t c1 = std::min(grid.cols(), c0 + cs);
+      const array::WindowAggregates agg = grid.AggregateRect(r0, r1, c0, c1);
+      level->min.push_back(agg.min);
+      level->max.push_back(agg.max);
+      level->sum.push_back(agg.sum);
+    }
+  }
+}
+
+void GridSynopsis::BuildLevelFromFiner(Level* level, const Level& finer,
+                                       int64_t rows, int64_t cols) {
+  const int64_t cs = level->cell_size;
+  DQR_CHECK(cs % finer.cell_size == 0);
+  const int64_t ratio = cs / finer.cell_size;
+  level->cell_rows = CeilDiv(rows, cs);
+  level->cell_cols = CeilDiv(cols, cs);
+  const size_t n =
+      static_cast<size_t>(level->cell_rows * level->cell_cols);
+  level->min.reserve(n);
+  level->max.reserve(n);
+  level->sum.reserve(n);
+  // Because cs is a multiple of the finer cell size, the finer cells
+  // [i * ratio, (i + 1) * ratio) x [j * ratio, (j + 1) * ratio) tile this
+  // cell exactly (the grid edge just shortens the last finer row/column),
+  // so min/max aggregate exactly and sums differ from a base scan only by
+  // FP association.
+  const int64_t fcc = finer.cell_cols;
+  for (int64_t i = 0; i < level->cell_rows; ++i) {
+    const int64_t fi0 = i * ratio;
+    const int64_t fi1 = std::min(finer.cell_rows, fi0 + ratio);
+    for (int64_t j = 0; j < level->cell_cols; ++j) {
+      const int64_t fj0 = j * ratio;
+      const int64_t fj1 = std::min(finer.cell_cols, fj0 + ratio);
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      double sm = 0.0;
+      for (int64_t fi = fi0; fi < fi1; ++fi) {
+        const size_t base = static_cast<size_t>(fi * fcc);
+        double row_mn;
+        double row_mx;
+        simd::MinMaxReduce(finer.min.data() + base + fj0,
+                           finer.max.data() + base + fj0, fj1 - fj0,
+                           &row_mn, &row_mx);
+        mn = std::min(mn, row_mn);
+        mx = std::max(mx, row_mx);
+        for (int64_t fj = fj0; fj < fj1; ++fj) {
+          sm += finer.sum[base + static_cast<size_t>(fj)];
+        }
+      }
+      level->min.push_back(mn);
+      level->max.push_back(mx);
+      level->sum.push_back(sm);
+    }
+  }
+}
+
+void GridSynopsis::FinalizeLevel(Level* level, bool is_coarsest) const {
+  const int64_t cr = level->cell_rows;
+  const int64_t cc = level->cell_cols;
+
+  const uint64_t cs_u = static_cast<uint64_t>(level->cell_size);
+  level->cell_shift =
+      std::has_single_bit(cs_u) ? Log2Floor(level->cell_size) : -1;
+
+  // 2-D prefix sums of cell sums, accumulated exactly like the original
+  // row-major walk (per-row running sum added to the row above).
+  const int64_t stride = cc + 1;
+  level->prefix_sum.assign(static_cast<size_t>((cr + 1) * stride), 0.0);
+  for (int64_t i = 0; i < cr; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < cc; ++j) {
+      row_sum += level->sum[static_cast<size_t>(i * cc + j)];
+      level->prefix_sum[static_cast<size_t>((i + 1) * stride + j + 1)] =
+          level->prefix_sum[static_cast<size_t>(i * stride + j + 1)] +
+          row_sum;
+    }
+  }
+
+  // Sparse-table extents. Non-coarsest levels are picked only when the
+  // query's overlapped-cell estimate fits the budget, which bounds the
+  // per-dimension cell span by max_cells_per_query_; the coarsest level
+  // absorbs everything else and gets the full table.
+  level->block_rows = CeilDiv(cr, kRmqBlock);
+  level->block_cols = CeilDiv(cc, kRmqBlock);
+  const int64_t cap_r = is_coarsest ? cr : std::min(cr, max_cells_per_query_);
+  const int64_t cap_c = is_coarsest ? cc : std::min(cc, max_cells_per_query_);
+  const int64_t max_blocks_r =
+      std::clamp<int64_t>(cap_r / kRmqBlock, 1, level->block_rows);
+  const int64_t max_blocks_c =
+      std::clamp<int64_t>(cap_c / kRmqBlock, 1, level->block_cols);
+  level->rmq_rows_r = Log2Floor(max_blocks_r) + 1;
+  level->rmq_rows_c = Log2Floor(max_blocks_c) + 1;
+
+  const int64_t br = level->block_rows;
+  const int64_t bc = level->block_cols;
+  level->rmq.assign(static_cast<size_t>(level->rmq_rows_r *
+                                        level->rmq_rows_c * br * bc * 2),
+                    0.0);
+  const auto entry = [&](int64_t kr, int64_t kc, int64_t i,
+                         int64_t j) -> double* {
+    return level->rmq.data() +
+           (((kr * level->rmq_rows_c + kc) * br + i) * bc + j) * 2;
+  };
+
+  // (0, 0): block aggregates straight from the cell planes.
+  for (int64_t bi = 0; bi < br; ++bi) {
+    const int64_t i0 = bi * kRmqBlock;
+    const int64_t i1 = std::min(cr, i0 + kRmqBlock);
+    for (int64_t bj = 0; bj < bc; ++bj) {
+      const int64_t j0 = bj * kRmqBlock;
+      const int64_t j1 = std::min(cc, j0 + kRmqBlock);
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      for (int64_t i = i0; i < i1; ++i) {
+        const size_t base = static_cast<size_t>(i * cc);
+        double row_mn;
+        double row_mx;
+        simd::MinMaxReduce(level->min.data() + base + j0,
+                           level->max.data() + base + j0, j1 - j0, &row_mn,
+                           &row_mx);
+        mn = std::min(mn, row_mn);
+        mx = std::max(mx, row_mx);
+      }
+      double* e = entry(0, 0, bi, bj);
+      e[0] = mn;
+      e[1] = mx;
+    }
+  }
+  // (0, kc): double along the column dimension. Entries that would run
+  // off the end copy the clamped window.
+  for (int64_t kc = 1; kc < level->rmq_rows_c; ++kc) {
+    const int64_t half = int64_t{1} << (kc - 1);
+    for (int64_t bi = 0; bi < br; ++bi) {
+      for (int64_t bj = 0; bj < bc; ++bj) {
+        const double* a = entry(0, kc - 1, bi, bj);
+        const double* b =
+            entry(0, kc - 1, bi, std::min(bc - 1, bj + half));
+        double* e = entry(0, kc, bi, bj);
+        if (bj + half < bc) {
+          e[0] = std::min(a[0], b[0]);
+          e[1] = std::max(a[1], b[1]);
+        } else {
+          e[0] = a[0];
+          e[1] = a[1];
+        }
+      }
+    }
+  }
+  // (kr, kc) for kr >= 1: double along the row dimension on top of every
+  // column power.
+  for (int64_t kr = 1; kr < level->rmq_rows_r; ++kr) {
+    const int64_t half = int64_t{1} << (kr - 1);
+    for (int64_t kc = 0; kc < level->rmq_rows_c; ++kc) {
+      for (int64_t bi = 0; bi < br; ++bi) {
+        for (int64_t bj = 0; bj < bc; ++bj) {
+          const double* a = entry(kr - 1, kc, bi, bj);
+          const double* b =
+              entry(kr - 1, kc, std::min(br - 1, bi + half), bj);
+          double* e = entry(kr, kc, bi, bj);
+          if (bi + half < br) {
+            e[0] = std::min(a[0], b[0]);
+            e[1] = std::max(a[1], b[1]);
+          } else {
+            e[0] = a[0];
+            e[1] = a[1];
+          }
+        }
+      }
+    }
+  }
+
+  // Per-row / per-column 1-D doubling tables (fringe + boundary strips).
+  // Entry layout documented on Level: {min(min), max(max), max(min),
+  // min(max)} per (power, line, start) position.
+  level->rmq1_rows_c = Log2Floor(cap_c) + 1;
+  level->rmq1_rows_r = Log2Floor(cap_r) + 1;
+  level->rmq_row.assign(
+      static_cast<size_t>(level->rmq1_rows_c * cr * cc * 4), 0.0);
+  level->rmq_col.assign(
+      static_cast<size_t>(level->rmq1_rows_r * cr * cc * 4), 0.0);
+  const auto row_entry = [&](int64_t k, int64_t i, int64_t j) -> double* {
+    return level->rmq_row.data() + ((k * cr + i) * cc + j) * 4;
+  };
+  const auto col_entry = [&](int64_t k, int64_t j, int64_t i) -> double* {
+    return level->rmq_col.data() + ((k * cc + j) * cr + i) * 4;
+  };
+  for (int64_t i = 0; i < cr; ++i) {
+    for (int64_t j = 0; j < cc; ++j) {
+      const double mn = level->min[static_cast<size_t>(i * cc + j)];
+      const double mx = level->max[static_cast<size_t>(i * cc + j)];
+      double* r = row_entry(0, i, j);
+      r[0] = mn;
+      r[1] = mx;
+      r[2] = mn;
+      r[3] = mx;
+      double* c = col_entry(0, j, i);
+      c[0] = mn;
+      c[1] = mx;
+      c[2] = mn;
+      c[3] = mx;
+    }
+  }
+  const auto combine = [](const double* a, const double* b, double* e) {
+    e[0] = std::min(a[0], b[0]);
+    e[1] = std::max(a[1], b[1]);
+    e[2] = std::max(a[2], b[2]);
+    e[3] = std::min(a[3], b[3]);
+  };
+  const auto copy4 = [](const double* a, double* e) {
+    e[0] = a[0];
+    e[1] = a[1];
+    e[2] = a[2];
+    e[3] = a[3];
+  };
+  for (int64_t k = 1; k < level->rmq1_rows_c; ++k) {
+    const int64_t half = int64_t{1} << (k - 1);
+    for (int64_t i = 0; i < cr; ++i) {
+      for (int64_t j = 0; j < cc; ++j) {
+        const double* a = row_entry(k - 1, i, j);
+        double* e = row_entry(k, i, j);
+        if (j + half < cc) {
+          combine(a, row_entry(k - 1, i, j + half), e);
+        } else {
+          copy4(a, e);
+        }
+      }
+    }
+  }
+  for (int64_t k = 1; k < level->rmq1_rows_r; ++k) {
+    const int64_t half = int64_t{1} << (k - 1);
+    for (int64_t j = 0; j < cc; ++j) {
+      for (int64_t i = 0; i < cr; ++i) {
+        const double* a = col_entry(k - 1, j, i);
+        double* e = col_entry(k, j, i);
+        if (i + half < cr) {
+          combine(a, col_entry(k - 1, j, i + half), e);
+        } else {
+          copy4(a, e);
+        }
+      }
+    }
+  }
 }
 
 Result<std::shared_ptr<GridSynopsis>> GridSynopsis::Build(
@@ -43,58 +315,173 @@ Result<std::shared_ptr<GridSynopsis>> GridSynopsis::Build(
   syn->cols_ = grid.cols();
   syn->max_cells_per_query_ = options.max_cells_per_query;
 
-  for (const int64_t cell_size : options.cell_sizes) {
-    Level level;
-    level.cell_size = cell_size;
-    level.cell_rows = (grid.rows() + cell_size - 1) / cell_size;
-    level.cell_cols = (grid.cols() + cell_size - 1) / cell_size;
-    level.cells.reserve(
-        static_cast<size_t>(level.cell_rows * level.cell_cols));
-    for (int64_t i = 0; i < level.cell_rows; ++i) {
-      for (int64_t j = 0; j < level.cell_cols; ++j) {
-        const int64_t r0 = i * cell_size;
-        const int64_t r1 = std::min(grid.rows(), r0 + cell_size);
-        const int64_t c0 = j * cell_size;
-        const int64_t c1 = std::min(grid.cols(), c0 + cell_size);
-        const array::WindowAggregates agg =
-            grid.AggregateRect(r0, r1, c0, c1);
-        level.cells.push_back({agg.min, agg.max, agg.sum});
-      }
-    }
-    // 2-D prefix sums of cell sums.
-    const int64_t stride = level.cell_cols + 1;
-    level.prefix_sum.assign(
-        static_cast<size_t>((level.cell_rows + 1) * stride), 0.0);
-    for (int64_t i = 0; i < level.cell_rows; ++i) {
-      double row_sum = 0.0;
-      for (int64_t j = 0; j < level.cell_cols; ++j) {
-        row_sum += level.cell(i, j).sum;
-        level.prefix_sum[static_cast<size_t>((i + 1) * stride + j + 1)] =
-            level.prefix_sum[static_cast<size_t>(i * stride + j + 1)] +
-            row_sum;
-      }
-    }
-    syn->levels_.push_back(std::move(level));
+  const size_t num_levels = options.cell_sizes.size();
+  syn->levels_.resize(num_levels);
+  for (size_t i = 0; i < num_levels; ++i) {
+    syn->levels_[i].cell_size = options.cell_sizes[i];
   }
 
-  Interval range = Interval::Empty();
-  for (const SynopsisCell& cell : syn->levels_.front().cells) {
-    range = range.Union(Interval(cell.min, cell.max));
+  // Bottom-up build: only the finest level scans the base grid; each
+  // coarser level aggregates the next finer one when its cell size
+  // divides evenly, falling back to a base scan otherwise.
+  BuildLevelFromGrid(&syn->levels_[num_levels - 1], grid);
+  for (size_t i = num_levels - 1; i-- > 0;) {
+    Level& level = syn->levels_[i];
+    const Level& finer = syn->levels_[i + 1];
+    if (level.cell_size % finer.cell_size == 0) {
+      BuildLevelFromFiner(&level, finer, grid.rows(), grid.cols());
+    } else {
+      BuildLevelFromGrid(&level, grid);
+    }
   }
-  syn->global_range_ = range;
+  for (size_t i = 0; i < num_levels; ++i) {
+    syn->FinalizeLevel(&syn->levels_[i], /*is_coarsest=*/i == 0);
+  }
+
+  const Level& coarsest = syn->levels_.front();
+  double glo;
+  double ghi;
+  simd::MinMaxReduce(coarsest.min.data(), coarsest.max.data(),
+                     coarsest.cell_rows * coarsest.cell_cols, &glo, &ghi);
+  syn->global_range_ = Interval(glo, ghi);
   return syn;
+}
+
+size_t GridSynopsis::PickLevelIndex(int64_t r0, int64_t r1, int64_t c0,
+                                    int64_t c1) const {
+  // Worst-case overlapped-cell estimate, unchanged from the original
+  // per-cell implementation so both paths always answer at the same
+  // level (the differential replica depends on this).
+  size_t chosen = 0;
+  for (size_t li = 0; li < levels_.size(); ++li) {
+    const Level& level = levels_[li];
+    const int64_t cells =
+        (level.Cell(r1 - r0) + 2) * (level.Cell(c1 - c0) + 2);
+    if (cells <= max_cells_per_query_) chosen = li;
+  }
+  return chosen;
 }
 
 const GridSynopsis::Level& GridSynopsis::PickLevel(int64_t r0, int64_t r1,
                                                    int64_t c0,
                                                    int64_t c1) const {
-  const Level* chosen = &levels_.front();
-  for (const Level& level : levels_) {
-    const int64_t cells = ((r1 - r0) / level.cell_size + 2) *
-                          ((c1 - c0) / level.cell_size + 2);
-    if (cells <= max_cells_per_query_) chosen = &level;
+  return levels_[PickLevelIndex(r0, r1, c0, c1)];
+}
+
+std::pair<const double*, const double*> GridSynopsis::RowEntries(
+    const Level& level, int64_t i, int64_t j0, int64_t j1) {
+  const int64_t k = Log2Floor(j1 - j0 + 1);
+  DQR_CHECK(k < level.rmq1_rows_c);
+  const int64_t j2 = j1 + 1 - (int64_t{1} << k);
+  const double* base =
+      level.rmq_row.data() + (k * level.cell_rows + i) * level.cell_cols * 4;
+  return {base + j0 * 4, base + j2 * 4};
+}
+
+std::pair<const double*, const double*> GridSynopsis::ColEntries(
+    const Level& level, int64_t j, int64_t i0, int64_t i1) {
+  const int64_t k = Log2Floor(i1 - i0 + 1);
+  DQR_CHECK(k < level.rmq1_rows_r);
+  const int64_t i2 = i1 + 1 - (int64_t{1} << k);
+  const double* base =
+      level.rmq_col.data() + (k * level.cell_cols + j) * level.cell_rows * 4;
+  return {base + i0 * 4, base + i2 * 4};
+}
+
+void GridSynopsis::RectMinMax(const Level& level, int64_t i0, int64_t i1,
+                              int64_t j0, int64_t j1, double* mn_out,
+                              double* mx_out) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const auto take = [&](const double* e) {
+    lo = std::min(lo, e[0]);
+    hi = std::max(hi, e[1]);
+  };
+  // Rectangles under two blocks in either dimension may not contain a
+  // full aligned block pair in that dimension; two 1-D lookups per line
+  // along the short dimension cover them.
+  if (i1 - i0 + 1 < 2 * kRmqBlock) {
+    for (int64_t i = i0; i <= i1; ++i) {
+      const auto [a, b] = RowEntries(level, i, j0, j1);
+      take(a);
+      take(b);
+    }
+    *mn_out = lo;
+    *mx_out = hi;
+    return;
   }
-  return *chosen;
+  if (j1 - j0 + 1 < 2 * kRmqBlock) {
+    for (int64_t j = j0; j <= j1; ++j) {
+      const auto [a, b] = ColEntries(level, j, i0, i1);
+      take(a);
+      take(b);
+    }
+    *mn_out = lo;
+    *mx_out = hi;
+    return;
+  }
+  const int64_t bi_s = CeilDiv(i0, kRmqBlock);
+  const int64_t bi_e = (i1 + 1) / kRmqBlock;  // full block rows [bi_s, bi_e)
+  const int64_t bj_s = CeilDiv(j0, kRmqBlock);
+  const int64_t bj_e = (j1 + 1) / kRmqBlock;
+  const int64_t kr = Log2Floor(bi_e - bi_s);
+  const int64_t kc = Log2Floor(bj_e - bj_s);
+  DQR_CHECK(kr < level.rmq_rows_r && kc < level.rmq_rows_c);
+  const auto entry = [&](int64_t i, int64_t j) -> const double* {
+    return level.rmq.data() +
+           (((kr * level.rmq_rows_c + kc) * level.block_rows + i) *
+                level.block_cols +
+            j) *
+               2;
+  };
+  const int64_t i2 = bi_e - (int64_t{1} << kr);
+  const int64_t j2 = bj_e - (int64_t{1} << kc);
+  for (const double* e :
+       {entry(bi_s, bj_s), entry(bi_s, j2), entry(i2, bj_s), entry(i2, j2)}) {
+    lo = std::min(lo, e[0]);
+    hi = std::max(hi, e[1]);
+  }
+  // Fringe lines around the full-block interior, two 1-D lookups each.
+  // Fringe columns span the whole row range; the overlap with the fringe
+  // rows is harmless for min/max.
+  for (int64_t i = i0; i < bi_s * kRmqBlock; ++i) {
+    const auto [a, b] = RowEntries(level, i, j0, j1);
+    take(a);
+    take(b);
+  }
+  for (int64_t i = bi_e * kRmqBlock; i <= i1; ++i) {
+    const auto [a, b] = RowEntries(level, i, j0, j1);
+    take(a);
+    take(b);
+  }
+  for (int64_t j = j0; j < bj_s * kRmqBlock; ++j) {
+    const auto [a, b] = ColEntries(level, j, i0, i1);
+    take(a);
+    take(b);
+  }
+  for (int64_t j = bj_e * kRmqBlock; j <= j1; ++j) {
+    const auto [a, b] = ColEntries(level, j, i0, i1);
+    take(a);
+    take(b);
+  }
+  *mn_out = lo;
+  *mx_out = hi;
+}
+
+double GridSynopsis::RectMin(const Level& level, int64_t i0, int64_t i1,
+                             int64_t j0, int64_t j1) {
+  double mn;
+  double mx;
+  RectMinMax(level, i0, i1, j0, j1, &mn, &mx);
+  return mn;
+}
+
+double GridSynopsis::RectMax(const Level& level, int64_t i0, int64_t i1,
+                             int64_t j0, int64_t j1) {
+  double mn;
+  double mx;
+  RectMinMax(level, i0, i1, j0, j1, &mn, &mx);
+  return mx;
 }
 
 Interval GridSynopsis::ValueBounds(int64_t r0, int64_t r1, int64_t c0,
@@ -103,15 +490,11 @@ Interval GridSynopsis::ValueBounds(int64_t r0, int64_t r1, int64_t c0,
   DQR_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_);
   queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
-  const int64_t cs = level.cell_size;
-  Interval out = Interval::Empty();
-  for (int64_t i = r0 / cs; i <= (r1 - 1) / cs; ++i) {
-    for (int64_t j = c0 / cs; j <= (c1 - 1) / cs; ++j) {
-      const SynopsisCell& cell = level.cell(i, j);
-      out = out.Union(Interval(cell.min, cell.max));
-    }
-  }
-  return out;
+  double mn;
+  double mx;
+  RectMinMax(level, level.Cell(r0), level.Cell(r1 - 1), level.Cell(c0),
+             level.Cell(c1 - 1), &mn, &mx);
+  return Interval(mn, mx);
 }
 
 Interval GridSynopsis::SumBounds(int64_t r0, int64_t r1, int64_t c0,
@@ -121,10 +504,11 @@ Interval GridSynopsis::SumBounds(int64_t r0, int64_t r1, int64_t c0,
   queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
-  const int64_t i_first = r0 / cs;
-  const int64_t i_last = (r1 - 1) / cs;
-  const int64_t j_first = c0 / cs;
-  const int64_t j_last = (c1 - 1) / cs;
+  const int64_t cc = level.cell_cols;
+  const int64_t i_first = level.Cell(r0);
+  const int64_t i_last = level.Cell(r1 - 1);
+  const int64_t j_first = level.Cell(c0);
+  const int64_t j_last = level.Cell(c1 - 1);
 
   double lo = 0.0;
   double hi = 0.0;
@@ -149,29 +533,33 @@ Interval GridSynopsis::SumBounds(int64_t r0, int64_t r1, int64_t c0,
     hi += interior;
   }
 
-  // Boundary cells: prorate by overlap area.
+  // Boundary cells: prorate by overlap area. Visited in the same
+  // row-major order as the original full walk (which tested every cell
+  // and skipped the interior), so the FP accumulation is bit-identical.
+  const auto add_cell = [&](int64_t i, int64_t j) {
+    const size_t idx = static_cast<size_t>(i * cc + j);
+    const int64_t rr0 = std::max(r0, i * cs);
+    const int64_t rr1 = std::min(r1, cell_r1(i));
+    const int64_t cc0 = std::max(c0, j * cs);
+    const int64_t cc1 = std::min(c1, cell_c1(j));
+    const double overlap = static_cast<double>((rr1 - rr0) * (cc1 - cc0));
+    const double full = static_cast<double>(
+        (cell_r1(i) - i * cs) * (cell_c1(j) - j * cs));
+    if (overlap >= full) {
+      lo += level.sum[idx];
+      hi += level.sum[idx];
+    } else {
+      lo += overlap * level.min[idx];
+      hi += overlap * level.max[idx];
+    }
+  };
+  const bool has_interior = fi0 < fi1 && fj0 < fj1;
   for (int64_t i = i_first; i <= i_last; ++i) {
-    for (int64_t j = j_first; j <= j_last; ++j) {
-      const bool interior =
-          i >= fi0 && i < fi1 && j >= fj0 && j < fj1;
-      if (interior) continue;
-      const SynopsisCell& cell = level.cell(i, j);
-      const int64_t rr0 = std::max(r0, i * cs);
-      const int64_t rr1 = std::min(r1, cell_r1(i));
-      const int64_t cc0 = std::max(c0, j * cs);
-      const int64_t cc1 = std::min(c1, cell_c1(j));
-      const double overlap =
-          static_cast<double>((rr1 - rr0) * (cc1 - cc0));
-      const double full =
-          static_cast<double>((cell_r1(i) - i * cs) *
-                              (cell_c1(j) - j * cs));
-      if (overlap >= full) {
-        lo += cell.sum;
-        hi += cell.sum;
-      } else {
-        lo += overlap * cell.min;
-        hi += overlap * cell.max;
-      }
+    if (!has_interior || i < fi0 || i >= fi1) {
+      for (int64_t j = j_first; j <= j_last; ++j) add_cell(i, j);
+    } else {
+      for (int64_t j = j_first; j < fj0; ++j) add_cell(i, j);
+      for (int64_t j = fj1; j <= j_last; ++j) add_cell(i, j);
     }
   }
   return Interval(lo, hi);
@@ -191,27 +579,49 @@ Interval GridSynopsis::MaxBounds(int64_t r0, int64_t r1, int64_t c0,
   queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
+  const int64_t i_first = level.Cell(r0);
+  const int64_t i_last = level.Cell(r1 - 1);
+  const int64_t j_first = level.Cell(c0);
+  const int64_t j_last = level.Cell(c1 - 1);
 
-  double upper = -std::numeric_limits<double>::infinity();
-  double witness = -std::numeric_limits<double>::infinity();
-  double overlap_floor = -std::numeric_limits<double>::infinity();
-  bool have_contained = false;
-  for (int64_t i = r0 / cs; i <= (r1 - 1) / cs; ++i) {
-    for (int64_t j = c0 / cs; j <= (c1 - 1) / cs; ++j) {
-      const SynopsisCell& cell = level.cell(i, j);
-      upper = std::max(upper, cell.max);
-      overlap_floor = std::max(overlap_floor, cell.min);
-      const int64_t rr1 = std::min(rows_, (i + 1) * cs);
-      const int64_t cc1 = std::min(cols_, (j + 1) * cs);
-      if (r0 <= i * cs && rr1 <= r1 && c0 <= j * cs && cc1 <= c1) {
-        have_contained = true;
-        witness = std::max(witness, cell.max);
-      }
-    }
+  // A cell is fully contained iff the rectangle reaches all four of its
+  // edges; that can only fail for the first/last cell row and column.
+  // Contained cells witness their max from below; an uncontained
+  // boundary cell still guarantees its min is attained somewhere in the
+  // overlap.
+  const bool fr = r0 <= i_first * cs;
+  const bool lr = std::min(rows_, (i_last + 1) * cs) <= r1;
+  const bool fc = c0 <= j_first * cs;
+  const bool lc = std::min(cols_, (j_last + 1) * cs) <= c1;
+  const int64_t wi0 = i_first + (fr ? 0 : 1);
+  const int64_t wi1 = i_last - (lr ? 0 : 1);
+  const int64_t wj0 = j_first + (fc ? 0 : 1);
+  const int64_t wj1 = j_last - (lc ? 0 : 1);
+
+  // One decomposition serves both ends of the interval. The uncontained
+  // boundary strips contribute their max-of-max (aggregate [1], joined
+  // with the contained window's max it is exactly the whole-rectangle
+  // upper bound) and their max-of-min (aggregate [2], the overlap
+  // floor). Contained cells' mins are dominated by the window witness,
+  // so restricting the floor to the strips matches the original
+  // all-cell scan exactly.
+  double strip_hi = -std::numeric_limits<double>::infinity();
+  double floor = -std::numeric_limits<double>::infinity();
+  const auto strip = [&](std::pair<const double*, const double*> e) {
+    strip_hi = std::max(strip_hi, std::max(e.first[1], e.second[1]));
+    floor = std::max(floor, std::max(e.first[2], e.second[2]));
+  };
+  if (!fr) strip(RowEntries(level, i_first, j_first, j_last));
+  if (!lr) strip(RowEntries(level, i_last, j_first, j_last));
+  if (!fc) strip(ColEntries(level, j_first, i_first, i_last));
+  if (!lc) strip(ColEntries(level, j_last, i_first, i_last));
+
+  if (wi0 > wi1 || wj0 > wj1) {
+    // No contained cells — the strips cover the whole rectangle.
+    return Interval(floor, strip_hi);
   }
-  const double lower =
-      have_contained ? std::max(witness, overlap_floor) : overlap_floor;
-  return Interval(lower, upper);
+  const double wmax = RectMax(level, wi0, wi1, wj0, wj1);
+  return Interval(std::max(wmax, floor), std::max(wmax, strip_hi));
 }
 
 Interval GridSynopsis::MinBounds(int64_t r0, int64_t r1, int64_t c0,
@@ -221,37 +631,68 @@ Interval GridSynopsis::MinBounds(int64_t r0, int64_t r1, int64_t c0,
   queries_.Add();
   const Level& level = PickLevel(r0, r1, c0, c1);
   const int64_t cs = level.cell_size;
+  const int64_t i_first = level.Cell(r0);
+  const int64_t i_last = level.Cell(r1 - 1);
+  const int64_t j_first = level.Cell(c0);
+  const int64_t j_last = level.Cell(c1 - 1);
 
-  double lower = std::numeric_limits<double>::infinity();
-  double witness = std::numeric_limits<double>::infinity();
-  double overlap_ceil = std::numeric_limits<double>::infinity();
-  bool have_contained = false;
-  for (int64_t i = r0 / cs; i <= (r1 - 1) / cs; ++i) {
-    for (int64_t j = c0 / cs; j <= (c1 - 1) / cs; ++j) {
-      const SynopsisCell& cell = level.cell(i, j);
-      lower = std::min(lower, cell.min);
-      overlap_ceil = std::min(overlap_ceil, cell.max);
-      const int64_t rr1 = std::min(rows_, (i + 1) * cs);
-      const int64_t cc1 = std::min(cols_, (j + 1) * cs);
-      if (r0 <= i * cs && rr1 <= r1 && c0 <= j * cs && cc1 <= c1) {
-        have_contained = true;
-        witness = std::min(witness, cell.min);
-      }
-    }
+  const bool fr = r0 <= i_first * cs;
+  const bool lr = std::min(rows_, (i_last + 1) * cs) <= r1;
+  const bool fc = c0 <= j_first * cs;
+  const bool lc = std::min(cols_, (j_last + 1) * cs) <= c1;
+  const int64_t wi0 = i_first + (fr ? 0 : 1);
+  const int64_t wi1 = i_last - (lr ? 0 : 1);
+  const int64_t wj0 = j_first + (fc ? 0 : 1);
+  const int64_t wj1 = j_last - (lc ? 0 : 1);
+
+  // Mirror of MaxBounds: the strips' min-of-min (aggregate [0]) joins
+  // the window min into the whole-rectangle lower bound; their
+  // min-of-max (aggregate [3]) is the overlap ceiling.
+  double strip_lo = std::numeric_limits<double>::infinity();
+  double ceil = std::numeric_limits<double>::infinity();
+  const auto strip = [&](std::pair<const double*, const double*> e) {
+    strip_lo = std::min(strip_lo, std::min(e.first[0], e.second[0]));
+    ceil = std::min(ceil, std::min(e.first[3], e.second[3]));
+  };
+  if (!fr) strip(RowEntries(level, i_first, j_first, j_last));
+  if (!lr) strip(RowEntries(level, i_last, j_first, j_last));
+  if (!fc) strip(ColEntries(level, j_first, i_first, i_last));
+  if (!lc) strip(ColEntries(level, j_last, i_first, i_last));
+
+  if (wi0 > wi1 || wj0 > wj1) {
+    return Interval(strip_lo, ceil);
   }
-  const double upper =
-      have_contained ? std::min(witness, overlap_ceil) : overlap_ceil;
-  return Interval(lower, upper);
+  const double wmin = RectMin(level, wi0, wi1, wj0, wj1);
+  return Interval(std::min(wmin, strip_lo), std::min(wmin, ceil));
+}
+
+GridSynopsis::LevelView GridSynopsis::level_view(size_t index) const {
+  DQR_CHECK(index < levels_.size());
+  const Level& level = levels_[index];
+  LevelView view;
+  view.cell_size = level.cell_size;
+  view.cell_rows = level.cell_rows;
+  view.cell_cols = level.cell_cols;
+  view.min = level.min.data();
+  view.max = level.max.data();
+  view.sum = level.sum.data();
+  view.prefix_sum = level.prefix_sum.data();
+  return view;
+}
+
+int64_t GridSynopsis::LevelMemoryBytes(size_t index) const {
+  DQR_CHECK(index < levels_.size());
+  const Level& level = levels_[index];
+  return static_cast<int64_t>(
+      (level.min.size() + level.max.size() + level.sum.size() +
+       level.prefix_sum.size() + level.rmq.size() + level.rmq_row.size() +
+       level.rmq_col.size()) *
+      sizeof(double));
 }
 
 int64_t GridSynopsis::MemoryBytes() const {
   int64_t bytes = 0;
-  for (const Level& level : levels_) {
-    bytes += static_cast<int64_t>(level.cells.size() *
-                                  sizeof(SynopsisCell));
-    bytes +=
-        static_cast<int64_t>(level.prefix_sum.size() * sizeof(double));
-  }
+  for (size_t i = 0; i < levels_.size(); ++i) bytes += LevelMemoryBytes(i);
   return bytes;
 }
 

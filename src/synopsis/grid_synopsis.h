@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "array/grid.h"
@@ -26,6 +27,27 @@ struct GridSynopsisOptions {
 // cells over an array::Grid, answering *sound* interval bounds for
 // aggregates over arbitrary rectangles. Rectangles are half-open:
 // rows [r0, r1) x cols [c0, c1).
+//
+// Like the 1-D Synopsis, this is a constant-time kernel rather than a
+// per-cell scan (the original AoS implementation walked every overlapped
+// cell per query; see DESIGN.md "Estimator fast path, 2-D"):
+//   * cell aggregates live in structure-of-arrays form (row-major min[] /
+//     max[] / sum[] planes plus a 2-D prefix-sum plane);
+//   * a block-decomposed 2-D sparse table (doubling in both dimensions
+//     over kRmqBlock x kRmqBlock blocks) answers any full-block
+//     sub-rectangle min/max with four corner lookups; the <= kRmqBlock-1
+//     cell fringe on each side and the one-cell boundary strips of
+//     MaxBounds/MinBounds are answered by per-row / per-column 1-D
+//     doubling tables, so every bounds query is a fixed number of table
+//     lookups with no per-cell work at all;
+//   * sums use the 2-D prefix plane for the fully covered interior and
+//     prorate only boundary cells, in the same FP accumulation order as
+//     the original row-major walk, so intervals stay bit-identical;
+//   * levels build bottom-up — only the finest level scans the base
+//     grid; coarser levels aggregate the next finer level when cell
+//     sizes divide evenly (exact for min/max, FP-associative for sums).
+//
+// Thread-compatible for reads after Build().
 class GridSynopsis {
  public:
   static Result<std::shared_ptr<GridSynopsis>> Build(
@@ -59,22 +81,125 @@ class GridSynopsis {
   // Summed over the per-thread shards; see ShardedCounter.
   int64_t queries_served() const { return queries_.Sum(); }
 
+  // --- introspection (tests, benchmarks, tooling) ---
+
+  // Read-only view of one level's row-major cell planes. Pointers stay
+  // valid for the synopsis' lifetime. `prefix_sum` is
+  // (cell_rows + 1) x (cell_cols + 1) with row stride cell_cols + 1:
+  // prefix_sum[i * (cell_cols + 1) + j] = sum of cells in [0, i) x [0, j).
+  struct LevelView {
+    int64_t cell_size = 0;
+    int64_t cell_rows = 0;
+    int64_t cell_cols = 0;
+    const double* min = nullptr;
+    const double* max = nullptr;
+    const double* sum = nullptr;
+    const double* prefix_sum = nullptr;
+  };
+
+  size_t num_levels() const { return levels_.size(); }
+  LevelView level_view(size_t index) const;
+
+  // One level's share of MemoryBytes() (cell planes + sparse table).
+  int64_t LevelMemoryBytes(size_t index) const;
+
+  // Index (into level_view) of the level a query rectangle would use —
+  // the finest level whose worst-case overlapped-cell estimate stays
+  // within the per-query budget. Does not count as a served query. The
+  // differential replica routes through this so both paths always answer
+  // at the same level.
+  size_t PickLevelIndex(int64_t r0, int64_t r1, int64_t c0,
+                        int64_t c1) const;
+
  private:
+  // Cells per sparse-table block edge: the table doubles over blocks of
+  // kRmqBlock x kRmqBlock cells, costing (log rows)(log cols) /
+  // kRmqBlock^2 of a plain 2-D sparse table's memory; the price is a
+  // <= kRmqBlock - 1 cell fringe per side, answered by the per-row /
+  // per-column 1-D tables below.
+  static constexpr int64_t kRmqBlock = 4;
+
   struct Level {
     int64_t cell_size = 0;
     int64_t cell_rows = 0;
     int64_t cell_cols = 0;
-    std::vector<SynopsisCell> cells;  // row-major
-    // prefix[(i) * (cell_cols + 1) + j] = sum of cells in [0,i) x [0,j).
+    // log2(cell_size) when it is a power of two (the default and fuzz
+    // configurations), -1 otherwise; lets the query path turn the
+    // per-query cell-index divisions into shifts.
+    int64_t cell_shift = -1;
+
+    // Cell index of coordinate x along either dimension.
+    int64_t Cell(int64_t x) const {
+      return cell_shift >= 0 ? x >> cell_shift : x / cell_size;
+    }
+
+    // Structure-of-arrays cell planes, row-major (index i * cell_cols +
+    // j); prefix_sum as documented on LevelView.
+    std::vector<double> min;
+    std::vector<double> max;
+    std::vector<double> sum;
     std::vector<double> prefix_sum;
 
-    const SynopsisCell& cell(int64_t i, int64_t j) const {
-      return cells[static_cast<size_t>(i * cell_cols + j)];
-    }
+    // 2-D doubling sparse table over kRmqBlock x kRmqBlock blocks.
+    // Entry (kr, kc, i, j) aggregates blocks [i, i + 2^kr) x
+    // [j, j + 2^kc), min and max interleaved ({min, max} per entry at
+    // index (((kr * rmq_rows_c + kc) * block_rows + i) * block_cols + j)
+    // * 2). Power rows are built only up to the block span queries routed
+    // to this level can produce. Entries whose window would run off the
+    // end aggregate the clamped window — never read, but kept sound.
+    int64_t block_rows = 0;
+    int64_t block_cols = 0;
+    int64_t rmq_rows_r = 0;  // doubling powers along the row dimension
+    int64_t rmq_rows_c = 0;  // doubling powers along the column dimension
+    std::vector<double> rmq;
+
+    // 1-D doubling tables that make the block fringe and the
+    // MaxBounds/MinBounds boundary strips O(1). rmq_row entry (k, i, j)
+    // aggregates row i cells [j, j + 2^k) at index
+    // ((k * cell_rows + i) * cell_cols + j) * 4; rmq_col entry (k, j, i)
+    // aggregates column j cells [i, i + 2^k) at index
+    // ((k * cell_cols + j) * cell_rows + i) * 4. Each entry holds four
+    // aggregates over its range:
+    //   [0] min of the min plane (rectangle lower bound)
+    //   [1] max of the max plane (rectangle upper bound)
+    //   [2] max of the min plane (MaxBounds overlap floor)
+    //   [3] min of the max plane (MinBounds overlap ceiling)
+    // Power rows are capped like `rmq`; entries whose window would run
+    // off the end aggregate the clamped window — never read, but sound.
+    int64_t rmq1_rows_r = 0;  // powers along rows (rmq_col table)
+    int64_t rmq1_rows_c = 0;  // powers along columns (rmq_row table)
+    std::vector<double> rmq_row;
+    std::vector<double> rmq_col;
+
     double BlockSum(int64_t i0, int64_t i1, int64_t j0, int64_t j1) const;
   };
 
   GridSynopsis() = default;
+
+  static void BuildLevelFromGrid(Level* level, const array::Grid& grid);
+  static void BuildLevelFromFiner(Level* level, const Level& finer,
+                                  int64_t rows, int64_t cols);
+  void FinalizeLevel(Level* level, bool is_coarsest) const;
+
+  // The two overlapping 1-D table entries covering row i cells [j0, j1]
+  // (rmq_row) / column j cells [i0, i1] (rmq_col); see the entry layout
+  // on Level. min/max are idempotent, so the overlap is harmless.
+  static std::pair<const double*, const double*> RowEntries(
+      const Level& level, int64_t i, int64_t j0, int64_t j1);
+  static std::pair<const double*, const double*> ColEntries(
+      const Level& level, int64_t j, int64_t i0, int64_t i1);
+
+  // Exact min/max over the inclusive cell rectangle [i0, i1] x [j0, j1]
+  // of a level: four corner sparse-table lookups for the full-block
+  // interior plus two 1-D table lookups per fringe row/column. Small
+  // rectangles (under two blocks in either dimension) go straight to the
+  // 1-D tables along their shorter dimension.
+  static void RectMinMax(const Level& level, int64_t i0, int64_t i1,
+                         int64_t j0, int64_t j1, double* mn, double* mx);
+  static double RectMin(const Level& level, int64_t i0, int64_t i1,
+                        int64_t j0, int64_t j1);
+  static double RectMax(const Level& level, int64_t i0, int64_t i1,
+                        int64_t j0, int64_t j1);
 
   const Level& PickLevel(int64_t r0, int64_t r1, int64_t c0,
                          int64_t c1) const;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace dqr::synopsis {
 namespace {
@@ -236,11 +237,9 @@ double Synopsis::CellRangeMin(const Level& level, int64_t first,
   // For short ranges a direct scan of dense doubles beats the table: the
   // block lookups save nothing until the scan is several blocks long, and
   // ranges under 4 * kRmqBlock cells may not even contain a full aligned
-  // block pair worth skipping.
+  // block pair worth skipping. The scan itself is a SIMD reduction.
   if (last - first + 1 < 4 * kRmqBlock) {
-    double out = mn[first];
-    for (int64_t c = first + 1; c <= last; ++c) out = std::min(out, mn[c]);
-    return out;
+    return simd::MinReduce(mn + first, last - first + 1);
   }
   const int64_t bs = CeilDiv(first, kRmqBlock);
   const int64_t be = (last + 1) / kRmqBlock;  // full blocks [bs, be)
@@ -258,9 +257,7 @@ double Synopsis::CellRangeMax(const Level& level, int64_t first,
                               int64_t last) {
   const double* mx = level.max.data();
   if (last - first + 1 < 4 * kRmqBlock) {
-    double out = mx[first];
-    for (int64_t c = first + 1; c <= last; ++c) out = std::max(out, mx[c]);
-    return out;
+    return simd::MaxReduce(mx + first, last - first + 1);
   }
   const int64_t bs = CeilDiv(first, kRmqBlock);
   const int64_t be = (last + 1) / kRmqBlock;
@@ -280,14 +277,8 @@ void Synopsis::CellRangeMinMax(const Level& level, int64_t first,
   const double* mn = level.min.data();
   const double* mx = level.max.data();
   if (last - first + 1 < 4 * kRmqBlock) {
-    double lo = mn[first];
-    double hi = mx[first];
-    for (int64_t c = first + 1; c <= last; ++c) {
-      lo = std::min(lo, mn[c]);
-      hi = std::max(hi, mx[c]);
-    }
-    *mn_out = lo;
-    *mx_out = hi;
+    simd::MinMaxReduce(mn + first, mx + first, last - first + 1, mn_out,
+                       mx_out);
     return;
   }
   const int64_t bs = CeilDiv(first, kRmqBlock);

@@ -9,14 +9,19 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "searchlight/functions.h"
+#include "searchlight/grid_functions.h"
 
 namespace dqr::fuzz {
 namespace {
 
 using searchlight::AvgFunction;
+using searchlight::GridFunctionContext;
 using searchlight::MaxFunction;
 using searchlight::MinFunction;
 using searchlight::NeighborhoodContrastFunction;
+using searchlight::RectAvgFunction;
+using searchlight::RectContrastFunction;
+using searchlight::RectMaxFunction;
 using searchlight::WindowFunctionContext;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -75,6 +80,275 @@ core::FaultPlan MakeSurvivorCrashPlan(uint64_t seed, int num_instances,
   return plan;
 }
 
+// The 2-D sibling of MakeWorkload's 1-D body: a tiled grid with planted
+// rectangular plateaus and square spikes, a GridSynopsis, and rectangle
+// constraints over four decision variables (0 = y, 1 = x, 2 = h, 3 = w).
+// Draws come from a stream decorrelated from the 1-D generator, so
+// flipping the grid flag never disturbs the 1-D workload of the same
+// seed. Override semantics carry over with the obvious reinterpretation:
+// length_cap clamps both grid extents, x_width_cap the width of variable
+// 0's (y's) domain.
+Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
+                          const WorkloadOverrides& overrides) {
+  Rng rng(seed ^ 0x5eed2d5eed2d5eedULL);
+  Workload w;
+  w.seed = seed;
+  w.mode = mode;
+  w.overrides = overrides;
+  w.grid_workload = true;
+
+  // --- grid schema + synthetic signal ---
+  int64_t rows = rng.UniformInt(24, 44);
+  int64_t cols = rng.UniformInt(24, 44);
+  if (overrides.length_cap > 0) {
+    const int64_t cap = std::max<int64_t>(16, overrides.length_cap);
+    rows = std::min(rows, cap);
+    cols = std::min(cols, cap);
+  }
+  const int64_t tile_choices[] = {8, 16, 32};
+  const int64_t tile = tile_choices[rng.UniformInt(0, 2)];
+
+  std::vector<double> data(static_cast<size_t>(rows * cols));
+  const double noise = rng.Uniform(0.5, 3.0);
+  for (double& v : data) v = 100.0 + noise * rng.NextGaussian();
+  const int64_t plateaus = rng.UniformInt(1, 3);
+  for (int64_t p = 0; p < plateaus; ++p) {
+    const int64_t ph =
+        rng.UniformInt(std::max<int64_t>(3, rows / 8), rows / 3);
+    const int64_t pw =
+        rng.UniformInt(std::max<int64_t>(3, cols / 8), cols / 3);
+    const int64_t pr = rng.UniformInt(0, rows - ph);
+    const int64_t pc = rng.UniformInt(0, cols - pw);
+    const double offset = rng.Bernoulli(0.75) ? rng.Uniform(10.0, 60.0)
+                                              : rng.Uniform(-30.0, -10.0);
+    for (int64_t r = pr; r < pr + ph; ++r) {
+      for (int64_t c = pc; c < pc + pw; ++c) {
+        data[static_cast<size_t>(r * cols + c)] += offset;
+      }
+    }
+  }
+  const int64_t spikes = rng.UniformInt(2, 8);
+  for (int64_t s = 0; s < spikes; ++s) {
+    const int64_t size = rng.UniformInt(1, 3);
+    const int64_t sr = rng.UniformInt(0, rows - size);
+    const int64_t sc = rng.UniformInt(0, cols - size);
+    const double height = rng.Uniform(20.0, 90.0);
+    for (int64_t r = sr; r < sr + size; ++r) {
+      for (int64_t c = sc; c < sc + size; ++c) {
+        data[static_cast<size_t>(r * cols + c)] += height;
+      }
+    }
+  }
+  for (double& v : data) v = std::clamp(v, 50.0, 250.0);
+
+  array::GridSchema schema;
+  schema.name = "fuzz_grid_" + std::to_string(seed);
+  schema.rows = rows;
+  schema.cols = cols;
+  schema.tile_size = tile;
+  w.grid =
+      array::Grid::FromData(std::move(schema), std::move(data)).value();
+
+  synopsis::GridSynopsisOptions syn;
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      syn.cell_sizes = {16, 4};
+      break;
+    case 1:
+      syn.cell_sizes = {8, 2};
+      break;
+    case 2:
+      syn.cell_sizes = {32, 8};
+      break;
+    default:
+      syn.cell_sizes = {16, 8, 4};
+      break;
+  }
+  syn.max_cells_per_query = rng.Bernoulli(0.5) ? 16 : 64;
+  w.grid_synopsis = synopsis::GridSynopsis::Build(*w.grid, syn).value();
+
+  // --- rectangle geometry ---
+  const int64_t h_lo = rng.UniformInt(2, 3);
+  const int64_t h_hi = h_lo + rng.UniformInt(1, 3);
+  const int64_t w_lo = rng.UniformInt(2, 3);
+  const int64_t w_hi = w_lo + rng.UniformInt(1, 3);
+  const int64_t nbhd = rng.UniformInt(2, 4);
+  const int64_t y_lo = 0;
+  int64_t y_hi = rows - h_hi;
+  const int64_t x_lo = nbhd;
+  const int64_t x_hi = cols - w_hi - nbhd;
+  DQR_CHECK(y_hi >= y_lo && x_hi >= x_lo);
+  if (overrides.x_width_cap > 0) {
+    y_hi = std::min(y_hi, y_lo + overrides.x_width_cap - 1);
+  }
+  w.query.name = "fuzz_grid_query_" + std::to_string(seed);
+  w.query.domains = {cp::IntDomain(y_lo, y_hi), cp::IntDomain(x_lo, x_hi),
+                     cp::IntDomain(h_lo, h_hi), cp::IntDomain(w_lo, w_hi)};
+
+  // --- cardinality + scoring knobs ---
+  int64_t k = rng.UniformInt(1, 8);
+  if (overrides.k_cap > 0) {
+    k = std::min(k, std::max<int64_t>(1, overrides.k_cap));
+  }
+  w.query.k = k;
+
+  const double alpha_choices[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  w.alpha = alpha_choices[rng.UniformInt(0, 4)];
+  if (overrides.default_alpha) w.alpha = 0.5;
+
+  switch (mode) {
+    case FuzzMode::kConstrain:
+      w.constrain = core::ConstrainMode::kRank;
+      break;
+    case FuzzMode::kSkyline:
+      w.constrain = core::ConstrainMode::kSkyline;
+      break;
+    case FuzzMode::kRelax: {
+      const int64_t roll = rng.UniformInt(0, 9);
+      w.constrain = roll < 6   ? core::ConstrainMode::kRank
+                    : roll < 8 ? core::ConstrainMode::kNone
+                               : core::ConstrainMode::kSkyline;
+      break;
+    }
+  }
+
+  // --- mode-targeted anchor constraint (rectangle average) ---
+  const int64_t h_mid = (h_lo + h_hi) / 2;
+  const int64_t w_mid = (w_lo + w_hi) / 2;
+  std::vector<double> rect_avgs;
+  rect_avgs.reserve(static_cast<size_t>((y_hi - y_lo + 1) *
+                                        (x_hi - x_lo + 1)));
+  for (int64_t y = y_lo; y <= y_hi; ++y) {
+    for (int64_t x = x_lo; x <= x_hi; ++x) {
+      rect_avgs.push_back(
+          w.grid->AggregateRect(y, y + h_mid, x, x + w_mid).avg());
+    }
+  }
+  std::sort(rect_avgs.begin(), rect_avgs.end());
+
+  Interval avg_bounds;
+  if (mode == FuzzMode::kRelax) {
+    const double a = Quantile(rect_avgs, rng.Uniform(0.975, 0.999));
+    avg_bounds = Interval(a, a + rng.Uniform(5.0, 40.0));
+  } else {
+    const double a = Quantile(rect_avgs, rng.Uniform(0.2, 0.5));
+    const double b = Quantile(rect_avgs, rng.Uniform(0.75, 0.98));
+    avg_bounds = Interval(std::min(a, b), std::max(a, b));
+  }
+  Interval avg_range(50.0, 250.0);
+  if (rng.Bernoulli(0.3)) {
+    avg_range = Interval(avg_bounds.lo - rng.Uniform(5.0, 30.0),
+                         avg_bounds.hi + rng.Uniform(5.0, 30.0));
+  }
+
+  GridFunctionContext base_ctx;
+  base_ctx.grid = w.grid;
+  base_ctx.synopsis = w.grid_synopsis;
+
+  {
+    searchlight::QueryConstraint c;
+    GridFunctionContext ctx = base_ctx;
+    ctx.value_range = avg_range;
+    c.make_function = [ctx] {
+      return std::make_unique<RectAvgFunction>(ctx);
+    };
+    c.bounds = avg_bounds;
+    c.relaxable = rng.Bernoulli(0.9);
+    c.relax_weight = rng.Uniform(0.3, 1.0);
+    c.constrainable = rng.Bernoulli(0.9);
+    c.rank_weight = rng.Bernoulli(0.6) ? -1.0 : rng.Uniform(0.1, 1.0);
+    c.preference = rng.Bernoulli(0.7)
+                       ? searchlight::RankPreference::kMaximize
+                       : searchlight::RankPreference::kMinimize;
+    c.name = "rect_avg";
+    w.query.constraints.push_back(std::move(c));
+  }
+
+  // --- satellite constraints: rect_max / rect_contrast ---
+  const double data_lo = Quantile(rect_avgs, 0.0);
+  const double data_hi = Quantile(rect_avgs, 1.0);
+  const int extra = static_cast<int>(rng.UniformInt(0, 3));
+  for (int e = 0; e < extra; ++e) {
+    searchlight::QueryConstraint c;
+    GridFunctionContext ctx = base_ctx;
+    if (rng.Bernoulli(0.5)) {
+      ctx.value_range = Interval::Empty();
+    } else {
+      ctx.value_range = Interval(40.0, 260.0);
+    }
+    const int64_t kind = rng.UniformInt(0, 2);
+    if (kind == 0) {
+      c.make_function = [ctx] {
+        return std::make_unique<RectMaxFunction>(ctx);
+      };
+      const double cut =
+          rng.Bernoulli(0.75)
+              ? rng.Uniform(data_lo, (data_lo + data_hi) / 2)
+              : rng.Uniform((data_lo + data_hi) / 2, data_hi + 30.0);
+      c.bounds = Interval(cut, kInf);
+      c.name = "rect_max";
+    } else {
+      const auto side = kind == 1 ? RectContrastFunction::Side::kLeft
+                                  : RectContrastFunction::Side::kRight;
+      const int64_t width = nbhd;
+      c.make_function = [ctx, side, width] {
+        return std::make_unique<RectContrastFunction>(ctx, side, width);
+      };
+      c.bounds = Interval(rng.Uniform(0.0, 60.0), kInf);
+      c.name = kind == 1 ? "rect_contrast_left" : "rect_contrast_right";
+    }
+    c.relaxable = rng.Bernoulli(0.8);
+    c.relax_weight = rng.Uniform(0.3, 1.0);
+    c.constrainable = rng.Bernoulli(0.75);
+    c.rank_weight = rng.Bernoulli(0.6) ? -1.0 : rng.Uniform(0.1, 1.0);
+    c.preference = rng.Bernoulli(0.7)
+                       ? searchlight::RankPreference::kMaximize
+                       : searchlight::RankPreference::kMinimize;
+    w.query.constraints.push_back(std::move(c));
+  }
+  if (overrides.max_constraints > 0 &&
+      static_cast<int>(w.query.constraints.size()) >
+          overrides.max_constraints) {
+    w.query.constraints.resize(
+        static_cast<size_t>(std::max(1, overrides.max_constraints)));
+  }
+
+  // --- diversity (one spacing entry per decision variable) ---
+  if (mode != FuzzMode::kSkyline && rng.Bernoulli(0.15) &&
+      !overrides.no_diversity) {
+    w.result_spacing = {rng.UniformInt(2, 8), rng.UniformInt(2, 8), 0, 0};
+    w.diversity_pool_factor = rng.UniformInt(4, 8);
+  }
+
+  // --- summary line ---
+  std::string s;
+  AppendKv(&s, "seed", std::to_string(seed));
+  AppendKv(&s, "mode", FuzzModeName(mode));
+  AppendKv(&s, "grid",
+           std::to_string(rows) + "x" + std::to_string(cols));
+  AppendKv(&s, "tile", std::to_string(tile));
+  AppendKv(&s, "y", std::to_string(y_lo) + ".." + std::to_string(y_hi));
+  AppendKv(&s, "x", std::to_string(x_lo) + ".." + std::to_string(x_hi));
+  AppendKv(&s, "h", std::to_string(h_lo) + ".." + std::to_string(h_hi));
+  AppendKv(&s, "w", std::to_string(w_lo) + ".." + std::to_string(w_hi));
+  AppendKv(&s, "k", std::to_string(k));
+  AppendKv(&s, "alpha", FormatDouble(w.alpha));
+  std::string cons;
+  for (const searchlight::QueryConstraint& qc : w.query.constraints) {
+    if (!cons.empty()) cons += '+';
+    cons += qc.name;
+  }
+  AppendKv(&s, "cons", cons);
+  if (!w.result_spacing.empty()) {
+    AppendKv(&s, "spacing",
+             std::to_string(w.result_spacing[0]) + "," +
+                 std::to_string(w.result_spacing[1]));
+  }
+  if (overrides.any()) AppendKv(&s, "overrides", overrides.ToString());
+  w.summary = s;
+  return w;
+}
+
 }  // namespace
 
 const char* FuzzModeName(FuzzMode mode) {
@@ -114,7 +388,8 @@ std::string WorkloadOverrides::ToString() const {
 }
 
 Workload MakeWorkload(uint64_t seed, FuzzMode mode,
-                      const WorkloadOverrides& overrides) {
+                      const WorkloadOverrides& overrides, bool grid) {
+  if (grid) return MakeGridWorkload(seed, mode, overrides);
   Rng rng(seed);
   Workload w;
   w.seed = seed;
@@ -383,6 +658,7 @@ std::string EngineConfig::ToString() const {
   AppendKv(&out, "crashes", std::to_string(fault_crashes));
   AppendKv(&out, "det", enable_failure_detector ? "1" : "0");
   AppendKv(&out, "trace", trace ? "1" : "0");
+  AppendKv(&out, "simd", simd ? "1" : "0");
   return out;
 }
 
@@ -449,6 +725,8 @@ Result<EngineConfig> EngineConfig::FromString(const std::string& text) {
       config.enable_failure_detector = value == "1";
     } else if (key == "trace") {
       config.trace = value == "1";
+    } else if (key == "simd") {
+      config.simd = value == "1";
     } else {
       return InvalidArgumentError("config: unknown key '" + key + "'");
     }
@@ -494,7 +772,9 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
   // [0] the sequential baseline: one instance, one shard, paper defaults.
   configs.push_back(EngineConfig{});
 
-  // [1] work stealing + seeded optimization toggles.
+  // [1] work stealing + seeded optimization toggles; always scalar, so
+  // every matrix differentials the scalar kernels against the SIMD
+  // baseline at [0].
   {
     EngineConfig c;
     c.num_instances = static_cast<int>(rng.UniformInt(2, 4));
@@ -505,6 +785,7 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     const double rrd_choices[] = {1.0, 0.5, 0.25};
     c.rrd = rrd_choices[rng.UniformInt(0, 2)];
     c.save_function_state = rng.Bernoulli(0.8);
+    c.simd = false;
     configs.push_back(c);
   }
 
@@ -534,6 +815,7 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     c.validator_queue = rng.Bernoulli(0.8)
                             ? core::ValidatorQueueOrder::kBrpPriority
                             : core::ValidatorQueueOrder::kFifo;
+    c.simd = rng.Bernoulli(0.7);
     if (c.num_instances > 1 && rng.Bernoulli(0.25)) {
       c.fault_crashes = 1;
       c.enable_failure_detector = true;

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "array/array.h"
+#include "array/grid.h"
 #include "common/status.h"
 #include "core/fault.h"
 #include "core/options.h"
 #include "searchlight/query.h"
+#include "synopsis/grid_synopsis.h"
 #include "synopsis/synopsis.h"
 
 namespace dqr::fuzz {
@@ -54,8 +56,15 @@ struct Workload {
   FuzzMode mode = FuzzMode::kRelax;
   WorkloadOverrides overrides;
 
+  // Exactly one data shape is populated: (array, synopsis) for 1-D
+  // window workloads, (grid, grid_synopsis) when grid_workload is set —
+  // the refinement engine and the oracle are dimension-agnostic, so both
+  // shapes run through the same differential check.
+  bool grid_workload = false;
   std::shared_ptr<array::Array> array;
   std::shared_ptr<const synopsis::Synopsis> synopsis;
+  std::shared_ptr<array::Grid> grid;
+  std::shared_ptr<const synopsis::GridSynopsis> grid_synopsis;
   searchlight::QuerySpec query;
 
   double alpha = 0.5;
@@ -72,10 +81,15 @@ struct Workload {
 // 1-4 window constraints (avg/min/max/neighborhood contrast) with seeded
 // bounds/ranges/weights/relaxability/preferences, k, alpha, constrain
 // mode, and optional diversity spacing. Deterministic in (seed, mode,
-// overrides); independent draws are decorrelated across seeds by
-// splitmix64.
+// overrides, grid); independent draws are decorrelated across seeds by
+// splitmix64. With grid=true the workload is two-dimensional: a tiled
+// grid + GridSynopsis and rectangle constraints (rect_avg anchor,
+// rect_max / rect_contrast satellites) over four decision variables
+// (y, x, h, w). The grid draw uses a decorrelated stream, so 1-D
+// workloads of the same seed are unchanged.
 Workload MakeWorkload(uint64_t seed, FuzzMode mode,
-                      const WorkloadOverrides& overrides = {});
+                      const WorkloadOverrides& overrides = {},
+                      bool grid = false);
 
 // One engine execution configuration. Everything here is, per the §3
 // guarantees, answer-preserving: the differential harness runs the same
@@ -101,6 +115,11 @@ struct EngineConfig {
   // an execution knob like the others: it must never change the answer,
   // and the differential check proves that per case.
   bool trace = false;
+  // Dispatch min/max reductions to the CPU's vector kernels (AVX2/NEON)
+  // instead of the scalar folds. The kernels are value-identical by
+  // design (common/simd.h); running each case under both settings makes
+  // the differential check prove scalar == SIMD answers.
+  bool simd = true;
 
   // Compact, parseable "inst=4;shards=8;..." form used by --config= and
   // reproducer lines. FromString accepts exactly what ToString emits
@@ -116,9 +135,11 @@ struct EngineConfig {
 };
 
 // The per-seed config matrix: [0] is always the 1x1 sequential baseline,
-// [1] a work-stealing multi-instance config, [2] a fault-injection config
-// (crashes + detector + stealing), and any further entries are fully
-// seeded random draws. count is clamped to [3, 8].
+// [1] a work-stealing multi-instance config (always with simd=0, so every
+// matrix differentials the scalar kernels against the SIMD baseline),
+// [2] a fault-injection config (crashes + detector + stealing), and any
+// further entries are fully seeded random draws. count is clamped to
+// [3, 8].
 std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count);
 
 }  // namespace dqr::fuzz

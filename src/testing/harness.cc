@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "common/simd.h"
 #include "core/canonical.h"
 #include "core/fault.h"
 #include "core/refiner.h"
@@ -45,7 +46,12 @@ Result<InjectedBug> InjectedBugFromName(const std::string& name) {
 
 CaseResult RunCase(const CaseConfig& c, InjectedBug bug) {
   CaseResult out;
-  const Workload workload = MakeWorkload(c.seed, c.mode, c.overrides);
+  // The simd dimension covers the whole case — workload build, oracle,
+  // and engine all dispatch through the same kernels, so a case with
+  // simd=0 is a complete scalar replica whose canonical answer must
+  // still match the (SIMD-built) answers of its sibling configs.
+  simd::ScopedSimdOverride simd_scope(c.config.simd);
+  const Workload workload = MakeWorkload(c.seed, c.mode, c.overrides, c.grid);
 
   core::FaultPlan plan;
   core::RefineOptions options = c.config.ToOptions(workload, &plan);
@@ -133,15 +139,19 @@ bool DefaultEngineKnobs(CaseConfig* c) {
 }
 
 bool HalveArray(CaseConfig* c) {
-  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
-  const int64_t current = w.array->length();
-  if (current <= 32) return false;
-  c->overrides.length_cap = std::max<int64_t>(32, current / 2);
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides, c->grid);
+  // For grid workloads the cap clamps both extents; halve the larger one.
+  const int64_t current =
+      w.grid_workload ? std::max(w.grid->rows(), w.grid->cols())
+                      : w.array->length();
+  const int64_t floor = w.grid_workload ? 16 : 32;
+  if (current <= floor) return false;
+  c->overrides.length_cap = std::max<int64_t>(floor, current / 2);
   return true;
 }
 
 bool DropConstraints(CaseConfig* c) {
-  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides, c->grid);
   const int current = static_cast<int>(w.query.constraints.size());
   if (current <= 1) return false;
   c->overrides.max_constraints = current - 1;
@@ -149,14 +159,14 @@ bool DropConstraints(CaseConfig* c) {
 }
 
 bool LowerK(CaseConfig* c) {
-  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides, c->grid);
   if (w.query.k <= 1) return false;
   c->overrides.k_cap = w.query.k / 2;
   return true;
 }
 
 bool NarrowX(CaseConfig* c) {
-  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides, c->grid);
   const int64_t width = w.query.domains[0].hi - w.query.domains[0].lo + 1;
   if (width <= 8) return false;
   c->overrides.x_width_cap = width / 2;
@@ -164,14 +174,14 @@ bool NarrowX(CaseConfig* c) {
 }
 
 bool DropDiversity(CaseConfig* c) {
-  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides, c->grid);
   if (w.result_spacing.empty()) return false;
   c->overrides.no_diversity = true;
   return true;
 }
 
 bool DefaultAlpha(CaseConfig* c) {
-  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides);
+  const Workload w = MakeWorkload(c->seed, c->mode, c->overrides, c->grid);
   if (w.alpha == 0.5) return false;
   c->overrides.default_alpha = true;
   return true;
@@ -208,6 +218,7 @@ std::string ReproLine(const CaseConfig& c) {
   std::string line = "dqr_fuzz --seed=" + std::to_string(c.seed) +
                      " --mode=" + FuzzModeName(c.mode) + " --config=\"" +
                      c.config.ToString() + "\"";
+  if (c.grid) line += " --grid";
   if (c.overrides.length_cap != 0) {
     line += " --len-cap=" + std::to_string(c.overrides.length_cap);
   }
@@ -229,7 +240,8 @@ Result<std::string> WriteReproFile(const std::string& dir,
                                    const CaseConfig& c,
                                    const CaseResult& result) {
   const std::string path = dir + "/repro_" + std::to_string(c.seed) + "_" +
-                           FuzzModeName(c.mode) + ".txt";
+                           FuzzModeName(c.mode) +
+                           (c.grid ? "_grid" : "") + ".txt";
   std::ofstream out(path);
   if (!out) return InvalidArgumentError("cannot write repro file: " + path);
   out << "# replay with:\n" << ReproLine(c) << "\n\n";
@@ -265,8 +277,11 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
     const uint64_t seed = options.start_seed + static_cast<uint64_t>(i);
     ++report.seeds_run;
     // One mode per seed (cycled) keeps a campaign of N seeds at N
-    // workloads; --mode pins it for reproduction.
+    // workloads; --mode pins it for reproduction. Every fourth seed runs
+    // its 2-D grid workload so both data shapes stay covered (--grid
+    // pins that for reproduction).
     const FuzzMode mode = modes[static_cast<size_t>(i) % modes.size()];
+    const bool grid = i % 4 == 3;
     const std::vector<EngineConfig> configs =
         MakeConfigMatrix(seed, options.configs_per_seed);
 
@@ -274,6 +289,7 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       CaseConfig c;
       c.seed = seed;
       c.mode = mode;
+      c.grid = grid;
       c.config = configs[ci];
       // Alternate the trace dimension deterministically across the
       // matrix so every campaign covers traced and untraced runs of

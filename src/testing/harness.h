@@ -23,11 +23,13 @@ enum class InjectedBug {
 Result<InjectedBug> InjectedBugFromName(const std::string& name);
 
 // One fully specified differential case: which workload and which engine
-// configuration. Everything derives from (seed, mode, overrides, config),
-// so a case is its own reproducer.
+// configuration. Everything derives from (seed, mode, grid, overrides,
+// config), so a case is its own reproducer.
 struct CaseConfig {
   uint64_t seed = 0;
   FuzzMode mode = FuzzMode::kRelax;
+  // Run the 2-D grid workload of this seed instead of the 1-D one.
+  bool grid = false;
   WorkloadOverrides overrides;
   EngineConfig config;
 };
@@ -101,8 +103,11 @@ struct FuzzReport {
 
 // Runs the campaign: for each seed, derives a workload per mode and runs
 // it under the seed's config matrix, comparing every run against the
-// oracle. Each failure is shrunk before being reported. Progress and
-// failures go to stderr; the report is the machine-readable summary.
+// oracle. Every fourth seed runs its 2-D grid workload instead of the
+// 1-D one, so a campaign always covers both data shapes (and, via the
+// matrix's simd dimension, both kernel paths over both shapes). Each
+// failure is shrunk before being reported. Progress and failures go to
+// stderr; the report is the machine-readable summary.
 FuzzReport RunFuzz(const FuzzOptions& options);
 
 // Serializes a failing (already shrunk) case into a self-contained repro

@@ -82,6 +82,56 @@ TEST(GeneratorTest, OverridesShrinkTheWorkload) {
   EXPECT_LE(small.query.domains[0].hi - small.query.domains[0].lo + 1, 4);
 }
 
+TEST(GeneratorTest, GridWorkloadsAreDeterministicAndShrink) {
+  const Workload a = MakeWorkload(12, FuzzMode::kRelax, {}, /*grid=*/true);
+  ASSERT_TRUE(a.grid_workload);
+  ASSERT_NE(a.grid, nullptr);
+  ASSERT_NE(a.grid_synopsis, nullptr);
+  EXPECT_EQ(a.array, nullptr);
+  ASSERT_EQ(a.query.domains.size(), 4u);
+
+  const Workload b = MakeWorkload(12, FuzzMode::kRelax, {}, /*grid=*/true);
+  EXPECT_EQ(a.summary, b.summary);
+  EXPECT_EQ(a.query.domains, b.query.domains);
+
+  // The grid draw must come from a decorrelated stream: the 1-D workload
+  // of the same seed is what it always was, grid flag or not.
+  const Workload one_d = MakeWorkload(12, FuzzMode::kRelax);
+  EXPECT_FALSE(one_d.grid_workload);
+  ASSERT_NE(one_d.array, nullptr);
+  EXPECT_EQ(one_d.query.domains.size(), 2u);
+
+  WorkloadOverrides overrides;
+  overrides.length_cap = 16;
+  overrides.max_constraints = 1;
+  overrides.k_cap = 1;
+  overrides.x_width_cap = 4;
+  const Workload small =
+      MakeWorkload(12, FuzzMode::kRelax, overrides, /*grid=*/true);
+  EXPECT_LE(small.grid->rows(), 16);
+  EXPECT_LE(small.grid->cols(), 16);
+  EXPECT_EQ(small.query.constraints.size(), 1u);
+  EXPECT_EQ(small.query.k, 1);
+  EXPECT_LE(small.query.domains[0].hi - small.query.domains[0].lo + 1, 4);
+}
+
+TEST(HarnessTest, GridCaseMatchesOracleUnderScalarAndSimd) {
+  CaseResult runs[2];
+  for (int simd = 0; simd < 2; ++simd) {
+    CaseConfig c;
+    c.seed = 21;
+    c.mode = FuzzMode::kConstrain;
+    c.grid = true;
+    c.config.simd = simd == 1;
+    runs[simd] = RunCase(c);
+    EXPECT_TRUE(runs[simd].ok) << runs[simd].detail << "\n"
+                               << runs[simd].error;
+  }
+  // Both agreed with the oracle; the kernels must also agree with each
+  // other bit for bit.
+  EXPECT_EQ(runs[0].actual, runs[1].actual);
+}
+
 TEST(GeneratorTest, ConfigStringRoundTrips) {
   for (const EngineConfig& config : MakeConfigMatrix(5, 8)) {
     const std::string text = config.ToString();
@@ -103,6 +153,8 @@ TEST(GeneratorTest, ConfigMatrixCoversTheRequiredShapes) {
   EXPECT_GT(configs[1].num_instances, 1);        // work stealing
   EXPECT_GT(configs[2].fault_crashes, 0);        // fault injection
   EXPECT_TRUE(configs[2].enable_failure_detector);
+  EXPECT_TRUE(configs[0].simd);                  // SIMD baseline...
+  EXPECT_FALSE(configs[1].simd);                 // ...vs a scalar replica
 }
 
 TEST(HarnessTest, CleanEngineMatchesOracleUnderAllConfigs) {
@@ -145,7 +197,7 @@ TEST(HarnessTest, InjectedBugIsCaughtAndShrunk) {
 
   const std::string line = ReproLine(shrunk);
   EXPECT_NE(line.find("dqr_fuzz --seed="), std::string::npos);
-  EXPECT_LE(line.size(), 200u) << line;
+  EXPECT_LE(line.size(), 220u) << line;
 }
 
 TEST(HarnessTest, PerturbedScoreIsCaught) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 
 namespace dqr::synopsis {
@@ -89,6 +91,148 @@ TEST(GridSynopsisTest, ExactOnCellAlignedSums) {
   const Interval sum = f.synopsis->SumBounds(8, 40, 16, 56);
   EXPECT_NEAR(sum.lo, exact.sum, 1e-6);
   EXPECT_NEAR(sum.hi, exact.sum, 1e-6);
+}
+
+// --- bit-identical replica sweep ---------------------------------------
+//
+// Per-cell replica of the pre-SoA bounds queries, evaluated over a
+// LevelView's planes. PickLevelIndex routes both sides to the same
+// level, and Interval::operator== demands bit identity — the sparse
+// tables and 1-D fringe/strip tables must reproduce the all-cell scan
+// exactly, not just soundly.
+
+using View = GridSynopsis::LevelView;
+
+Interval ReplicaValueBounds(const View& v, int64_t r0, int64_t r1,
+                            int64_t c0, int64_t c1) {
+  const int64_t cs = v.cell_size;
+  const int64_t cc = v.cell_cols;
+  const int64_t i0 = r0 / cs, i1 = (r1 - 1) / cs;
+  const int64_t j0 = c0 / cs, j1 = (c1 - 1) / cs;
+  double mn = v.min[i0 * cc + j0];
+  double mx = v.max[i0 * cc + j0];
+  for (int64_t i = i0; i <= i1; ++i) {
+    for (int64_t j = j0; j <= j1; ++j) {
+      mn = std::min(mn, v.min[i * cc + j]);
+      mx = std::max(mx, v.max[i * cc + j]);
+    }
+  }
+  return Interval(mn, mx);
+}
+
+Interval ReplicaMaxBounds(const View& v, int64_t rows, int64_t cols,
+                          int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+  const int64_t cs = v.cell_size;
+  const int64_t cc = v.cell_cols;
+  const int64_t i0 = r0 / cs, i1 = (r1 - 1) / cs;
+  const int64_t j0 = c0 / cs, j1 = (c1 - 1) / cs;
+  double upper = v.max[i0 * cc + j0];
+  double floor = v.min[i0 * cc + j0];
+  double witness = 0.0;
+  bool have_contained = false;
+  for (int64_t i = i0; i <= i1; ++i) {
+    for (int64_t j = j0; j <= j1; ++j) {
+      upper = std::max(upper, v.max[i * cc + j]);
+      floor = std::max(floor, v.min[i * cc + j]);
+      const int64_t cr0 = i * cs, cr1 = std::min(rows, cr0 + cs);
+      const int64_t cc0 = j * cs, cc1 = std::min(cols, cc0 + cs);
+      if (r0 <= cr0 && cr1 <= r1 && c0 <= cc0 && cc1 <= c1) {
+        witness =
+            have_contained ? std::max(witness, v.max[i * cc + j])
+                           : v.max[i * cc + j];
+        have_contained = true;
+      }
+    }
+  }
+  return Interval(have_contained ? std::max(witness, floor) : floor,
+                  upper);
+}
+
+Interval ReplicaMinBounds(const View& v, int64_t rows, int64_t cols,
+                          int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+  const int64_t cs = v.cell_size;
+  const int64_t cc = v.cell_cols;
+  const int64_t i0 = r0 / cs, i1 = (r1 - 1) / cs;
+  const int64_t j0 = c0 / cs, j1 = (c1 - 1) / cs;
+  double lower = v.min[i0 * cc + j0];
+  double ceil = v.max[i0 * cc + j0];
+  double witness = 0.0;
+  bool have_contained = false;
+  for (int64_t i = i0; i <= i1; ++i) {
+    for (int64_t j = j0; j <= j1; ++j) {
+      lower = std::min(lower, v.min[i * cc + j]);
+      ceil = std::min(ceil, v.max[i * cc + j]);
+      const int64_t cr0 = i * cs, cr1 = std::min(rows, cr0 + cs);
+      const int64_t cc0 = j * cs, cc1 = std::min(cols, cc0 + cs);
+      if (r0 <= cr0 && cr1 <= r1 && c0 <= cc0 && cc1 <= c1) {
+        witness =
+            have_contained ? std::min(witness, v.min[i * cc + j])
+                           : v.min[i * cc + j];
+        have_contained = true;
+      }
+    }
+  }
+  return Interval(lower,
+                  have_contained ? std::min(witness, ceil) : ceil);
+}
+
+void ExpectBitIdentical(const Fixture& f, int64_t r0, int64_t r1,
+                        int64_t c0, int64_t c1) {
+  const int64_t rows = f.grid->rows();
+  const int64_t cols = f.grid->cols();
+  const View v =
+      f.synopsis->level_view(f.synopsis->PickLevelIndex(r0, r1, c0, c1));
+  const auto label = [&] {
+    return ::testing::Message() << "[" << r0 << "," << r1 << ")x[" << c0
+                                << "," << c1 << ") cs=" << v.cell_size;
+  };
+  EXPECT_TRUE(f.synopsis->ValueBounds(r0, r1, c0, c1) ==
+              ReplicaValueBounds(v, r0, r1, c0, c1))
+      << label();
+  EXPECT_TRUE(f.synopsis->MaxBounds(r0, r1, c0, c1) ==
+              ReplicaMaxBounds(v, rows, cols, r0, r1, c0, c1))
+      << label();
+  EXPECT_TRUE(f.synopsis->MinBounds(r0, r1, c0, c1) ==
+              ReplicaMinBounds(v, rows, cols, r0, r1, c0, c1))
+      << label();
+}
+
+// Every span shape — thin 1 x N / N x 1 strips, squares, full-grid — at
+// corner / far-edge / interior offsets, so spans cross every level
+// threshold of the budget; plus a randomized sweep.
+void SweepAgainstReplica(const Fixture& f, uint64_t seed) {
+  const int64_t rows = f.grid->rows();
+  const int64_t cols = f.grid->cols();
+  const int64_t row_spans[] = {1, 3, 8, 17, 33, 64, rows};
+  const int64_t col_spans[] = {1, 6, 16, 39, 70, cols};
+  for (const int64_t rs : row_spans) {
+    for (const int64_t csp : col_spans) {
+      ExpectBitIdentical(f, 0, rs, 0, csp);
+      ExpectBitIdentical(f, rows - rs, rows, cols - csp, cols);
+      ExpectBitIdentical(f, (rows - rs) / 2, (rows - rs) / 2 + rs,
+                         (cols - csp) / 2, (cols - csp) / 2 + csp);
+    }
+  }
+  Rng rng(seed);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int64_t r0 = rng.UniformInt(0, rows - 1);
+    const int64_t r1 = rng.UniformInt(r0 + 1, rows);
+    const int64_t c0 = rng.UniformInt(0, cols - 1);
+    const int64_t c1 = rng.UniformInt(c0 + 1, cols);
+    ExpectBitIdentical(f, r0, r1, c0, c1);
+  }
+}
+
+TEST(GridSynopsisTest, BitIdenticalToReplicaPowerOfTwoCells) {
+  SweepAgainstReplica(
+      MakeFixture(100, 140, 11, GridSynopsisOptions{{32, 8}, 64}), 0xB17);
+}
+
+TEST(GridSynopsisTest, BitIdenticalToReplicaNonPowerOfTwoCells) {
+  // 36 / 6 are not powers of two, so the query path takes the division
+  // fallback instead of cell_shift.
+  SweepAgainstReplica(
+      MakeFixture(100, 140, 13, GridSynopsisOptions{{36, 6}, 64}), 0xB18);
 }
 
 TEST(GridSynopsisTest, GlobalRangeAndMemory) {

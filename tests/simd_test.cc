@@ -1,0 +1,118 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqr::simd {
+namespace {
+
+// Random doubles with the edge shapes the synopsis planes can produce:
+// negatives, exact duplicates, and both zero signs (the kernels' only
+// tolerated tie-break divergence, which compares equal under ==).
+std::vector<double> MakeInput(Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Uniform(-100, 100);
+  if (n >= 3) {
+    v[static_cast<size_t>(n / 3)] = 0.0;
+    v[static_cast<size_t>(2 * n / 3)] = -0.0;
+    v[static_cast<size_t>(n - 1)] = v[0];
+  }
+  return v;
+}
+
+TEST(SimdTest, OverrideControlsDispatch) {
+  EXPECT_FALSE(KernelName(ActiveKernel()).empty());
+  EXPECT_FALSE(KernelName(DetectedKernel()).empty());
+  {
+    ScopedSimdOverride off(false);
+    EXPECT_EQ(ActiveKernel(), Kernel::kScalar);
+  }
+  {
+    ScopedSimdOverride on(true);
+    EXPECT_EQ(ActiveKernel(), DetectedKernel());
+  }
+}
+
+TEST(SimdTest, ScalarKernelsMatchStdFolds) {
+  Rng rng(41);
+  for (int64_t n = 1; n <= 67; ++n) {
+    const std::vector<double> v = MakeInput(rng, n);
+    const std::vector<double> w = MakeInput(rng, n);
+    EXPECT_EQ(MinReduceScalar(v.data(), n),
+              *std::min_element(v.begin(), v.end()));
+    EXPECT_EQ(MaxReduceScalar(v.data(), n),
+              *std::max_element(v.begin(), v.end()));
+    double mn = 0.0, mx = 0.0;
+    MinMaxReduceScalar(v.data(), w.data(), n, &mn, &mx);
+    EXPECT_EQ(mn, *std::min_element(v.begin(), v.end()));
+    EXPECT_EQ(mx, *std::max_element(w.begin(), w.end()));
+  }
+}
+
+// The dispatch target of this CPU must agree with the scalar kernels on
+// every length through several vector widths (tails of 0..width-1
+// lanes), element for element under ==.
+TEST(SimdTest, DetectedKernelAgreesWithScalar) {
+  const Kernel kernel = DetectedKernel();
+  if (kernel == Kernel::kScalar) {
+    GTEST_SKIP() << "no SIMD extension on this CPU";
+  }
+  Rng rng(43);
+  for (int64_t n = 1; n <= 130; ++n) {
+    const std::vector<double> v = MakeInput(rng, n);
+    const std::vector<double> w = MakeInput(rng, n);
+    double mn = 0.0, mx = 0.0;
+    double smn = 0.0, smx = 0.0;
+    MinMaxReduceScalar(v.data(), w.data(), n, &smn, &smx);
+    switch (kernel) {
+#if defined(__x86_64__) || defined(_M_X64)
+      case Kernel::kAvx2:
+        EXPECT_EQ(MinReduceAvx2(v.data(), n),
+                  MinReduceScalar(v.data(), n));
+        EXPECT_EQ(MaxReduceAvx2(v.data(), n),
+                  MaxReduceScalar(v.data(), n));
+        MinMaxReduceAvx2(v.data(), w.data(), n, &mn, &mx);
+        break;
+#endif
+#if defined(__aarch64__)
+      case Kernel::kNeon:
+        EXPECT_EQ(MinReduceNeon(v.data(), n),
+                  MinReduceScalar(v.data(), n));
+        EXPECT_EQ(MaxReduceNeon(v.data(), n),
+                  MaxReduceScalar(v.data(), n));
+        MinMaxReduceNeon(v.data(), w.data(), n, &mn, &mx);
+        break;
+#endif
+      default:
+        FAIL() << "unexpected kernel " << KernelName(kernel);
+    }
+    EXPECT_EQ(mn, smn) << "n=" << n;
+    EXPECT_EQ(mx, smx) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DispatchedReductionsAreOverrideInvariant) {
+  Rng rng(47);
+  for (const int64_t n : {1, 2, 3, 7, 16, 33, 128}) {
+    const std::vector<double> v = MakeInput(rng, n);
+    const std::vector<double> w = MakeInput(rng, n);
+    double results[2][4];
+    for (int pass = 0; pass < 2; ++pass) {
+      ScopedSimdOverride guard(pass == 1);
+      results[pass][0] = MinReduce(v.data(), n);
+      results[pass][1] = MaxReduce(v.data(), n);
+      MinMaxReduce(v.data(), w.data(), n, &results[pass][2],
+                   &results[pass][3]);
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(results[0][i], results[1][i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqr::simd

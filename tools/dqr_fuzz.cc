@@ -52,6 +52,7 @@ void Usage() {
       "replay mode (all from a reproducer line):\n"
       "  --seed=S            replay exactly this seed\n"
       "  --config=STR        engine config, e.g. \"inst=3;shards=8\"\n"
+      "  --grid              replay the seed's 2-D grid workload\n"
       "  --len-cap=N --max-cons=N --k-cap=N --x-width-cap=N\n"
       "  --no-diversity --default-alpha\n"
       "  --shrink            shrink the replayed case if it fails\n");
@@ -130,6 +131,8 @@ int main(int argc, char** argv) {
       }
       replay.config = config.value();
       have_config = true;
+    } else if (MatchFlag(arg, "--grid")) {
+      replay.grid = true;
     } else if (MatchValue(arg, "--len-cap", &value)) {
       replay.overrides.length_cap = ParseInt(value, "--len-cap");
     } else if (MatchValue(arg, "--max-cons", &value)) {
