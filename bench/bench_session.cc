@@ -1,0 +1,219 @@
+// bench_session: correlated-session replay, cold vs warm semantic cache.
+//
+// Replays seeded interactive exploration sessions (tighten/relax/shift
+// mutations around one base query, heavy on revisits — the access pattern
+// DESIGN.md "Cross-query semantic cache" targets) twice: once per-query
+// cold, once through a warm SemanticCache. Every step's canonical result
+// set must be byte-identical across legs; the headline number is the
+// warm-over-cold wall-clock speedup (target >= 5x: exact hits and
+// subsumption skip execution entirely, the shared bounds memo skips the
+// per-miss synopsis estimate cost on the steps that do execute).
+//
+//   bench_session [--min-speedup=X] [--json <path>]
+//
+// DQR_BENCH_COST_NS sets the artificial per-miss estimate cost (default
+// 1500 ns, the same knob the overhead benches use). Exit 1 on any
+// cross-leg mismatch, or when the measured speedup falls below
+// --min-speedup (default 0 = report only).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/semantic_cache.h"
+#include "core/canonical.h"
+#include "core/refiner.h"
+#include "testing/generator.h"
+
+namespace {
+
+using dqr::bench::BenchEnv;
+using dqr::bench::JsonRecord;
+using dqr::bench::JsonStr;
+using dqr::bench::RecordJson;
+using dqr::bench::TablePrinter;
+using dqr::fuzz::EngineConfig;
+using dqr::fuzz::FuzzMode;
+using dqr::fuzz::MakeSession;
+using dqr::fuzz::QuerySession;
+using dqr::fuzz::SessionMutation;
+using dqr::fuzz::SessionPlan;
+using dqr::fuzz::Workload;
+using dqr::fuzz::WorkloadOverrides;
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A slider-nudging exploration loop: the user tightens in on a region,
+// re-runs while tweaking the view, occasionally relaxes or pans, and
+// keeps revisiting queries already asked.
+SessionPlan InteractivePlan() {
+  SessionPlan plan;
+  plan.steps = {
+      SessionMutation::kTighten, SessionMutation::kRepeat,
+      SessionMutation::kTighten, SessionMutation::kRepeat,
+      SessionMutation::kRepeat,  SessionMutation::kRelax,
+      SessionMutation::kRepeat,  SessionMutation::kShift,
+      SessionMutation::kRepeat,  SessionMutation::kTighten,
+      SessionMutation::kRepeat,  SessionMutation::kRepeat,
+  };
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqr::bench::InitBenchJson(argc, argv);
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+    }
+  }
+
+  const BenchEnv env = BenchEnv::FromEnv();
+  WorkloadOverrides overrides;
+  overrides.cost_ns = env.estimate_cost_ns;
+  const SessionPlan plan = InteractivePlan();
+  const EngineConfig config;  // sequential baseline: stable timings
+
+  constexpr uint64_t kSeeds[] = {1, 2, 3, 4, 5, 6};
+  double cold_total_s = 0.0;
+  double warm_total_s = 0.0;
+  int64_t steps = 0;
+  int64_t mismatches = 0;
+  dqr::cache::SemanticCache::Stats agg;
+
+  TablePrinter table("bench_session: warm semantic cache vs per-query cold",
+                     {"seed", "steps", "cold s", "warm s", "speedup",
+                      "cache trail"});
+
+  for (const uint64_t seed : kSeeds) {
+    const FuzzMode mode =
+        seed % 2 == 0 ? FuzzMode::kConstrain : FuzzMode::kRelax;
+    const bool grid = seed % 3 == 0;
+    const QuerySession cold =
+        MakeSession(seed, mode, plan, overrides, grid);
+    dqr::cache::SemanticCache sem;
+    const QuerySession warm =
+        MakeSession(seed, mode, plan, overrides, grid, &sem.memo(),
+                    sem.MemoSpace(cold.dataset_id));
+
+    double cold_s = 0.0;
+    double warm_s = 0.0;
+    std::string trail;
+    for (size_t i = 0; i < cold.steps.size(); ++i) {
+      const Workload& cw = cold.steps[i];
+      const Workload& ww = warm.steps[i];
+
+      double t0 = NowS();
+      const auto cold_run =
+          dqr::core::ExecuteQuery(cw.query, config.ToOptions(cw, nullptr));
+      cold_s += NowS() - t0;
+      if (!cold_run.ok()) {
+        std::fprintf(stderr, "bench_session: cold error: %s\n",
+                     cold_run.status().ToString().c_str());
+        return 1;
+      }
+
+      dqr::cache::CachedQuery cq;
+      cq.query = ww.query;
+      cq.dataset_id = cold.dataset_id;
+      cq.function_ids = ww.function_ids;
+      dqr::cache::CacheOutcome outcome = dqr::cache::CacheOutcome::kMiss;
+      t0 = NowS();
+      const auto warm_run = dqr::cache::ExecuteQueryCached(
+          &sem, cq, config.ToOptions(ww, nullptr), &outcome);
+      warm_s += NowS() - t0;
+      if (!warm_run.ok()) {
+        std::fprintf(stderr, "bench_session: warm error: %s\n",
+                     warm_run.status().ToString().c_str());
+        return 1;
+      }
+
+      if (!trail.empty()) trail += ',';
+      trail += dqr::cache::CacheOutcomeName(outcome);
+      ++steps;
+      if (dqr::core::Canonicalize(cold_run.value().results) !=
+          dqr::core::Canonicalize(warm_run.value().results)) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "bench_session: MISMATCH seed %llu step %zu (%s)\n",
+                     static_cast<unsigned long long>(seed), i,
+                     cw.summary.c_str());
+      }
+    }
+    cold_total_s += cold_s;
+    warm_total_s += warm_s;
+    const dqr::cache::SemanticCache::Stats s = sem.stats();
+    agg.exact_hits += s.exact_hits;
+    agg.subsume_hits += s.subsume_hits;
+    agg.warm_starts += s.warm_starts;
+    agg.misses += s.misses;
+
+    char cold_buf[32];
+    char warm_buf[32];
+    char speed_buf[32];
+    std::snprintf(cold_buf, sizeof(cold_buf), "%.3f", cold_s);
+    std::snprintf(warm_buf, sizeof(warm_buf), "%.3f", warm_s);
+    std::snprintf(speed_buf, sizeof(speed_buf), "%.1fx",
+                  warm_s > 0 ? cold_s / warm_s : 0.0);
+    table.AddRow({std::to_string(seed),
+                  std::to_string(cold.steps.size()), cold_buf, warm_buf,
+                  speed_buf, trail});
+  }
+
+  const double speedup =
+      warm_total_s > 0 ? cold_total_s / warm_total_s : 0.0;
+  table.Print();
+  std::printf(
+      "total: cold %.3fs warm %.3fs speedup %.1fx over %lld steps "
+      "(exact %lld, subsume %lld, warm-start %lld, miss %lld)\n",
+      cold_total_s, warm_total_s, speedup, static_cast<long long>(steps),
+      static_cast<long long>(agg.exact_hits),
+      static_cast<long long>(agg.subsume_hits),
+      static_cast<long long>(agg.warm_starts),
+      static_cast<long long>(agg.misses));
+
+  JsonRecord record;
+  record.name = "bench_session";
+  record.config = {
+      {"seeds", std::to_string(std::size(kSeeds))},
+      {"steps_per_session", std::to_string(plan.steps.size() + 1)},
+      {"cost_ns", std::to_string(env.estimate_cost_ns)},
+      {"plan", JsonStr(plan.ToString())},
+  };
+  record.seconds = warm_total_s;
+  record.results = {
+      {"cold_s", std::to_string(cold_total_s)},
+      {"warm_s", std::to_string(warm_total_s)},
+      {"speedup", std::to_string(speedup)},
+      {"steps", std::to_string(steps)},
+      {"mismatches", std::to_string(mismatches)},
+      {"exact_hits", std::to_string(agg.exact_hits)},
+      {"subsume_hits", std::to_string(agg.subsume_hits)},
+      {"warm_starts", std::to_string(agg.warm_starts)},
+      {"misses", std::to_string(agg.misses)},
+  };
+  RecordJson(record);
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "bench_session: %lld mismatches\n",
+                 static_cast<long long>(mismatches));
+    return 1;
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "bench_session: speedup %.2fx below target %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

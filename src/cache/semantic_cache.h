@@ -1,0 +1,200 @@
+#ifndef DQR_CACHE_SEMANTIC_CACHE_H_
+#define DQR_CACHE_SEMANTIC_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/bounds_memo.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "core/refiner.h"
+#include "core/solution.h"
+#include "searchlight/query.h"
+
+namespace dqr::cache {
+
+// A query as the semantic cache sees it: the spec plus the identity of
+// the data it runs over and of each constraint's function. Two queries
+// may share cache state only when their dataset ids match and equal
+// function ids really mean "the same UDF with the same parameters and
+// value range over the same data" — the caller owns that contract (the
+// fuzz generator derives ids from the function kind, its parameters and
+// its value range at full precision).
+struct CachedQuery {
+  searchlight::QuerySpec query;
+  std::string dataset_id;
+  // One id per constraint, in query.constraints order.
+  std::vector<std::string> function_ids;
+};
+
+// How ExecuteQueryCached answered one query.
+enum class CacheOutcome {
+  // Cache unusable for this query (custom penalty/rank models).
+  kBypass,
+  // Nothing reusable; executed cold (possibly populating the cache).
+  kMiss,
+  // Byte-identical query seen before on this epoch; answer returned
+  // without executing.
+  kExactHit,
+  // A looser cached answer subsumed this query (every exact answer lies
+  // within its certified relaxation radius); answer synthesized without
+  // executing.
+  kSubsumeHit,
+  // Cached answers warm-started MRP/MRK bounds; executed with pruning
+  // head start.
+  kWarmStart,
+};
+
+const char* CacheOutcomeName(CacheOutcome outcome);
+
+// One completed, reusable answer. Stores a full copy of the query spec
+// (factories are value-captured and shared-ptr backed, so copies are
+// cheap and safe) plus the semantic knobs that defined the answer.
+struct CachedAnswer {
+  std::string fingerprint;
+  std::string dataset_id;
+  uint64_t epoch = 1;
+  searchlight::QuerySpec query;
+  std::vector<std::string> function_ids;
+  bool enable = true;
+  double alpha = 0.5;
+  core::ConstrainMode constrain = core::ConstrainMode::kRank;
+  std::vector<int64_t> result_spacing;
+  std::vector<core::Solution> results;
+  // Distinct exact results the run confirmed (RunStats::exact_results).
+  int64_t exact_results = 0;
+
+  // Effective cardinality / constrain mode, mirroring ExecuteQuery.
+  int64_t effective_k() const { return enable ? query.k : 0; }
+  core::ConstrainMode effective_mode() const {
+    return effective_k() > 0 ? constrain : core::ConstrainMode::kNone;
+  }
+};
+
+// Admissible warm-start bounds for a query (see DESIGN.md "Cross-query
+// semantic cache"): executing with these injected is equivalent to a
+// legal schedule in which the cached solutions they were derived from
+// were validated first, so final results are byte-identical to a cold
+// run.
+struct WarmBounds {
+  double mrp_cap = std::numeric_limits<double>::infinity();
+  double mrk_floor = -std::numeric_limits<double>::infinity();
+
+  bool any() const {
+    return mrp_cap != std::numeric_limits<double>::infinity() ||
+           mrk_floor != -std::numeric_limits<double>::infinity();
+  }
+};
+
+// Derives warm-start bounds for `tight` from cached answers over the same
+// dataset/epoch/functions. The MRP cap is the k-th smallest exact
+// re-scored penalty over the cached points inside the tight query's
+// domains (requires >= k finite candidates: they prove the cold pool
+// fills at least that well). The MRK floor (rank constraining only) is
+// the k-th largest rank over cached points that are exact under the
+// tight query. Answers with mismatched functions/dataset are ignored.
+// Exposed for the cache_invariants property tests.
+WarmBounds ComputeWarmBounds(
+    const CachedQuery& tight, const core::RefineOptions& options,
+    const std::vector<std::shared_ptr<const CachedAnswer>>& candidates);
+
+// Attempts to answer `tight` from the single looser cached answer: checks
+// the certificate ("every point with re-scored penalty below B is in the
+// stored answer"), computes the relaxation radius of the tight query's
+// search region under the loose penalty model, and — when radius < B —
+// synthesizes the exact answer in the engine's final ordering. Returns
+// nullopt when no sound certificate applies. Exposed for the
+// cache_invariants property tests.
+std::optional<std::vector<core::Solution>> TrySubsume(
+    const CachedQuery& tight, const core::RefineOptions& options,
+    const CachedAnswer& loose);
+
+// The process-wide semantic cache: a shared bounds memo (L2 behind every
+// query's BoundsCache) plus a bounded FIFO of completed answers, both
+// epoch-invalidated per dataset. Thread-safe; one instance may serve
+// concurrent queries.
+class SemanticCache {
+ public:
+  struct Stats {
+    int64_t exact_hits = 0;
+    int64_t subsume_hits = 0;
+    int64_t warm_starts = 0;
+    int64_t misses = 0;
+    int64_t bypasses = 0;
+    int64_t insertions = 0;
+    int64_t invalidations = 0;
+  };
+
+  explicit SemanticCache(size_t max_answers = 64);
+
+  SharedBoundsMemo& memo() { return memo_; }
+
+  uint64_t CurrentEpoch(const std::string& dataset_id) const {
+    return epochs_.Current(dataset_id);
+  }
+  // Current memo-space key for queries over `dataset_id`; attach it (with
+  // &memo()) to the function contexts of a query to share bounds lookups.
+  uint64_t MemoSpace(const std::string& dataset_id) const {
+    return MemoSpaceKey(dataset_id, epochs_.Current(dataset_id));
+  }
+
+  // The dataset mutated: advances its epoch, drops its cached answers and
+  // erases its memo space. Returns the new epoch.
+  uint64_t InvalidateDataset(const std::string& dataset_id);
+
+  // Exact-match lookup on the current epoch; nullptr on miss.
+  std::shared_ptr<const CachedAnswer> LookupExact(
+      const std::string& fingerprint, uint64_t epoch);
+  // Every cached answer for (dataset, epoch), newest first.
+  std::vector<std::shared_ptr<const CachedAnswer>> AnswersFor(
+      const std::string& dataset_id, uint64_t epoch);
+
+  void InsertAnswer(CachedAnswer answer);
+
+  Stats stats() const;
+  size_t answer_count() const;
+
+  // Outcome accounting used by ExecuteQueryCached.
+  void CountOutcome(CacheOutcome outcome);
+
+ private:
+  const size_t max_answers_;
+  SharedBoundsMemo memo_;
+  EpochRegistry epochs_;
+
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const CachedAnswer>> answers_;  // newest front
+  std::unordered_map<std::string, std::shared_ptr<const CachedAnswer>>
+      by_fingerprint_;
+  Stats stats_;
+};
+
+// The fingerprint of everything that defines a query's answer: dataset,
+// domains, constraints (function ids, bounds, weights, flags), k, and the
+// semantic options (enable, alpha, constrain mode, diversity). Engine
+// shape and scheduling knobs are deliberately excluded — they are
+// answer-preserving by the §3 guarantees the fuzz harness enforces.
+std::string QueryFingerprint(const CachedQuery& cq,
+                             const core::RefineOptions& options);
+
+// Semantic-cache-aware ExecuteQuery. Resolution order: exact hit →
+// subsumption → warm-started execution → cold execution; completed runs
+// without custom models are inserted back into the cache. Cached answers
+// short-circuit execution entirely, so RunStats of a hit carry only the
+// cache counters (and on_result callbacks do not replay). `outcome`, when
+// non-null, receives how the query was answered.
+Result<core::RunResult> ExecuteQueryCached(SemanticCache* cache,
+                                           const CachedQuery& cq,
+                                           const core::RefineOptions& options,
+                                           CacheOutcome* outcome = nullptr);
+
+}  // namespace dqr::cache
+
+#endif  // DQR_CACHE_SEMANTIC_CACHE_H_

@@ -1,6 +1,7 @@
 #ifndef DQR_CORE_COORDINATOR_H_
 #define DQR_CORE_COORDINATOR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -85,9 +86,27 @@ class Coordinator {
   ResultTracker& tracker() { return tracker_; }
   const ResultTracker& tracker() const { return tracker_; }
 
+  // Warm-start bounds from the semantic cache (see RefineOptions). The cap
+  // tightens every MRP view from the start; the floor joins the MRK view
+  // only in the constraining phase (before the flip it could suppress
+  // exact results that must count toward the relaxation decision). Call
+  // once before the instances start.
+  void SetWarmBounds(double mrp_cap, double mrk_floor) {
+    warm_mrp_cap_ = mrp_cap;
+    warm_mrk_floor_ = mrk_floor;
+    has_warm_mrk_floor_ =
+        mrk_floor != -std::numeric_limits<double>::infinity();
+  }
+
   // Views of MRP/MRK as an instance would see them over the interconnect.
-  double CurrentMrp() const { return mrp_.Read(); }
-  double CurrentMrk() const { return mrk_.Read(); }
+  double CurrentMrp() const { return std::min(mrp_.Read(), warm_mrp_cap_); }
+  double CurrentMrk() const {
+    const double mrk = mrk_.Read();
+    if (has_warm_mrk_floor_ && tracker_.phase() == QueryPhase::kConstraining) {
+      return std::max(mrk, warm_mrk_floor_);
+    }
+    return mrk;
+  }
 
   // Phase reads go straight to the tracker: a stale "collecting" view only
   // records extra fails, never loses results.
@@ -193,6 +212,11 @@ class Coordinator {
   // routed through ResultTracker (under its lock).
   DelayedBroadcast mrp_;
   DelayedBroadcast mrk_;
+  // Warm-start bounds (SetWarmBounds); written once before the instances
+  // start, read-only afterwards.
+  double warm_mrp_cap_ = std::numeric_limits<double>::infinity();
+  double warm_mrk_floor_ = -std::numeric_limits<double>::infinity();
+  bool has_warm_mrk_floor_ = false;
   std::atomic<bool> cancel_{false};
   std::atomic<double> first_result_s_{-1.0};
   std::atomic<bool> have_first_{false};

@@ -47,6 +47,9 @@ class MemoStatsGuard {
     stats_->estimator_cache_misses += m.misses;
     stats_->estimator_cache_evictions += m.evictions;
     stats_->estimator_cache_restore_evictions += m.restore_evictions;
+    stats_->shared_memo_hits += m.shared_hits;
+    stats_->shared_memo_misses += m.shared_misses;
+    stats_->shared_memo_evictions += m.shared_evictions;
   }
 
  private:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/solution.h"
@@ -110,6 +111,21 @@ struct RefineOptions {
   // contract in penalty.h / rank.h) and must outlive the query execution.
   const PenaltyModel* custom_penalty = nullptr;
   const RankModel* custom_rank = nullptr;
+
+  // --- warm start (cross-query semantic cache, DESIGN.md) ---
+  // Initial upper bound on MRP injected before the search starts. Must be
+  // *admissible*: some legal schedule of this very query reaches an MRP at
+  // least this tight (e.g. the k-th best re-scored penalty over cached
+  // solutions of an overlapping query — real solutions the search will
+  // confirm). The engine prunes strictly above MRP, so an admissible cap
+  // never drops a final-pool member and results stay byte-identical to a
+  // cold run. +inf (the default) disables it.
+  double warm_mrp_cap = std::numeric_limits<double>::infinity();
+  // Initial lower bound on MRK, applied only once the query enters the
+  // constraining phase (rank mode): before the phase flip an MRK floor
+  // could suppress exact results that must count toward the flip decision.
+  // Same admissibility contract as warm_mrp_cap. -inf disables it.
+  double warm_mrk_floor = -std::numeric_limits<double>::infinity();
 
   // --- search heuristics ---
   // The Solver's decision process, tunable as in Searchlight. Heuristics

@@ -1,6 +1,7 @@
 #include "core/refiner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -215,6 +216,12 @@ Status ValidateInputs(const searchlight::QuerySpec& query,
   if (options.trace != nullptr && options.trace_buffer_events <= 0) {
     return InvalidArgumentError("trace_buffer_events must be positive");
   }
+  if (std::isnan(options.warm_mrp_cap) || options.warm_mrp_cap < 0.0) {
+    return InvalidArgumentError("warm_mrp_cap must be >= 0");
+  }
+  if (std::isnan(options.warm_mrk_floor)) {
+    return InvalidArgumentError("warm_mrk_floor must not be NaN");
+  }
   if (options.heartbeat_interval_us <= 0) {
     return InvalidArgumentError("heartbeat_interval_us must be positive");
   }
@@ -304,6 +311,7 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   Coordinator coordinator(instances, effective_k, mode, &rank,
                           options.broadcast_delay_us,
                           std::move(diversity));
+  coordinator.SetWarmBounds(options.warm_mrp_cap, options.warm_mrk_floor);
   coordinator.SeedShards(std::move(shards));
   // The cluster-wide replay pool: every instance records fails into it and
   // replays the globally most-promising ones out of it.

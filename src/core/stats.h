@@ -115,6 +115,18 @@ namespace dqr::core {
     "BoundsCache evictions forced by fail-state Restore")                    \
   X(int64_t, mrp_updates, 0, SUM, "MRP tightenings broadcast")               \
   X(int64_t, mrk_updates, 0, SUM, "MRK tightenings broadcast")               \
+  X(int64_t, shared_memo_hits, 0, SUM,                                       \
+    "Cross-query shared bounds-memo hits (L2 behind BoundsCache)")           \
+  X(int64_t, shared_memo_misses, 0, SUM,                                     \
+    "Cross-query shared bounds-memo misses")                                 \
+  X(int64_t, shared_memo_evictions, 0, SUM,                                  \
+    "Cross-query shared bounds-memo evictions")                              \
+  X(int64_t, answer_cache_exact_hits, 0, SUM,                                \
+    "Queries answered from the semantic cache by exact fingerprint match")   \
+  X(int64_t, answer_cache_subsumption_hits, 0, SUM,                          \
+    "Queries answered by subsumption from a looser cached answer")           \
+  X(int64_t, answer_cache_warm_starts, 0, SUM,                               \
+    "Queries executed with cache-derived warm MRP/MRK bounds")               \
   X(bool, completed, true, AND,                                              \
     "False iff the run was cancelled (time budget / external cancel)")
 

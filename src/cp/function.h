@@ -40,12 +40,21 @@ struct FunctionMemoStats {
   int64_t evictions = 0;
   // Cold entries evicted to make room for restored snapshot entries.
   int64_t restore_evictions = 0;
+  // Cross-query shared memo (L2 behind the local cache): local misses that
+  // the process-wide SharedBoundsMemo served / failed to serve, and
+  // entries it evicted on this thread's publishes.
+  int64_t shared_hits = 0;
+  int64_t shared_misses = 0;
+  int64_t shared_evictions = 0;
 
   FunctionMemoStats& operator+=(const FunctionMemoStats& other) {
     hits += other.hits;
     misses += other.misses;
     evictions += other.evictions;
     restore_evictions += other.restore_evictions;
+    shared_hits += other.shared_hits;
+    shared_misses += other.shared_misses;
+    shared_evictions += other.shared_evictions;
     return *this;
   }
 };

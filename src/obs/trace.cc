@@ -38,6 +38,8 @@ const char* ThreadRoleString(ThreadRole role) {
       return "heartbeat";
     case ThreadRole::kDetector:
       return "detector";
+    case ThreadRole::kSession:
+      return "session";
   }
   return "unknown";
 }

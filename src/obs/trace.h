@@ -57,7 +57,13 @@ namespace dqr::obs {
   X(kLeaseReclaim, "lease_reclaim")       /* instant (fails) */          \
   X(kCrash, "crash")                      /* instant (fault site) */     \
   X(kMrp, "mrp")                          /* counter */                  \
-  X(kMrk, "mrk")                          /* counter */
+  X(kMrk, "mrk")                          /* counter */                  \
+  X(kCacheLookup, "cache_lookup")         /* span: semantic-cache probe */\
+  X(kCacheExactHit, "cache_exact_hit")    /* instant (results) */        \
+  X(kCacheSubsume, "cache_subsume")       /* instant (results) */        \
+  X(kCacheWarmStart, "cache_warm_start")  /* instant (results) */        \
+  X(kCacheMiss, "cache_miss")             /* instant (results) */        \
+  X(kCacheStore, "cache_store")           /* instant (results) */
 
 enum class EventName : uint8_t {
 #define DQR_OBS_EVENT_ENUM(sym, str) sym,
@@ -81,6 +87,7 @@ enum class ThreadRole : uint8_t {
   kSpeculative = 2,
   kHeartbeat = 3,
   kDetector = 4,  // cluster-level failure detector (instance -1)
+  kSession = 5,   // semantic-cache session layer (instance -1)
 };
 
 const char* ThreadRoleString(ThreadRole role);

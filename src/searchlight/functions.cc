@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "cache/bounds_memo.h"
 #include "common/check.h"
 
 namespace dqr::searchlight {
@@ -115,14 +116,33 @@ void BoundsCache::EvictOne() {
 }
 
 const Interval* BoundsCache::Find(int kind, int64_t lo, int64_t hi) {
-  const auto it = map_.find(Key{kind, lo, hi});
-  if (it == map_.end()) {
-    ++stats_.misses;
-    return nullptr;
+  const Key key{kind, lo, hi};
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    Touch(it->first);
+    return &it->second;
   }
-  ++stats_.hits;
-  Touch(it->first);
-  return &it->second;
+  if (shared_ != nullptr) {
+    Interval value;
+    if (shared_->Lookup(shared_space_, kind, lo, hi, &value)) {
+      // Adopt the L2 entry locally without republishing it. Serving the
+      // lookup from the memo means the caller skips recomputation and the
+      // artificial miss cost — the cross-query perf lever.
+      ++stats_.shared_hits;
+      const auto [ins, inserted] = map_.emplace(key, value);
+      if (inserted) fifo_.push_back(key);
+      Touch(key);
+      while (map_.size() > capacity_) {
+        EvictOne();
+        ++stats_.evictions;
+      }
+      return &ins->second;
+    }
+    ++stats_.shared_misses;
+  }
+  ++stats_.misses;
+  return nullptr;
 }
 
 void BoundsCache::Insert(int kind, int64_t lo, int64_t hi,
@@ -132,6 +152,10 @@ void BoundsCache::Insert(int kind, int64_t lo, int64_t hi,
   (void)it;
   if (inserted) fifo_.push_back(key);
   Touch(key);
+  if (shared_ != nullptr &&
+      shared_->Insert(shared_space_, kind, lo, hi, value)) {
+    ++stats_.shared_evictions;
+  }
   while (map_.size() > capacity_) {
     EvictOne();
     ++stats_.evictions;
@@ -183,6 +207,9 @@ WindowFunction::WindowFunction(WindowFunctionContext ctx)
   value_range_ = ctx_.value_range.empty()
                      ? ctx_.synopsis->global_value_range()
                      : ctx_.value_range;
+  if (ctx_.shared_memo != nullptr) {
+    cache_.AttachShared(ctx_.shared_memo, ctx_.shared_memo_key);
+  }
 }
 
 std::unique_ptr<cp::FunctionState> WindowFunction::SaveState(

@@ -14,6 +14,10 @@
 #include "cp/function.h"
 #include "synopsis/synopsis.h"
 
+namespace dqr::cache {
+class SharedBoundsMemo;
+}  // namespace dqr::cache
+
 namespace dqr::searchlight {
 
 // Memoized window-bound lookups shared by the aggregate functions below.
@@ -35,8 +39,20 @@ class BoundsCache {
 
   explicit BoundsCache(size_t capacity = 4096) : capacity_(capacity) {}
 
+  // Attaches the process-wide cross-query memo as an L2 behind this
+  // cache: local misses probe it under `space` before recomputing, and
+  // fresh local inserts publish to it. Restore never publishes (snapshot
+  // entries were published when first derived). The L2 is thread-safe;
+  // this cache remains single-owner.
+  void AttachShared(cache::SharedBoundsMemo* shared, uint64_t space) {
+    shared_ = shared;
+    shared_space_ = space;
+  }
+
   // Returns the cached interval for (kind, lo, hi) or nullptr. Touched
-  // keys (hits and inserts) are remembered in a small recency ring.
+  // keys (hits and inserts) are remembered in a small recency ring. An
+  // attached-L2 hit counts as a hit (no recomputation, no miss cost) and
+  // is adopted locally without republishing.
   const Interval* Find(int kind, int64_t lo, int64_t hi);
   void Insert(int kind, int64_t lo, int64_t hi, const Interval& value);
 
@@ -79,6 +95,8 @@ class BoundsCache {
   void EvictOne();
 
   size_t capacity_;
+  cache::SharedBoundsMemo* shared_ = nullptr;
+  uint64_t shared_space_ = 0;
   std::unordered_map<Key, Interval, KeyHash> map_;
   // Insertion-order queue over the map's keys (each key appears exactly
   // once); front = eviction candidate, second-chance rotations move
@@ -112,6 +130,12 @@ struct WindowFunctionContext {
   // cost in the paper's SciDB deployment) — sleeping threads overlap, so
   // scheduling quality shows up in wall clock even on few cores.
   bool cost_is_latency = false;
+  // Optional cross-query shared bounds memo (L2 behind the per-function
+  // BoundsCache); see cache/bounds_memo.h. The key must identify the
+  // (dataset, synopsis configuration, epoch) these bounds are valid for.
+  // Null disables sharing. Clones inherit the attachment.
+  cache::SharedBoundsMemo* shared_memo = nullptr;
+  uint64_t shared_memo_key = 0;
 };
 
 // Base class implementing the window geometry shared by the concrete

@@ -45,6 +45,9 @@ RectFunction::RectFunction(GridFunctionContext ctx)
   value_range_ = ctx_.value_range.empty()
                      ? ctx_.synopsis->global_value_range()
                      : ctx_.value_range;
+  if (ctx_.shared_memo != nullptr) {
+    cache_.AttachShared(ctx_.shared_memo, ctx_.shared_memo_key);
+  }
 }
 
 std::unique_ptr<cp::FunctionState> RectFunction::SaveState(

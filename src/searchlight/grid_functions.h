@@ -29,6 +29,10 @@ struct GridFunctionContext {
   Interval value_range = Interval::Empty();
   // Artificial per-uncached-lookup cost, as in WindowFunctionContext.
   int64_t estimate_cost_ns = 0;
+  // Optional cross-query shared bounds memo (L2), as in
+  // WindowFunctionContext. Clones inherit the attachment.
+  cache::SharedBoundsMemo* shared_memo = nullptr;
+  uint64_t shared_memo_key = 0;
 };
 
 // Base class for 2-D rectangle aggregates: geometry, memoized synopsis

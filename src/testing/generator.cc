@@ -39,6 +39,24 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Semantic function id: kind + parameters + value range at full
+// precision (the cache::CachedQuery contract). An empty range derives
+// from the synopsis, which the session's dataset_id pins, so "derived"
+// is unambiguous within a session.
+std::string FunctionId(const std::string& kind, const Interval& vr,
+                       int64_t param = -1) {
+  std::string id = kind;
+  if (param >= 0) id += ";p=" + std::to_string(param);
+  if (vr.empty()) {
+    id += ";vr=derived";
+  } else {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), ";vr=%.17g,%.17g", vr.lo, vr.hi);
+    id += buf;
+  }
+  return id;
+}
+
 // Quantile over a sorted sample, q in [0, 1].
 double Quantile(const std::vector<double>& sorted, double q) {
   DQR_CHECK(!sorted.empty());
@@ -89,7 +107,9 @@ core::FaultPlan MakeSurvivorCrashPlan(uint64_t seed, int num_instances,
 // length_cap clamps both grid extents, x_width_cap the width of variable
 // 0's (y's) domain.
 Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
-                          const WorkloadOverrides& overrides) {
+                          const WorkloadOverrides& overrides,
+                          cache::SharedBoundsMemo* shared_memo,
+                          uint64_t memo_space) {
   Rng rng(seed ^ 0x5eed2d5eed2d5eedULL);
   Workload w;
   w.seed = seed;
@@ -244,6 +264,9 @@ Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
   GridFunctionContext base_ctx;
   base_ctx.grid = w.grid;
   base_ctx.synopsis = w.grid_synopsis;
+  base_ctx.estimate_cost_ns = overrides.cost_ns;
+  base_ctx.shared_memo = shared_memo;
+  base_ctx.shared_memo_key = memo_space;
 
   {
     searchlight::QueryConstraint c;
@@ -252,6 +275,7 @@ Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
     c.make_function = [ctx] {
       return std::make_unique<RectAvgFunction>(ctx);
     };
+    w.function_ids.push_back(FunctionId("rect_avg", ctx.value_range));
     c.bounds = avg_bounds;
     c.relaxable = rng.Bernoulli(0.9);
     c.relax_weight = rng.Uniform(0.3, 1.0);
@@ -287,6 +311,7 @@ Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
               : rng.Uniform((data_lo + data_hi) / 2, data_hi + 30.0);
       c.bounds = Interval(cut, kInf);
       c.name = "rect_max";
+      w.function_ids.push_back(FunctionId("rect_max", ctx.value_range));
     } else {
       const auto side = kind == 1 ? RectContrastFunction::Side::kLeft
                                   : RectContrastFunction::Side::kRight;
@@ -296,6 +321,7 @@ Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
       };
       c.bounds = Interval(rng.Uniform(0.0, 60.0), kInf);
       c.name = kind == 1 ? "rect_contrast_left" : "rect_contrast_right";
+      w.function_ids.push_back(FunctionId(c.name, ctx.value_range, width));
     }
     c.relaxable = rng.Bernoulli(0.8);
     c.relax_weight = rng.Uniform(0.3, 1.0);
@@ -311,6 +337,7 @@ Workload MakeGridWorkload(uint64_t seed, FuzzMode mode,
           overrides.max_constraints) {
     w.query.constraints.resize(
         static_cast<size_t>(std::max(1, overrides.max_constraints)));
+    w.function_ids.resize(w.query.constraints.size());
   }
 
   // --- diversity (one spacing entry per decision variable) ---
@@ -384,12 +411,17 @@ std::string WorkloadOverrides::ToString() const {
   if (x_width_cap != 0) append("xw<=" + std::to_string(x_width_cap));
   if (no_diversity) append("nodiv");
   if (default_alpha) append("alpha=0.5");
+  if (cost_ns != 0) append("cost=" + std::to_string(cost_ns));
   return out;
 }
 
 Workload MakeWorkload(uint64_t seed, FuzzMode mode,
-                      const WorkloadOverrides& overrides, bool grid) {
-  if (grid) return MakeGridWorkload(seed, mode, overrides);
+                      const WorkloadOverrides& overrides, bool grid,
+                      cache::SharedBoundsMemo* shared_memo,
+                      uint64_t memo_space) {
+  if (grid) {
+    return MakeGridWorkload(seed, mode, overrides, shared_memo, memo_space);
+  }
   Rng rng(seed);
   Workload w;
   w.seed = seed;
@@ -531,12 +563,16 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
   base_ctx.synopsis = w.synopsis;
   base_ctx.x_var = 0;
   base_ctx.len_var = 1;
+  base_ctx.estimate_cost_ns = overrides.cost_ns;
+  base_ctx.shared_memo = shared_memo;
+  base_ctx.shared_memo_key = memo_space;
 
   {
     searchlight::QueryConstraint c;
     WindowFunctionContext ctx = base_ctx;
     ctx.value_range = avg_range;
     c.make_function = [ctx] { return std::make_unique<AvgFunction>(ctx); };
+    w.function_ids.push_back(FunctionId("avg", ctx.value_range));
     c.bounds = avg_bounds;
     c.relaxable = rng.Bernoulli(0.9);
     c.relax_weight = rng.Uniform(0.3, 1.0);
@@ -571,6 +607,7 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
                              : rng.Uniform((data_lo + data_hi) / 2, data_hi + 30.0);
       c.bounds = Interval(cut, kInf);
       c.name = "max";
+      w.function_ids.push_back(FunctionId("max", ctx.value_range));
     } else if (kind == 1) {
       c.make_function = [ctx] { return std::make_unique<MinFunction>(ctx); };
       const double cut = rng.Bernoulli(0.75)
@@ -578,6 +615,7 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
                              : rng.Uniform(data_lo - 30.0, (data_lo + data_hi) / 2);
       c.bounds = Interval(-kInf, cut);
       c.name = "min";
+      w.function_ids.push_back(FunctionId("min", ctx.value_range));
     } else {
       const auto side = kind == 2
                             ? NeighborhoodContrastFunction::Side::kLeft
@@ -589,6 +627,7 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
       };
       c.bounds = Interval(rng.Uniform(0.0, 60.0), kInf);
       c.name = kind == 2 ? "contrast_left" : "contrast_right";
+      w.function_ids.push_back(FunctionId(c.name, ctx.value_range, width));
     }
     c.relaxable = rng.Bernoulli(0.8);
     c.relax_weight = rng.Uniform(0.3, 1.0);
@@ -604,6 +643,7 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
           overrides.max_constraints) {
     w.query.constraints.resize(
         static_cast<size_t>(std::max(1, overrides.max_constraints)));
+    w.function_ids.resize(w.query.constraints.size());
   }
 
   // --- diversity (rank/relax only; skyline output is unfiltered) ---
@@ -823,6 +863,167 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     configs.push_back(c);
   }
   return configs;
+}
+
+// --- correlated query sessions ---
+
+namespace {
+
+// Applies one mutation to `prev`, drawing from a stream keyed on
+// (seed, step) only — never on the outcome of earlier mutations — so a
+// shortened plan replays its surviving steps bit-for-bit.
+Workload ApplyMutation(const Workload& base, const Workload& prev,
+                       SessionMutation mutation, uint64_t seed, int step) {
+  Workload next = prev;
+  Rng rng(seed ^ (0x6d75746174650000ULL +
+                  static_cast<uint64_t>(step) * 0x9e3779b97f4a7c15ULL));
+  switch (mutation) {
+    case SessionMutation::kRepeat:
+      break;
+    case SessionMutation::kRelax:
+      // Widen every finite bound side by a seeded fraction of the
+      // constraint's span; half-open constraints widen their one finite
+      // side against a fallback span.
+      for (auto& qc : next.query.constraints) {
+        Interval& b = qc.bounds;
+        const double span =
+            (std::isfinite(b.lo) && std::isfinite(b.hi) && b.hi > b.lo)
+                ? b.hi - b.lo
+                : 20.0;
+        if (std::isfinite(b.lo)) b.lo -= rng.Uniform(0.05, 0.35) * span;
+        if (std::isfinite(b.hi)) b.hi += rng.Uniform(0.05, 0.35) * span;
+      }
+      break;
+    case SessionMutation::kTighten:
+      // Shrink each finite side by at most 25% of the width — the two
+      // cuts sum below the width, so the interval stays non-empty.
+      for (auto& qc : next.query.constraints) {
+        Interval& b = qc.bounds;
+        if (std::isfinite(b.lo) && std::isfinite(b.hi)) {
+          const double width = b.hi - b.lo;
+          b.lo += rng.Uniform(0.0, 0.25) * width;
+          b.hi -= rng.Uniform(0.0, 0.25) * width;
+        } else if (std::isfinite(b.lo)) {
+          b.lo += rng.Uniform(1.0, 10.0);
+        } else if (std::isfinite(b.hi)) {
+          b.hi -= rng.Uniform(1.0, 10.0);
+        }
+      }
+      break;
+    case SessionMutation::kShift: {
+      // Move variable 0 to a sub-window of the *base* domain, so shifted
+      // sessions stay inside the base query's universe (and inside any
+      // x_width_cap the shrinker applied to it).
+      const cp::IntDomain& d0 = base.query.domains[0];
+      const int64_t width = d0.size();
+      DQR_CHECK(width >= 1);
+      const int64_t new_w =
+          std::max<int64_t>(1, width - rng.UniformInt(0, width / 2));
+      const int64_t off = rng.UniformInt(0, width - new_w);
+      next.query.domains[0] =
+          cp::IntDomain(d0.lo + off, d0.lo + off + new_w - 1);
+      break;
+    }
+  }
+  AppendKv(&next.summary, "mut",
+           std::string(SessionMutationName(mutation)) + "@" +
+               std::to_string(step));
+  return next;
+}
+
+}  // namespace
+
+const char* SessionMutationName(SessionMutation mutation) {
+  switch (mutation) {
+    case SessionMutation::kRepeat:
+      return "repeat";
+    case SessionMutation::kRelax:
+      return "relax";
+    case SessionMutation::kTighten:
+      return "tighten";
+    case SessionMutation::kShift:
+      return "shift";
+  }
+  return "unknown";
+}
+
+Result<SessionMutation> SessionMutationFromName(const std::string& name) {
+  if (name == "repeat") return SessionMutation::kRepeat;
+  if (name == "relax") return SessionMutation::kRelax;
+  if (name == "tighten") return SessionMutation::kTighten;
+  if (name == "shift") return SessionMutation::kShift;
+  return InvalidArgumentError("unknown session mutation: " + name);
+}
+
+std::string SessionPlan::ToString() const {
+  std::string out;
+  for (const SessionMutation m : steps) {
+    if (!out.empty()) out += ',';
+    out += SessionMutationName(m);
+  }
+  return out;
+}
+
+Result<SessionPlan> SessionPlan::FromString(const std::string& text) {
+  SessionPlan plan;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string piece = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (piece.empty()) {
+      if (text.empty()) break;
+      return InvalidArgumentError("session plan: empty step in '" + text +
+                                  "'");
+    }
+    auto m = SessionMutationFromName(piece);
+    if (!m.ok()) return m.status();
+    plan.steps.push_back(m.value());
+    if (end == text.size()) break;
+  }
+  return plan;
+}
+
+SessionPlan MakeSessionPlan(uint64_t seed, int num_steps) {
+  SessionPlan plan;
+  plan.steps.reserve(static_cast<size_t>(std::max(0, num_steps)));
+  for (int i = 0; i < num_steps; ++i) {
+    // One decorrelated stream per index => prefix stability.
+    Rng rng(seed ^ (0x5e55104e00000000ULL +
+                    static_cast<uint64_t>(i + 1) * 0x9e3779b97f4a7c15ULL));
+    const int64_t roll = rng.UniformInt(0, 99);
+    plan.steps.push_back(roll < 15   ? SessionMutation::kRepeat
+                         : roll < 45 ? SessionMutation::kRelax
+                         : roll < 75 ? SessionMutation::kTighten
+                                     : SessionMutation::kShift);
+  }
+  return plan;
+}
+
+QuerySession MakeSession(uint64_t seed, FuzzMode mode,
+                         const SessionPlan& plan,
+                         const WorkloadOverrides& overrides, bool grid,
+                         cache::SharedBoundsMemo* shared_memo,
+                         uint64_t memo_space) {
+  QuerySession session;
+  session.plan = plan;
+  // The id must pin everything that shapes the data/synopsis/functions:
+  // overrides change the generated array (length_cap) and the constraint
+  // list (max_constraints), so they are part of the dataset identity.
+  session.dataset_id =
+      (grid ? "fuzz_grid_" : "fuzz_") + std::to_string(seed);
+  if (overrides.any()) session.dataset_id += "|" + overrides.ToString();
+  session.steps.reserve(plan.steps.size() + 1);
+  session.steps.push_back(
+      MakeWorkload(seed, mode, overrides, grid, shared_memo, memo_space));
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    session.steps.push_back(ApplyMutation(session.steps.front(),
+                                          session.steps.back(),
+                                          plan.steps[i], seed,
+                                          static_cast<int>(i)));
+  }
+  return session;
 }
 
 }  // namespace dqr::fuzz

@@ -15,6 +15,10 @@
 #include "synopsis/grid_synopsis.h"
 #include "synopsis/synopsis.h"
 
+namespace dqr::cache {
+class SharedBoundsMemo;
+}  // namespace dqr::cache
+
 namespace dqr::fuzz {
 
 // Which refinement direction a generated workload targets. Targeting is
@@ -38,10 +42,15 @@ struct WorkloadOverrides {
   int64_t x_width_cap = 0;   // clamp the width of variable 0's domain
   bool no_diversity = false; // drop any result-spacing configuration
   bool default_alpha = false;  // force alpha = 0.5
+  // Artificial busy-wait per uncached synopsis estimate (bench sessions
+  // only). Timing-only: charged on bounds-cache misses, never changes
+  // any computed value or answer.
+  int64_t cost_ns = 0;
 
   bool any() const {
     return length_cap != 0 || max_constraints != 0 || k_cap != 0 ||
-           x_width_cap != 0 || no_diversity || default_alpha;
+           x_width_cap != 0 || no_diversity || default_alpha ||
+           cost_ns != 0;
   }
   // "len<=96 cons<=2 k<=1 ..." for reproducer lines; "" when !any().
   std::string ToString() const;
@@ -72,6 +81,12 @@ struct Workload {
   std::vector<int64_t> result_spacing;  // empty = diversity off
   int64_t diversity_pool_factor = 8;
 
+  // Semantic identity of each constraint's function (kind + parameters +
+  // value range at full precision), in query.constraints order — the
+  // function_ids contract of cache::CachedQuery. Two workloads of one
+  // session share ids exactly when the functions compute the same thing.
+  std::vector<std::string> function_ids;
+
   // One-line human-readable description for logs and repro files.
   std::string summary;
 };
@@ -87,9 +102,68 @@ struct Workload {
 // rect_max / rect_contrast satellites) over four decision variables
 // (y, x, h, w). The grid draw uses a decorrelated stream, so 1-D
 // workloads of the same seed are unchanged.
+// When `shared_memo` is non-null every constraint function of the
+// workload attaches it (under `memo_space`) as the L2 behind its local
+// BoundsCache — the warm-session configuration. The memo never changes
+// any function value (a hit returns exactly what the synopsis would
+// recompute), and the workload draw itself is byte-identical with or
+// without it.
 Workload MakeWorkload(uint64_t seed, FuzzMode mode,
                       const WorkloadOverrides& overrides = {},
-                      bool grid = false);
+                      bool grid = false,
+                      cache::SharedBoundsMemo* shared_memo = nullptr,
+                      uint64_t memo_space = 0);
+
+// --- correlated query sessions (the session fuzz dimension) ---
+
+// One session step's change relative to the previous step's query.
+enum class SessionMutation {
+  kRepeat,   // identical query (exact-hit coverage)
+  kRelax,    // widen every finite constraint bound (looser query)
+  kTighten,  // shrink constraint bounds (tighter query; subsumption prey)
+  kShift,    // move variable 0's domain to a sub-window of the base domain
+};
+
+const char* SessionMutationName(SessionMutation mutation);
+Result<SessionMutation> SessionMutationFromName(const std::string& name);
+
+// An ordered chain of mutations applied cumulatively after the base
+// query. Codec round-trips through "relax,shift,repeat".
+struct SessionPlan {
+  std::vector<SessionMutation> steps;
+
+  std::string ToString() const;
+  static Result<SessionPlan> FromString(const std::string& text);
+};
+
+// Derives a plan of `num_steps` mutations from the seed. Prefix-stable:
+// the first n steps of MakeSessionPlan(seed, m >= n) equal
+// MakeSessionPlan(seed, n) — which is what lets the shrinker shorten a
+// failing session without changing the steps it keeps.
+SessionPlan MakeSessionPlan(uint64_t seed, int num_steps);
+
+// A correlated query session: the base workload plus one mutated copy per
+// plan step, all over the same data/synopsis/functions (mutations only
+// move constraint bounds and domains). steps[0] is the base;
+// steps[i + 1] applies plan.steps[i] to steps[i].
+struct QuerySession {
+  SessionPlan plan;
+  // Identifies the data + synopsis configuration every step shares; the
+  // dataset_id of cache::CachedQuery.
+  std::string dataset_id;
+  std::vector<Workload> steps;
+};
+
+// Deterministic in (seed, mode, plan, overrides, grid); each mutation's
+// draws depend only on the seed and its step index, never on earlier
+// mutations. shared_memo/memo_space thread through to every step's
+// functions (the warm-session configuration).
+QuerySession MakeSession(uint64_t seed, FuzzMode mode,
+                         const SessionPlan& plan,
+                         const WorkloadOverrides& overrides = {},
+                         bool grid = false,
+                         cache::SharedBoundsMemo* shared_memo = nullptr,
+                         uint64_t memo_space = 0);
 
 // One engine execution configuration. Everything here is, per the §3
 // guarantees, answer-preserving: the differential harness runs the same

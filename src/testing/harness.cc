@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "cache/semantic_cache.h"
 #include "common/simd.h"
 #include "core/canonical.h"
 #include "core/fault.h"
@@ -93,6 +94,114 @@ CaseResult RunCase(const CaseConfig& c, InjectedBug bug) {
                " finite=" + std::to_string(oracle.value().finite_count) +
                " | config " + c.config.ToString();
   return out;
+}
+
+CaseResult RunSessionCase(const CaseConfig& c, InjectedBug bug) {
+  CaseResult out;
+  simd::ScopedSimdOverride simd_scope(c.config.simd);
+  const SessionPlan plan = MakeSessionPlan(c.seed, c.session);
+
+  // Two structurally identical sessions over the same data: the cold leg
+  // runs each query fresh, the warm leg shares one SemanticCache — its
+  // bounds memo attached to every step's functions, answers routed
+  // through ExecuteQueryCached so exact hits, subsumption, and warm
+  // starts all get exercised by whatever the mutation chain produces.
+  const QuerySession cold =
+      MakeSession(c.seed, c.mode, plan, c.overrides, c.grid);
+  cache::SemanticCache sem;
+  const std::string& dataset = cold.dataset_id;
+  const QuerySession warm =
+      MakeSession(c.seed, c.mode, plan, c.overrides, c.grid, &sem.memo(),
+                  sem.MemoSpace(dataset));
+
+  std::string trail;
+  const auto step_tag = [&](size_t step) {
+    return "step " + std::to_string(step) + "/" +
+           std::to_string(cold.steps.size() - 1);
+  };
+  for (size_t step = 0; step < cold.steps.size(); ++step) {
+    const Workload& cw = cold.steps[step];
+    const Workload& ww = warm.steps[step];
+
+    core::FaultPlan cold_fault;
+    core::FaultPlan warm_fault;
+    core::RefineOptions cold_options = c.config.ToOptions(cw, &cold_fault);
+    core::RefineOptions warm_options = c.config.ToOptions(ww, &warm_fault);
+
+    Result<OracleResult> oracle = OracleRun(cw.query, cold_options);
+    if (!oracle.ok()) {
+      out.error = step_tag(step) + " oracle: " + oracle.status().ToString();
+      return out;
+    }
+
+    obs::Trace cold_trace;
+    obs::Trace warm_trace;
+    if (c.config.trace) {
+      cold_options.trace = &cold_trace;
+      cold_options.trace_buffer_events = 1 << 10;
+      warm_options.trace = &warm_trace;
+      warm_options.trace_buffer_events = 1 << 10;
+    }
+
+    Result<core::RunResult> cold_run =
+        core::ExecuteQuery(cw.query, cold_options);
+    if (!cold_run.ok()) {
+      out.error =
+          step_tag(step) + " cold engine: " + cold_run.status().ToString();
+      return out;
+    }
+    if (!cold_run.value().stats.completed) {
+      out.error = step_tag(step) + " cold engine: run did not complete";
+      return out;
+    }
+
+    cache::CachedQuery cq;
+    cq.query = ww.query;
+    cq.dataset_id = dataset;
+    cq.function_ids = ww.function_ids;
+    cache::CacheOutcome outcome = cache::CacheOutcome::kMiss;
+    Result<core::RunResult> warm_run =
+        cache::ExecuteQueryCached(&sem, cq, warm_options, &outcome);
+    if (!warm_run.ok()) {
+      out.error =
+          step_tag(step) + " warm engine: " + warm_run.status().ToString();
+      return out;
+    }
+    if (!warm_run.value().stats.completed) {
+      out.error = step_tag(step) + " warm engine: run did not complete";
+      return out;
+    }
+    if (!trail.empty()) trail += ',';
+    trail += cache::CacheOutcomeName(outcome);
+
+    std::vector<core::Solution> warm_results =
+        std::move(warm_run.value().results);
+    ApplyBug(bug, &warm_results);
+
+    const std::string expected = core::Canonicalize(oracle.value().results);
+    const std::string cold_canon =
+        core::Canonicalize(cold_run.value().results);
+    const std::string warm_canon = core::Canonicalize(warm_results);
+    if (expected != cold_canon || expected != warm_canon) {
+      const bool warm_wrong = expected != warm_canon;
+      out.expected = expected;
+      out.actual = warm_wrong ? warm_canon : cold_canon;
+      out.detail = cw.summary + " | session " + step_tag(step) +
+                   " plan=" + plan.ToString() +
+                   " leg=" + (warm_wrong ? "warm" : "cold") +
+                   " cache=" + trail + " | config " + c.config.ToString();
+      return out;
+    }
+  }
+  out.ok = true;
+  out.detail = cold.steps.front().summary +
+               " | session plan=" + plan.ToString() + " cache=" + trail +
+               " | config " + c.config.ToString();
+  return out;
+}
+
+CaseResult RunAnyCase(const CaseConfig& c, InjectedBug bug) {
+  return c.session > 0 ? RunSessionCase(c, bug) : RunCase(c, bug);
 }
 
 namespace {
@@ -187,11 +296,22 @@ bool DefaultAlpha(CaseConfig* c) {
   return true;
 }
 
+// Drops the last mutation of a failing session. The plan derivation is
+// prefix-stable (MakeSessionPlan), so the surviving steps replay exactly.
+// Floor is a 1-step session: shrinking to session=0 would change the
+// harness shape and lose the cache dimension under test.
+bool ShortenSession(CaseConfig* c) {
+  if (c->session <= 1) return false;
+  c->session -= 1;
+  return true;
+}
+
 }  // namespace
 
 CaseConfig Shrink(CaseConfig failing, InjectedBug bug) {
   static constexpr ShrinkStep kSteps[] = {
       DropTrace,       StripFaults, SingleInstance, DefaultEngineKnobs,
+      ShortenSession,  ShortenSession, ShortenSession,
       HalveArray,      HalveArray,  HalveArray,     DropConstraints,
       DropConstraints, DropConstraints, LowerK,     LowerK,
       NarrowX,         NarrowX,     NarrowX,        DropDiversity,
@@ -204,7 +324,7 @@ CaseConfig Shrink(CaseConfig failing, InjectedBug bug) {
     for (ShrinkStep step : kSteps) {
       CaseConfig candidate = failing;
       if (!step(&candidate)) continue;
-      if (RunCase(candidate, bug).failed()) {
+      if (RunAnyCase(candidate, bug).failed()) {
         failing = std::move(candidate);
         any = true;
       }
@@ -219,6 +339,7 @@ std::string ReproLine(const CaseConfig& c) {
                      " --mode=" + FuzzModeName(c.mode) + " --config=\"" +
                      c.config.ToString() + "\"";
   if (c.grid) line += " --grid";
+  if (c.session > 0) line += " --session=" + std::to_string(c.session);
   if (c.overrides.length_cap != 0) {
     line += " --len-cap=" + std::to_string(c.overrides.length_cap);
   }
@@ -240,8 +361,8 @@ Result<std::string> WriteReproFile(const std::string& dir,
                                    const CaseConfig& c,
                                    const CaseResult& result) {
   const std::string path = dir + "/repro_" + std::to_string(c.seed) + "_" +
-                           FuzzModeName(c.mode) +
-                           (c.grid ? "_grid" : "") + ".txt";
+                           FuzzModeName(c.mode) + (c.grid ? "_grid" : "") +
+                           (c.session > 0 ? "_session" : "") + ".txt";
   std::ofstream out(path);
   if (!out) return InvalidArgumentError("cannot write repro file: " + path);
   out << "# replay with:\n" << ReproLine(c) << "\n\n";
@@ -266,6 +387,41 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
   }
   const int64_t started_ms = NowMs();
 
+  // Shared run-report-shrink path for single-query and session cases.
+  const auto run_one = [&report, &options](const CaseConfig& c) {
+    ++report.cases_run;
+    CaseResult r = RunAnyCase(c, options.inject_bug);
+    if (r.ok) {
+      if (options.verbose) {
+        std::fprintf(stderr, "dqr_fuzz: ok   %s\n", r.detail.c_str());
+      }
+      return;
+    }
+    if (!r.error.empty()) ++report.errors;
+    if (r.error.empty()) ++report.mismatches;
+    std::fprintf(stderr, "dqr_fuzz: FAIL %s\n", r.detail.c_str());
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "dqr_fuzz:   %s\n", r.error.c_str());
+    }
+    const CaseConfig shrunk = Shrink(c, options.inject_bug);
+    const CaseResult shrunk_result = RunAnyCase(shrunk, options.inject_bug);
+    const std::string line = ReproLine(shrunk);
+    report.repro_lines.push_back(line);
+    std::fprintf(stderr, "dqr_fuzz:   reproduce: %s\n", line.c_str());
+    if (!options.repro_dir.empty()) {
+      Result<std::string> file =
+          WriteReproFile(options.repro_dir, shrunk, shrunk_result);
+      if (file.ok()) {
+        std::fprintf(stderr, "dqr_fuzz:   repro file: %s\n",
+                     file.value().c_str());
+        report.repro_files.push_back(std::move(file).value());
+      } else {
+        std::fprintf(stderr, "dqr_fuzz:   %s\n",
+                     file.status().ToString().c_str());
+      }
+    }
+  };
+
   for (int i = 0; i < options.num_seeds; ++i) {
     if (options.time_budget_ms > 0 &&
         NowMs() - started_ms >= options.time_budget_ms) {
@@ -285,6 +441,24 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
     const std::vector<EngineConfig> configs =
         MakeConfigMatrix(seed, options.configs_per_seed);
 
+    if (options.sessions) {
+      // Session campaign: the seed's mutation chain (length 3..5, seeded)
+      // replayed warm-vs-cold under the matrix's baseline and
+      // work-stealing configs. Two configs, not the full matrix — each
+      // session case already multiplies cost by 2x the chain length.
+      for (size_t ci = 0; ci < configs.size() && ci < 2; ++ci) {
+        CaseConfig c;
+        c.seed = seed;
+        c.mode = mode;
+        c.grid = grid;
+        c.session = 2 + static_cast<int>(seed % 3);
+        c.config = configs[ci];
+        if (options.trace_mix) c.config.trace = ((seed + ci) & 1) != 0;
+        run_one(c);
+      }
+      continue;
+    }
+
     for (size_t ci = 0; ci < configs.size(); ++ci) {
       CaseConfig c;
       c.seed = seed;
@@ -295,37 +469,7 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       // matrix so every campaign covers traced and untraced runs of
       // otherwise-identical configs.
       if (options.trace_mix) c.config.trace = ((seed + ci) & 1) != 0;
-      ++report.cases_run;
-      CaseResult r = RunCase(c, options.inject_bug);
-      if (r.ok) {
-        if (options.verbose) {
-          std::fprintf(stderr, "dqr_fuzz: ok   %s\n", r.detail.c_str());
-        }
-        continue;
-      }
-      if (!r.error.empty()) ++report.errors;
-      if (r.error.empty()) ++report.mismatches;
-      std::fprintf(stderr, "dqr_fuzz: FAIL %s\n", r.detail.c_str());
-      if (!r.error.empty()) {
-        std::fprintf(stderr, "dqr_fuzz:   %s\n", r.error.c_str());
-      }
-      const CaseConfig shrunk = Shrink(c, options.inject_bug);
-      const CaseResult shrunk_result = RunCase(shrunk, options.inject_bug);
-      const std::string line = ReproLine(shrunk);
-      report.repro_lines.push_back(line);
-      std::fprintf(stderr, "dqr_fuzz:   reproduce: %s\n", line.c_str());
-      if (!options.repro_dir.empty()) {
-        Result<std::string> file =
-            WriteReproFile(options.repro_dir, shrunk, shrunk_result);
-        if (file.ok()) {
-          std::fprintf(stderr, "dqr_fuzz:   repro file: %s\n",
-                       file.value().c_str());
-          report.repro_files.push_back(std::move(file).value());
-        } else {
-          std::fprintf(stderr, "dqr_fuzz:   %s\n",
-                       file.status().ToString().c_str());
-        }
-      }
+      run_one(c);
     }
   }
   return report;

@@ -30,6 +30,11 @@ struct CaseConfig {
   FuzzMode mode = FuzzMode::kRelax;
   // Run the 2-D grid workload of this seed instead of the 1-D one.
   bool grid = false;
+  // > 0 runs a correlated session of (session + 1) queries instead of a
+  // single workload: the seed-derived mutation chain is replayed twice —
+  // per-query cold and against one warm semantic cache — and both legs
+  // must match the oracle byte-for-byte at every step.
+  int session = 0;
   WorkloadOverrides overrides;
   EngineConfig config;
 };
@@ -53,6 +58,22 @@ struct CaseResult {
 // canonicalizes both result lists, compares byte-for-byte. `bug` plants an
 // artificial engine bug post-run (kNone in production fuzzing).
 CaseResult RunCase(const CaseConfig& c, InjectedBug bug = InjectedBug::kNone);
+
+// Runs one correlated-session case (c.session > 0): derives the mutation
+// plan from the seed and executes every step three ways — oracle, cold
+// engine, and warm engine behind a single SemanticCache (shared bounds
+// memo attached to the warm leg's functions, answers routed through
+// ExecuteQueryCached) — demanding all three canonical result sets agree
+// at every step. The per-step cache outcome trail ("cache=miss,warm,
+// exact,...") lands in `detail` and therefore in repro files, so a
+// failing session shows which reuse path produced the wrong answer.
+// `bug` perturbs the warm leg's results (self-test only).
+CaseResult RunSessionCase(const CaseConfig& c,
+                          InjectedBug bug = InjectedBug::kNone);
+
+// Dispatches on c.session: RunSessionCase when > 0, else RunCase.
+CaseResult RunAnyCase(const CaseConfig& c,
+                      InjectedBug bug = InjectedBug::kNone);
 
 // Greedy shrinking: starting from a failing case, repeatedly tries
 // reductions (strip the fault plan, collapse to one instance, reset engine
@@ -85,6 +106,12 @@ struct FuzzOptions {
   bool trace_mix = false;
   // Which modes to cycle through; empty = all three.
   std::vector<FuzzMode> modes;
+  // Run correlated-session cases (seed-derived mutation chains, warm
+  // semantic cache differentialed against cold runs and the oracle)
+  // instead of the single-query config matrix. Session cases run under
+  // the matrix's baseline and work-stealing configs only — the session
+  // dimension multiplies the per-case cost by the chain length.
+  bool sessions = false;
   bool verbose = false;
 };
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/semantic_cache.h"
 #include "core/canonical.h"
 #include "core/refiner.h"
 #include "obs/trace.h"
@@ -86,6 +87,51 @@ TEST(DeterminismTest, TracingIsAnswerPreserving) {
                 baseline)
           << workload.summary << " diverged under ring-wrap tracing at "
           << shape.instances << "x" << shape.shards;
+    }
+  }
+}
+
+// The semantic cache is an execution knob like the cluster shape: a
+// warm-cache session replayed under every engine shape must produce
+// byte-identical per-step results — equal to each other and to the cold
+// runs of the same queries. Exact hits, subsumption, and warm starts all
+// short-circuit or steer execution, so this is the strongest statement
+// that reuse never leaks into answers.
+TEST(DeterminismTest, WarmCacheRunsMatchColdAcrossClusterShapes) {
+  for (const FuzzMode mode : {FuzzMode::kRelax, FuzzMode::kConstrain}) {
+    const SessionPlan plan = MakeSessionPlan(21, 3);
+    const QuerySession cold = MakeSession(21, mode, plan);
+
+    std::vector<std::string> baseline;
+    for (const Workload& w : cold.steps) {
+      baseline.push_back(RunCanonical(w, kShapes[0]));
+      ASSERT_EQ(baseline.back().rfind("error:", 0), std::string::npos)
+          << w.summary << ": " << baseline.back();
+    }
+
+    for (const Shape& shape : kShapes) {
+      cache::SemanticCache sem;
+      const QuerySession warm =
+          MakeSession(21, mode, plan, {}, false, &sem.memo(),
+                      sem.MemoSpace(cold.dataset_id));
+      for (size_t i = 0; i < warm.steps.size(); ++i) {
+        EngineConfig config;
+        config.num_instances = shape.instances;
+        config.shards_per_instance = shape.shards;
+        const core::RefineOptions options =
+            config.ToOptions(warm.steps[i], nullptr);
+        cache::CachedQuery cq;
+        cq.query = warm.steps[i].query;
+        cq.dataset_id = cold.dataset_id;
+        cq.function_ids = warm.steps[i].function_ids;
+        const auto run = cache::ExecuteQueryCached(&sem, cq, options);
+        ASSERT_TRUE(run.ok()) << warm.steps[i].summary << ": "
+                              << run.status().ToString();
+        ASSERT_TRUE(run.value().stats.completed) << warm.steps[i].summary;
+        EXPECT_EQ(core::Canonicalize(run.value().results), baseline[i])
+            << warm.steps[i].summary << " diverged warm at "
+            << shape.instances << "x" << shape.shards << " step " << i;
+      }
     }
   }
 }

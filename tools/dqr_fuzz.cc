@@ -47,12 +47,16 @@ void Usage() {
       "  --inject-bug=B      none|drop-last|perturb-rp (self-test)\n"
       "  --trace-mix         enable flight-recorder tracing on ~half the\n"
       "                      cases (tracing must never change an answer)\n"
+      "  --sessions          run correlated query sessions (seeded\n"
+      "                      mutation chains) warm-cache vs cold instead\n"
+      "                      of the single-query matrix\n"
       "  --verbose           log every passing case too\n"
       "\n"
       "replay mode (all from a reproducer line):\n"
       "  --seed=S            replay exactly this seed\n"
       "  --config=STR        engine config, e.g. \"inst=3;shards=8\"\n"
       "  --grid              replay the seed's 2-D grid workload\n"
+      "  --session=N         replay the seed's N-step session case\n"
       "  --len-cap=N --max-cons=N --k-cap=N --x-width-cap=N\n"
       "  --no-diversity --default-alpha\n"
       "  --shrink            shrink the replayed case if it fails\n");
@@ -117,6 +121,14 @@ int main(int argc, char** argv) {
       options.inject_bug = bug.value();
     } else if (MatchFlag(arg, "--trace-mix")) {
       options.trace_mix = true;
+    } else if (MatchFlag(arg, "--sessions")) {
+      options.sessions = true;
+    } else if (MatchValue(arg, "--session", &value)) {
+      replay.session = static_cast<int>(ParseInt(value, "--session"));
+      if (replay.session < 1) {
+        std::fprintf(stderr, "dqr_fuzz: --session wants a value >= 1\n");
+        return 2;
+      }
     } else if (MatchFlag(arg, "--verbose")) {
       options.verbose = true;
     } else if (MatchValue(arg, "--seed", &value)) {
@@ -173,7 +185,7 @@ int main(int argc, char** argv) {
     // --- replay mode ---
     replay.mode = modes.empty() ? FuzzMode::kRelax : modes[0];
     if (!have_config) replay.config = EngineConfig{};
-    CaseResult r = dqr::fuzz::RunCase(replay, options.inject_bug);
+    CaseResult r = dqr::fuzz::RunAnyCase(replay, options.inject_bug);
     std::fprintf(stderr, "dqr_fuzz: %s %s\n", r.ok ? "ok  " : "FAIL",
                  r.detail.c_str());
     if (r.ok) return 0;
@@ -191,7 +203,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "dqr_fuzz: shrunk reproducer: %s\n",
                    dqr::fuzz::ReproLine(shrunk).c_str());
       if (!options.repro_dir.empty()) {
-        const CaseResult sr = dqr::fuzz::RunCase(shrunk, options.inject_bug);
+        const CaseResult sr =
+            dqr::fuzz::RunAnyCase(shrunk, options.inject_bug);
         auto file =
             dqr::fuzz::WriteReproFile(options.repro_dir, shrunk, sr);
         if (file.ok()) {
