@@ -475,14 +475,16 @@ Result<core::RunResult> ExecuteQueryCached(SemanticCache* cache,
   // --- exact hit: the same semantic query on the same epoch ---
   if (std::shared_ptr<const CachedAnswer> hit =
           cache->LookupExact(fingerprint, epoch)) {
-    if (options.trace != nullptr) options.trace->BeginQuery();
+    const int trace_epoch =
+        options.trace != nullptr ? options.trace->BeginQuery() : -1;
     obs::ThreadTracer tracer =
         obs::MakeTracer(options.trace, /*instance=*/-1,
                         obs::ThreadRole::kSession,
-                        options.trace_buffer_events);
+                        options.trace_buffer_events, trace_epoch);
     obs::SpanScope span = tracer.Scope(obs::EventName::kCacheLookup);
     core::RunResult run =
         SynthesizeResult(hit->results, options, /*exact_hit=*/true);
+    run.trace_epoch = trace_epoch;
     tracer.Instant(obs::EventName::kCacheExactHit,
                    static_cast<double>(run.results.size()));
     resolved = CacheOutcome::kExactHit;
@@ -499,14 +501,16 @@ Result<core::RunResult> ExecuteQueryCached(SemanticCache* cache,
     std::optional<std::vector<core::Solution>> subsumed =
         TrySubsume(cq, options, *candidate);
     if (!subsumed.has_value()) continue;
-    if (options.trace != nullptr) options.trace->BeginQuery();
+    const int trace_epoch =
+        options.trace != nullptr ? options.trace->BeginQuery() : -1;
     obs::ThreadTracer tracer =
         obs::MakeTracer(options.trace, /*instance=*/-1,
                         obs::ThreadRole::kSession,
-                        options.trace_buffer_events);
+                        options.trace_buffer_events, trace_epoch);
     obs::SpanScope span = tracer.Scope(obs::EventName::kCacheLookup);
     core::RunResult run = SynthesizeResult(std::move(subsumed).value(),
                                            options, /*exact_hit=*/false);
+    run.trace_epoch = trace_epoch;
     tracer.Instant(obs::EventName::kCacheSubsume,
                    static_cast<double>(run.results.size()));
     resolved = CacheOutcome::kSubsumeHit;
@@ -531,11 +535,13 @@ Result<core::RunResult> ExecuteQueryCached(SemanticCache* cache,
   cache->CountOutcome(resolved);
   if (!run.ok()) return run;
 
-  // The session tracer ring is created after the run so its events carry
-  // the query's trace epoch (ExecuteQuery began it).
+  // The session tracer ring is pinned to the epoch ExecuteQuery began, so
+  // these events land in this query's process group even when concurrent
+  // queries have since begun newer epochs.
   obs::ThreadTracer tracer =
       obs::MakeTracer(options.trace, /*instance=*/-1,
-                      obs::ThreadRole::kSession, options.trace_buffer_events);
+                      obs::ThreadRole::kSession, options.trace_buffer_events,
+                      run.value().trace_epoch);
   tracer.Instant(resolved == CacheOutcome::kWarmStart
                      ? obs::EventName::kCacheWarmStart
                      : obs::EventName::kCacheMiss,

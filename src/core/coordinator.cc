@@ -76,6 +76,21 @@ Coordinator::Coordinator(int num_instances, int64_t k, ConstrainMode mode,
   }
 }
 
+void Coordinator::ResetHeartbeats() {
+  // Re-seed every slot with "now": lease timeouts must be measured from
+  // the moment *this query slot* actually starts running, not from
+  // coordinator construction — under a multi-query session a slot can
+  // sit in the admission queue long enough that construction-time seeds
+  // would look instantly stale to the detector.
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  for (int i = 0; i < std::max(1, num_instances_); ++i) {
+    heartbeat_ns_[static_cast<size_t>(i)].store(now,
+                                                std::memory_order_relaxed);
+  }
+}
+
 bool Coordinator::SkylineDominatesBox(
     const std::vector<double>& corner) const {
   return tracker_.SkylineDominatesBox(corner);

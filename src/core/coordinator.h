@@ -167,6 +167,11 @@ class Coordinator {
   // --- failure detection & recovery (DESIGN.md §7) ---
   void Heartbeat(int instance);
   int64_t LastHeartbeatNs(int instance) const;
+  // Re-seeds every heartbeat slot with "now". Called right before the
+  // instances start so lease timeouts measure from slot start, not
+  // coordinator construction (which admission queueing can leave
+  // arbitrarily far in the past).
+  void ResetHeartbeats();
   // True while the instance is subject to failure detection (live; not
   // retired after normal completion, not already declared dead).
   bool IsMonitorable(int instance) const;

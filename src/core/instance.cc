@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/bundle.h"
+#include "exec/worker_pool.h"
 #include "core/fail_registry.h"
 #include "core/fault.h"
 #include "cp/search.h"
@@ -188,7 +189,7 @@ struct InstanceRunner::Impl {
     obs::ThreadTracer tracer =
         obs::MakeTracer(cfg.options->trace, cfg.id,
                         obs::ThreadRole::kHeartbeat,
-                        cfg.options->trace_buffer_events);
+                        cfg.options->trace_buffer_events, cfg.trace_epoch);
     const auto interval = std::chrono::microseconds(
         std::max<int64_t>(1, cfg.options->heartbeat_interval_us));
     std::unique_lock<std::mutex> lock(hb_mu);
@@ -485,13 +486,13 @@ struct InstanceRunner::Impl {
 
   void StopSpeculation() {
     spec_stop.store(true, std::memory_order_relaxed);
-    if (spec_thread.joinable()) spec_thread.join();
+    spec_task.Wait();
   }
 
   void SolverMain() {
     obs::ThreadTracer tracer =
         obs::MakeTracer(cfg.options->trace, cfg.id, obs::ThreadRole::kSolver,
-                        cfg.options->trace_buffer_events);
+                        cfg.options->trace_buffer_events, cfg.trace_epoch);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &solver_stats);
     RefineListener main_listener(this, &bundle, /*replay_mode=*/false,
@@ -571,7 +572,7 @@ struct InstanceRunner::Impl {
     obs::ThreadTracer tracer =
         obs::MakeTracer(cfg.options->trace, cfg.id,
                         obs::ThreadRole::kValidator,
-                        cfg.options->trace_buffer_events);
+                        cfg.options->trace_buffer_events, cfg.trace_epoch);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &validator_stats);
     // Candidates validate in batches: the fault hook and pre-validation
@@ -731,7 +732,7 @@ struct InstanceRunner::Impl {
     obs::ThreadTracer tracer =
         obs::MakeTracer(cfg.options->trace, cfg.id,
                         obs::ThreadRole::kSpeculative,
-                        cfg.options->trace_buffer_events);
+                        cfg.options->trace_buffer_events, cfg.trace_epoch);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &spec_stats);
     RefineListener listener(this, &bundle, /*replay_mode=*/true,
@@ -780,6 +781,18 @@ struct InstanceRunner::Impl {
     total.peak_queue = queue.peak_size();
     total.max_peak_queue = queue.peak_size();
     total.main_search_s = main_done_s;
+    if (cfg.pool != nullptr) {
+      for (const exec::TaskHandle* task :
+           {&solver_task, &validator_task, &spec_task}) {
+        if (!task->valid()) continue;
+        ++total.pool_tasks;
+        if (task->warm_start()) {
+          ++total.pool_spawn_avoided;
+        } else {
+          ++total.pool_overflow_spawns;
+        }
+      }
+    }
     return total;
   }
 
@@ -790,10 +803,13 @@ struct InstanceRunner::Impl {
   std::vector<char> relaxable;
   std::vector<char> all_known;
 
-  std::thread solver_thread;
-  std::thread validator_thread;
-  std::thread spec_thread;
-  std::thread heartbeat_thread;
+  // Engine loops as completion handles: dedicated threads in legacy mode
+  // (cfg.pool == nullptr), pool tasks otherwise — exec::Launch picks.
+  exec::TaskHandle solver_task;
+  exec::TaskHandle validator_task;
+  exec::TaskHandle spec_task;
+  exec::TaskHandle heartbeat_task;
+  bool started = false;
   std::atomic<bool> spec_stop{false};
   std::atomic<bool> crashed_{false};
 
@@ -817,27 +833,34 @@ InstanceRunner::InstanceRunner(InstanceConfig config)
     : impl_(std::make_unique<Impl>(std::move(config))) {}
 
 InstanceRunner::~InstanceRunner() {
-  if (impl_->solver_thread.joinable()) Join();
+  if (impl_->started) Join();
 }
 
 void InstanceRunner::Start() {
   Impl* impl = impl_.get();
+  impl->started = true;
+  exec::WorkerPool* pool = impl->cfg.pool;
+  // The heartbeat is pure waiting, never work: it stays a dedicated
+  // thread even in pool mode (where the slot timer beats instead and
+  // run_heartbeat is off — see ExecuteQuery).
   if (impl->cfg.run_heartbeat) {
-    impl->heartbeat_thread = std::thread([impl] { impl->HeartbeatMain(); });
+    impl->heartbeat_task =
+        exec::Launch(nullptr, [impl] { impl->HeartbeatMain(); });
   }
   if (impl->cfg.options->speculative) {
-    impl->spec_thread = std::thread([impl] { impl->SpeculativeMain(); });
+    impl->spec_task = exec::Launch(pool, [impl] { impl->SpeculativeMain(); });
   }
-  impl->solver_thread = std::thread([impl] { impl->SolverMain(); });
-  impl->validator_thread = std::thread([impl] { impl->ValidatorMain(); });
+  impl->solver_task = exec::Launch(pool, [impl] { impl->SolverMain(); });
+  impl->validator_task =
+      exec::Launch(pool, [impl] { impl->ValidatorMain(); });
 }
 
 void InstanceRunner::Join() {
-  if (impl_->solver_thread.joinable()) impl_->solver_thread.join();
-  if (impl_->spec_thread.joinable()) impl_->spec_thread.join();
-  if (impl_->validator_thread.joinable()) impl_->validator_thread.join();
+  impl_->solver_task.Wait();
+  impl_->spec_task.Wait();
+  impl_->validator_task.Wait();
   impl_->StopHeartbeat();
-  if (impl_->heartbeat_thread.joinable()) impl_->heartbeat_thread.join();
+  impl_->heartbeat_task.Wait();
 }
 
 bool InstanceRunner::crashed() const { return impl_->crashed(); }

@@ -15,6 +15,10 @@
 #include "searchlight/candidate.h"
 #include "searchlight/query.h"
 
+namespace dqr::exec {
+class WorkerPool;
+}  // namespace dqr::exec
+
 namespace dqr::core {
 
 // Construction parameters of one simulated Searchlight instance. All
@@ -31,9 +35,16 @@ struct InstanceConfig {
   // Deterministic fault injection (null = no faults); shared by the
   // cluster, counters are per (instance, site).
   FaultInjector* injector = nullptr;
-  // Spawn the heartbeat thread (needed whenever the failure detector
-  // runs; pure overhead otherwise).
+  // Spawn the per-instance heartbeat thread (legacy mode with the
+  // failure detector on; in pool mode the query slot's timer beats for
+  // every instance instead).
   bool run_heartbeat = false;
+  // Non-null runs the solver/validator/speculative loops as tasks on
+  // this pool instead of dedicated threads (DESIGN.md §10).
+  exec::WorkerPool* pool = nullptr;
+  // Trace epoch this instance's rings pin to; -1 = the trace's current
+  // epoch (fine only while queries never overlap in time).
+  int trace_epoch = -1;
 };
 
 // One simulated cluster instance: a Solver thread and a Validator thread

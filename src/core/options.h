@@ -9,6 +9,11 @@
 #include "core/solution.h"
 #include "cp/search.h"
 
+namespace dqr::exec {
+class TimerWheel;
+class WorkerPool;
+}  // namespace dqr::exec
+
 namespace dqr::obs {
 class Trace;
 }  // namespace dqr::obs
@@ -187,6 +192,23 @@ struct RefineOptions {
   // revalidation). Must comfortably exceed the heartbeat interval; the
   // default tolerates heavy scheduler noise (sanitizer runs).
   int64_t lease_timeout_us = 250000;
+
+  // --- reentrant execution (DESIGN.md §10) ---
+  // When set, the query runs in pool mode: instance loops (solver /
+  // validator / speculative) are dispatched as tasks onto this
+  // persistent worker pool instead of freshly spawned threads, the
+  // per-instance heartbeat threads collapse into one periodic timer per
+  // query slot, and the watchdog + failure-detector sweeps ride the
+  // shared timer wheel. Null (the default) keeps the legacy per-query
+  // thread engine. Scheduling is answer-preserving either way: the final
+  // result set is schedule-invariant (DESIGN.md §3), so pool-mode
+  // results are byte-identical to legacy runs. The pool must outlive the
+  // query.
+  exec::WorkerPool* worker_pool = nullptr;
+  // Timer wheel hosting pool-mode periodic work (heartbeats, detector
+  // sweeps, watchdog). Null with worker_pool set uses the process-shared
+  // wheel; ignored in legacy mode.
+  exec::TimerWheel* timer_wheel = nullptr;
 
   // --- observability (DESIGN.md §8) ---
   // Flight-recorder sink. Null (the default) disables tracing entirely —

@@ -18,23 +18,35 @@
 #include "core/penalty.h"
 #include "core/rank.h"
 #include "cp/function.h"
+#include "exec/timer_wheel.h"
+#include "exec/worker_pool.h"
 #include "obs/trace.h"
 
 namespace dqr::core {
 namespace {
 
-// Sleeps until the budget expires or Stop() is called, then cancels the
-// coordinator. Used for the time_budget_s option.
+// Cancels the coordinator when the wall-clock budget expires. Legacy
+// mode owns a dedicated sleeper thread per query; pool mode registers a
+// one-shot on the shared timer wheel instead (time_budget_s option).
 class Watchdog {
  public:
-  Watchdog(Coordinator* coordinator, double budget_s)
-      : coordinator_(coordinator), budget_s_(budget_s) {
-    if (budget_s_ > 0.0) {
-      thread_ = std::thread([this] { Run(); });
+  Watchdog(Coordinator* coordinator, double budget_s,
+           exec::TimerWheel* wheel)
+      : coordinator_(coordinator), budget_s_(budget_s), wheel_(wheel) {
+    if (budget_s_ <= 0.0) return;
+    if (wheel_ != nullptr) {
+      timer_ = wheel_->AddOnce(static_cast<int64_t>(budget_s_ * 1e6),
+                               [coordinator] { coordinator->Cancel(); });
+      return;
     }
+    thread_ = std::thread([this] { Run(); });
   }
 
   ~Watchdog() {
+    if (wheel_ != nullptr) {
+      if (budget_s_ > 0.0) wheel_->Cancel(timer_);
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
@@ -55,57 +67,44 @@ class Watchdog {
 
   Coordinator* coordinator_;
   double budget_s_;
+  exec::TimerWheel* wheel_;
+  exec::TimerWheel::TimerId timer_ = 0;
   std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
 
-// The lease-timeout failure detector (DESIGN.md §7): a periodic sweep
-// over the instances' heartbeat slots. An instance whose last beat is
-// older than the lease timeout is declared dead and its in-flight work is
-// recovered — the leased shard back into the pool, abandoned replay
-// leases back into the registry, queued/in-flight candidates into the
-// coordinator's orphan depot for re-validation by a survivor.
-class FailureDetector {
+// Sweep cadence of the failure detector: nowhere near heartbeat
+// granularity — a quarter of the lease keeps the detection-latency bound
+// at ~1.25x the lease timeout while the sweep's lock traffic stays
+// negligible.
+int64_t SweepIntervalUs(int64_t heartbeat_interval_us,
+                        int64_t lease_timeout_us) {
+  return std::max(heartbeat_interval_us, lease_timeout_us / 4);
+}
+
+// One sweep state machine of the lease-timeout failure detector
+// (DESIGN.md §7): a periodic pass over the instances' heartbeat slots.
+// An instance whose last beat is older than the lease timeout is
+// declared dead and its in-flight work is recovered — the leased shard
+// back into the pool, abandoned replay leases back into the registry,
+// queued/in-flight candidates into the coordinator's orphan depot for
+// re-validation by a survivor.
+//
+// Tick() must only ever run from one thread at a time (the legacy
+// detector thread, or the shared timer wheel whose callbacks are
+// serialized); dead_ is unsynchronized on that contract.
+class DetectorSweep {
  public:
-  FailureDetector(Coordinator* coordinator, FailRegistry* registry,
-                  std::vector<std::unique_ptr<InstanceRunner>>* runners,
-                  int64_t interval_us, int64_t timeout_us,
-                  obs::ThreadTracer tracer)
+  DetectorSweep(Coordinator* coordinator, FailRegistry* registry,
+                std::vector<std::unique_ptr<InstanceRunner>>* runners,
+                int64_t timeout_us, obs::ThreadTracer tracer)
       : coordinator_(coordinator),
         registry_(registry),
         runners_(runners),
         tracer_(tracer),
-        // Sweeping needs nowhere near heartbeat granularity: a quarter of
-        // the lease keeps the detection-latency bound at ~1.25x the lease
-        // timeout while the sweep's lock traffic stays negligible.
-        interval_us_(std::max(interval_us, timeout_us / 4)),
-        timeout_ns_(timeout_us * 1000) {
-    thread_ = std::thread([this] { Run(); });
-  }
-
-  ~FailureDetector() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
-  }
-
- private:
-  void Run() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      cv_.wait_for(lock, std::chrono::microseconds(interval_us_),
-                   [this] { return stop_; });
-      if (stop_) break;
-      lock.unlock();
-      Tick();
-      lock.lock();
-    }
-  }
+        timeout_ns_(timeout_us * 1000) {}
 
   void Tick() {
     const int64_t now =
@@ -148,13 +147,52 @@ class FailureDetector {
     if (changed) coordinator_->NotifyWorkChanged();
   }
 
+ private:
   Coordinator* coordinator_;
   FailRegistry* registry_;
   std::vector<std::unique_ptr<InstanceRunner>>* runners_;
   obs::ThreadTracer tracer_;
-  const int64_t interval_us_;
   const int64_t timeout_ns_;
   std::set<int> dead_;
+};
+
+// Legacy driver: a dedicated per-query thread ticking the sweep. Pool
+// mode registers the sweep on the shared timer wheel instead.
+class FailureDetector {
+ public:
+  FailureDetector(Coordinator* coordinator, FailRegistry* registry,
+                  std::vector<std::unique_ptr<InstanceRunner>>* runners,
+                  int64_t interval_us, int64_t timeout_us,
+                  obs::ThreadTracer tracer)
+      : sweep_(coordinator, registry, runners, timeout_us, tracer),
+        interval_us_(SweepIntervalUs(interval_us, timeout_us)) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~FailureDetector() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::microseconds(interval_us_),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      sweep_.Tick();
+      lock.lock();
+    }
+  }
+
+  DetectorSweep sweep_;
+  const int64_t interval_us_;
   std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -253,8 +291,22 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
     return status;
   }
   // Each query gets its own trace epoch so successive queries recorded
-  // into one Trace export as separate process groups.
-  if (options.trace != nullptr) options.trace->BeginQuery();
+  // into one Trace export as separate process groups. The epoch is
+  // pinned explicitly on every ring this query creates: with concurrent
+  // queries sharing one Trace, the implicit "current epoch" cursor
+  // belongs to whichever query began last.
+  int trace_epoch = -1;
+  if (options.trace != nullptr) trace_epoch = options.trace->BeginQuery();
+
+  // Reentrant execution (DESIGN.md §10): pool mode schedules the
+  // instance loops onto the shared worker pool and all periodic work
+  // onto the shared timer wheel.
+  exec::WorkerPool* pool = options.worker_pool;
+  exec::TimerWheel* wheel =
+      pool == nullptr
+          ? nullptr
+          : (options.timer_wheel != nullptr ? options.timer_wheel
+                                            : &exec::TimerWheel::Shared());
 
   Result<PenaltyModel> penalty_result =
       BuildPenaltyModel(query, options.alpha);
@@ -317,7 +369,7 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   // replays the globally most-promising ones out of it.
   FailRegistry registry(options.replay_order, options.max_recorded_fails);
   coordinator.AttachRegistry(&registry);
-  Watchdog watchdog(&coordinator, options.time_budget_s);
+  Watchdog watchdog(&coordinator, options.time_budget_s, wheel);
 
   // Failure model: an injector when a fault plan is supplied, and the
   // heartbeat/lease detector whenever faults are possible or the caller
@@ -344,22 +396,73 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
     config.coordinator = &coordinator;
     config.registry = &registry;
     config.injector = injector.get();
-    config.run_heartbeat = detect_failures;
+    // Pool mode collapses the per-instance heartbeat threads into one
+    // periodic slot timer registered below.
+    config.run_heartbeat = detect_failures && pool == nullptr;
+    config.pool = pool;
+    config.trace_epoch = trace_epoch;
     runners.push_back(std::make_unique<InstanceRunner>(std::move(config)));
   }
 
   {
-    std::unique_ptr<FailureDetector> detector;
+    std::unique_ptr<FailureDetector> detector;   // legacy thread driver
+    std::unique_ptr<DetectorSweep> sweep;        // pool-mode sweep state
+    exec::TimerWheel::TimerId beat_timer = 0;
+    exec::TimerWheel::TimerId sweep_timer = 0;
+    // Lease timeouts are measured per slot: the clock starts when this
+    // query actually begins running, not when the coordinator was built
+    // (admission queueing can separate the two arbitrarily).
+    coordinator.ResetHeartbeats();
     for (auto& runner : runners) runner->Start();
     if (detect_failures) {
-      detector = std::make_unique<FailureDetector>(
-          &coordinator, &registry, &runners,
-          options.heartbeat_interval_us, options.lease_timeout_us,
+      obs::ThreadTracer detector_tracer =
           obs::MakeTracer(options.trace, /*instance=*/-1,
                           obs::ThreadRole::kDetector,
-                          options.trace_buffer_events));
+                          options.trace_buffer_events, trace_epoch);
+      if (pool != nullptr) {
+        // One slot timer beats every live instance — with Q concurrent
+        // queries of I instances each, Q*I heartbeat threads collapse
+        // into Q periodic timers on the shared wheel. A crashed instance
+        // stops being beaten at the next firing, which is how the
+        // detector sees it die (same contract as the legacy per-instance
+        // beat thread observing hb_stop).
+        std::vector<obs::ThreadTracer> beat_tracers;
+        for (int i = 0; i < instances; ++i) {
+          beat_tracers.push_back(obs::MakeTracer(
+              options.trace, i, obs::ThreadRole::kHeartbeat,
+              options.trace_buffer_events, trace_epoch));
+        }
+        Coordinator* coord = &coordinator;
+        auto* runners_ptr = &runners;
+        beat_timer = wheel->AddPeriodic(
+            options.heartbeat_interval_us,
+            [coord, runners_ptr, beat_tracers]() mutable {
+              for (size_t i = 0; i < runners_ptr->size(); ++i) {
+                if ((*runners_ptr)[i]->crashed()) continue;
+                coord->Heartbeat(static_cast<int>(i));
+                beat_tracers[i].Instant(obs::EventName::kHeartbeat);
+              }
+            });
+        sweep = std::make_unique<DetectorSweep>(
+            &coordinator, &registry, &runners, options.lease_timeout_us,
+            detector_tracer);
+        DetectorSweep* sweep_ptr = sweep.get();
+        sweep_timer = wheel->AddPeriodic(
+            SweepIntervalUs(options.heartbeat_interval_us,
+                            options.lease_timeout_us),
+            [sweep_ptr] { sweep_ptr->Tick(); });
+      } else {
+        detector = std::make_unique<FailureDetector>(
+            &coordinator, &registry, &runners,
+            options.heartbeat_interval_us, options.lease_timeout_us,
+            detector_tracer);
+      }
     }
     for (auto& runner : runners) runner->Join();
+    // Cancel quiesces: after these return the wheel can no longer touch
+    // the coordinator, registry or runners this scope owns.
+    if (beat_timer != 0) wheel->Cancel(beat_timer);
+    if (sweep_timer != 0) wheel->Cancel(sweep_timer);
   }
 
   // Settle accounts for crashes the detector never got to see: when the
@@ -376,6 +479,7 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   }
 
   RunResult result;
+  result.trace_epoch = trace_epoch;
   result.results = coordinator.tracker().FinalResults();
   for (const auto& runner : runners) {
     result.per_instance.push_back(runner->stats());

@@ -21,6 +21,11 @@ struct RunResult {
   RunStats stats;
   // Per-instance breakdown (index = instance id).
   std::vector<RunStats> per_instance;
+  // Trace epoch this query's rings were pinned to (-1 when tracing was
+  // off). Lets callers that emit follow-up events (e.g. the semantic
+  // cache's session ring) land them in the right process group even when
+  // other queries have since begun newer epochs.
+  int trace_epoch = -1;
 };
 
 // The public entry point of the dynamic query refinement framework: runs a

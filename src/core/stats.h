@@ -127,6 +127,14 @@ namespace dqr::core {
     "Queries answered by subsumption from a looser cached answer")           \
   X(int64_t, answer_cache_warm_starts, 0, SUM,                               \
     "Queries executed with cache-derived warm MRP/MRK bounds")               \
+  X(int64_t, pool_tasks, 0, SUM,                                             \
+    "Engine loops dispatched onto the shared worker pool")                   \
+  X(int64_t, pool_spawn_avoided, 0, SUM,                                     \
+    "Pool dispatches served by an already-warm worker (no thread spawn)")    \
+  X(int64_t, pool_overflow_spawns, 0, SUM,                                   \
+    "Pool dispatches that fell back to a transient overflow thread")         \
+  X(double, admission_wait_s, 0.0, QUERY,                                    \
+    "Seconds the query waited for admission to the engine session")          \
   X(bool, completed, true, AND,                                              \
     "False iff the run was cancelled (time budget / external cancel)")
 

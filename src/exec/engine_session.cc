@@ -1,0 +1,127 @@
+#include "exec/engine_session.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace dqr::exec {
+
+namespace {
+
+int ResolveMaxConcurrent(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DQR_MAX_CONCURRENT_QUERIES")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<int>(v);
+    }
+  }
+  return 8;
+}
+
+}  // namespace
+
+EngineSession::EngineSession(EngineSessionOptions options)
+    : pool_(options.pool != nullptr ? options.pool : &WorkerPool::Shared()),
+      wheel_(options.wheel != nullptr ? options.wheel
+                                      : &TimerWheel::Shared()),
+      max_concurrent_(ResolveMaxConcurrent(options.max_concurrent_queries)),
+      // The in-flight task budget: admitting up to 2x the worker count
+      // keeps the pool saturated (engine tasks block on queues/barriers
+      // a lot) while bounding overflow spawns.
+      task_capacity_(2 * std::max(1, pool_->thread_count())) {}
+
+int64_t EngineSession::TaskDemand(const core::RefineOptions& options) {
+  // Solver + validator per instance, plus the speculative loop. The
+  // heartbeat/detector/watchdog ride the timer wheel, not the pool.
+  const int64_t per_instance = options.speculative ? 3 : 2;
+  return per_instance * std::max(1, options.num_instances);
+}
+
+double EngineSession::Admit(int64_t demand) {
+  Stopwatch wait;
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  const auto admissible = [&] {
+    if (ticket != serving_) return false;  // strict FIFO: no overtaking
+    if (active_ == 0) return true;         // progress guarantee
+    return active_ < max_concurrent_ &&
+           tasks_in_flight_ + demand <= task_capacity_;
+  };
+  const bool waited = !admissible();
+  if (waited) {
+    ++queued_;
+    cv_.wait(lock, admissible);
+  }
+  ++serving_;
+  ++active_;
+  peak_ = std::max(peak_, active_);
+  tasks_in_flight_ += demand;
+  ++admitted_;
+  const double waited_s = waited ? wait.ElapsedSeconds() : 0.0;
+  wait_s_ += waited_s;
+  // The next ticket may be admissible now (several slots can run
+  // concurrently); wake the queue to re-check.
+  cv_.notify_all();
+  return waited_s;
+}
+
+void EngineSession::Release(int64_t demand) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  tasks_in_flight_ -= demand;
+  cv_.notify_all();
+}
+
+Result<core::RunResult> EngineSession::Execute(
+    const searchlight::QuerySpec& query,
+    const core::RefineOptions& options) {
+  core::RefineOptions opts = options;
+  opts.worker_pool = pool_;
+  opts.timer_wheel = wheel_;
+  const int64_t demand = TaskDemand(opts);
+  const double waited_s = Admit(demand);
+  Result<core::RunResult> result = core::ExecuteQuery(query, opts);
+  Release(demand);
+  if (result.ok()) result.value().stats.admission_wait_s = waited_s;
+  return result;
+}
+
+Result<core::RunResult> EngineSession::ExecuteCached(
+    cache::SemanticCache* cache, const cache::CachedQuery& cq,
+    const core::RefineOptions& options, cache::CacheOutcome* outcome) {
+  core::RefineOptions opts = options;
+  opts.worker_pool = pool_;
+  opts.timer_wheel = wheel_;
+  const int64_t demand = TaskDemand(opts);
+  const double waited_s = Admit(demand);
+  Result<core::RunResult> result =
+      cache::ExecuteQueryCached(cache, cq, opts, outcome);
+  Release(demand);
+  if (result.ok()) result.value().stats.admission_wait_s = waited_s;
+  return result;
+}
+
+SessionStats EngineSession::stats() const {
+  SessionStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.active_slots = active_;
+    out.peak_slots = peak_;
+    out.queries_admitted = admitted_;
+    out.queries_queued = queued_;
+    out.admission_wait_s = wait_s_;
+    out.tasks_in_flight = tasks_in_flight_;
+  }
+  out.pool = pool_->stats();
+  return out;
+}
+
+EngineSession& EngineSession::Shared() {
+  static EngineSession* session = new EngineSession();
+  return *session;
+}
+
+}  // namespace dqr::exec

@@ -1,0 +1,109 @@
+#include "exec/timer_wheel.h"
+
+namespace dqr::exec {
+
+namespace {
+std::chrono::microseconds Micros(int64_t us) {
+  return std::chrono::microseconds(us < 0 ? 0 : us);
+}
+}  // namespace
+
+TimerWheel::TimerWheel() {
+  thread_ = std::thread([this] { TimerMain(); });
+}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+}
+
+TimerWheel::TimerId TimerWheel::AddLocked(int64_t delay_us, int64_t period_us,
+                                          std::function<void()> fn) {
+  TimerId id = next_id_++;
+  entries_[id] = Entry{period_us, std::move(fn)};
+  heap_.push(Due{Clock::now() + Micros(delay_us), id});
+  cv_.notify_all();
+  return id;
+}
+
+TimerWheel::TimerId TimerWheel::AddPeriodic(int64_t period_us,
+                                            std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddLocked(period_us, period_us, std::move(fn));
+}
+
+TimerWheel::TimerId TimerWheel::AddOnce(int64_t delay_us,
+                                        std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddLocked(delay_us, 0, std::move(fn));
+}
+
+void TimerWheel::Cancel(TimerId id) {
+  // Real ids start at 1; 0 doubles as "no timer" in callers' slot state
+  // (and is running_id_'s idle value, so waiting on it would hang).
+  if (id <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  entries_.erase(id);
+  // Quiesce: do not return while the callback is mid-flight — unless we
+  // *are* the callback (self-cancel from the timer thread).
+  if (std::this_thread::get_id() == thread_.get_id()) return;
+  cv_.wait(lock, [&] { return running_id_ != id; });
+}
+
+int64_t TimerWheel::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+void TimerWheel::TimerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_) break;
+    if (heap_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    Due top = heap_.top();
+    if (top.deadline > Clock::now()) {
+      cv_.wait_until(lock, top.deadline);
+      continue;  // re-evaluate: a nearer timer or stop may have arrived
+    }
+    heap_.pop();
+    auto it = entries_.find(top.id);
+    if (it == entries_.end()) continue;  // cancelled while queued
+    // Copy out the callback: the entry may be erased (self-cancel) while
+    // the lock is dropped.
+    std::function<void()> fn = it->second.fn;
+    int64_t period_us = it->second.period_us;
+    running_id_ = top.id;
+    lock.unlock();
+    fn();
+    lock.lock();
+    running_id_ = 0;
+    cv_.notify_all();  // wake Cancel() quiescence waiters
+    if (period_us > 0) {
+      if (entries_.find(top.id) != entries_.end()) {
+        Clock::time_point next = top.deadline + Micros(period_us);
+        Clock::time_point now = Clock::now();
+        // Fell behind: skip missed firings instead of bursting.
+        if (next <= now) next = now + Micros(period_us);
+        heap_.push(Due{next, top.id});
+      }
+    } else {
+      entries_.erase(top.id);
+    }
+  }
+}
+
+TimerWheel& TimerWheel::Shared() {
+  // Leaked on purpose, same as WorkerPool::Shared(): slot teardown may
+  // Cancel() timers arbitrarily late in process shutdown.
+  static TimerWheel* wheel = new TimerWheel();
+  return *wheel;
+}
+
+}  // namespace dqr::exec

@@ -119,6 +119,14 @@ TraceRing* Trace::CreateRing(int instance, ThreadRole role,
   return rings_.back().get();
 }
 
+TraceRing* Trace::CreateRing(int instance, ThreadRole role,
+                             int64_t capacity, int epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(
+      std::make_unique<TraceRing>(instance, role, epoch, capacity));
+  return rings_.back().get();
+}
+
 std::vector<const TraceRing*> Trace::rings() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<const TraceRing*> out;

@@ -172,12 +172,19 @@ class Trace {
   Trace(const Trace&) = delete;
   Trace& operator=(const Trace&) = delete;
 
-  // Marks the start of a query; rings created afterwards carry the new
-  // epoch. Exporters map each (epoch, instance) pair to its own process,
-  // so successive queries traced into one file do not overlay.
+  // Marks the start of a query and returns its epoch; rings created
+  // afterwards without an explicit epoch carry it. Exporters map each
+  // (epoch, instance) pair to its own process, so successive queries
+  // traced into one file do not overlay.
   int BeginQuery();
 
   TraceRing* CreateRing(int instance, ThreadRole role, int64_t capacity);
+  // Epoch-explicit variant for concurrent queries sharing one Trace: the
+  // implicit "current epoch" is a single cursor, so slots that overlap in
+  // time must pin their BeginQuery() epoch explicitly or their rings
+  // could land in another slot's process group.
+  TraceRing* CreateRing(int instance, ThreadRole role, int64_t capacity,
+                        int epoch);
 
   std::vector<const TraceRing*> rings() const;
   // steady-clock ns at construction; exporters subtract it so timestamps
@@ -237,9 +244,14 @@ class ThreadTracer {
 };
 
 // Creates the thread's tracer, or a no-op tracer when `trace` is null.
+// `epoch` >= 0 pins the ring to that query epoch (required when
+// concurrent queries share the Trace); -1 uses the current epoch.
 inline ThreadTracer MakeTracer(Trace* trace, int instance, ThreadRole role,
-                               int64_t capacity) {
+                               int64_t capacity, int epoch = -1) {
   if (trace == nullptr) return ThreadTracer();
+  if (epoch >= 0) {
+    return ThreadTracer(trace->CreateRing(instance, role, capacity, epoch));
+  }
   return ThreadTracer(trace->CreateRing(instance, role, capacity));
 }
 

@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "exec/timer_wheel.h"
+#include "exec/worker_pool.h"
 #include "searchlight/functions.h"
 #include "searchlight/grid_functions.h"
 
@@ -699,6 +701,7 @@ std::string EngineConfig::ToString() const {
   AppendKv(&out, "det", enable_failure_detector ? "1" : "0");
   AppendKv(&out, "trace", trace ? "1" : "0");
   AppendKv(&out, "simd", simd ? "1" : "0");
+  AppendKv(&out, "pool", pool ? "1" : "0");
   return out;
 }
 
@@ -767,6 +770,8 @@ Result<EngineConfig> EngineConfig::FromString(const std::string& text) {
       config.trace = value == "1";
     } else if (key == "simd") {
       config.simd = value == "1";
+    } else if (key == "pool") {
+      config.pool = value == "1";
     } else {
       return InvalidArgumentError("config: unknown key '" + key + "'");
     }
@@ -791,6 +796,10 @@ core::RefineOptions EngineConfig::ToOptions(const Workload& workload,
   options.replay_order = replay_order;
   options.validator_queue = validator_queue;
   options.enable_failure_detector = enable_failure_detector;
+  if (pool) {
+    options.worker_pool = &exec::WorkerPool::Shared();
+    options.timer_wheel = &exec::TimerWheel::Shared();
+  }
 
   if (fault_crashes > 0 && num_instances > 1 && plan != nullptr) {
     *plan = MakeSurvivorCrashPlan(workload.seed ^ 0xfa57fa57fa57fa57ULL,
@@ -807,6 +816,9 @@ core::RefineOptions EngineConfig::ToOptions(const Workload& workload,
 std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
   count = std::clamp(count, 3, 8);
   Rng rng(seed ^ 0xc0f1c0f1c0f1c0f1ULL);
+  // Pool-mode draws come from a decorrelated stream so adding the pool
+  // dimension left every pre-existing matrix draw byte-identical.
+  Rng pool_rng(seed ^ 0x9001900190019001ULL);
   std::vector<EngineConfig> configs;
 
   // [0] the sequential baseline: one instance, one shard, paper defaults.
@@ -826,6 +838,9 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     c.rrd = rrd_choices[rng.UniformInt(0, 2)];
     c.save_function_state = rng.Bernoulli(0.8);
     c.simd = false;
+    // Always pool-mode, so every matrix differentials the shared-pool
+    // scheduler against the per-query-thread baseline at [0].
+    c.pool = true;
     configs.push_back(c);
   }
 
@@ -837,6 +852,7 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     c.speculative = rng.Bernoulli(0.3);
     c.fault_crashes = static_cast<int>(rng.UniformInt(1, 2));
     c.enable_failure_detector = true;
+    c.pool = pool_rng.Bernoulli(0.5);
     configs.push_back(c);
   }
 
@@ -860,6 +876,7 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
       c.fault_crashes = 1;
       c.enable_failure_detector = true;
     }
+    c.pool = pool_rng.Bernoulli(0.5);
     configs.push_back(c);
   }
   return configs;

@@ -194,6 +194,11 @@ struct EngineConfig {
   // design (common/simd.h); running each case under both settings makes
   // the differential check prove scalar == SIMD answers.
   bool simd = true;
+  // Run the engine loops on the process-shared WorkerPool + TimerWheel
+  // (DESIGN.md §10) instead of per-query threads. Scheduling is
+  // answer-preserving, so the differential harness proves pool == legacy
+  // per case.
+  bool pool = false;
 
   // Compact, parseable "inst=4;shards=8;..." form used by --config= and
   // reproducer lines. FromString accepts exactly what ToString emits

@@ -1,8 +1,12 @@
 #include "testing/harness.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "cache/semantic_cache.h"
@@ -385,27 +389,38 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
   if (modes.empty()) {
     modes = {FuzzMode::kRelax, FuzzMode::kConstrain, FuzzMode::kSkyline};
   }
+  const int jobs = std::max(1, options.jobs);
   const int64_t started_ms = NowMs();
 
+  // Guards the report and keeps a failure's multi-line stderr block
+  // contiguous when jobs > 1.
+  std::mutex mu;
+
   // Shared run-report-shrink path for single-query and session cases.
-  const auto run_one = [&report, &options](const CaseConfig& c) {
-    ++report.cases_run;
+  const auto run_one = [&report, &options, &mu](const CaseConfig& c) {
     CaseResult r = RunAnyCase(c, options.inject_bug);
     if (r.ok) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++report.cases_run;
       if (options.verbose) {
         std::fprintf(stderr, "dqr_fuzz: ok   %s\n", r.detail.c_str());
       }
       return;
     }
+    // Shrinking re-runs the case many times; keep it outside the lock so
+    // other driver threads keep fuzzing while one shrinks a failure.
+    const CaseConfig shrunk = Shrink(c, options.inject_bug);
+    const CaseResult shrunk_result = RunAnyCase(shrunk, options.inject_bug);
+    const std::string line = ReproLine(shrunk);
+
+    std::lock_guard<std::mutex> lock(mu);
+    ++report.cases_run;
     if (!r.error.empty()) ++report.errors;
     if (r.error.empty()) ++report.mismatches;
     std::fprintf(stderr, "dqr_fuzz: FAIL %s\n", r.detail.c_str());
     if (!r.error.empty()) {
       std::fprintf(stderr, "dqr_fuzz:   %s\n", r.error.c_str());
     }
-    const CaseConfig shrunk = Shrink(c, options.inject_bug);
-    const CaseResult shrunk_result = RunAnyCase(shrunk, options.inject_bug);
-    const std::string line = ReproLine(shrunk);
     report.repro_lines.push_back(line);
     std::fprintf(stderr, "dqr_fuzz:   reproduce: %s\n", line.c_str());
     if (!options.repro_dir.empty()) {
@@ -422,16 +437,9 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
     }
   };
 
-  for (int i = 0; i < options.num_seeds; ++i) {
-    if (options.time_budget_ms > 0 &&
-        NowMs() - started_ms >= options.time_budget_ms) {
-      std::fprintf(stderr,
-                   "dqr_fuzz: time budget reached after %lld seeds\n",
-                   static_cast<long long>(report.seeds_run));
-      break;
-    }
+  // Runs every case of seed index `i`.
+  const auto run_seed = [&](int i) {
     const uint64_t seed = options.start_seed + static_cast<uint64_t>(i);
-    ++report.seeds_run;
     // One mode per seed (cycled) keeps a campaign of N seeds at N
     // workloads; --mode pins it for reproduction. Every fourth seed runs
     // its 2-D grid workload so both data shapes stay covered (--grid
@@ -454,9 +462,13 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
         c.session = 2 + static_cast<int>(seed % 3);
         c.config = configs[ci];
         if (options.trace_mix) c.config.trace = ((seed + ci) & 1) != 0;
+        // The simd override is process-global: concurrent drivers pin the
+        // dimension instead of racing it (kernels are value-identical, so
+        // no expected answer changes).
+        if (jobs > 1) c.config.simd = true;
         run_one(c);
       }
-      continue;
+      return;
     }
 
     for (size_t ci = 0; ci < configs.size(); ++ci) {
@@ -469,8 +481,47 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       // matrix so every campaign covers traced and untraced runs of
       // otherwise-identical configs.
       if (options.trace_mix) c.config.trace = ((seed + ci) & 1) != 0;
+      if (jobs > 1) c.config.simd = true;
       run_one(c);
     }
+  };
+
+  // Concurrent drivers pull seed indices from one atomic cursor; the
+  // time budget is re-checked per claim so every driver stops promptly.
+  std::atomic<int> cursor{0};
+  std::atomic<bool> budget_hit{false};
+  const auto drive = [&] {
+    for (;;) {
+      const int i = cursor.fetch_add(1);
+      if (i >= options.num_seeds) return;
+      if (options.time_budget_ms > 0 &&
+          NowMs() - started_ms >= options.time_budget_ms) {
+        budget_hit.store(true);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++report.seeds_run;
+      }
+      run_seed(i);
+    }
+  };
+
+  if (jobs <= 1) {
+    drive();
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) drivers.emplace_back(drive);
+    for (std::thread& d : drivers) d.join();
+    // Thread completion order is nondeterministic; the set of failures is
+    // not. Sorted repro lines make concurrent campaign output comparable.
+    std::sort(report.repro_lines.begin(), report.repro_lines.end());
+    std::sort(report.repro_files.begin(), report.repro_files.end());
+  }
+  if (budget_hit.load()) {
+    std::fprintf(stderr, "dqr_fuzz: time budget reached after %lld seeds\n",
+                 static_cast<long long>(report.seeds_run));
   }
   return report;
 }

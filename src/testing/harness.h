@@ -106,6 +106,14 @@ struct FuzzOptions {
   bool trace_mix = false;
   // Which modes to cycle through; empty = all three.
   std::vector<FuzzMode> modes;
+  // Driver threads running seeds concurrently (<= 1 = the serial
+  // campaign, byte-identical to the pre-jobs harness). With jobs > 1 the
+  // simd dimension is pinned to the SIMD kernels for every case —
+  // ScopedSimdOverride is process-global, and the kernels are
+  // value-identical by design, so pinning changes no expected answer —
+  // and repro lines are sorted (thread completion order is not
+  // deterministic; the set of failures is).
+  int jobs = 1;
   // Run correlated-session cases (seed-derived mutation chains, warm
   // semantic cache differentialed against cold runs and the oracle)
   // instead of the single-query config matrix. Session cases run under

@@ -42,6 +42,8 @@ void Usage() {
       "  --start=S           first seed (default 1)\n"
       "  --mode=M            relax|constrain|skyline|all (default all)\n"
       "  --configs=N         engine configs per seed, 3..8 (default 4)\n"
+      "  --jobs=N            driver threads running seeds concurrently\n"
+      "                      (default 1; >1 pins the simd dimension)\n"
       "  --time-budget=SEC   stop early after SEC seconds\n"
       "  --repro-dir=DIR     write repro files for failures into DIR\n"
       "  --inject-bug=B      none|drop-last|perturb-rp (self-test)\n"
@@ -107,6 +109,12 @@ int main(int argc, char** argv) {
     } else if (MatchValue(arg, "--configs", &value)) {
       options.configs_per_seed =
           static_cast<int>(ParseInt(value, "--configs"));
+    } else if (MatchValue(arg, "--jobs", &value)) {
+      options.jobs = static_cast<int>(ParseInt(value, "--jobs"));
+      if (options.jobs < 1 || options.jobs > 64) {
+        std::fprintf(stderr, "dqr_fuzz: --jobs wants a value in [1, 64]\n");
+        return 2;
+      }
     } else if (MatchValue(arg, "--time-budget", &value)) {
       options.time_budget_ms = 1000 * ParseInt(value, "--time-budget");
     } else if (MatchValue(arg, "--repro-dir", &value)) {
