@@ -1,0 +1,352 @@
+// bench_serve: the cost of the network front end.
+//
+// Measures what the dqr_serve transport adds on top of direct in-process
+// execution: each query goes once through EngineSession::Execute and once
+// over a loopback socket as a framed QUERY (parse, admission through the
+// tenant scheduler, progress streaming, FINAL with the canonical body),
+// at client counts {1, 2, 4, 8} sharing one server. Queries are small,
+// so the per-query transport cost — framing, TCP round trips, the
+// per-query thread — is the dominant term and the overhead ratio is an
+// upper bound on what interactive exploration would see.
+//
+//   bench_serve [--max-overhead1=X] [--json <path>]
+//
+// Every streamed answer is checked byte-identical to a precomputed
+// direct baseline; exit 1 on any mismatch or error, or when the
+// single-client serve/direct latency ratio exceeds --max-overhead1
+// (default: report only).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/canonical.h"
+#include "core/refiner.h"
+#include "exec/engine_session.h"
+#include "exec/timer_wheel.h"
+#include "exec/worker_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "testing/generator.h"
+
+namespace {
+
+using dqr::bench::JsonRecord;
+using dqr::bench::RecordJson;
+using dqr::bench::TablePrinter;
+using dqr::fuzz::EngineConfig;
+using dqr::fuzz::FuzzMode;
+using dqr::fuzz::MakeWorkload;
+using dqr::fuzz::Workload;
+using dqr::fuzz::WorkloadOverrides;
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kLevels[] = {1, 2, 4, 8};
+constexpr int kQueriesPerLevel = 64;
+
+struct LegResult {
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  int64_t mismatches = 0;
+  int64_t errors = 0;
+};
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+// The QUERY frame for a workload with default engine attributes — the
+// server-side execution the frame triggers matches the direct leg's
+// default EngineConfig by construction (serve transport contract).
+dqr::serve::Frame QueryFrameFor(const std::string& id,
+                                const std::string& dataset,
+                                const Workload& w) {
+  dqr::serve::Frame q;
+  q.type = dqr::serve::frame::kQuery;
+  q.Set("id", id);
+  q.Set("dataset", dataset);
+  q.Set("alpha", w.alpha);
+  q.Set("constrain",
+        w.constrain == dqr::core::ConstrainMode::kNone     ? "none"
+        : w.constrain == dqr::core::ConstrainMode::kRank   ? "rank"
+                                                           : "skyline");
+  if (!w.result_spacing.empty()) {
+    std::string spacing;
+    for (int64_t s : w.result_spacing) {
+      if (!spacing.empty()) spacing += ',';
+      spacing += std::to_string(s);
+    }
+    q.Set("spacing", spacing);
+    q.Set("divpool", w.diversity_pool_factor);
+  }
+  q.body = w.query_text;
+  return q;
+}
+
+// `clients` threads, each running its share of kQueriesPerLevel queries.
+// With `server` null the leg executes directly on `session`; otherwise
+// each thread holds one connection and round-trips framed queries.
+LegResult RunLeg(int clients, const std::vector<Workload>& workloads,
+                 const std::vector<std::string>& baselines,
+                 dqr::exec::EngineSession* session,
+                 dqr::serve::Server* server) {
+  LegResult out;
+  const int per_client = kQueriesPerLevel / clients;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> errors{0};
+
+  const double started = NowS();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& lats = latencies[static_cast<size_t>(c)];
+      lats.reserve(static_cast<size_t>(per_client));
+      dqr::serve::Client client;
+      if (server != nullptr) {
+        if (!client.Connect(server->port()).ok() ||
+            !client.Hello("bench").ok()) {
+          ++errors;
+          return;
+        }
+      }
+      for (int q = 0; q < per_client; ++q) {
+        const size_t wi =
+            static_cast<size_t>(c * per_client + q) % workloads.size();
+        const Workload& workload = workloads[wi];
+        const double t0 = NowS();
+        std::string canonical;
+        if (server != nullptr) {
+          const std::string id =
+              "c" + std::to_string(c) + "q" + std::to_string(q);
+          auto run = client.RunQuery(QueryFrameFor(
+              id, "w" + std::to_string(workload.seed), workload));
+          lats.push_back(NowS() - t0);
+          if (!run.ok()) {
+            ++errors;
+            continue;
+          }
+          canonical = run.value().canonical();
+        } else {
+          const dqr::core::RefineOptions options =
+              EngineConfig{}.ToOptions(workload, nullptr);
+          auto run = session->Execute(workload.query, options);
+          lats.push_back(NowS() - t0);
+          if (!run.ok() || !run.value().stats.completed) {
+            ++errors;
+            continue;
+          }
+          canonical = dqr::core::Canonicalize(run.value().results);
+        }
+        if (canonical != baselines[wi]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wall_s = NowS() - started;
+
+  std::vector<double> all;
+  all.reserve(static_cast<size_t>(clients * per_client));
+  for (const std::vector<double>& lats : latencies) {
+    all.insert(all.end(), lats.begin(), lats.end());
+  }
+  out.qps = out.wall_s > 0
+                ? static_cast<double>(all.size()) / out.wall_s
+                : 0.0;
+  out.p50_ms = 1000.0 * Percentile(all, 0.50);
+  out.p95_ms = 1000.0 * Percentile(all, 0.95);
+  out.mismatches = mismatches.load();
+  out.errors = errors.load();
+  return out;
+}
+
+std::string Fmt(double v, const char* format = "%.2f") {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqr::bench::InitBenchJson(argc, argv);
+  double max_overhead1 = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-overhead1=", 16) == 0) {
+      max_overhead1 = std::atof(argv[i] + 16);
+    }
+  }
+
+  // Small mixed-shape interactive queries (as in bench_concurrent): the
+  // transport must not dominate exactly where queries are cheapest.
+  WorkloadOverrides overrides;
+  overrides.length_cap = 64;
+  overrides.max_constraints = 1;
+  overrides.k_cap = 2;
+  constexpr uint64_t kSeeds[] = {1, 2, 3, 5};
+  std::vector<Workload> workloads;
+  std::vector<std::string> baselines;
+  for (size_t i = 0; i < std::size(kSeeds); ++i) {
+    const FuzzMode mode =
+        i % 2 == 0 ? FuzzMode::kRelax : FuzzMode::kConstrain;
+    workloads.push_back(MakeWorkload(kSeeds[i], mode, overrides));
+    const auto run = dqr::core::ExecuteQuery(
+        workloads[i].query, EngineConfig{}.ToOptions(workloads[i], nullptr));
+    if (!run.ok() || !run.value().stats.completed) {
+      std::fprintf(stderr, "bench_serve: baseline run failed\n");
+      return 1;
+    }
+    baselines.push_back(dqr::core::Canonicalize(run.value().results));
+  }
+
+  // One session for both legs, one server on top of it for the serve
+  // legs — the difference between the legs is the transport alone.
+  dqr::exec::WorkerPool pool(8);
+  dqr::exec::TimerWheel wheel;
+  dqr::exec::EngineSessionOptions session_options;
+  session_options.pool = &pool;
+  session_options.wheel = &wheel;
+  session_options.max_concurrent_queries = 8;
+  dqr::exec::EngineSession session(session_options);
+
+  dqr::serve::ServerOptions server_options;
+  server_options.session = &session;
+  dqr::serve::Server server(server_options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "bench_serve: server failed to start\n");
+    return 1;
+  }
+  for (const Workload& w : workloads) {
+    const dqr::Status st = server.RegisterDataset(
+        "w" + std::to_string(w.seed),
+        dqr::data::DatasetBundle{w.array, w.synopsis});
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  TablePrinter table(
+      "bench_serve: loopback serve transport vs direct execution",
+      {"clients", "direct qps", "serve qps", "ratio",
+       "direct p50/p95 ms", "serve p50/p95 ms"});
+
+  int64_t mismatches = 0;
+  int64_t errors = 0;
+  double overhead1 = 0.0;
+  std::vector<JsonRecord> records;
+  for (const int clients : kLevels) {
+    // Best of five interleaved repeats per leg: scheduler noise at
+    // sub-millisecond query sizes dwarfs the transport cost under test.
+    std::vector<LegResult> direct_runs;
+    std::vector<LegResult> serve_runs;
+    for (int rep = 0; rep < 5; ++rep) {
+      direct_runs.push_back(
+          RunLeg(clients, workloads, baselines, &session, nullptr));
+      serve_runs.push_back(
+          RunLeg(clients, workloads, baselines, &session, &server));
+    }
+    const auto best_run = [](std::vector<LegResult>* runs) {
+      std::sort(runs->begin(), runs->end(),
+                [](const LegResult& a, const LegResult& b) {
+                  return a.qps < b.qps;
+                });
+      return runs->back();
+    };
+    LegResult direct = best_run(&direct_runs);
+    LegResult served = best_run(&serve_runs);
+    direct.mismatches = direct.errors = 0;
+    served.mismatches = served.errors = 0;
+    for (const LegResult& r : direct_runs) {
+      direct.mismatches += r.mismatches;
+      direct.errors += r.errors;
+    }
+    for (const LegResult& r : serve_runs) {
+      served.mismatches += r.mismatches;
+      served.errors += r.errors;
+    }
+    mismatches += direct.mismatches + served.mismatches;
+    errors += direct.errors + served.errors;
+
+    const double ratio =
+        direct.p50_ms > 0 ? served.p50_ms / direct.p50_ms : 0.0;
+    if (clients == 1) overhead1 = ratio;
+    table.AddRow({std::to_string(clients), Fmt(direct.qps, "%.1f"),
+                  Fmt(served.qps, "%.1f"), Fmt(ratio) + "x",
+                  Fmt(direct.p50_ms) + "/" + Fmt(direct.p95_ms),
+                  Fmt(served.p50_ms) + "/" + Fmt(served.p95_ms)});
+
+    JsonRecord record;
+    record.name = "bench_serve_c" + std::to_string(clients);
+    record.config = {
+        {"clients", std::to_string(clients)},
+        {"queries", std::to_string(kQueriesPerLevel)},
+        {"pool_threads", std::to_string(pool.thread_count())},
+    };
+    record.seconds = served.wall_s;
+    record.results = {
+        {"direct_qps", std::to_string(direct.qps)},
+        {"serve_qps", std::to_string(served.qps)},
+        {"p50_ratio", std::to_string(ratio)},
+        {"direct_p50_ms", std::to_string(direct.p50_ms)},
+        {"direct_p95_ms", std::to_string(direct.p95_ms)},
+        {"serve_p50_ms", std::to_string(served.p50_ms)},
+        {"serve_p95_ms", std::to_string(served.p95_ms)},
+        {"mismatches",
+         std::to_string(direct.mismatches + served.mismatches)},
+    };
+    records.push_back(record);
+  }
+
+  table.Print();
+  // Stop before reading stats: a query thread can still be folding its
+  // counters in for an instant after the client saw FINAL.
+  server.Stop();
+  const dqr::serve::ServerStats stats = server.stats();
+  std::printf(
+      "server: %lld connections, %lld queries completed, %lld failed, "
+      "%lld frames sent\n",
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(stats.queries_completed),
+      static_cast<long long>(stats.queries_failed),
+      static_cast<long long>(stats.frames_sent));
+  std::printf("single-client p50 overhead (serve/direct): %.2fx\n",
+              overhead1);
+
+  for (const JsonRecord& record : records) RecordJson(record);
+
+  if (mismatches > 0 || errors > 0) {
+    std::fprintf(stderr, "bench_serve: FAIL %lld mismatches, %lld errors\n",
+                 static_cast<long long>(mismatches),
+                 static_cast<long long>(errors));
+    return 1;
+  }
+  if (max_overhead1 > 0 && overhead1 > max_overhead1) {
+    std::fprintf(stderr,
+                 "bench_serve: FAIL single-client overhead %.2fx above "
+                 "allowed %.2fx\n",
+                 overhead1, max_overhead1);
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/canonical.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace dqr::core {
@@ -48,6 +49,21 @@ std::string Canonicalize(const std::vector<Solution>& results) {
     out += '\n';
   }
   return out;
+}
+
+std::string CanonicalFingerprint(const std::string& canonical) {
+  // FNV-1a, 64-bit: tiny, dependency-free, and collision-resistant far
+  // beyond what an answer-integrity check needs (a mismatch here means a
+  // transport bug, not an adversary).
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 }  // namespace dqr::core

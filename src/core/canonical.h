@@ -24,6 +24,12 @@ std::string CanonicalLine(const Solution& solution);
 // happens here; callers comparing order-free sets should sort first.
 std::string Canonicalize(const std::vector<Solution>& results);
 
+// 64-bit FNV-1a of a canonical result string, as 16 lowercase hex
+// digits. The serve protocol's FINAL frame carries this next to the full
+// canonical body, so a streamed answer is checkable byte-for-byte (and
+// cheaply, by fingerprint) against a direct ExecuteQuery run.
+std::string CanonicalFingerprint(const std::string& canonical);
+
 }  // namespace dqr::core
 
 #endif  // DQR_CORE_CANONICAL_H_

@@ -97,8 +97,31 @@ bool Coordinator::SkylineDominatesBox(
 }
 
 void Coordinator::PublishProgress() {
-  mrp_.Publish(tracker_.Mrp());
-  mrk_.Publish(tracker_.Mrk());
+  const double mrp = tracker_.Mrp();
+  const double mrk = tracker_.Mrk();
+  mrp_.Publish(mrp);
+  mrk_.Publish(mrk);
+  if (!progress_sink_) return;
+  // Snapshot the phase outside the lock (tracker state), then emit under
+  // progress_mu_: the lock both serializes sink calls and makes each
+  // emitted bound strictly better than the previous one of its kind —
+  // concurrent validators publishing out of order collapse to a clean
+  // monotone stream.
+  const bool constraining = tracker_.phase() == QueryPhase::kConstraining;
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  if (constraining && !emitted_constraining_) {
+    emitted_constraining_ = true;
+    progress_sink_(
+        ProgressEvent{ProgressKind::kPhaseConstraining, 0.0});
+  }
+  if (mrp < emitted_mrp_) {
+    emitted_mrp_ = mrp;
+    progress_sink_(ProgressEvent{ProgressKind::kMrp, mrp});
+  }
+  if (mrk > emitted_mrk_) {
+    emitted_mrk_ = mrk;
+    progress_sink_(ProgressEvent{ProgressKind::kMrk, mrk});
+  }
 }
 
 void Coordinator::NoteResult() {

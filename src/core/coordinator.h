@@ -112,6 +112,14 @@ class Coordinator {
   // records extra fails, never loses results.
   QueryPhase CurrentPhase() const { return tracker_.phase(); }
 
+  // Streaming progress sink (RefineOptions::on_progress). Call once
+  // before the instances start. PublishProgress then forwards strict
+  // MRP/MRK improvements and the one-time phase flip to the sink, under
+  // a dedicated mutex so emissions are serialized and per-kind monotone.
+  void SetProgressSink(std::function<void(const ProgressEvent&)> sink) {
+    progress_sink_ = std::move(sink);
+  }
+
   // True iff the sub-tree with the given best skyline corner is dominated
   // by the current skyline (skyline constraining's dynamic check).
   bool SkylineDominatesBox(const std::vector<double>& corner) const;
@@ -222,6 +230,15 @@ class Coordinator {
   double warm_mrp_cap_ = std::numeric_limits<double>::infinity();
   double warm_mrk_floor_ = -std::numeric_limits<double>::infinity();
   bool has_warm_mrk_floor_ = false;
+  // Progress streaming (SetProgressSink): the sink plus the last emitted
+  // values, all guarded by progress_mu_ — emissions must be serialized
+  // so a reordered pair of PublishProgress calls cannot stream a bound
+  // that moves backwards.
+  std::function<void(const ProgressEvent&)> progress_sink_;
+  mutable std::mutex progress_mu_;
+  double emitted_mrp_ = std::numeric_limits<double>::infinity();
+  double emitted_mrk_ = -std::numeric_limits<double>::infinity();
+  bool emitted_constraining_ = false;
   std::atomic<bool> cancel_{false};
   std::atomic<double> first_result_s_{-1.0};
   std::atomic<bool> have_first_{false};

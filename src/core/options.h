@@ -62,6 +62,22 @@ enum class FailEvalMode {
   kLazy,
 };
 
+// One incremental progress notification, streamed while a query runs
+// (the serve front end's PHASE / BOUND frames ride on these).
+enum class ProgressKind {
+  // The collecting -> constraining flip (§3.2). Emitted at most once.
+  kPhaseConstraining,
+  // MRP tightened: `value` is the new bound (monotone non-increasing).
+  kMrp,
+  // MRK tightened: `value` is the new bound (monotone non-decreasing).
+  kMrk,
+};
+
+struct ProgressEvent {
+  ProgressKind kind = ProgressKind::kMrp;
+  double value = 0.0;  // the new bound; unused for the phase flip
+};
+
 // All knobs of the dynamic refinement framework. The defaults mirror the
 // paper's defaults (alpha = 0.5, RRD = 1.0 i.e. no partial relaxation,
 // lazy fail evaluation, UDF state saving on, BRP-sorted validator queue).
@@ -147,6 +163,13 @@ struct RefineOptions {
   // Called from validator threads concurrently; must be thread-safe and
   // cheap (it runs on the validation path). May be null.
   std::function<void(const Solution&)> on_result;
+  // Invoked on strict MRP/MRK improvements and on the phase flip, after
+  // the corresponding broadcast publish. Emissions are serialized and
+  // per-kind monotone (an improvement superseded before its emission is
+  // skipped, never delivered out of order). Called from validator
+  // threads under a small coordinator mutex; must be thread-safe and
+  // cheap. May be null. Progress streaming never changes query results.
+  std::function<void(const ProgressEvent&)> on_progress;
 
   // --- engine / cluster ---
   // Simulated Searchlight instances; the search space is partitioned on

@@ -364,6 +364,9 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
                           options.broadcast_delay_us,
                           std::move(diversity));
   coordinator.SetWarmBounds(options.warm_mrp_cap, options.warm_mrk_floor);
+  if (options.on_progress) {
+    coordinator.SetProgressSink(options.on_progress);
+  }
   coordinator.SeedShards(std::move(shards));
   // The cluster-wide replay pool: every instance records fails into it and
   // replays the globally most-promising ones out of it.

@@ -227,7 +227,8 @@ std::string SerializeQuery(const ParsedQuery& query) {
 }
 
 Result<searchlight::QuerySpec> BuildQuery(const ParsedQuery& parsed,
-                                          const DatasetBundle& bundle) {
+                                          const DatasetBundle& bundle,
+                                          int64_t estimate_cost_ns) {
   if (bundle.array == nullptr || bundle.synopsis == nullptr) {
     return InvalidArgumentError("dataset bundle is incomplete");
   }
@@ -257,6 +258,7 @@ Result<searchlight::QuerySpec> BuildQuery(const ParsedQuery& parsed,
   base_ctx.synopsis = bundle.synopsis;
   base_ctx.x_var = 0;
   base_ctx.len_var = 1;
+  base_ctx.estimate_cost_ns = estimate_cost_ns;
 
   for (const ParsedConstraint& c : parsed.constraints) {
     searchlight::QueryConstraint qc;

@@ -80,9 +80,13 @@ std::string SerializeQuery(const ParsedQuery& query);
 
 // Binds the IR to a dataset: validates the domains against the array and
 // materializes the constraint function factories. The only stage that
-// needs the data.
+// needs the data. `estimate_cost_ns`, when non-zero, is the artificial
+// per-estimate busy-wait every bound function charges on bounds-cache
+// misses (WindowFunctionContext::estimate_cost_ns) — timing-only, never
+// changes a computed value, used by benchmarks and saturation tests.
 Result<searchlight::QuerySpec> BuildQuery(const ParsedQuery& query,
-                                          const DatasetBundle& bundle);
+                                          const DatasetBundle& bundle,
+                                          int64_t estimate_cost_ns = 0);
 
 // ParseQueryText + BuildQuery in one step.
 Result<searchlight::QuerySpec> ParseQuery(const std::string& text,

@@ -62,6 +62,7 @@ double EngineSession::Admit(int64_t demand) {
   ++admitted_;
   const double waited_s = waited ? wait.ElapsedSeconds() : 0.0;
   wait_s_ += waited_s;
+  max_wait_s_ = std::max(max_wait_s_, waited_s);
   // The next ticket may be admissible now (several slots can run
   // concurrently); wake the queue to re-check.
   cv_.notify_all();
@@ -113,6 +114,7 @@ SessionStats EngineSession::stats() const {
     out.queries_admitted = admitted_;
     out.queries_queued = queued_;
     out.admission_wait_s = wait_s_;
+    out.max_admission_wait_s = max_wait_s_;
     out.tasks_in_flight = tasks_in_flight_;
   }
   out.pool = pool_->stats();

@@ -31,6 +31,7 @@ struct SessionStats {
   int64_t queries_admitted = 0;
   int64_t queries_queued = 0;  // admissions that had to wait
   double admission_wait_s = 0.0;  // summed wait of all admissions
+  double max_admission_wait_s = 0.0;  // worst single admission wait
   int64_t tasks_in_flight = 0;    // pool-task demand of active slots
   PoolStats pool;
 };
@@ -72,8 +73,20 @@ class EngineSession {
 
   SessionStats stats() const;
   int max_concurrent_queries() const { return max_concurrent_; }
+  // The in-flight pool-task budget of the admission gate (2x the pool's
+  // worker count). Tenant schedulers layered above the session size
+  // their per-tenant demand budgets against this.
+  int64_t task_capacity() const { return task_capacity_; }
   WorkerPool* pool() const { return pool_; }
   TimerWheel* wheel() const { return wheel_; }
+
+  // Pool tasks a query with these options occupies while running
+  // (solver + validator per instance, plus the speculative loop) — the
+  // demand unit of both the session's admission gate and any tenant
+  // scheduler layered above it (serve's deficit round-robin charges
+  // tenants in exactly these units, so "fair share of work" and "fair
+  // share of the pool" coincide).
+  static int64_t TaskDemand(const core::RefineOptions& options);
 
   // The process-wide session over the shared pool/wheel (never
   // destroyed, same lifetime policy as WorkerPool::Shared()).
@@ -83,7 +96,6 @@ class EngineSession {
   // Blocks until this query may run; returns its wait in seconds.
   double Admit(int64_t demand);
   void Release(int64_t demand);
-  static int64_t TaskDemand(const core::RefineOptions& options);
 
   WorkerPool* pool_;
   TimerWheel* wheel_;
@@ -100,6 +112,7 @@ class EngineSession {
   int64_t admitted_ = 0;
   int64_t queued_ = 0;
   double wait_s_ = 0.0;
+  double max_wait_s_ = 0.0;
 };
 
 }  // namespace dqr::exec

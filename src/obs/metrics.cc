@@ -17,15 +17,7 @@ constexpr const char* kTypeSUB = "counter";
 void EmitSample(std::string& out, const std::string& name,
                 const char* help, const char* type,
                 const std::string& labels, double value) {
-  out += "# HELP dqr_" + name + " ";
-  out += help;
-  out += "\n# TYPE dqr_" + name + " ";
-  out += type;
-  out += "\ndqr_" + name;
-  if (!labels.empty()) out += "{" + labels + "}";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), " %.17g\n", value);
-  out += buf;
+  AppendMetricSample(out, name, help, type, labels, value);
 }
 
 void EmitField(std::string& out, const char* name, const char* help,
@@ -70,6 +62,20 @@ std::string MetricsSnapshot(const core::RunStats& stats,
   DQR_RUN_STATS_FIELDS(DQR_METRICS_EMIT)
 #undef DQR_METRICS_EMIT
   return out;
+}
+
+void AppendMetricSample(std::string& out, const std::string& name,
+                        const std::string& help, const std::string& type,
+                        const std::string& labels, double value) {
+  out += "# HELP dqr_" + name + " ";
+  out += help;
+  out += "\n# TYPE dqr_" + name + " ";
+  out += type;
+  out += "\ndqr_" + name;
+  if (!labels.empty()) out += "{" + labels + "}";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.17g\n", value);
+  out += buf;
 }
 
 }  // namespace dqr::obs

@@ -19,6 +19,16 @@ namespace dqr::obs {
 std::string MetricsSnapshot(const core::RunStats& stats,
                             const std::string& labels = "");
 
+// Appends one sample with its HELP/TYPE preamble to `out` (the `dqr_`
+// prefix is prepended to `name`; `type` is "counter" or "gauge";
+// `labels` as in MetricsSnapshot). The building block MetricsSnapshot is
+// generated from — exposed so other layers (the serve front end's
+// tenant/connection metrics) register their own samples into the same
+// exposition instead of inventing a second format.
+void AppendMetricSample(std::string& out, const std::string& name,
+                        const std::string& help, const std::string& type,
+                        const std::string& labels, double value);
+
 }  // namespace dqr::obs
 
 #endif  // DQR_OBS_METRICS_H_

@@ -1,0 +1,169 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+namespace dqr::serve {
+
+Status Client::Connect(int port) {
+  if (fd_ >= 0) return FailedPreconditionError("client already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return InternalError(std::string("socket(): ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = strerror(errno);
+    close(fd_);
+    fd_ = -1;
+    return InternalError("connect(127.0.0.1:" + std::to_string(port) +
+                         "): " + err);
+  }
+  // Frames are small and latency-bound; without this, Nagle + delayed
+  // ACK turns every query round trip into a ~40ms stall.
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Send(const Frame& frame) {
+  if (fd_ < 0) return FailedPreconditionError("client is not connected");
+  Result<std::string> wire = EncodeFrame(frame);
+  if (!wire.ok()) return wire.status();
+  const std::string& data = wire.value();
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return InternalError(std::string("send(): ") + strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Frame> Client::Receive() {
+  if (fd_ < 0) return FailedPreconditionError("client is not connected");
+  char buf[4096];
+  while (true) {
+    std::optional<Frame> frame;
+    Status st = reader_.Poll(&frame);
+    if (!st.ok()) return st;
+    if (frame.has_value()) return std::move(*frame);
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      return InternalError(std::string("recv(): ") + strerror(errno));
+    }
+    if (n == 0) {
+      st = reader_.Finish();
+      if (!st.ok()) return st;
+      return InternalError("connection closed by server");
+    }
+    st = reader_.Feed(buf, static_cast<size_t>(n));
+    if (!st.ok()) return st;
+  }
+}
+
+Status Client::Hello(const std::string& tenant) {
+  Frame hello;
+  hello.type = frame::kHello;
+  if (!tenant.empty()) hello.Set("tenant", tenant);
+  Status st = Send(hello);
+  if (!st.ok()) return st;
+  Result<Frame> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == frame::kError) {
+    return InternalError("server rejected HELLO: " + reply.value().body);
+  }
+  if (reply.value().type != frame::kWelcome) {
+    return InternalError("expected WELCOME, got " + reply.value().type);
+  }
+  return Status::Ok();
+}
+
+Result<QueryRun> Client::RunQuery(const Frame& query) {
+  const std::string* id = query.Get("id");
+  if (id == nullptr) {
+    return InvalidArgumentError("QUERY frame missing id attribute");
+  }
+  Status st = Send(query);
+  if (!st.ok()) return st;
+  QueryRun run;
+  while (true) {
+    Result<Frame> next = Receive();
+    if (!next.ok()) return next.status();
+    Frame f = std::move(next).value();
+    const std::string* fid = f.Get("id");
+    if (fid == nullptr || *fid != *id) {
+      return InternalError("frame for unexpected query id '" +
+                           (fid != nullptr ? *fid : "<none>") +
+                           "' on a serial connection");
+    }
+    if (f.type == frame::kError) {
+      const std::string* code = f.Get("code");
+      return InternalError("server error (" +
+                           (code != nullptr ? *code : "?") +
+                           "): " + f.body);
+    }
+    if (f.type == frame::kFinal) {
+      run.final = std::move(f);
+      return run;
+    }
+    run.events.push_back(std::move(f));
+  }
+}
+
+Result<std::string> Client::FetchMetrics(const std::string& id) {
+  Frame req;
+  req.type = frame::kMetrics;
+  if (!id.empty()) req.Set("id", id);
+  Status st = Send(req);
+  if (!st.ok()) return st;
+  Result<Frame> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == frame::kError) {
+    return InternalError("METRICS failed: " + reply.value().body);
+  }
+  if (reply.value().type != frame::kMetrics) {
+    return InternalError("expected METRICS, got " + reply.value().type);
+  }
+  return std::move(reply).value().body;
+}
+
+Result<std::string> Client::FetchTrace(const std::string& id) {
+  Frame req;
+  req.type = frame::kTrace;
+  req.Set("id", id);
+  Status st = Send(req);
+  if (!st.ok()) return st;
+  Result<Frame> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == frame::kError) {
+    return InternalError("TRACE failed: " + reply.value().body);
+  }
+  if (reply.value().type != frame::kTrace) {
+    return InternalError("expected TRACE, got " + reply.value().type);
+  }
+  return std::move(reply).value().body;
+}
+
+}  // namespace dqr::serve

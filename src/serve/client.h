@@ -1,0 +1,71 @@
+#ifndef DQR_SERVE_CLIENT_H_
+#define DQR_SERVE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace dqr::serve {
+
+// Everything one query streamed back, in arrival order.
+struct QueryRun {
+  // PHASE / BOUND / RESULT frames as received, before the FINAL.
+  std::vector<Frame> events;
+  Frame final;  // the FINAL frame (body = canonical answer)
+
+  const std::string& canonical() const { return final.body; }
+  std::string fingerprint() const {
+    const std::string* fp = final.Get("fingerprint");
+    return fp != nullptr ? *fp : "";
+  }
+};
+
+// A minimal blocking client for dqr_serve: one socket, strictly serial
+// requests (send one frame, read frames until the reply completes).
+// This is the loopback driver of the differential tests and the fuzz
+// harness's serve transport — deliberately simple, not a production
+// client (no pipelining, no reconnects). Not thread-safe.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to 127.0.0.1:port.
+  Status Connect(int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // HELLO/WELCOME handshake; empty tenant keeps the server default.
+  Status Hello(const std::string& tenant);
+
+  // One raw frame out / one raw frame in (blocking). Receive fails on
+  // decode errors and on connection loss ("connection closed by server"
+  // mid-frame surfaces the reader's truncation message).
+  Status Send(const Frame& frame);
+  Result<Frame> Receive();
+
+  // Sends a QUERY frame and collects its stream until FINAL. An ERROR
+  // frame for this query fails with its code and message; frames for
+  // other ids (from earlier queries on a shared connection) fail —
+  // serial use only.
+  Result<QueryRun> RunQuery(const Frame& query);
+
+  // METRICS round trip; empty id = the aggregate exposition. Returns
+  // the Prometheus text body.
+  Result<std::string> FetchMetrics(const std::string& id = "");
+  // TRACE round trip; returns the Chrome JSON body.
+  Result<std::string> FetchTrace(const std::string& id);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace dqr::serve
+
+#endif  // DQR_SERVE_CLIENT_H_

@@ -1,0 +1,165 @@
+#ifndef DQR_SERVE_SERVER_H_
+#define DQR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/semantic_cache.h"
+#include "common/status.h"
+#include "data/queries.h"
+#include "exec/engine_session.h"
+#include "serve/protocol.h"
+#include "serve/tenant.h"
+
+namespace dqr::serve {
+
+struct ServerOptions {
+  // TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  // port() after Start). The server binds loopback only: dqr_serve is a
+  // local front end, not an internet-facing daemon.
+  int port = 0;
+  // listen() backlog.
+  int backlog = 64;
+  // Engine session queries are admitted into; null = the process-shared
+  // EngineSession::Shared().
+  exec::EngineSession* session = nullptr;
+  // Per-tenant budgets; tenants not listed get defaults (weight 1,
+  // unlimited) on first use.
+  std::map<std::string, TenantConfig> tenants;
+  // Tenant charged for connections that skip HELLO or omit tenant=.
+  std::string default_tenant = "anonymous";
+  // Completed per-query records (stats + trace + canonical answer) kept
+  // for the METRICS id= / TRACE id= endpoints, evicted FIFO.
+  size_t history_capacity = 64;
+  // Artificial busy-wait charged per uncached synopsis estimate in every
+  // query this server builds (data::BuildQuery). Timing-only — answers
+  // are byte-identical at any value. Benchmarks and fairness tests use
+  // it to give queries a controllable execution weight.
+  int64_t estimate_cost_ns = 0;
+};
+
+// Server-level counters (the serve section of the METRICS exposition).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;  // gauge
+  int64_t frames_received = 0;
+  int64_t frames_sent = 0;
+  int64_t queries_started = 0;
+  int64_t queries_completed = 0;
+  int64_t queries_failed = 0;  // ERROR-terminated (parse/budget/engine)
+};
+
+// The dqr_serve network front end (ISSUE 9): accepts framed connections
+// on localhost, parses queries from the text IR, admits them through a
+// TenantScheduler (weighted deficit round-robin) layered on the shared
+// EngineSession's FIFO gate, streams progress (PHASE / BOUND), online
+// results (RESULT) and the canonical final answer (FINAL, carrying the
+// core/canonical fingerprint) back to the client, and exposes Prometheus
+// metrics and per-query Chrome traces as fetchable frames.
+//
+// Connection protocol: see protocol.h. Each QUERY runs in its own
+// thread, so one connection can pipeline queries and a slow query never
+// blocks frame dispatch; all frames of a query carry its id= attribute.
+//
+// Answer fidelity: the serve path reproduces the exact ExecuteQuery /
+// ExecuteQueryCached call a direct caller would make — the FINAL body is
+// the engine's Canonicalize output, byte-identical to a direct run of
+// the same query text (serve_differential_test proves this under
+// concurrency).
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and starts the accept loop. Fails on bind errors
+  // (port in use) or double Start.
+  Status Start();
+
+  // Drains: cancels queued admissions, unblocks readers, joins every
+  // connection thread and waits for in-flight queries. Idempotent.
+  void Stop();
+
+  // The bound port (valid after Start).
+  int port() const { return port_; }
+
+  // Datasets queries may target by name. Thread-safe; re-registering a
+  // name replaces the bundle and invalidates its semantic-cache entries.
+  Status RegisterDataset(const std::string& name,
+                         data::DatasetBundle bundle);
+  void UnregisterDataset(const std::string& name);
+
+  TenantScheduler& scheduler() { return scheduler_; }
+  exec::EngineSession& session() { return *session_; }
+  ServerStats stats() const;
+
+  // The full Prometheus exposition (aggregate engine stats over
+  // completed queries + serve/tenant/session samples) — what the
+  // METRICS frame returns; exposed for tests and the CLI.
+  std::string MetricsText() const;
+
+ private:
+  struct Connection;
+  struct QueryRecord {
+    std::string id;
+    std::string tenant;
+    core::RunStats stats;
+    std::string canonical;
+    std::string fingerprint;
+    std::string outcome;  // cache outcome name, or "executed"
+    std::shared_ptr<obs::Trace> trace;  // null when trace=0
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  // Dispatches one decoded frame; query frames fork a query thread.
+  void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void RunQuery(std::shared_ptr<Connection> conn, Frame frame);
+  void HandleMetrics(const std::shared_ptr<Connection>& conn,
+                     const Frame& frame);
+  void HandleTrace(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+
+  // Frame writers (serialize on the connection's write mutex).
+  void SendFrame(const std::shared_ptr<Connection>& conn,
+                 const Frame& frame);
+  void SendError(const std::shared_ptr<Connection>& conn,
+                 const std::string& id, const std::string& code,
+                 const std::string& message);
+
+  void RecordQuery(QueryRecord record);
+  std::shared_ptr<const QueryRecord> FindRecord(
+      const std::string& id) const;
+
+  ServerOptions options_;
+  exec::EngineSession* session_;
+  TenantScheduler scheduler_;
+  cache::SemanticCache cache_;
+
+  // Atomic: AcceptLoop reads it concurrently with Stop() closing it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queries_done_cv_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::shared_ptr<const QueryRecord>> history_;
+  std::map<std::string, data::DatasetBundle> datasets_;
+  ServerStats stats_;
+  int64_t active_queries_ = 0;
+};
+
+}  // namespace dqr::serve
+
+#endif  // DQR_SERVE_SERVER_H_

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "data/query_parser.h"
 #include "exec/timer_wheel.h"
 #include "exec/worker_pool.h"
 #include "searchlight/functions.h"
@@ -569,6 +570,10 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
   base_ctx.shared_memo = shared_memo;
   base_ctx.shared_memo_key = memo_space;
 
+  // Parsed-IR mirror of each constraint, built alongside the factories
+  // so Workload::query_text stays answer-identical to `query` by
+  // construction (serve transport contract).
+  std::vector<data::ParsedConstraint> parsed_cons;
   {
     searchlight::QueryConstraint c;
     WindowFunctionContext ctx = base_ctx;
@@ -584,6 +589,16 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
                        ? searchlight::RankPreference::kMaximize
                        : searchlight::RankPreference::kMinimize;
     c.name = "avg";
+    data::ParsedConstraint pc;
+    pc.fn = c.name;
+    pc.bounds = c.bounds;
+    pc.range = ctx.value_range;
+    pc.weight = c.relax_weight;
+    pc.rank_weight = c.rank_weight;
+    pc.relaxable = c.relaxable;
+    pc.constrainable = c.constrainable;
+    pc.maximize = c.preference == searchlight::RankPreference::kMaximize;
+    parsed_cons.push_back(std::move(pc));
     w.query.constraints.push_back(std::move(c));
   }
 
@@ -638,6 +653,19 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
     c.preference = rng.Bernoulli(0.7)
                        ? searchlight::RankPreference::kMaximize
                        : searchlight::RankPreference::kMinimize;
+    data::ParsedConstraint pc;
+    pc.fn = c.name;
+    if (c.name == "contrast_left" || c.name == "contrast_right") {
+      pc.width = nbhd;
+    }
+    pc.bounds = c.bounds;
+    pc.range = ctx.value_range;
+    pc.weight = c.relax_weight;
+    pc.rank_weight = c.rank_weight;
+    pc.relaxable = c.relaxable;
+    pc.constrainable = c.constrainable;
+    pc.maximize = c.preference == searchlight::RankPreference::kMaximize;
+    parsed_cons.push_back(std::move(pc));
     w.query.constraints.push_back(std::move(c));
   }
   if (overrides.max_constraints > 0 &&
@@ -646,6 +674,15 @@ Workload MakeWorkload(uint64_t seed, FuzzMode mode,
     w.query.constraints.resize(
         static_cast<size_t>(std::max(1, overrides.max_constraints)));
     w.function_ids.resize(w.query.constraints.size());
+    parsed_cons.resize(w.query.constraints.size());
+  }
+  {
+    data::ParsedQuery pq;
+    pq.k = k;
+    pq.var_names = {"x", "len"};
+    pq.domains = w.query.domains;
+    pq.constraints = std::move(parsed_cons);
+    w.query_text = data::SerializeQuery(pq);
   }
 
   // --- diversity (rank/relax only; skyline output is unfiltered) ---
@@ -702,6 +739,7 @@ std::string EngineConfig::ToString() const {
   AppendKv(&out, "trace", trace ? "1" : "0");
   AppendKv(&out, "simd", simd ? "1" : "0");
   AppendKv(&out, "pool", pool ? "1" : "0");
+  AppendKv(&out, "serve", serve ? "1" : "0");
   return out;
 }
 
@@ -772,6 +810,8 @@ Result<EngineConfig> EngineConfig::FromString(const std::string& text) {
       config.simd = value == "1";
     } else if (key == "pool") {
       config.pool = value == "1";
+    } else if (key == "serve") {
+      config.serve = value == "1";
     } else {
       return InvalidArgumentError("config: unknown key '" + key + "'");
     }

@@ -87,6 +87,14 @@ struct Workload {
   // session share ids exactly when the functions compute the same thing.
   std::vector<std::string> function_ids;
 
+  // The query in the data/query_parser text IR, such that
+  // BuildQuery(ParseQueryText(query_text), {array, synopsis}) rebuilds
+  // `query` answer-identically (same functions, bounds, weights, flags;
+  // estimate_cost_ns / shared_memo are timing-only and deliberately not
+  // expressible). This is what the fuzz harness's serve transport ships
+  // over the wire. Empty for grid workloads — the text IR is 1-D only.
+  std::string query_text;
+
   // One-line human-readable description for logs and repro files.
   std::string summary;
 };
@@ -199,6 +207,14 @@ struct EngineConfig {
   // answer-preserving, so the differential harness proves pool == legacy
   // per case.
   bool pool = false;
+  // Route the case through a loopback dqr_serve server: the workload's
+  // query_text ships over the framed protocol, executes in the shared
+  // engine session, and the FINAL frame's canonical body is compared
+  // against the oracle. Transport must be answer-preserving; the
+  // differential check proves serve == direct per case. Ignored (runs
+  // direct) for grid workloads and fault-injection configs — neither is
+  // expressible over the wire.
+  bool serve = false;
 
   // Compact, parseable "inst=4;shards=8;..." form used by --config= and
   // reproducer lines. FromString accepts exactly what ToString emits

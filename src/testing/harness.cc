@@ -10,11 +10,14 @@
 #include <utility>
 
 #include "cache/semantic_cache.h"
+#include "common/check.h"
 #include "common/simd.h"
 #include "core/canonical.h"
 #include "core/fault.h"
 #include "core/refiner.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "testing/oracle.h"
 
 namespace dqr::fuzz {
@@ -37,6 +40,135 @@ void ApplyBug(InjectedBug bug, std::vector<core::Solution>* results) {
       if (!results->empty()) results->front().rp += 1e-3;
       break;
   }
+}
+
+// Text-level twin of ApplyBug for the serve transport, whose engine leg
+// arrives as a canonical string rather than Solution objects. Each bug
+// mirrors its solution-level sibling closely enough that the self-test
+// and the shrinker behave identically on both transports.
+void ApplyBugToCanonical(InjectedBug bug, std::string* canonical) {
+  switch (bug) {
+    case InjectedBug::kNone:
+      break;
+    case InjectedBug::kDropLast: {
+      if (canonical->empty()) break;
+      // Lines are '\n'-terminated; drop the last one.
+      const size_t last =
+          canonical->rfind('\n', canonical->size() - 2);
+      canonical->resize(last == std::string::npos ? 0 : last + 1);
+      break;
+    }
+    case InjectedBug::kPerturbRp:
+      if (!canonical->empty()) canonical->insert(0, "bug ");
+      break;
+  }
+}
+
+// The process-wide loopback server the serve transport routes cases
+// through: one dqr_serve over EngineSession::Shared(), started on first
+// use and never stopped (the WorkerPool::Shared() lifetime policy) — so
+// concurrent fuzz drivers exercise real multi-client multiplexing.
+serve::Server& FuzzServer() {
+  static serve::Server* server = [] {
+    auto* s = new serve::Server();
+    const Status st = s->Start();
+    DQR_CHECK_MSG(st.ok(), "fuzz serve transport failed to start");
+    return s;
+  }();
+  return *server;
+}
+
+// Builds the QUERY frame that reproduces exactly the RefineOptions
+// EngineConfig::ToOptions would build for this workload — the serve leg
+// must run the same semantics or the differential is vacuous.
+serve::Frame MakeQueryFrame(const std::string& dataset, const Workload& w,
+                            const EngineConfig& config) {
+  serve::Frame q;
+  q.type = serve::frame::kQuery;
+  q.Set("id", "q");
+  q.Set("dataset", dataset);
+  q.Set("alpha", w.alpha);
+  switch (w.constrain) {
+    case core::ConstrainMode::kNone:
+      q.Set("constrain", "none");
+      break;
+    case core::ConstrainMode::kRank:
+      q.Set("constrain", "rank");
+      break;
+    case core::ConstrainMode::kSkyline:
+      q.Set("constrain", "skyline");
+      break;
+  }
+  if (!w.result_spacing.empty()) {
+    std::string spacing;
+    for (int64_t s : w.result_spacing) {
+      if (!spacing.empty()) spacing += ',';
+      spacing += std::to_string(s);
+    }
+    q.Set("spacing", spacing);
+    q.Set("divpool", w.diversity_pool_factor);
+  }
+  q.Set("inst", static_cast<int64_t>(config.num_instances));
+  q.Set("shards", static_cast<int64_t>(config.shards_per_instance));
+  q.Set("eval",
+        config.fail_eval == core::FailEvalMode::kLazy ? "lazy" : "full");
+  q.Set("spec", config.speculative ? "1" : "0");
+  q.Set("state", config.save_function_state ? "1" : "0");
+  q.Set("rrd", config.rrd);
+  q.Set("replay",
+        config.replay_order == core::ReplayOrder::kBestFirst ? "brp"
+                                                             : "fifo");
+  q.Set("vq", config.validator_queue ==
+                      core::ValidatorQueueOrder::kBrpPriority
+                  ? "brp"
+                  : "fifo");
+  if (config.trace) q.Set("trace", "1");
+  q.body = w.query_text;
+  return q;
+}
+
+// Runs the engine leg of a case over the loopback server; returns the
+// canonical result string from the FINAL frame. The dataset gets a
+// unique name per call so concurrent drivers never collide, and is
+// unregistered before returning.
+Result<std::string> RunCaseOverServe(const Workload& workload,
+                                     const EngineConfig& config) {
+  serve::Server& server = FuzzServer();
+  static std::atomic<uint64_t> counter{0};
+  const std::string dataset =
+      "fuzz_serve_" + std::to_string(counter.fetch_add(1));
+  Status st = server.RegisterDataset(
+      dataset, data::DatasetBundle{workload.array, workload.synopsis});
+  if (!st.ok()) return st;
+
+  serve::Client client;
+  st = client.Connect(server.port());
+  if (st.ok()) st = client.Hello("fuzz");
+  Result<std::string> out = InternalError("unreachable");
+  if (st.ok()) {
+    Result<serve::QueryRun> run =
+        client.RunQuery(MakeQueryFrame(dataset, workload, config));
+    if (!run.ok()) {
+      out = run.status();
+    } else {
+      const serve::QueryRun& qr = run.value();
+      Result<int64_t> completed = qr.final.GetInt("completed", 0);
+      const std::string fp = qr.fingerprint();
+      if (!completed.ok() || completed.value() != 1) {
+        out = InternalError("serve: FINAL frame reports incomplete run");
+      } else if (fp != core::CanonicalFingerprint(qr.canonical())) {
+        out = InternalError(
+            "serve: FINAL fingerprint does not match its canonical body");
+      } else {
+        out = qr.canonical();
+      }
+    }
+  } else {
+    out = st;
+  }
+  client.Close();
+  server.UnregisterDataset(dataset);
+  return out;
 }
 
 }  // namespace
@@ -67,30 +199,51 @@ CaseResult RunCase(const CaseConfig& c, InjectedBug bug) {
     return out;
   }
 
-  // The recorder only observes the engine run; a small ring forces the
-  // drop-oldest path on any non-trivial case, so the differential check
-  // also covers truncated-trace bookkeeping.
-  obs::Trace trace;
-  if (c.config.trace) {
-    options.trace = &trace;
-    options.trace_buffer_events = 1 << 10;
-  }
+  // The serve dimension replaces the in-process engine leg with a round
+  // trip through the loopback server: query_text over the framed
+  // protocol, execution in the shared EngineSession, FINAL frame body
+  // back. Grid workloads have no text IR and fault plans are not
+  // expressible over the wire, so those cases run direct regardless.
+  const bool use_serve =
+      c.config.serve && !c.grid && c.config.fault_crashes == 0;
 
-  Result<core::RunResult> engine = core::ExecuteQuery(workload.query, options);
-  if (!engine.ok()) {
-    out.error = "engine: " + engine.status().ToString();
-    return out;
-  }
-  if (!engine.value().stats.completed) {
-    out.error = "engine: run did not complete (lost work not recovered?)";
-    return out;
-  }
+  std::string actual_canon;
+  if (use_serve) {
+    Result<std::string> served = RunCaseOverServe(workload, c.config);
+    if (!served.ok()) {
+      out.error = "serve engine: " + served.status().ToString();
+      return out;
+    }
+    actual_canon = std::move(served).value();
+    ApplyBugToCanonical(bug, &actual_canon);
+  } else {
+    // The recorder only observes the engine run; a small ring forces the
+    // drop-oldest path on any non-trivial case, so the differential check
+    // also covers truncated-trace bookkeeping.
+    obs::Trace trace;
+    if (c.config.trace) {
+      options.trace = &trace;
+      options.trace_buffer_events = 1 << 10;
+    }
 
-  std::vector<core::Solution> actual = std::move(engine.value().results);
-  ApplyBug(bug, &actual);
+    Result<core::RunResult> engine =
+        core::ExecuteQuery(workload.query, options);
+    if (!engine.ok()) {
+      out.error = "engine: " + engine.status().ToString();
+      return out;
+    }
+    if (!engine.value().stats.completed) {
+      out.error = "engine: run did not complete (lost work not recovered?)";
+      return out;
+    }
+
+    std::vector<core::Solution> actual = std::move(engine.value().results);
+    ApplyBug(bug, &actual);
+    actual_canon = core::Canonicalize(actual);
+  }
 
   out.expected = core::Canonicalize(oracle.value().results);
-  out.actual = core::Canonicalize(actual);
+  out.actual = std::move(actual_canon);
   out.ok = out.expected == out.actual;
   out.detail = workload.summary +
                " space=" + std::to_string(oracle.value().space_size) +
@@ -214,6 +367,15 @@ namespace {
 // when the transformation does not apply (already at the floor).
 using ShrinkStep = bool (*)(CaseConfig*);
 
+// First step tried: if a failure reproduces without the network round
+// trip, the transport is exonerated and every later reduction runs at
+// direct-execution speed.
+bool DropServe(CaseConfig* c) {
+  if (!c->config.serve) return false;
+  c->config.serve = false;
+  return true;
+}
+
 bool DropTrace(CaseConfig* c) {
   if (!c->config.trace) return false;
   c->config.trace = false;
@@ -314,6 +476,7 @@ bool ShortenSession(CaseConfig* c) {
 
 CaseConfig Shrink(CaseConfig failing, InjectedBug bug) {
   static constexpr ShrinkStep kSteps[] = {
+      DropServe,
       DropTrace,       StripFaults, SingleInstance, DefaultEngineKnobs,
       ShortenSession,  ShortenSession, ShortenSession,
       HalveArray,      HalveArray,  HalveArray,     DropConstraints,
@@ -482,6 +645,13 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       // otherwise-identical configs.
       if (options.trace_mix) c.config.trace = ((seed + ci) & 1) != 0;
       if (jobs > 1) c.config.simd = true;
+      // The serve slice: every eligible case goes over the wire. RunCase
+      // itself falls back to direct execution for grid and fault-plan
+      // cases, so gating here only keeps repro lines honest (a line with
+      // serve=1 really ran over the transport).
+      if (options.serve && !c.grid && c.config.fault_crashes == 0) {
+        c.config.serve = true;
+      }
       run_one(c);
     }
   };

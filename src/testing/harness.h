@@ -120,6 +120,15 @@ struct FuzzOptions {
   // the matrix's baseline and work-stealing configs only — the session
   // dimension multiplies the per-case cost by the chain length.
   bool sessions = false;
+  // Route every eligible case (single-query, 1-D, no fault injection)
+  // through a loopback dqr_serve server instead of in-process execution:
+  // the workload's text IR ships over the framed protocol into the shared
+  // engine session and the FINAL frame's canonical body is differentialed
+  // against the oracle. With jobs > 1 the concurrent drivers double as
+  // concurrent clients of the one shared server. The serve dimension
+  // rides the config codec (serve=1), so repro lines replay it and the
+  // shrinker tries dropping it first.
+  bool serve = false;
   bool verbose = false;
 };
 

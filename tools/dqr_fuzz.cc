@@ -52,6 +52,9 @@ void Usage() {
       "  --sessions          run correlated query sessions (seeded\n"
       "                      mutation chains) warm-cache vs cold instead\n"
       "                      of the single-query matrix\n"
+      "  --serve             route eligible cases through a loopback\n"
+      "                      dqr_serve server (text IR over the framed\n"
+      "                      protocol; answers must stay byte-identical)\n"
       "  --verbose           log every passing case too\n"
       "\n"
       "replay mode (all from a reproducer line):\n"
@@ -131,6 +134,8 @@ int main(int argc, char** argv) {
       options.trace_mix = true;
     } else if (MatchFlag(arg, "--sessions")) {
       options.sessions = true;
+    } else if (MatchFlag(arg, "--serve")) {
+      options.serve = true;
     } else if (MatchValue(arg, "--session", &value)) {
       replay.session = static_cast<int>(ParseInt(value, "--session"));
       if (replay.session < 1) {

@@ -1,0 +1,230 @@
+// dqr_serve: the network front end as a standalone daemon.
+//
+// Serves the framed query protocol (src/serve/protocol.h) on localhost,
+// admitting queries into the process-shared engine session through the
+// weighted-fair tenant scheduler:
+//
+//   dqr_serve --port=7433 --dataset=icu:waveform:65536:7
+//             --tenant=dashboards:8 --tenant=batch:1
+//
+// Runs until SIGINT/SIGTERM, then drains in-flight queries and prints
+// the final Prometheus exposition to stdout.
+//
+// Exit codes: 0 = clean shutdown, 2 = bad usage or startup failure.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/queries.h"
+#include "serve/server.h"
+
+namespace {
+
+using dqr::Result;
+using dqr::Status;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dqr_serve [options]\n"
+      "\n"
+      "  --port=N             TCP port on 127.0.0.1 (default 0 = pick an\n"
+      "                       ephemeral port and print it)\n"
+      "  --dataset=SPEC       register a dataset; SPEC is\n"
+      "                       name:kind:length:seed with kind one of\n"
+      "                       synthetic|waveform. Repeatable. Default:\n"
+      "                       \"synthetic:synthetic:16384:1\"\n"
+      "  --tenant=SPEC        configure a tenant; SPEC is\n"
+      "                       name:weight[:max_inflight[:max_demand]]\n"
+      "                       (0 = unlimited). Repeatable.\n"
+      "  --history=N          completed-query records kept for the\n"
+      "                       METRICS id= / TRACE id= endpoints\n"
+      "                       (default 64)\n"
+      "  --quiet              skip the final metrics dump on shutdown\n");
+}
+
+bool MatchFlag(const char* arg, const char* name) {
+  return std::strcmp(arg, name) == 0;
+}
+
+bool MatchValue(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int64_t ParseInt(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "dqr_serve: %s wants an integer, got '%s'\n", what,
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::string> SplitColon(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      return parts;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+struct DatasetSpec {
+  std::string name;
+  std::string kind;
+  int64_t length = 0;
+  uint64_t seed = 0;
+};
+
+DatasetSpec ParseDataset(const std::string& spec) {
+  const std::vector<std::string> parts = SplitColon(spec);
+  if (parts.size() != 4 || parts[0].empty()) {
+    std::fprintf(stderr,
+                 "dqr_serve: --dataset wants name:kind:length:seed, got "
+                 "'%s'\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  DatasetSpec out;
+  out.name = parts[0];
+  out.kind = parts[1];
+  if (out.kind != "synthetic" && out.kind != "waveform") {
+    std::fprintf(stderr,
+                 "dqr_serve: dataset kind must be synthetic|waveform, got "
+                 "'%s'\n",
+                 out.kind.c_str());
+    std::exit(2);
+  }
+  out.length = ParseInt(parts[2], "--dataset length");
+  out.seed = static_cast<uint64_t>(ParseInt(parts[3], "--dataset seed"));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqr::serve::ServerOptions options;
+  std::vector<DatasetSpec> datasets;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (MatchValue(arg, "--port", &value)) {
+      options.port = static_cast<int>(ParseInt(value, "--port"));
+    } else if (MatchValue(arg, "--dataset", &value)) {
+      datasets.push_back(ParseDataset(value));
+    } else if (MatchValue(arg, "--tenant", &value)) {
+      const std::vector<std::string> parts = SplitColon(value);
+      if (parts.size() < 2 || parts.size() > 4 || parts[0].empty()) {
+        std::fprintf(stderr,
+                     "dqr_serve: --tenant wants "
+                     "name:weight[:max_inflight[:max_demand]], got '%s'\n",
+                     value);
+        return 2;
+      }
+      dqr::serve::TenantConfig tc;
+      tc.weight = static_cast<double>(ParseInt(parts[1], "--tenant weight"));
+      if (parts.size() > 2) {
+        tc.max_in_flight = ParseInt(parts[2], "--tenant max_inflight");
+      }
+      if (parts.size() > 3) {
+        tc.max_task_demand = ParseInt(parts[3], "--tenant max_demand");
+      }
+      options.tenants[parts[0]] = tc;
+    } else if (MatchValue(arg, "--history", &value)) {
+      options.history_capacity =
+          static_cast<size_t>(ParseInt(value, "--history"));
+    } else if (MatchFlag(arg, "--quiet")) {
+      quiet = true;
+    } else if (MatchFlag(arg, "--help") || MatchFlag(arg, "-h")) {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "dqr_serve: unknown argument '%s'\n\n", arg);
+      Usage();
+      return 2;
+    }
+  }
+  if (datasets.empty()) {
+    datasets.push_back(DatasetSpec{"synthetic", "synthetic", 16384, 1});
+  }
+
+  // Block the shutdown signals before Start so every thread the server
+  // spawns inherits the mask and sigwait below is the sole receiver.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  dqr::serve::Server server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "dqr_serve: %s\n", started.ToString().c_str());
+    return 2;
+  }
+
+  for (const DatasetSpec& d : datasets) {
+    Result<dqr::data::DatasetBundle> bundle =
+        d.kind == "waveform" ? dqr::data::MakeWaveformDataset(d.length, d.seed)
+                             : dqr::data::MakeSyntheticDataset(d.length,
+                                                               d.seed);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "dqr_serve: dataset '%s': %s\n", d.name.c_str(),
+                   bundle.status().ToString().c_str());
+      return 2;
+    }
+    const Status reg =
+        server.RegisterDataset(d.name, std::move(bundle).value());
+    if (!reg.ok()) {
+      std::fprintf(stderr, "dqr_serve: dataset '%s': %s\n", d.name.c_str(),
+                   reg.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "dqr_serve: dataset %s (%s, %lld cells, seed %llu)\n",
+                 d.name.c_str(), d.kind.c_str(),
+                 static_cast<long long>(d.length),
+                 static_cast<unsigned long long>(d.seed));
+  }
+  for (const auto& [name, tc] : options.tenants) {
+    std::fprintf(stderr,
+                 "dqr_serve: tenant %s weight=%g max_inflight=%lld "
+                 "max_demand=%lld\n",
+                 name.c_str(), tc.weight,
+                 static_cast<long long>(tc.max_in_flight),
+                 static_cast<long long>(tc.max_task_demand));
+  }
+  std::fprintf(stderr, "dqr_serve: listening on 127.0.0.1:%d\n",
+               server.port());
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "dqr_serve: signal %d, draining\n", sig);
+  server.Stop();
+
+  const dqr::serve::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "dqr_serve: %lld connections, %lld queries completed, "
+               "%lld failed\n",
+               static_cast<long long>(stats.connections_accepted),
+               static_cast<long long>(stats.queries_completed),
+               static_cast<long long>(stats.queries_failed));
+  if (!quiet) std::fputs(server.MetricsText().c_str(), stdout);
+  return 0;
+}
