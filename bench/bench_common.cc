@@ -41,6 +41,15 @@ std::string& TracePath() {
   return path;
 }
 
+// Profile output state: the target path (empty = disabled).
+std::string& ProfilePath() {
+  static std::string path = [] {
+    const char* env = std::getenv("DQR_BENCH_PROFILE");
+    return std::string(env == nullptr ? "" : env);
+  }();
+  return path;
+}
+
 std::string JsonObject(
     const std::vector<std::pair<std::string, std::string>>& fields) {
   std::string out = "{";
@@ -106,8 +115,10 @@ RunOutcome Run(const searchlight::QuerySpec& query,
                const core::RefineOptions& options) {
   core::RefineOptions traced = options;
   traced.trace = BenchTrace();
+  traced.profile = BenchProfile();
   auto result = core::ExecuteQuery(query, traced);
   DQR_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  if (traced.profile != nullptr) WriteBenchProfile();
   RunOutcome outcome;
   outcome.total_s = result.value().stats.total_s;
   outcome.first_s = result.value().stats.first_result_s;
@@ -201,6 +212,11 @@ void InitBenchJson(int argc, char** argv) {
       ++i;
     } else if (arg.rfind("--trace=", 0) == 0) {
       InitBenchTrace(arg.substr(8));
+    } else if (arg == "--profile" && i + 1 < argc) {
+      InitBenchProfile(argv[i + 1]);
+      ++i;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      InitBenchProfile(arg.substr(10));
     }
   }
 }
@@ -244,6 +260,28 @@ void WriteBenchTrace() {
                TracePath().c_str(),
                static_cast<long long>(BenchTrace()->total_emitted()),
                static_cast<long long>(BenchTrace()->total_dropped()));
+}
+
+void InitBenchProfile(const std::string& path) { ProfilePath() = path; }
+
+obs::Profile* BenchProfile() {
+  if (ProfilePath().empty()) return nullptr;
+  static obs::Profile* profile = new obs::Profile;
+  return profile;
+}
+
+void WriteBenchProfile() {
+  if (ProfilePath().empty()) return;
+  const std::string json = obs::ProfileToJson(BenchProfile()->query());
+  std::FILE* f = std::fopen(ProfilePath().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "profile write failed: cannot open %s\n",
+                 ProfilePath().c_str());
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
 }
 
 void RecordJson(const JsonRecord& record) {

@@ -8,6 +8,7 @@
 
 #include "core/refiner.h"
 #include "data/queries.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace dqr::bench {
@@ -118,6 +119,23 @@ obs::Trace* BenchTrace();
 // Writes/rewrites the configured trace file now (no-op when disabled);
 // also registered via atexit, so explicit calls are optional.
 void WriteBenchTrace();
+
+// --- per-query profiling (DESIGN.md §12) ---
+// Attaches an obs::Profile to every Run() in this binary and rewrites
+// `path` with the profile JSON of the most recent run after each query
+// (inspect with tools/dqr_profile; partial output survives an abort).
+// Benches get it via `--profile <path>` / `--profile=<path>` through
+// InitBenchJson(argc, argv), or via the DQR_BENCH_PROFILE environment
+// variable. Profiling is answer-preserving (the fuzz campaign's
+// `profile` dimension proves it), so enabling it never changes a
+// bench's byte-compared legs.
+void InitBenchProfile(const std::string& path);
+// The shared per-binary Profile; null when profiling is disabled.
+// Benches that build RefineOptions by hand attach it as
+// `options.profile`.
+obs::Profile* BenchProfile();
+// Writes/rewrites the configured profile file now (no-op when disabled).
+void WriteBenchProfile();
 
 // Appends one record and rewrites the configured file as a JSON array, so
 // partial output survives an aborted run (`BENCH_*.json` perf trajectory).

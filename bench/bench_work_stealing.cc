@@ -140,12 +140,14 @@ SpreadRow RunConfig(const searchlight::QuerySpec& query, int instances,
   options.num_instances = instances;
   options.shards_per_instance = shards_per_instance;
   options.trace = BenchTrace();
+  options.profile = BenchProfile();
   // With tracing on, run the heartbeat/lease machinery too so the trace
   // shows the full per-instance track set (solver/validator/heartbeat);
   // the detector's zero-fault overhead is ~1% (bench_fault_recovery).
   if (options.trace != nullptr) options.enable_failure_detector = true;
   auto run = core::ExecuteQuery(query, options);
   DQR_CHECK_MSG(run.ok(), run.status().ToString().c_str());
+  if (options.profile != nullptr) WriteBenchProfile();
   const core::RunResult& result = run.value();
 
   SpreadRow row;

@@ -436,10 +436,20 @@ struct InstanceRunner::Impl {
                     const cp::SearchOptions& search_opts,
                     obs::ThreadTracer& tracer) {
     const Stopwatch busy;
+    // Steal latency (profiled runs): the gap between finishing one shard
+    // and successfully popping the next, i.e. contention on the shared
+    // pool. Resets every loop entry, so barrier waits between rounds are
+    // never misattributed as steal time.
+    const bool profiled = cfg.options->profile != nullptr;
+    int64_t last_shard_end_ns = -1;
     while (!crashed()) {
       std::optional<cp::IntDomain> shard =
           cfg.coordinator->PopShard(cfg.id);
       if (!shard.has_value()) break;
+      if (profiled && last_shard_end_ns >= 0) {
+        solver_stats.steal_latency.Record(obs::TraceRing::Now() -
+                                          last_shard_end_ns);
+      }
       tracer.Instant(obs::EventName::kShardPickup,
                      static_cast<double>(shard->lo));
       if (MaybeInjectFault(FaultSite::kShardPickup, tracer)) break;
@@ -451,6 +461,7 @@ struct InstanceRunner::Impl {
         obs::SpanScope span = tracer.Scope(obs::EventName::kShardExecute);
         solver_stats.main_search += tree.Run();
       }
+      if (profiled) last_shard_end_ns = obs::TraceRing::Now();
       if (crashed()) break;
       ++solver_stats.shards_executed;
     }
@@ -495,6 +506,12 @@ struct InstanceRunner::Impl {
                         cfg.options->trace_buffer_events, cfg.trace_epoch);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &solver_stats);
+    // Profiled runs route uncached synopsis bound-query timings from the
+    // UDF miss paths (dqr_searchlight cannot see RunStats) into this
+    // thread's own stats via a thread-local sink.
+    obs::ScopedLatencySink bound_sink(cfg.options->profile != nullptr
+                                          ? &solver_stats.bound_latency
+                                          : nullptr);
     RefineListener main_listener(this, &bundle, /*replay_mode=*/false,
                                  &solver_stats, tracer);
 
@@ -620,7 +637,7 @@ struct InstanceRunner::Impl {
         }
         for (size_t k = 0; k < survivors.size(); ++k) {
           FinishCandidate(batch[survivors[k]], std::move(values[k]),
-                          tracer);
+                          bundle, tracer);
         }
       }
       queue.FinishedN(batch.size());
@@ -662,7 +679,7 @@ struct InstanceRunner::Impl {
   // insertion, progress and tracing — with the per-constraint values
   // precomputed by the batch evaluation.
   void FinishCandidate(const Candidate& cand, std::vector<double> values,
-                       obs::ThreadTracer& tracer) {
+                       ConstraintBundle& bundle, obs::ThreadTracer& tracer) {
     RunStats& stats = validator_stats;
     const bool refined = RefinementActive();
     const QueryPhase phase = cfg.coordinator->CurrentPhase();
@@ -676,6 +693,26 @@ struct InstanceRunner::Impl {
     if (solution.rp != 0.0) {
       ++stats.false_positives;
       tracer.Instant(obs::EventName::kFalsePositive, solution.rp);
+    }
+
+    // Estimator-accuracy ledger (profiled runs): this is the one place
+    // the predicted interval and the exact value exist side by side. A
+    // "wasted" candidate is one the estimator let through that exact
+    // evaluation then penalized.
+    if (cfg.options->profile != nullptr &&
+        cand.estimates.size() == solution.values.size()) {
+      const bool wasted = solution.rp != 0.0;
+      for (size_t c = 0; c < solution.values.size(); ++c) {
+        const Interval& est = cand.estimates[c];
+        if (est.empty() || !std::isfinite(est.lo) || !std::isfinite(est.hi)) {
+          continue;
+        }
+        const cp::ConstraintFunction& fn =
+            bundle.at(static_cast<int>(c)).function();
+        stats.estimator_accuracy.Record(
+            fn.EstimateLevel(cand.point), est.lo, est.hi,
+            solution.values[c], fn.value_range().width(), wasted);
+      }
     }
 
     if (solution.rp == 0.0) {
@@ -735,6 +772,9 @@ struct InstanceRunner::Impl {
                         cfg.options->trace_buffer_events, cfg.trace_epoch);
     ConstraintBundle bundle(*cfg.query);
     MemoStatsGuard memo_guard(&bundle, &spec_stats);
+    obs::ScopedLatencySink bound_sink(cfg.options->profile != nullptr
+                                          ? &spec_stats.bound_latency
+                                          : nullptr);
     RefineListener listener(this, &bundle, /*replay_mode=*/true,
                             &spec_stats, tracer);
     while (!spec_stop.load(std::memory_order_relaxed)) {

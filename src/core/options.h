@@ -15,6 +15,7 @@ class WorkerPool;
 }  // namespace dqr::exec
 
 namespace dqr::obs {
+class Profile;
 class Trace;
 }  // namespace dqr::obs
 
@@ -245,6 +246,14 @@ struct RefineOptions {
   // On overflow the *oldest* events are overwritten, preserving the
   // newest trace_buffer_events per thread.
   int64_t trace_buffer_events = 1 << 16;
+  // Per-query profiler sink. Null (the default) disables profiling: the
+  // latency/accuracy hooks reduce to one predicted branch each, exactly
+  // like tracing. When set, ExecuteQuery assembles a hierarchical
+  // QueryProfile after the run — from `trace` if one was supplied, else
+  // from the profile's own internal Trace — and the validator records
+  // estimator-accuracy samples. Profiling never changes query results
+  // (enforced by the fuzz `profile` dimension).
+  obs::Profile* profile = nullptr;
 };
 
 }  // namespace dqr::core

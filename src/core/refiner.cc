@@ -20,6 +20,7 @@
 #include "cp/function.h"
 #include "exec/timer_wheel.h"
 #include "exec/worker_pool.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace dqr::core {
@@ -290,6 +291,14 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   if (Status status = ValidateInputs(query, options); !status.ok()) {
     return status;
   }
+  // Profiling without a caller-supplied trace records into the profile's
+  // private Trace; re-enter with it patched in so everything below can
+  // assume `options.trace` is the one ring sink.
+  if (options.profile != nullptr && options.trace == nullptr) {
+    RefineOptions profiled = options;
+    profiled.trace = &options.profile->internal_trace();
+    return ExecuteQuery(query, profiled);
+  }
   // Each query gets its own trace epoch so successive queries recorded
   // into one Trace export as separate process groups. The epoch is
   // pinned explicitly on every ring this query creates: with concurrent
@@ -514,6 +523,10 @@ Result<RunResult> ExecuteQuery(const searchlight::QuerySpec& query,
   result.stats.max_peak_fail_count = registry.peak_size();
   result.stats.completed =
       result.stats.completed && !coordinator.cancelled();
+  result.stats.query_latency.RecordSeconds(result.stats.total_s);
+  if (options.profile != nullptr) {
+    options.profile->Assemble(*options.trace, trace_epoch, result.stats);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "cp/search.h"
+#include "obs/histogram.h"
 
 namespace dqr::core {
 
@@ -23,6 +24,9 @@ namespace dqr::core {
 //   QUERY - cluster-level fact assigned once by ExecuteQuery after the
 //           merge (wall-clock times); += leaves it untouched
 //   SUB   - nested cp::SearchStats, merged with its own +=
+//   HIST  - mergeable obs value type (LatencyHistogram /
+//           EstimatorAccuracy), merged with its own += (exact: buckets
+//           align by construction)
 //
 // Semantics worth keeping in mind (formerly inline comments):
 //  * first_result_s: seconds until a Validator confirmed the first result
@@ -135,6 +139,18 @@ namespace dqr::core {
     "Pool dispatches that fell back to a transient overflow thread")         \
   X(double, admission_wait_s, 0.0, QUERY,                                    \
     "Seconds the query waited for admission to the engine session")          \
+  X(obs::LatencyHistogram, query_latency, {}, HIST,                          \
+    "End-to-end query latency (ns)")                                         \
+  X(obs::LatencyHistogram, bound_latency, {}, HIST,                          \
+    "Uncached synopsis bounds-query latency (ns); profiled runs only")       \
+  X(obs::LatencyHistogram, steal_latency, {}, HIST,                          \
+    "Gap between finishing one shard and stealing the next (ns); "           \
+    "profiled runs only")                                                    \
+  X(obs::LatencyHistogram, admission_wait, {}, HIST,                         \
+    "Admission-gate wait latency (ns)")                                      \
+  X(obs::EstimatorAccuracy, estimator_accuracy, {}, HIST,                    \
+    "Predicted-vs-actual bound tightness per synopsis level; "               \
+    "profiled runs only")                                                    \
   X(bool, completed, true, AND,                                              \
     "False iff the run was cancelled (time budget / external cancel)")
 
@@ -144,6 +160,7 @@ namespace dqr::core {
 #define DQR_STATS_AGG_AND(name) name = name && o.name;
 #define DQR_STATS_AGG_QUERY(name) /* assigned once by ExecuteQuery */
 #define DQR_STATS_AGG_SUB(name) name += o.name;
+#define DQR_STATS_AGG_HIST(name) name += o.name;
 
 // Execution statistics of one refined query, aggregated over all
 // instances. Times are wall-clock seconds.

@@ -98,6 +98,16 @@ class ConstraintFunction {
   // distances and ranks, and acts as the hard relaxation limit (§3.1).
   virtual Interval value_range() const = 0;
 
+  // Which synopsis resolution level Estimate would consult for the
+  // degenerate box at `point` (the region a validated candidate came
+  // from). Drives the profiler's per-level estimator-accuracy ledger;
+  // -1 (the default) means "no level attribution" and folds into the
+  // ledger's first slot. Must be side-effect free.
+  virtual int EstimateLevel(const std::vector<int64_t>& point) const {
+    (void)point;
+    return -1;
+  }
+
   // Independent copy for another thread (shares only immutable inputs
   // such as the array and synopsis).
   virtual std::unique_ptr<ConstraintFunction> Clone() const = 0;

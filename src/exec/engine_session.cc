@@ -1,5 +1,7 @@
 #include "exec/engine_session.h"
 
+#include "obs/profile.h"
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -76,6 +78,20 @@ void EngineSession::Release(int64_t demand) {
   cv_.notify_all();
 }
 
+namespace {
+
+// Admission wait is measured here, around ExecuteQuery, so the engine
+// cannot stamp it itself — patch both the result's stats and (if
+// profiling) the already-assembled profile.
+void StampAdmissionWait(const core::RefineOptions& opts, double waited_s,
+                        core::RunResult* result) {
+  result->stats.admission_wait_s = waited_s;
+  result->stats.admission_wait.RecordSeconds(waited_s);
+  if (opts.profile != nullptr) opts.profile->RecordAdmissionWait(waited_s);
+}
+
+}  // namespace
+
 Result<core::RunResult> EngineSession::Execute(
     const searchlight::QuerySpec& query,
     const core::RefineOptions& options) {
@@ -86,7 +102,7 @@ Result<core::RunResult> EngineSession::Execute(
   const double waited_s = Admit(demand);
   Result<core::RunResult> result = core::ExecuteQuery(query, opts);
   Release(demand);
-  if (result.ok()) result.value().stats.admission_wait_s = waited_s;
+  if (result.ok()) StampAdmissionWait(opts, waited_s, &result.value());
   return result;
 }
 
@@ -101,7 +117,7 @@ Result<core::RunResult> EngineSession::ExecuteCached(
   Result<core::RunResult> result =
       cache::ExecuteQueryCached(cache, cq, opts, outcome);
   Release(demand);
-  if (result.ok()) result.value().stats.admission_wait_s = waited_s;
+  if (result.ok()) StampAdmissionWait(opts, waited_s, &result.value());
   return result;
 }
 

@@ -1,0 +1,151 @@
+#include "obs/histogram.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dqr::obs {
+namespace {
+
+thread_local LatencyHistogram* tls_latency_sink = nullptr;
+
+// Strict non-negative int64 parse of [begin, end); false on any junk.
+bool ParseInt64(const char* begin, const char* end, int64_t* out) {
+  if (begin == end) return false;
+  int64_t value = 0;
+  for (const char* p = begin; p != end; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const int digit = *p - '0';
+    if (value > (std::numeric_limits<int64_t>::max() - digit) / 10) {
+      value = std::numeric_limits<int64_t>::max();
+    } else {
+      value = value * 10 + digit;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatNs(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatLatencySummary(const LatencyHistogram& h) {
+  if (h.empty()) return "empty";
+  std::string out = "count=" + std::to_string(h.count());
+  out += " mean=" + FormatNs(h.mean_ns());
+  out += " p50=" + FormatNs(static_cast<double>(h.p50_ns()));
+  out += " p95=" + FormatNs(static_cast<double>(h.p95_ns()));
+  out += " p99=" + FormatNs(static_cast<double>(h.p99_ns()));
+  out += " max=" + FormatNs(static_cast<double>(h.max_ns()));
+  return out;
+}
+
+std::string EncodeHistogram(const LatencyHistogram& h) {
+  std::string out = std::to_string(h.count());
+  out += ';';
+  out += std::to_string(h.sum_ns());
+  out += ';';
+  out += std::to_string(h.max_ns());
+  out += ';';
+  bool first = true;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const int64_t c = h.bucket_count(i);
+    if (c == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(i);
+    out += ':';
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+bool DecodeHistogram(const std::string& text, LatencyHistogram* out) {
+  *out = LatencyHistogram();
+  const char* p = text.c_str();
+  const char* end = p + text.size();
+  int64_t header[3];
+  for (int i = 0; i < 3; ++i) {
+    const char* semi = p;
+    while (semi != end && *semi != ';') ++semi;
+    if (semi == end) return false;
+    if (!ParseInt64(p, semi, &header[i])) return false;
+    p = semi + 1;
+  }
+  // Rebuild buckets by replaying RecordMany at each bucket's lower
+  // bound, then overwrite the exact header (sum/max are finer-grained
+  // than bucket bounds can reproduce).
+  LatencyHistogram h;
+  while (p != end) {
+    const char* comma = p;
+    while (comma != end && *comma != ',') ++comma;
+    const char* colon = p;
+    while (colon != comma && *colon != ':') ++colon;
+    if (colon == comma) return false;
+    int64_t index = 0;
+    int64_t count = 0;
+    if (!ParseInt64(p, colon, &index)) return false;
+    if (!ParseInt64(colon + 1, comma, &count)) return false;
+    if (index < 0 || index >= LatencyHistogram::kNumBuckets || count <= 0) {
+      return false;
+    }
+    h.RecordMany(LatencyHistogram::BucketLowerBound(
+                     static_cast<int>(index)),
+                 count);
+    p = comma == end ? end : comma + 1;
+  }
+  if (h.count() != header[0]) return false;
+  h.OverrideTotals(header[1], header[2]);
+  *out = h;
+  return true;
+}
+
+LatencyHistogram* ThreadLatencySink() { return tls_latency_sink; }
+
+ScopedLatencySink::ScopedLatencySink(LatencyHistogram* sink)
+    : previous_(tls_latency_sink) {
+  tls_latency_sink = sink;
+}
+
+ScopedLatencySink::~ScopedLatencySink() { tls_latency_sink = previous_; }
+
+namespace {
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+// Per-thread sampling phase; advances only while a sink is installed,
+// so the profile-off path stays a single TLS load.
+thread_local uint64_t tls_sink_ticks = 0;
+
+ScopedSinkTimer::ScopedSinkTimer() : sink_(tls_latency_sink), start_ns_(0) {
+  if (sink_ != nullptr) {
+    if ((tls_sink_ticks++ & (kSamplePeriod - 1)) == 0) {
+      start_ns_ = MonotonicNowNs();
+    } else {
+      sink_ = nullptr;  // unsampled: destructor becomes a no-op
+    }
+  }
+}
+
+ScopedSinkTimer::~ScopedSinkTimer() {
+  if (sink_ != nullptr) sink_->Record(MonotonicNowNs() - start_ns_);
+}
+
+}  // namespace dqr::obs

@@ -1,0 +1,295 @@
+#ifndef DQR_OBS_HISTOGRAM_H_
+#define DQR_OBS_HISTOGRAM_H_
+
+// Log-bucketed HDR latency histograms and estimator-accuracy tracking
+// (DESIGN.md §12).
+//
+// Both types are plain mergeable value types embedded in core::RunStats
+// through the DQR_RUN_STATS_FIELDS X-macro, so they ride the existing
+// per-thread stats discipline: each engine thread records into its own
+// RunStats copy (single writer, no locks — the "lock-free per-thread"
+// contract), and the cross-instance operator+= merge folds them after
+// Join(). Everything here is header-only because core/stats.h is
+// header-only and dqr_obs must stay dependent only on dqr_common; the
+// codec/format helpers that need a .cc live in histogram.cc.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dqr::obs {
+
+// A fixed-footprint log-bucketed histogram of non-negative int64 values
+// (nanoseconds by convention). The bucketing is HdrHistogram-style:
+// values below 2^kSubBucketBits are exact; above that, each power-of-two
+// range splits into kSubBuckets sub-buckets, so the relative quantile
+// error is bounded by 1/kSubBuckets (~6%) at any magnitude. Values above
+// ~1.2 hours saturate into the top bucket; counts saturate at INT64_MAX.
+//
+// Merging two histograms (operator+=) is exact: buckets are aligned by
+// construction, so quantiles of a merge equal quantiles of the combined
+// sample stream (within bucket resolution).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  // Exponent cap: values >= 2^42 ns (~1.2 h) land in the last bucket.
+  static constexpr int kMaxExponent = 42;
+  static constexpr int kNumBuckets =
+      kSubBuckets + (kMaxExponent - kSubBucketBits) * kSubBuckets;
+
+  void Record(int64_t value_ns) { RecordMany(value_ns, 1); }
+  void RecordSeconds(double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    const double ns = seconds * 1e9;
+    Record(ns >= 9.0e18 ? std::numeric_limits<int64_t>::max()
+                        : static_cast<int64_t>(ns));
+  }
+  // Bulk insert: `n` observations of `value_ns` (n <= 0 is a no-op).
+  // Counts saturate instead of wrapping, so a merge of saturated
+  // histograms stays well-defined (and still saturated).
+  void RecordMany(int64_t value_ns, int64_t n) {
+    if (n <= 0) return;
+    if (value_ns < 0) value_ns = 0;
+    buckets_[BucketIndex(value_ns)] =
+        SaturatingAdd(buckets_[BucketIndex(value_ns)], n);
+    count_ = SaturatingAdd(count_, n);
+    sum_ns_ = SaturatingAdd(sum_ns_, SaturatingMul(value_ns, n));
+    max_ns_ = std::max(max_ns_, value_ns);
+  }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& o) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      buckets_[i] = SaturatingAdd(buckets_[i], o.buckets_[i]);
+    }
+    count_ = SaturatingAdd(count_, o.count_);
+    sum_ns_ = SaturatingAdd(sum_ns_, o.sum_ns_);
+    max_ns_ = std::max(max_ns_, o.max_ns_);
+    return *this;
+  }
+
+  bool empty() const { return count_ == 0; }
+  int64_t count() const { return count_; }
+  int64_t sum_ns() const { return sum_ns_; }
+  int64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+
+  // The smallest recorded-value bucket whose cumulative count reaches
+  // q * count(), reported as the bucket's lower bound (a value that was
+  // <= the true quantile; relative error bounded by 1/kSubBuckets).
+  // q outside [0, 1] is clamped; an empty histogram reports 0.
+  int64_t ValueAtQuantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Ceil without overflow: rank in [1, count_].
+    int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) {
+      ++rank;
+    }
+    rank = std::clamp<int64_t>(rank, 1, count_);
+    int64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen = SaturatingAdd(seen, buckets_[i]);
+      if (seen >= rank) return std::min(BucketLowerBound(i), max_ns_);
+    }
+    return max_ns_;
+  }
+  int64_t p50_ns() const { return ValueAtQuantile(0.50); }
+  int64_t p95_ns() const { return ValueAtQuantile(0.95); }
+  int64_t p99_ns() const { return ValueAtQuantile(0.99); }
+
+  int64_t bucket_count(int index) const { return buckets_[index]; }
+
+  // Codec back door (DecodeHistogram): bucket replay reproduces counts
+  // exactly but rounds sum/max to bucket lower bounds; the encoded exact
+  // totals are restored through this.
+  void OverrideTotals(int64_t sum_ns, int64_t max_ns) {
+    sum_ns_ = sum_ns;
+    max_ns_ = max_ns;
+  }
+
+  // Lowest value that maps into bucket `index` — also the exposition's
+  // bucket label. The first kSubBuckets buckets are exact small values.
+  static int64_t BucketLowerBound(int index) {
+    if (index < kSubBuckets) return index;
+    const int chunk = index / kSubBuckets - 1;
+    const int sub = index % kSubBuckets;
+    // First bucket of chunk c covers [2^(kSubBucketBits + c), ...).
+    return (int64_t{1} << (kSubBucketBits + chunk)) +
+           (static_cast<int64_t>(sub) << chunk);
+  }
+
+  static int BucketIndex(int64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    int msb = 63;
+    while (((v >> msb) & 1) == 0) --msb;
+    if (msb >= kMaxExponent) return kNumBuckets - 1;
+    const int chunk = msb - kSubBucketBits;  // >= 0
+    const int sub =
+        static_cast<int>((v >> chunk) & (kSubBuckets - 1));
+    return kSubBuckets + chunk * kSubBuckets + sub;
+  }
+
+ private:
+  static int64_t SaturatingAdd(int64_t a, int64_t b) {
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    return a > kMax - b ? kMax : a + b;
+  }
+  static int64_t SaturatingMul(int64_t a, int64_t n) {
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    if (a == 0 || n == 0) return 0;
+    return a > kMax / n ? kMax : a * n;
+  }
+
+  std::array<int64_t, kNumBuckets> buckets_{};
+  int64_t count_ = 0;
+  int64_t sum_ns_ = 0;
+  int64_t max_ns_ = 0;
+};
+
+// Predicted-vs-actual bound tightness of the synopsis estimator, tracked
+// per synopsis level by the validator (the only place both the estimate
+// interval and the exact value exist side by side). Two calibration
+// signals per level:
+//  * mean predicted-interval width, normalized by the function's value
+//    range — how loose the estimator was at that level;
+//  * mean |actual - interval midpoint| / range — how far the truth sat
+//    from the interval's center (0 = perfectly centered estimates).
+// Plus the containment rate (a sound estimator must always contain the
+// actual value — a drop below 1.0 is a bug signal) and the
+// wasted-candidate rate (candidates whose exact penalty was nonzero:
+// validation work the estimator failed to prune).
+class EstimatorAccuracy {
+ public:
+  // Levels at or above the cap fold into the last slot; level < 0
+  // (function without level attribution) folds into slot 0.
+  static constexpr int kMaxLevels = 8;
+
+  struct Level {
+    int64_t samples = 0;
+    int64_t contained = 0;
+    int64_t wasted = 0;
+    double width_sum = 0.0;    // sum of normalized predicted widths
+    double abs_err_sum = 0.0;  // sum of normalized |actual - midpoint|
+  };
+
+  void Record(int level, double predicted_lo, double predicted_hi,
+              double actual, double value_range_width, bool wasted) {
+    Level& slot = levels_[SlotFor(level)];
+    ++slot.samples;
+    if (predicted_lo <= actual && actual <= predicted_hi) ++slot.contained;
+    if (wasted) ++slot.wasted;
+    const double range =
+        value_range_width > 0.0 && std::isfinite(value_range_width)
+            ? value_range_width
+            : 1.0;
+    slot.width_sum += (predicted_hi - predicted_lo) / range;
+    const double mid = 0.5 * (predicted_lo + predicted_hi);
+    const double err = actual > mid ? actual - mid : mid - actual;
+    slot.abs_err_sum += err / range;
+  }
+
+  EstimatorAccuracy& operator+=(const EstimatorAccuracy& o) {
+    for (int i = 0; i < kMaxLevels; ++i) {
+      levels_[i].samples += o.levels_[i].samples;
+      levels_[i].contained += o.levels_[i].contained;
+      levels_[i].wasted += o.levels_[i].wasted;
+      levels_[i].width_sum += o.levels_[i].width_sum;
+      levels_[i].abs_err_sum += o.levels_[i].abs_err_sum;
+    }
+    return *this;
+  }
+
+  bool empty() const {
+    for (const Level& l : levels_) {
+      if (l.samples != 0) return false;
+    }
+    return true;
+  }
+  int64_t total_samples() const {
+    int64_t n = 0;
+    for (const Level& l : levels_) n += l.samples;
+    return n;
+  }
+  const Level& level(int i) const { return levels_[SlotFor(i)]; }
+
+  // Codec back door (profile JSON): restores one level slot verbatim.
+  void OverrideLevel(int i, const Level& l) { levels_[SlotFor(i)] = l; }
+
+  static int SlotFor(int level) {
+    return std::clamp(level, 0, kMaxLevels - 1);
+  }
+
+ private:
+  std::array<Level, kMaxLevels> levels_{};
+};
+
+// --- formatting / codec (histogram.cc) -------------------------------
+
+// "count=12 mean=1.2ms p50=900us p95=3.1ms p99=8ms max=9.7ms"; "empty"
+// when no samples.
+std::string FormatLatencySummary(const LatencyHistogram& h);
+
+// Human unit formatting of a nanosecond quantity ("871ns", "14.2us",
+// "1.2ms", "3.4s").
+std::string FormatNs(double ns);
+
+// Compact sparse codec: "count;sum;max;idx:cnt,idx:cnt,..." — exact
+// round trip of every bucket, used by the profile JSON. DecodeHistogram
+// fails (returns false) on malformed input.
+std::string EncodeHistogram(const LatencyHistogram& h);
+bool DecodeHistogram(const std::string& text, LatencyHistogram* out);
+
+// --- per-thread bound-latency sink -----------------------------------
+//
+// The synopsis miss paths live in dqr_searchlight, which cannot see
+// core::RunStats; the engine threads that own the stats install a
+// thread-local sink instead, and the miss paths record into whatever is
+// installed (nothing, in the common profile-off case: one TLS load and a
+// predicted branch).
+LatencyHistogram* ThreadLatencySink();
+
+class ScopedLatencySink {
+ public:
+  explicit ScopedLatencySink(LatencyHistogram* sink);
+  ~ScopedLatencySink();
+  ScopedLatencySink(const ScopedLatencySink&) = delete;
+  ScopedLatencySink& operator=(const ScopedLatencySink&) = delete;
+
+ private:
+  LatencyHistogram* previous_;
+};
+
+// Times one scope into the installed per-thread sink. With no sink
+// installed (the profile-off case) the constructor is a single TLS load
+// and the destructor one predicted branch — no clock calls.
+//
+// With a sink installed, only 1-in-kSamplePeriod scopes per thread are
+// timed (the first one always is): a clock read costs about as much as
+// the ~25 ns synopsis probe this timer wraps, so timing every scope
+// would double the hottest path in the engine. Uniform thinning leaves
+// the quantiles intact; only count() reads as samples, not calls.
+class ScopedSinkTimer {
+ public:
+  static constexpr uint64_t kSamplePeriod = 64;  // power of two
+
+  ScopedSinkTimer();
+  ~ScopedSinkTimer();
+  ScopedSinkTimer(const ScopedSinkTimer&) = delete;
+  ScopedSinkTimer& operator=(const ScopedSinkTimer&) = delete;
+
+ private:
+  LatencyHistogram* sink_;
+  int64_t start_ns_;
+};
+
+}  // namespace dqr::obs
+
+#endif  // DQR_OBS_HISTOGRAM_H_

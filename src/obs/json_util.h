@@ -1,0 +1,47 @@
+#ifndef DQR_OBS_JSON_UTIL_H_
+#define DQR_OBS_JSON_UTIL_H_
+
+// Minimal recursive-descent JSON parser shared by the obs readers (the
+// Chrome-trace reader, the profile codec, the bench regression gate).
+// Just enough JSON for the documents this repo writes itself: objects,
+// arrays, strings with simple escapes, numbers, true/false/null. Not a
+// general-purpose parser — errors carry the byte offset and parsing is
+// strict (no trailing content).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dqr::obs::json {
+
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  const Value* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// Parses `text` as one JSON document.
+Result<Value> Parse(const std::string& text);
+
+// `fallback` when v is null or not a number.
+double NumberOr(const Value* v, double fallback);
+
+// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+void AppendQuoted(std::string& out, const std::string& s);
+
+}  // namespace dqr::obs::json
+
+#endif  // DQR_OBS_JSON_UTIL_H_

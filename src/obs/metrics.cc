@@ -13,6 +13,13 @@ constexpr const char* kTypeMAX = "gauge";
 constexpr const char* kTypeAND = "gauge";
 constexpr const char* kTypeQUERY = "gauge";
 constexpr const char* kTypeSUB = "counter";
+constexpr const char* kTypeHIST = "histogram";
+
+std::string FormatValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
 
 void EmitSample(std::string& out, const std::string& name,
                 const char* help, const char* type,
@@ -51,6 +58,50 @@ void EmitField(std::string& out, const char* name, const char* help,
              "gauge", labels, s.completed ? 1.0 : 0.0);
 }
 
+// Latency histograms render in the native Prometheus histogram format:
+// cumulative _bucket{le="<seconds>"} samples (only buckets that gained
+// counts, plus the mandatory +Inf), then _sum (seconds) and _count.
+// `type` is ignored — the field table marks these HIST, which is always
+// the histogram exposition.
+void EmitField(std::string& out, const char* name, const char* help,
+               const char* /*type*/, const std::string& labels,
+               const LatencyHistogram& h) {
+  AppendLatencyHistogram(out, name, help, labels, h);
+}
+
+// Estimator accuracy expands to per-level labeled gauges; levels that
+// saw no samples are skipped.
+void EmitField(std::string& out, const char* name, const char* help,
+               const char* /*type*/, const std::string& labels,
+               const EstimatorAccuracy& a) {
+  const std::string base = name;
+  const std::string h = help;
+  for (int i = 0; i < EstimatorAccuracy::kMaxLevels; ++i) {
+    const EstimatorAccuracy::Level& l = a.level(i);
+    if (l.samples == 0) continue;
+    std::string lv = "level=\"" + std::to_string(i) + "\"";
+    if (!labels.empty()) lv = labels + "," + lv;
+    const double n = static_cast<double>(l.samples);
+    EmitSample(out, base + "_samples",
+               (h + ": validated candidates at this level").c_str(),
+               "gauge", lv, n);
+    EmitSample(out, base + "_contained_ratio",
+               (h + ": fraction with actual inside predicted").c_str(),
+               "gauge", lv, static_cast<double>(l.contained) / n);
+    EmitSample(out, base + "_wasted_ratio",
+               (h + ": fraction validated yet penalized (estimator "
+                    "failed to prune)")
+                   .c_str(),
+               "gauge", lv, static_cast<double>(l.wasted) / n);
+    EmitSample(out, base + "_mean_width",
+               (h + ": mean predicted width / value range").c_str(),
+               "gauge", lv, l.width_sum / n);
+    EmitSample(out, base + "_mean_abs_err",
+               (h + ": mean |actual - midpoint| / value range").c_str(),
+               "gauge", lv, l.abs_err_sum / n);
+  }
+}
+
 }  // namespace
 
 std::string MetricsSnapshot(const core::RunStats& stats,
@@ -62,6 +113,45 @@ std::string MetricsSnapshot(const core::RunStats& stats,
   DQR_RUN_STATS_FIELDS(DQR_METRICS_EMIT)
 #undef DQR_METRICS_EMIT
   return out;
+}
+
+void AppendLatencyHistogram(std::string& out, const std::string& name,
+                            const std::string& help,
+                            const std::string& labels,
+                            const LatencyHistogram& h) {
+  const std::string full = "dqr_" + name;
+  out += "# HELP " + full + " ";
+  out += help;
+  out += "\n# TYPE " + full + " histogram\n";
+  int64_t cumulative = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const int64_t c = h.bucket_count(i);
+    if (c == 0) continue;
+    cumulative += c;
+    // The bucket's upper bound is the next bucket's lower bound.
+    const double le_s =
+        i + 1 < LatencyHistogram::kNumBuckets
+            ? static_cast<double>(LatencyHistogram::BucketLowerBound(i + 1)) /
+                  1e9
+            : static_cast<double>(h.max_ns()) / 1e9;
+    out += full + "_bucket{";
+    if (!labels.empty()) out += labels + ",";
+    out += "le=\"" + FormatValue(le_s) + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  out += full + "_bucket{";
+  if (!labels.empty()) out += labels + ",";
+  out += "le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+  out += full + "_sum";
+  if (!labels.empty()) out += "{" + labels + "}";
+  out += ' ';
+  out += FormatValue(static_cast<double>(h.sum_ns()) / 1e9);
+  out += '\n';
+  out += full + "_count";
+  if (!labels.empty()) out += "{" + labels + "}";
+  out += ' ';
+  out += std::to_string(h.count());
+  out += '\n';
 }
 
 void AppendMetricSample(std::string& out, const std::string& name,

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/stats.h"
+#include "obs/histogram.h"
 
 namespace dqr::obs {
 
@@ -28,6 +29,17 @@ std::string MetricsSnapshot(const core::RunStats& stats,
 void AppendMetricSample(std::string& out, const std::string& name,
                         const std::string& help, const std::string& type,
                         const std::string& labels, double value);
+
+// Appends one histogram in the native Prometheus exposition (cumulative
+// _bucket{le=...} samples for populated buckets plus +Inf, then _sum in
+// seconds and _count), `dqr_` prefix prepended as in AppendMetricSample.
+// The building block behind every HIST field in MetricsSnapshot; exposed
+// so the serve layer can register per-tenant latency histograms into the
+// same exposition.
+void AppendLatencyHistogram(std::string& out, const std::string& name,
+                            const std::string& help,
+                            const std::string& labels,
+                            const LatencyHistogram& h);
 
 }  // namespace dqr::obs
 

@@ -1,0 +1,610 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/histogram.h"
+#include "obs/json_util.h"
+
+namespace dqr::obs {
+
+ProfileNode& ProfileNode::Child(const std::string& child_name) {
+  for (ProfileNode& c : children) {
+    if (c.name == child_name) return c;
+  }
+  children.emplace_back();
+  children.back().name = child_name;
+  return children.back();
+}
+
+const ProfileNode* ProfileNode::Find(const std::string& child_name) const {
+  for (const ProfileNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string LeafName(const TraceRing& ring) {
+  if (ring.instance() < 0) return ThreadRoleString(ring.role());
+  return "i" + std::to_string(ring.instance()) + "/" +
+         ThreadRoleString(ring.role());
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatShort(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FormatPercent(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+// "+8.9%" / "-12.0%"; "new" when the baseline is zero but the current
+// value is not (a ratio against zero is meaningless, not infinite).
+std::string PercentDelta(double a, double b) {
+  if (a == 0.0 && b == 0.0) return "+0.0%";
+  if (a == 0.0) return "new";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (b - a) / a * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Assembly from the flight recorder.
+
+QueryProfile AssembleProfile(const Trace& trace, int epoch,
+                             const core::RunStats& stats) {
+  QueryProfile p;
+  p.stats = stats;
+  p.root.name = "query";
+  p.root.count = 1;
+  const int64_t wall_ns =
+      stats.total_s > 0.0 ? static_cast<int64_t>(stats.total_s * 1e9) : 0;
+  p.root.total_ns = wall_ns;
+  p.root.max_ns = wall_ns;
+
+  // This query's rings, in (instance, role) order so the leaf order of
+  // every site node is deterministic.
+  std::vector<const TraceRing*> rings;
+  for (const TraceRing* r : trace.rings()) {
+    if (r->epoch() == epoch) rings.push_back(r);
+  }
+  std::stable_sort(rings.begin(), rings.end(),
+                   [](const TraceRing* a, const TraceRing* b) {
+                     if (a->instance() != b->instance()) {
+                       return a->instance() < b->instance();
+                     }
+                     return static_cast<int>(a->role()) <
+                            static_cast<int>(b->role());
+                   });
+
+  std::vector<std::vector<TraceEvent>> snaps;
+  snaps.reserve(rings.size());
+  for (const TraceRing* r : rings) {
+    snaps.push_back(r->Snapshot());
+    p.trace_emitted += r->emitted();
+    p.trace_dropped += r->dropped();
+  }
+
+  // Phase boundaries: every event before the first phase_* instant is
+  // "collecting"; each flip opens a new phase at its timestamp. Flips
+  // are cluster-wide facts, so the earliest sighting across all rings
+  // wins.
+  std::vector<std::pair<int64_t, const char*>> flips;
+  for (const std::vector<TraceEvent>& snap : snaps) {
+    for (const TraceEvent& e : snap) {
+      if (e.kind != EventKind::kInstant) continue;
+      if (e.name == EventName::kPhaseRelaxing) {
+        flips.emplace_back(e.ts_ns, "relaxing");
+      } else if (e.name == EventName::kPhaseConstraining) {
+        flips.emplace_back(e.ts_ns, "constraining");
+      }
+    }
+  }
+  std::sort(flips.begin(), flips.end());
+  // Keep only the first sighting of each phase name.
+  {
+    std::set<std::string> seen;
+    std::vector<std::pair<int64_t, const char*>> unique;
+    for (const auto& f : flips) {
+      if (seen.insert(f.second).second) unique.push_back(f);
+    }
+    flips = std::move(unique);
+  }
+
+  auto phase_for = [&flips](int64_t ts) {
+    const char* phase = "collecting";
+    for (const auto& f : flips) {
+      if (f.first <= ts) phase = f.second;
+      else break;
+    }
+    return phase;
+  };
+
+  // Canonical phase order: collecting first, then flips by time.
+  p.root.Child("collecting");
+  for (const auto& f : flips) p.root.Child(f.second);
+
+  for (size_t i = 0; i < rings.size(); ++i) {
+    const std::string leaf = LeafName(*rings[i]);
+    // Innermost-open-span matching, per event name (the engine never
+    // nests same-name spans, but the ring can drop a Begin: an End with
+    // no open span is discarded, as is a Begin never closed).
+    std::map<EventName, std::vector<int64_t>> open;
+    for (const TraceEvent& e : snaps[i]) {
+      switch (e.kind) {
+        case EventKind::kBegin:
+          open[e.name].push_back(e.ts_ns);
+          break;
+        case EventKind::kEnd: {
+          std::vector<int64_t>& stack = open[e.name];
+          if (stack.empty()) break;
+          const int64_t begin_ts = stack.back();
+          stack.pop_back();
+          const int64_t dur = e.ts_ns > begin_ts ? e.ts_ns - begin_ts : 0;
+          ProfileNode& node = p.root.Child(phase_for(begin_ts))
+                                  .Child(EventNameString(e.name))
+                                  .Child(leaf);
+          ++node.count;
+          node.total_ns += dur;
+          node.max_ns = std::max(node.max_ns, dur);
+          break;
+        }
+        case EventKind::kInstant:
+        case EventKind::kCounter: {
+          ProfileNode& node = p.root.Child(phase_for(e.ts_ns))
+                                  .Child(EventNameString(e.name))
+                                  .Child(leaf);
+          ++node.count;
+          break;
+        }
+      }
+    }
+  }
+
+  // Interior aggregation: sites sum their instance leaves, phases their
+  // sites. Site order within a phase is alphabetical (first-encounter
+  // order would depend on thread timing).
+  for (ProfileNode& phase : p.root.children) {
+    std::sort(phase.children.begin(), phase.children.end(),
+              [](const ProfileNode& a, const ProfileNode& b) {
+                return a.name < b.name;
+              });
+    phase.count = phase.total_ns = phase.max_ns = 0;
+    for (ProfileNode& site : phase.children) {
+      site.count = site.total_ns = site.max_ns = 0;
+      for (const ProfileNode& inst : site.children) {
+        site.count += inst.count;
+        site.total_ns += inst.total_ns;
+        site.max_ns = std::max(site.max_ns, inst.max_ns);
+      }
+      phase.count += site.count;
+      phase.total_ns += site.total_ns;
+      phase.max_ns = std::max(phase.max_ns, site.max_ns);
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// JSON codec. One overload pair per RunStats field type; the X-macro
+// walks the field table for both directions, so a new field needs no
+// codec edits unless it introduces a new type.
+
+namespace {
+
+void AppendStat(std::string& out, double v) { out += FormatDouble(v); }
+void AppendStat(std::string& out, int64_t v) { out += std::to_string(v); }
+void AppendStat(std::string& out, bool v) { out += v ? "true" : "false"; }
+void AppendStat(std::string& out, const cp::SearchStats& s) {
+  out += "{\"nodes\":" + std::to_string(s.nodes) +
+         ",\"fails\":" + std::to_string(s.fails) +
+         ",\"leaves\":" + std::to_string(s.leaves) +
+         ",\"monitor_prunes\":" + std::to_string(s.monitor_prunes) +
+         ",\"completed\":" + (s.completed ? std::string("true") : "false") +
+         "}";
+}
+void AppendStat(std::string& out, const LatencyHistogram& h) {
+  json::AppendQuoted(out, EncodeHistogram(h));
+}
+void AppendStat(std::string& out, const EstimatorAccuracy& a) {
+  // Fixed array of [samples, contained, wasted, width_sum, abs_err_sum].
+  out += '[';
+  for (int i = 0; i < EstimatorAccuracy::kMaxLevels; ++i) {
+    const EstimatorAccuracy::Level& l = a.level(i);
+    if (i > 0) out += ',';
+    out += '[';
+    out += std::to_string(l.samples) + ',' + std::to_string(l.contained) +
+           ',' + std::to_string(l.wasted) + ',' + FormatDouble(l.width_sum) +
+           ',' + FormatDouble(l.abs_err_sum);
+    out += ']';
+  }
+  out += ']';
+}
+
+int64_t AsInt64(double v) {
+  return static_cast<int64_t>(std::llround(v));
+}
+
+bool ParseStat(const json::Value* v, double* out) {
+  if (v == nullptr || v->kind != json::Value::kNumber) return false;
+  *out = v->number;
+  return true;
+}
+bool ParseStat(const json::Value* v, int64_t* out) {
+  if (v == nullptr || v->kind != json::Value::kNumber) return false;
+  *out = AsInt64(v->number);
+  return true;
+}
+bool ParseStat(const json::Value* v, bool* out) {
+  if (v == nullptr || v->kind != json::Value::kBool) return false;
+  *out = v->boolean;
+  return true;
+}
+bool ParseStat(const json::Value* v, cp::SearchStats* out) {
+  if (v == nullptr || v->kind != json::Value::kObject) return false;
+  cp::SearchStats s;
+  if (!ParseStat(v->Find("nodes"), &s.nodes)) return false;
+  if (!ParseStat(v->Find("fails"), &s.fails)) return false;
+  if (!ParseStat(v->Find("leaves"), &s.leaves)) return false;
+  if (!ParseStat(v->Find("monitor_prunes"), &s.monitor_prunes)) return false;
+  if (!ParseStat(v->Find("completed"), &s.completed)) return false;
+  *out = s;
+  return true;
+}
+bool ParseStat(const json::Value* v, LatencyHistogram* out) {
+  if (v == nullptr || v->kind != json::Value::kString) return false;
+  LatencyHistogram h;
+  if (!DecodeHistogram(v->str, &h)) return false;
+  *out = h;
+  return true;
+}
+bool ParseStat(const json::Value* v, EstimatorAccuracy* out) {
+  if (v == nullptr || v->kind != json::Value::kArray) return false;
+  if (v->arr.size() != EstimatorAccuracy::kMaxLevels) return false;
+  EstimatorAccuracy a;
+  for (int i = 0; i < EstimatorAccuracy::kMaxLevels; ++i) {
+    const json::Value& lv = v->arr[i];
+    if (lv.kind != json::Value::kArray || lv.arr.size() != 5) return false;
+    EstimatorAccuracy::Level l;
+    for (const json::Value& field : lv.arr) {
+      if (field.kind != json::Value::kNumber) return false;
+    }
+    l.samples = AsInt64(lv.arr[0].number);
+    l.contained = AsInt64(lv.arr[1].number);
+    l.wasted = AsInt64(lv.arr[2].number);
+    l.width_sum = lv.arr[3].number;
+    l.abs_err_sum = lv.arr[4].number;
+    a.OverrideLevel(i, l);
+  }
+  *out = a;
+  return true;
+}
+
+void AppendNodeJson(std::string& out, const ProfileNode& n) {
+  out += "{\"name\":";
+  json::AppendQuoted(out, n.name);
+  out += ",\"count\":" + std::to_string(n.count) +
+         ",\"total_ns\":" + std::to_string(n.total_ns) +
+         ",\"max_ns\":" + std::to_string(n.max_ns);
+  if (!n.children.empty()) {
+    out += ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendNodeJson(out, n.children[i]);
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+Status ParseNode(const json::Value& v, ProfileNode* out) {
+  if (v.kind != json::Value::kObject) {
+    return InvalidArgumentError("profile node is not an object");
+  }
+  const json::Value* name = v.Find("name");
+  if (name == nullptr || name->kind != json::Value::kString) {
+    return InvalidArgumentError("profile node lacks a name");
+  }
+  out->name = name->str;
+  out->count = AsInt64(json::NumberOr(v.Find("count"), 0));
+  out->total_ns = AsInt64(json::NumberOr(v.Find("total_ns"), 0));
+  out->max_ns = AsInt64(json::NumberOr(v.Find("max_ns"), 0));
+  if (const json::Value* kids = v.Find("children")) {
+    if (kids->kind != json::Value::kArray) {
+      return InvalidArgumentError("profile node children is not an array");
+    }
+    out->children.resize(kids->arr.size());
+    for (size_t i = 0; i < kids->arr.size(); ++i) {
+      if (Status s = ParseNode(kids->arr[i], &out->children[i]); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ProfileToJson(const QueryProfile& p) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"version\":1,\"query\":";
+  AppendNodeJson(out, p.root);
+  out += ",\"stats\":{";
+  bool first = true;
+#define DQR_PROFILE_EMIT(type, name, init, agg, help) \
+  if (!first) out += ',';                             \
+  first = false;                                      \
+  out += "\"" #name "\":";                            \
+  AppendStat(out, p.stats.name);
+  DQR_RUN_STATS_FIELDS(DQR_PROFILE_EMIT)
+#undef DQR_PROFILE_EMIT
+  out += "},\"trace\":{\"emitted\":" + std::to_string(p.trace_emitted) +
+         ",\"dropped\":" + std::to_string(p.trace_dropped) + "}}";
+  return out;
+}
+
+Result<QueryProfile> ProfileFromJson(const std::string& text) {
+  Result<json::Value> root = json::Parse(text);
+  if (!root.ok()) return root.status();
+  const json::Value& doc = root.value();
+  if (doc.kind != json::Value::kObject) {
+    return InvalidArgumentError("profile root is not an object");
+  }
+  const double version = json::NumberOr(doc.Find("version"), 0);
+  if (version != 1) {
+    return InvalidArgumentError("unsupported profile version " +
+                                std::to_string(static_cast<int>(version)));
+  }
+  const json::Value* query = doc.Find("query");
+  if (query == nullptr) {
+    return InvalidArgumentError("profile lacks a query tree");
+  }
+  QueryProfile p;
+  if (Status s = ParseNode(*query, &p.root); !s.ok()) return s;
+  const json::Value* stats = doc.Find("stats");
+  if (stats == nullptr || stats->kind != json::Value::kObject) {
+    return InvalidArgumentError("profile lacks a stats object");
+  }
+  // Missing fields keep their defaults (a profile written before a field
+  // existed still loads); present-but-malformed fields are an error.
+#define DQR_PROFILE_PARSE(type, name, init, agg, help)             \
+  if (const json::Value* v = stats->Find(#name)) {                 \
+    if (!ParseStat(v, &p.stats.name)) {                            \
+      return InvalidArgumentError("malformed stats field " #name); \
+    }                                                              \
+  }
+  DQR_RUN_STATS_FIELDS(DQR_PROFILE_PARSE)
+#undef DQR_PROFILE_PARSE
+  if (const json::Value* trace = doc.Find("trace")) {
+    p.trace_emitted = AsInt64(json::NumberOr(trace->Find("emitted"), 0));
+    p.trace_dropped = AsInt64(json::NumberOr(trace->Find("dropped"), 0));
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Pretty report.
+
+namespace {
+
+void AppendTree(std::string& out, const ProfileNode& n, int depth) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += n.name;
+  out += " count=" + std::to_string(n.count);
+  if (n.total_ns > 0) {
+    out += " busy=" + FormatNs(static_cast<double>(n.total_ns));
+    out += " max=" + FormatNs(static_cast<double>(n.max_ns));
+  }
+  out += '\n';
+  for (const ProfileNode& c : n.children) AppendTree(out, c, depth + 1);
+}
+
+// Section buffers the X-macro routes each stats field into by type.
+struct StatsSections {
+  std::string timings;
+  std::string counters;
+  std::string search;
+  std::string latency;
+  std::string accuracy;
+};
+
+void AddField(StatsSections& s, const char* name, double v) {
+  if (v == 0.0) return;
+  s.timings += "  " + std::string(name) + "=" + FormatShort(v) + "\n";
+}
+void AddField(StatsSections& s, const char* name, int64_t v) {
+  if (v == 0) return;
+  s.counters += "  " + std::string(name) + "=" + std::to_string(v) + "\n";
+}
+void AddField(StatsSections& s, const char* name, bool v) {
+  // `completed` is the only bool; only its abnormal state is news.
+  if (v) return;
+  s.counters += "  " + std::string(name) + "=false\n";
+}
+void AddField(StatsSections& s, const char* name, const cp::SearchStats& v) {
+  if (v.nodes == 0 && v.fails == 0 && v.leaves == 0) return;
+  s.search += "  " + std::string(name) + " nodes=" + std::to_string(v.nodes) +
+              " fails=" + std::to_string(v.fails) +
+              " leaves=" + std::to_string(v.leaves) +
+              " monitor_prunes=" + std::to_string(v.monitor_prunes) + "\n";
+}
+void AddField(StatsSections& s, const char* name, const LatencyHistogram& v) {
+  if (v.empty()) return;
+  s.latency += "  " + std::string(name) + " " + FormatLatencySummary(v) + "\n";
+}
+void AddField(StatsSections& s, const char* name, const EstimatorAccuracy& v) {
+  if (v.empty()) return;
+  for (int i = 0; i < EstimatorAccuracy::kMaxLevels; ++i) {
+    const EstimatorAccuracy::Level& l = v.level(i);
+    if (l.samples == 0) continue;
+    const double n = static_cast<double>(l.samples);
+    s.accuracy += "  level " + std::to_string(i) +
+                  " samples=" + std::to_string(l.samples) + " contained=" +
+                  FormatPercent(static_cast<double>(l.contained) / n) +
+                  " wasted=" +
+                  FormatPercent(static_cast<double>(l.wasted) / n) +
+                  " mean_width=" + FormatShort(l.width_sum / n) +
+                  " mean_abs_err=" + FormatShort(l.abs_err_sum / n) + "\n";
+  }
+  (void)name;
+}
+
+}  // namespace
+
+std::string FormatProfile(const QueryProfile& p) {
+  std::string out;
+  out.reserve(4096);
+  AppendTree(out, p.root, 0);
+  out += "trace emitted=" + std::to_string(p.trace_emitted) +
+         " dropped=" + std::to_string(p.trace_dropped) + "\n";
+
+  StatsSections s;
+#define DQR_PROFILE_FORMAT(type, name, init, agg, help) \
+  AddField(s, #name, p.stats.name);
+  DQR_RUN_STATS_FIELDS(DQR_PROFILE_FORMAT)
+#undef DQR_PROFILE_FORMAT
+  if (!s.latency.empty()) out += "latency\n" + s.latency;
+  if (!s.accuracy.empty()) out += "estimator accuracy\n" + s.accuracy;
+  if (!s.timings.empty()) out += "timings (s)\n" + s.timings;
+  if (!s.search.empty()) out += "search\n" + s.search;
+  if (!s.counters.empty()) out += "counters\n" + s.counters;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Diff.
+
+namespace {
+
+void DiffTree(std::string& out, const std::string& path,
+              const ProfileNode* a, const ProfileNode* b) {
+  const int64_t at = a != nullptr ? a->total_ns : 0;
+  const int64_t bt = b != nullptr ? b->total_ns : 0;
+  const int64_t ac = a != nullptr ? a->count : 0;
+  const int64_t bc = b != nullptr ? b->count : 0;
+  if (at != 0 || bt != 0) {
+    out += "  " + path + ": " + FormatNs(static_cast<double>(at)) + " -> " +
+           FormatNs(static_cast<double>(bt)) + " (" +
+           PercentDelta(static_cast<double>(at), static_cast<double>(bt)) +
+           ")\n";
+  } else if (ac != 0 || bc != 0) {
+    out += "  " + path + ": " + std::to_string(ac) + " -> " +
+           std::to_string(bc) + " (" +
+           PercentDelta(static_cast<double>(ac), static_cast<double>(bc)) +
+           ")\n";
+  }
+  // Union of child names, A's order first, then B-only children.
+  std::vector<std::string> names;
+  if (a != nullptr) {
+    for (const ProfileNode& c : a->children) names.push_back(c.name);
+  }
+  if (b != nullptr) {
+    for (const ProfileNode& c : b->children) {
+      if (std::find(names.begin(), names.end(), c.name) == names.end()) {
+        names.push_back(c.name);
+      }
+    }
+  }
+  for (const std::string& name : names) {
+    const ProfileNode* ca = a != nullptr ? a->Find(name) : nullptr;
+    const ProfileNode* cb = b != nullptr ? b->Find(name) : nullptr;
+    DiffTree(out, path + "/" + name, ca, cb);
+  }
+}
+
+struct DiffSections {
+  std::string latency;
+  std::string timings;
+  std::string counters;
+};
+
+void DiffField(DiffSections& s, const char* name, double a, double b) {
+  if (a == 0.0 && b == 0.0) return;
+  s.timings += "  " + std::string(name) + ": " + FormatShort(a) + " -> " +
+               FormatShort(b) + " (" + PercentDelta(a, b) + ")\n";
+}
+void DiffField(DiffSections& s, const char* name, int64_t a, int64_t b) {
+  if (a == 0 && b == 0) return;
+  s.counters += "  " + std::string(name) + ": " + std::to_string(a) +
+                " -> " + std::to_string(b) + " (" +
+                PercentDelta(static_cast<double>(a),
+                             static_cast<double>(b)) +
+                ")\n";
+}
+void DiffField(DiffSections& s, const char* name, bool a, bool b) {
+  if (a == b) return;
+  s.counters += "  " + std::string(name) + ": " +
+                (a ? "true" : "false") + " -> " + (b ? "true" : "false") +
+                "\n";
+}
+void DiffField(DiffSections& s, const char* name, const cp::SearchStats& a,
+               const cp::SearchStats& b) {
+  DiffField(s, (std::string(name) + "_nodes").c_str(), a.nodes, b.nodes);
+  DiffField(s, (std::string(name) + "_fails").c_str(), a.fails, b.fails);
+  DiffField(s, (std::string(name) + "_leaves").c_str(), a.leaves, b.leaves);
+}
+void DiffField(DiffSections& s, const char* name, const LatencyHistogram& a,
+               const LatencyHistogram& b) {
+  if (a.empty() && b.empty()) return;
+  s.latency += "  " + std::string(name) + " p50: " +
+               FormatNs(static_cast<double>(a.p50_ns())) + " -> " +
+               FormatNs(static_cast<double>(b.p50_ns())) + " (" +
+               PercentDelta(static_cast<double>(a.p50_ns()),
+                            static_cast<double>(b.p50_ns())) +
+               ")  p95: " + FormatNs(static_cast<double>(a.p95_ns())) +
+               " -> " + FormatNs(static_cast<double>(b.p95_ns())) + " (" +
+               PercentDelta(static_cast<double>(a.p95_ns()),
+                            static_cast<double>(b.p95_ns())) +
+               ")\n";
+}
+void DiffField(DiffSections& s, const char* name, const EstimatorAccuracy& a,
+               const EstimatorAccuracy& b) {
+  if (a.empty() && b.empty()) return;
+  DiffField(s, (std::string(name) + "_samples").c_str(), a.total_samples(),
+            b.total_samples());
+}
+
+}  // namespace
+
+std::string DiffProfiles(const QueryProfile& a, const QueryProfile& b) {
+  std::string out;
+  out.reserve(4096);
+  out += "tree busy (A -> B)\n";
+  DiffTree(out, "query", &a.root, &b.root);
+
+  DiffSections s;
+#define DQR_PROFILE_DIFF(type, name, init, agg, help) \
+  DiffField(s, #name, a.stats.name, b.stats.name);
+  DQR_RUN_STATS_FIELDS(DQR_PROFILE_DIFF)
+#undef DQR_PROFILE_DIFF
+  if (!s.latency.empty()) out += "latency\n" + s.latency;
+  if (!s.timings.empty()) out += "timings (s)\n" + s.timings;
+  if (!s.counters.empty()) out += "counters\n" + s.counters;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+
+Profile::Profile() : trace_(std::make_unique<Trace>()) {}
+Profile::~Profile() = default;
+
+}  // namespace dqr::obs

@@ -1,0 +1,122 @@
+#ifndef DQR_OBS_PROFILE_H_
+#define DQR_OBS_PROFILE_H_
+
+// Per-query hierarchical profiler (DESIGN.md §12).
+//
+// A QueryProfile is assembled *after* the query from the flight-recorder
+// rings: the engine never records into profile structures on the hot
+// path. The attribution tree is phase → site → instance:
+//
+//   query                      wall-clock envelope
+//     collecting               coordinator phase (from t=0)
+//       shard_execute          site = trace event name
+//         i0/solver            instance/role leaf: count, busy, max
+//         i1/solver
+//       validate
+//         i0/validator
+//     constraining | relaxing  phases opened by the phase_* instants
+//       ...
+//
+// Span events contribute count/busy/max at the leaf; instants and
+// counters (mrp/mrk updates, cache outcomes, shard pickups) contribute
+// counts only. Interior nodes aggregate their children, so a phase's
+// "busy" is summed across threads and may exceed wall time — that is the
+// point: it is the parallel work the phase absorbed. Events are
+// attributed to the phase that was current when their span *began*;
+// unbalanced spans (ring overwrote the matching Begin or the End never
+// came) are dropped deterministically.
+//
+// The embedded core::RunStats carries everything the tree cannot: the
+// latency histograms (query/bound/steal/admission), the
+// estimator-accuracy ledger, and every engine counter — serialized
+// through the same DQR_RUN_STATS_FIELDS X-macro that drives the struct,
+// so the JSON codec can never drift from the field table.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stats.h"
+#include "obs/trace.h"
+
+namespace dqr::obs {
+
+// One node of the attribution tree. `count` is spans closed (or instants
+// seen), `total_ns` summed span duration ("busy"), `max_ns` the longest
+// single span.
+struct ProfileNode {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t max_ns = 0;
+  std::vector<ProfileNode> children;
+
+  // Find-or-append; appended children keep first-encounter order.
+  ProfileNode& Child(const std::string& child_name);
+  const ProfileNode* Find(const std::string& child_name) const;
+};
+
+// The complete per-query profile: attribution tree + engine stats +
+// flight-recorder accounting (dropped > 0 means the tree undercounts).
+struct QueryProfile {
+  ProfileNode root;  // name "query"; total_ns = wall time
+  core::RunStats stats;
+  int64_t trace_emitted = 0;
+  int64_t trace_dropped = 0;
+};
+
+// Builds the tree from the rings of `trace` that belong to query `epoch`.
+QueryProfile AssembleProfile(const Trace& trace, int epoch,
+                             const core::RunStats& stats);
+
+// JSON codec: exact round trip (tree, every RunStats field, histogram
+// buckets). The wire format is versioned; FromJson rejects documents it
+// does not understand rather than guessing.
+std::string ProfileToJson(const QueryProfile& p);
+Result<QueryProfile> ProfileFromJson(const std::string& text);
+
+// Pretty tree report (dqr_profile, serve EXPLAIN): attribution tree,
+// latency summaries, estimator-accuracy table, nonzero counters.
+std::string FormatProfile(const QueryProfile& p);
+
+// Regression-triage diff: per-path busy deltas, latency-quantile deltas,
+// counter deltas, each with a percent change ("dqr_profile --diff A B").
+std::string DiffProfiles(const QueryProfile& a, const QueryProfile& b);
+
+// The engine-facing sink (`RefineOptions::profile`). Owns a private
+// Trace so profiling works with or without a caller-supplied trace:
+// when RefineOptions::trace is null, ExecuteQuery records into
+// internal_trace() and assembles from it; when the caller passed a
+// trace, that one is used for both tracing and profiling. Assembly is
+// coordinator-side, after Join — record/Assemble must not race.
+class Profile {
+ public:
+  Profile();
+  ~Profile();
+  Profile(const Profile&) = delete;
+  Profile& operator=(const Profile&) = delete;
+
+  Trace& internal_trace() { return *trace_; }
+
+  void Assemble(const Trace& trace, int epoch, const core::RunStats& stats) {
+    profile_ = AssembleProfile(trace, epoch, stats);
+  }
+
+  // Post-assembly stamp for stats measured outside the engine (the
+  // session layer times admission around ExecuteQuery).
+  void RecordAdmissionWait(double seconds) {
+    profile_.stats.admission_wait_s = seconds;
+    profile_.stats.admission_wait.RecordSeconds(seconds);
+  }
+
+  const QueryProfile& query() const { return profile_; }
+
+ private:
+  std::unique_ptr<Trace> trace_;
+  QueryProfile profile_;
+};
+
+}  // namespace dqr::obs
+
+#endif  // DQR_OBS_PROFILE_H_

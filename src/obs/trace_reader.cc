@@ -1,5 +1,7 @@
 #include "obs/trace_reader.h"
 
+#include "obs/json_util.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -9,211 +11,15 @@
 namespace dqr::obs {
 namespace {
 
-// ------------------------------------------------------------------
-// Minimal recursive-descent JSON parser: just enough for trace_event
-// documents (objects, arrays, strings with simple escapes, numbers,
-// true/false/null). Errors carry the byte offset.
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    JsonValue v;
-    if (Status s = ParseValue(v); !s.ok()) return s;
-    SkipSpace();
-    if (pos_ != text_.size()) return Error("trailing content");
-    return v;
-  }
-
- private:
-  Status Error(const std::string& what) const {
-    return InvalidArgumentError("JSON error at byte " +
-                                std::to_string(pos_) + ": " + what);
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status ParseValue(JsonValue& out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out.kind = JsonValue::kString;
-      return ParseString(out.str);
-    }
-    if (c == 't' || c == 'f') return ParseKeyword(out);
-    if (c == 'n') return ParseKeyword(out);
-    return ParseNumber(out);
-  }
-
-  Status ParseObject(JsonValue& out) {
-    out.kind = JsonValue::kObject;
-    ++pos_;  // '{'
-    if (Consume('}')) return Status::Ok();
-    while (true) {
-      SkipSpace();
-      std::string key;
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        return Error("expected object key");
-      }
-      if (Status s = ParseString(key); !s.ok()) return s;
-      if (!Consume(':')) return Error("expected ':'");
-      JsonValue value;
-      if (Status s = ParseValue(value); !s.ok()) return s;
-      out.obj.emplace_back(std::move(key), std::move(value));
-      if (Consume(',')) continue;
-      if (Consume('}')) return Status::Ok();
-      return Error("expected ',' or '}'");
-    }
-  }
-
-  Status ParseArray(JsonValue& out) {
-    out.kind = JsonValue::kArray;
-    ++pos_;  // '['
-    if (Consume(']')) return Status::Ok();
-    while (true) {
-      JsonValue value;
-      if (Status s = ParseValue(value); !s.ok()) return s;
-      out.arr.push_back(std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return Status::Ok();
-      return Error("expected ',' or ']'");
-    }
-  }
-
-  Status ParseString(std::string& out) {
-    ++pos_;  // '"'
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return Status::Ok();
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Error("bad \\u escape");
-          }
-          // The exporter never emits non-ASCII; anything else decodes to
-          // '?' rather than growing a full UTF-16 decoder here.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default:
-          return Error("unknown escape");
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  Status ParseKeyword(JsonValue& out) {
-    auto match = [&](const char* kw) {
-      const size_t n = std::string(kw).size();
-      if (text_.compare(pos_, n, kw) != 0) return false;
-      pos_ += n;
-      return true;
-    };
-    if (match("true")) {
-      out.kind = JsonValue::kBool;
-      out.boolean = true;
-      return Status::Ok();
-    }
-    if (match("false")) {
-      out.kind = JsonValue::kBool;
-      out.boolean = false;
-      return Status::Ok();
-    }
-    if (match("null")) {
-      out.kind = JsonValue::kNull;
-      return Status::Ok();
-    }
-    return Error("unknown keyword");
-  }
-
-  Status ParseNumber(JsonValue& out) {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' ||
-            text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected value");
-    out.kind = JsonValue::kNumber;
-    char* end = nullptr;
-    out.number = std::strtod(text_.c_str() + start, &end);
-    if (end != text_.c_str() + pos_) return Error("malformed number");
-    return Status::Ok();
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-double NumberOr(const JsonValue* v, double fallback) {
-  return v != nullptr && v->kind == JsonValue::kNumber ? v->number
-                                                       : fallback;
-}
+// JSON parsing is shared with the profile codec and the bench gate
+// (obs/json_util.h); the trace-event names below are all this file adds.
+using JsonValue = json::Value;
+using json::NumberOr;
 
 }  // namespace
 
 Result<LoadedTrace> ParseChromeTrace(const std::string& json) {
-  JsonParser parser(json);
-  Result<JsonValue> root = parser.Parse();
+  Result<JsonValue> root = dqr::obs::json::Parse(json);
   if (!root.ok()) return root.status();
   const JsonValue& doc = root.value();
   if (doc.kind != JsonValue::kObject) {

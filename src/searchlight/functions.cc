@@ -1,5 +1,7 @@
 #include "searchlight/functions.h"
 
+#include "obs/histogram.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -250,12 +252,26 @@ WindowFunction::WindowBox WindowFunction::ReadWindow(
   return w;
 }
 
+int WindowFunction::EstimateLevel(const std::vector<int64_t>& point) const {
+  if (ctx_.x_var < 0 || static_cast<size_t>(ctx_.x_var) >= point.size() ||
+      ctx_.len_var < 0 ||
+      static_cast<size_t>(ctx_.len_var) >= point.size()) {
+    return -1;
+  }
+  const int64_t x = point[static_cast<size_t>(ctx_.x_var)];
+  const int64_t l = point[static_cast<size_t>(ctx_.len_var)];
+  const int64_t hi = std::min(array_length(), x + l);
+  if (x < 0 || hi <= x) return -1;
+  return static_cast<int>(ctx_.synopsis->PickLevelIndex(x, hi));
+}
+
 void WindowFunction::ChargeMiss() const {
   ChargeCost(ctx_.estimate_cost_ns, ctx_.cost_is_latency);
 }
 
 Interval WindowFunction::CachedValueBounds(int64_t lo, int64_t hi) {
   if (const Interval* hit = cache_.Find(kKindValue, lo, hi)) return *hit;
+  const obs::ScopedSinkTimer bound_timer;
   ChargeMiss();
   const Interval result = ctx_.synopsis->ValueBounds(lo, hi);
   cache_.Insert(kKindValue, lo, hi, result);
@@ -264,6 +280,7 @@ Interval WindowFunction::CachedValueBounds(int64_t lo, int64_t hi) {
 
 Interval WindowFunction::CachedMaxBounds(int64_t lo, int64_t hi) {
   if (const Interval* hit = cache_.Find(kKindMax, lo, hi)) return *hit;
+  const obs::ScopedSinkTimer bound_timer;
   ChargeMiss();
   const Interval result = ctx_.synopsis->MaxBounds(lo, hi);
   cache_.Insert(kKindMax, lo, hi, result);
@@ -272,6 +289,7 @@ Interval WindowFunction::CachedMaxBounds(int64_t lo, int64_t hi) {
 
 Interval WindowFunction::CachedMinBounds(int64_t lo, int64_t hi) {
   if (const Interval* hit = cache_.Find(kKindMin, lo, hi)) return *hit;
+  const obs::ScopedSinkTimer bound_timer;
   ChargeMiss();
   const Interval result = ctx_.synopsis->MinBounds(lo, hi);
   cache_.Insert(kKindMin, lo, hi, result);
@@ -319,6 +337,7 @@ Interval AvgFunction::Estimate(const cp::DomainBox& box) {
     DQR_CHECK(hi > w.x_lo);
     // Window sums are keyed by (x, l) pairs that rarely repeat, so they
     // are not memoized; the estimation cost is charged directly.
+    const obs::ScopedSinkTimer bound_timer;
     ChargeMiss();
     return synopsis().AvgBounds(w.x_lo, hi);
   }

@@ -146,6 +146,10 @@ class WindowFunction : public cp::ConstraintFunction {
 
   Interval value_range() const override { return value_range_; }
 
+  // Synopsis level the estimator consults for the candidate's own window
+  // — the profiler's per-level accuracy attribution.
+  int EstimateLevel(const std::vector<int64_t>& point) const override;
+
   std::unique_ptr<cp::FunctionState> SaveState(
       const cp::DomainBox& box) const override;
   void RestoreState(const cp::FunctionState& state) override;

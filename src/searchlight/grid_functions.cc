@@ -1,5 +1,7 @@
 #include "searchlight/grid_functions.h"
 
+#include "obs/histogram.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -92,6 +94,23 @@ RectFunction::RectBox RectFunction::ReadRect(
   return r;
 }
 
+int RectFunction::EstimateLevel(const std::vector<int64_t>& point) const {
+  const auto read = [&point](int var, int64_t* out) {
+    if (var < 0 || static_cast<size_t>(var) >= point.size()) return false;
+    *out = point[static_cast<size_t>(var)];
+    return true;
+  };
+  int64_t y = 0, x = 0, h = 0, w = 0;
+  if (!read(ctx_.y_var, &y) || !read(ctx_.x_var, &x) ||
+      !read(ctx_.h_var, &h) || !read(ctx_.w_var, &w)) {
+    return -1;
+  }
+  const int64_t r1 = std::min(grid_rows(), y + h);
+  const int64_t c1 = std::min(grid_cols(), x + w);
+  if (y < 0 || x < 0 || r1 <= y || c1 <= x) return -1;
+  return static_cast<int>(ctx_.synopsis->PickLevelIndex(y, r1, x, c1));
+}
+
 void RectFunction::ChargeMiss() const { BusyWait(ctx_.estimate_cost_ns); }
 
 Interval RectFunction::CachedValueBounds(int64_t r0, int64_t r1,
@@ -101,6 +120,7 @@ Interval RectFunction::CachedValueBounds(int64_t r0, int64_t r1,
   if (const Interval* hit = cache_.Find(kKindRectValue, klo, khi)) {
     return *hit;
   }
+  const obs::ScopedSinkTimer bound_timer;
   ChargeMiss();
   const Interval result = ctx_.synopsis->ValueBounds(r0, r1, c0, c1);
   cache_.Insert(kKindRectValue, klo, khi, result);
@@ -114,6 +134,7 @@ Interval RectFunction::CachedMaxBounds(int64_t r0, int64_t r1, int64_t c0,
   if (const Interval* hit = cache_.Find(kKindRectMax, klo, khi)) {
     return *hit;
   }
+  const obs::ScopedSinkTimer bound_timer;
   ChargeMiss();
   const Interval result = ctx_.synopsis->MaxBounds(r0, r1, c0, c1);
   cache_.Insert(kKindRectMax, klo, khi, result);
@@ -170,6 +191,7 @@ Interval RectAvgFunction::Estimate(const cp::DomainBox& box) {
     const int64_t r1 = std::min(grid_rows(), r.y_lo + r.h_lo);
     const int64_t c1 = std::min(grid_cols(), r.x_lo + r.w_lo);
     DQR_CHECK(r1 > r.y_lo && c1 > r.x_lo);
+    const obs::ScopedSinkTimer bound_timer;
     ChargeMiss();
     return synopsis().AvgBounds(r.y_lo, r1, r.x_lo, c1);
   }

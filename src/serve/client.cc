@@ -126,10 +126,23 @@ Result<QueryRun> Client::RunQuery(const Frame& query) {
     }
     if (f.type == frame::kFinal) {
       run.final = std::move(f);
-      return run;
+      break;
     }
     run.events.push_back(std::move(f));
   }
+  // profile=1 queries get exactly one PROFILE frame behind the FINAL.
+  const std::string* profile = query.Get("profile");
+  if (profile != nullptr && *profile == "1") {
+    Result<Frame> next = Receive();
+    if (!next.ok()) return next.status();
+    Frame f = std::move(next).value();
+    const std::string* fid = f.Get("id");
+    if (f.type != frame::kProfile || fid == nullptr || *fid != *id) {
+      return InternalError("expected PROFILE after FINAL, got " + f.type);
+    }
+    run.profile_json = std::move(f.body);
+  }
+  return run;
 }
 
 Result<std::string> Client::FetchMetrics(const std::string& id) {
@@ -162,6 +175,23 @@ Result<std::string> Client::FetchTrace(const std::string& id) {
   }
   if (reply.value().type != frame::kTrace) {
     return InternalError("expected TRACE, got " + reply.value().type);
+  }
+  return std::move(reply).value().body;
+}
+
+Result<std::string> Client::FetchProfile(const std::string& id) {
+  Frame req;
+  req.type = frame::kProfile;
+  req.Set("id", id);
+  Status st = Send(req);
+  if (!st.ok()) return st;
+  Result<Frame> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == frame::kError) {
+    return InternalError("PROFILE failed: " + reply.value().body);
+  }
+  if (reply.value().type != frame::kProfile) {
+    return InternalError("expected PROFILE, got " + reply.value().type);
   }
   return std::move(reply).value().body;
 }

@@ -14,6 +14,9 @@ struct QueryRun {
   // PHASE / BOUND / RESULT frames as received, before the FINAL.
   std::vector<Frame> events;
   Frame final;  // the FINAL frame (body = canonical answer)
+  // Body of the PROFILE frame pushed behind the FINAL (queries submitted
+  // with profile=1); empty otherwise. Feed to obs::ProfileFromJson.
+  std::string profile_json;
 
   const std::string& canonical() const { return final.body; }
   std::string fingerprint() const {
@@ -60,6 +63,9 @@ class Client {
   Result<std::string> FetchMetrics(const std::string& id = "");
   // TRACE round trip; returns the Chrome JSON body.
   Result<std::string> FetchTrace(const std::string& id);
+  // PROFILE round trip; returns the profile JSON body (obs/profile.h)
+  // of a completed query that ran with profile=1.
+  Result<std::string> FetchProfile(const std::string& id);
 
  private:
   int fd_ = -1;

@@ -31,9 +31,12 @@ namespace dqr::serve {
 //   HELLO tenant=t             -> WELCOME tenant=t proto=1
 //   QUERY id=q dataset=d ...   -> ACCEPTED, then streamed PHASE /
 //     (body: text-IR query)       BOUND / RESULT frames, terminated by
-//                                 FINAL (or ERROR)
+//                                 FINAL (or ERROR); with profile=1 a
+//                                 PROFILE frame follows the FINAL
 //   METRICS [id=q]             -> METRICS (body: Prometheus text)
 //   TRACE id=q                 -> TRACE (body: Chrome trace JSON)
+//   PROFILE id=q               -> PROFILE (body: profile JSON, see
+//                                 obs/profile.h)
 //   BYE                        -> BYE, connection closes
 // Every server frame about a query carries its id= attribute, so a
 // client may pipeline queries on one connection.
@@ -52,6 +55,7 @@ inline constexpr char kFinal[] = "FINAL";
 inline constexpr char kError[] = "ERROR";
 inline constexpr char kMetrics[] = "METRICS";
 inline constexpr char kTrace[] = "TRACE";
+inline constexpr char kProfile[] = "PROFILE";
 inline constexpr char kBye[] = "BYE";
 }  // namespace frame
 

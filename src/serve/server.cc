@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,7 +17,9 @@
 #include "core/canonical.h"
 #include "data/query_parser.h"
 #include "obs/export_chrome.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace dqr::serve {
@@ -66,15 +69,19 @@ std::string FunctionId(const data::ParsedConstraint& c) {
 // Builds RefineOptions from a QUERY frame's attributes. Unknown
 // attributes are rejected, so a typo cannot silently run with defaults.
 Status OptionsFromFrame(const Frame& frame, core::RefineOptions* opts,
-                        bool* cached, bool* want_trace) {
+                        bool* cached, bool* want_trace,
+                        bool* want_profile) {
   *cached = false;
   *want_trace = false;
+  *want_profile = false;
   for (const auto& [key, value] : frame.attrs) {
     if (key == "id" || key == "dataset") continue;
     if (key == "cached") {
       *cached = value == "1";
     } else if (key == "trace") {
       *want_trace = value == "1";
+    } else if (key == "profile") {
+      *want_profile = value == "1";
     } else if (key == "alpha") {
       auto v = frame.GetDouble(key, opts->alpha);
       if (!v.ok()) return v.status();
@@ -233,6 +240,36 @@ Status Server::Start() {
   socklen_t len = sizeof(addr);
   getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  if (options_.http_metrics_port >= 0) {
+    const int hfd = socket(AF_INET, SOCK_STREAM, 0);
+    if (hfd < 0) {
+      close(fd);
+      running_ = false;
+      return InternalError(std::string("socket(): ") + strerror(errno));
+    }
+    setsockopt(hfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in haddr{};
+    haddr.sin_family = AF_INET;
+    haddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    haddr.sin_port =
+        htons(static_cast<uint16_t>(options_.http_metrics_port));
+    if (bind(hfd, reinterpret_cast<sockaddr*>(&haddr), sizeof(haddr)) !=
+            0 ||
+        listen(hfd, options_.backlog) != 0) {
+      const std::string err = strerror(errno);
+      close(hfd);
+      close(fd);
+      running_ = false;
+      return InternalError(
+          "http metrics bind(127.0.0.1:" +
+          std::to_string(options_.http_metrics_port) + "): " + err);
+    }
+    socklen_t hlen = sizeof(haddr);
+    getsockname(hfd, reinterpret_cast<sockaddr*>(&haddr), &hlen);
+    http_port_ = ntohs(haddr.sin_port);
+    http_listen_fd_.store(hfd);
+    http_thread_ = std::thread([this] { HttpLoop(); });
+  }
   listen_fd_.store(fd);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -250,6 +287,12 @@ void Server::Stop() {
     close(lfd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  const int hfd = http_listen_fd_.exchange(-1);
+  if (hfd >= 0) {
+    shutdown(hfd, SHUT_RDWR);
+    close(hfd);
+  }
+  if (http_thread_.joinable()) http_thread_.join();
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -327,6 +370,65 @@ void Server::AcceptLoop() {
   }
 }
 
+void Server::HttpLoop() {
+  while (running_) {
+    const int lfd = http_listen_fd_.load();
+    if (lfd < 0) break;
+    const int fd = accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) break;
+      continue;
+    }
+    // One request per connection, HTTP/1.0 close semantics: read the
+    // request line, answer, hang up. A stalled client cannot wedge
+    // Stop() past the receive timeout.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    std::string request;
+    char buf[2048];
+    while (request.find('\n') == std::string::npos &&
+           request.size() < 16384) {
+      const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+    size_t eol = request.find('\n');
+    if (eol == std::string::npos) eol = request.size();
+    std::string line = request.substr(0, eol);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    std::string response;
+    if (line.rfind("GET /metrics", 0) == 0 &&
+        (line.size() == 12 || line[12] == ' ')) {
+      const std::string body = MetricsText();
+      response =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+    } else {
+      const std::string body = "not found (try GET /metrics)\n";
+      response =
+          "HTTP/1.0 404 Not Found\r\n"
+          "Content-Type: text/plain; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+    }
+    WriteAll(fd, response);
+    close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.http_requests;
+  }
+}
+
 void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
   FrameReader reader;
   char buf[4096];
@@ -394,6 +496,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     HandleMetrics(conn, frame);
   } else if (frame.type == frame::kTrace) {
     HandleTrace(conn, frame);
+  } else if (frame.type == frame::kProfile) {
+    HandleProfile(conn, frame);
   } else if (frame.type == frame::kBye) {
     Frame bye;
     bye.type = frame::kBye;
@@ -440,7 +544,9 @@ void Server::RunQuery(std::shared_ptr<Connection> conn, Frame frame) {
   core::RefineOptions opts;
   bool cached = false;
   bool want_trace = false;
-  Status st = OptionsFromFrame(frame, &opts, &cached, &want_trace);
+  bool want_profile = false;
+  Status st =
+      OptionsFromFrame(frame, &opts, &cached, &want_trace, &want_profile);
   if (!st.ok()) {
     fail(kErrBadFrame, st.message());
     return;
@@ -461,6 +567,11 @@ void Server::RunQuery(std::shared_ptr<Connection> conn, Frame frame) {
   if (want_trace) {
     trace = std::make_shared<obs::Trace>();
     opts.trace = trace.get();
+  }
+  std::shared_ptr<obs::Profile> profile;
+  if (want_profile) {
+    profile = std::make_shared<obs::Profile>();
+    opts.profile = profile.get();
   }
   // Stream every confirmed result and every bound improvement as it
   // happens — the incremental half of the protocol. The callbacks run
@@ -549,6 +660,11 @@ void Server::RunQuery(std::shared_ptr<Connection> conn, Frame frame) {
   // Record and count before FINAL goes out: a client that has seen the
   // answer must be able to fetch the query's record (METRICS id= /
   // TRACE id=) and observe the completion counter immediately.
+  std::shared_ptr<const std::string> profile_json;
+  if (profile != nullptr) {
+    profile_json = std::make_shared<const std::string>(
+        obs::ProfileToJson(profile->query()));
+  }
   QueryRecord record;
   record.id = id;
   record.tenant = tenant;
@@ -557,12 +673,22 @@ void Server::RunQuery(std::shared_ptr<Connection> conn, Frame frame) {
   record.fingerprint = fingerprint;
   record.outcome = outcome;
   record.trace = trace;
+  record.profile_json = profile_json;
   RecordQuery(std::move(record));
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries_completed;
   }
   SendFrame(conn, final_frame);
+  // The profile rides behind the FINAL: clients that asked for profile=1
+  // read exactly one more frame; everyone else never sees it.
+  if (profile_json != nullptr) {
+    Frame profile_frame;
+    profile_frame.type = frame::kProfile;
+    profile_frame.Set("id", id);
+    profile_frame.body = *profile_json;
+    SendFrame(conn, profile_frame);
+  }
 }
 
 void Server::HandleMetrics(const std::shared_ptr<Connection>& conn,
@@ -613,6 +739,34 @@ void Server::HandleTrace(const std::shared_ptr<Connection>& conn,
   SendFrame(conn, reply);
 }
 
+void Server::HandleProfile(const std::shared_ptr<Connection>& conn,
+                           const Frame& frame) {
+  const std::string* id = frame.Get("id");
+  if (id == nullptr) {
+    SendError(conn, "-", kErrBadFrame,
+              "PROFILE frame missing id attribute");
+    return;
+  }
+  std::shared_ptr<const QueryRecord> record = FindRecord(*id);
+  if (record == nullptr) {
+    SendError(conn, *id, kErrNotFound,
+              "no completed query with id '" + *id +
+                  "' in the history window");
+    return;
+  }
+  if (record->profile_json == nullptr) {
+    SendError(conn, *id, kErrNotFound,
+              "query '" + *id +
+                  "' ran without profiling (submit with profile=1)");
+    return;
+  }
+  Frame reply;
+  reply.type = frame::kProfile;
+  reply.Set("id", *id);
+  reply.body = *record->profile_json;
+  SendFrame(conn, reply);
+}
+
 std::string Server::MetricsText() const {
   // Aggregate engine stats over the history window, then the serve /
   // tenant / session layers as dqr_serve_* samples.
@@ -624,8 +778,21 @@ std::string Server::MetricsText() const {
     history = history_;
     server_stats = stats_;
   }
-  for (const auto& record : history) agg += record->stats;
+  // Per-tenant latency histograms over the same window: the engine
+  // records query_latency unconditionally, so these populate whether or
+  // not the queries were profiled.
+  std::map<std::string, obs::LatencyHistogram> tenant_latency;
+  for (const auto& record : history) {
+    agg += record->stats;
+    tenant_latency[record->tenant] += record->stats.query_latency;
+  }
   std::string out = obs::MetricsSnapshot(agg, "scope=\"history\"");
+  for (const auto& [name, hist] : tenant_latency) {
+    obs::AppendLatencyHistogram(
+        out, "serve_tenant_query_latency_seconds",
+        "End-to-end latency of completed queries, per tenant",
+        "tenant=\"" + name + "\"", hist);
+  }
   const auto sample = [&out](const std::string& name, const char* help,
                              const char* type, const std::string& labels,
                              double value) {
@@ -646,6 +813,8 @@ std::string Server::MetricsText() const {
          static_cast<double>(server_stats.queries_completed));
   sample("queries_failed", "Queries terminated by ERROR", "counter", "",
          static_cast<double>(server_stats.queries_failed));
+  sample("http_requests", "Requests served by the HTTP metrics gateway",
+         "counter", "", static_cast<double>(server_stats.http_requests));
   for (const auto& [name, t] : scheduler_.Stats()) {
     const std::string labels = "tenant=\"" + name + "\"";
     sample("tenant_weight", "Configured tenant weight", "gauge", labels,

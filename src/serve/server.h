@@ -43,6 +43,11 @@ struct ServerOptions {
   // are byte-identical at any value. Benchmarks and fairness tests use
   // it to give queries a controllable execution weight.
   int64_t estimate_cost_ns = 0;
+  // Plain-HTTP Prometheus gateway on 127.0.0.1: `GET /metrics` returns
+  // MetricsText() as a text exposition, so a stock Prometheus scraper
+  // needs no frame codec. -1 disables it; 0 picks an ephemeral port
+  // (read back with http_port()).
+  int http_metrics_port = -1;
 };
 
 // Server-level counters (the serve section of the METRICS exposition).
@@ -54,6 +59,7 @@ struct ServerStats {
   int64_t queries_started = 0;
   int64_t queries_completed = 0;
   int64_t queries_failed = 0;  // ERROR-terminated (parse/budget/engine)
+  int64_t http_requests = 0;   // requests served by the metrics gateway
 };
 
 // The dqr_serve network front end (ISSUE 9): accepts framed connections
@@ -91,6 +97,9 @@ class Server {
 
   // The bound port (valid after Start).
   int port() const { return port_; }
+  // The metrics gateway's bound port (valid after Start when
+  // http_metrics_port >= 0; otherwise 0).
+  int http_port() const { return http_port_; }
 
   // Datasets queries may target by name. Thread-safe; re-registering a
   // name replaces the bundle and invalidates its semantic-cache entries.
@@ -117,6 +126,8 @@ class Server {
     std::string fingerprint;
     std::string outcome;  // cache outcome name, or "executed"
     std::shared_ptr<obs::Trace> trace;  // null when trace=0
+    // Serialized obs::ProfileToJson document; null when profile=0.
+    std::shared_ptr<const std::string> profile_json;
   };
 
   void AcceptLoop();
@@ -128,6 +139,12 @@ class Server {
                      const Frame& frame);
   void HandleTrace(const std::shared_ptr<Connection>& conn,
                    const Frame& frame);
+  void HandleProfile(const std::shared_ptr<Connection>& conn,
+                     const Frame& frame);
+
+  // The HTTP metrics gateway: accepts one plain-HTTP request per
+  // connection, serves GET /metrics, closes. Runs on http_thread_.
+  void HttpLoop();
 
   // Frame writers (serialize on the connection's write mutex).
   void SendFrame(const std::shared_ptr<Connection>& conn,
@@ -148,8 +165,11 @@ class Server {
   // Atomic: AcceptLoop reads it concurrently with Stop() closing it.
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
+  std::atomic<int> http_listen_fd_{-1};
+  int http_port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+  std::thread http_thread_;
 
   mutable std::mutex mu_;
   std::condition_variable queries_done_cv_;

@@ -740,6 +740,7 @@ std::string EngineConfig::ToString() const {
   AppendKv(&out, "simd", simd ? "1" : "0");
   AppendKv(&out, "pool", pool ? "1" : "0");
   AppendKv(&out, "serve", serve ? "1" : "0");
+  AppendKv(&out, "profile", profile ? "1" : "0");
   return out;
 }
 
@@ -812,6 +813,8 @@ Result<EngineConfig> EngineConfig::FromString(const std::string& text) {
       config.pool = value == "1";
     } else if (key == "serve") {
       config.serve = value == "1";
+    } else if (key == "profile") {
+      config.profile = value == "1";
     } else {
       return InvalidArgumentError("config: unknown key '" + key + "'");
     }
@@ -859,6 +862,8 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
   // Pool-mode draws come from a decorrelated stream so adding the pool
   // dimension left every pre-existing matrix draw byte-identical.
   Rng pool_rng(seed ^ 0x9001900190019001ULL);
+  // Same trick for the profile dimension.
+  Rng profile_rng(seed ^ 0x50f11e5050f11e50ULL);
   std::vector<EngineConfig> configs;
 
   // [0] the sequential baseline: one instance, one shard, paper defaults.
@@ -881,6 +886,9 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     // Always pool-mode, so every matrix differentials the shared-pool
     // scheduler against the per-query-thread baseline at [0].
     c.pool = true;
+    // Always profiled, so every matrix differentials a profiled
+    // work-stealing run against the unprofiled baseline at [0].
+    c.profile = true;
     configs.push_back(c);
   }
 
@@ -893,6 +901,7 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
     c.fault_crashes = static_cast<int>(rng.UniformInt(1, 2));
     c.enable_failure_detector = true;
     c.pool = pool_rng.Bernoulli(0.5);
+    c.profile = profile_rng.Bernoulli(0.5);
     configs.push_back(c);
   }
 
@@ -917,6 +926,7 @@ std::vector<EngineConfig> MakeConfigMatrix(uint64_t seed, int count) {
       c.enable_failure_detector = true;
     }
     c.pool = pool_rng.Bernoulli(0.5);
+    c.profile = profile_rng.Bernoulli(0.5);
     configs.push_back(c);
   }
   return configs;

@@ -215,6 +215,11 @@ struct EngineConfig {
   // direct) for grid workloads and fault-injection configs — neither is
   // expressible over the wire.
   bool serve = false;
+  // Attach a query profiler (obs/profile.h) to the run. Profiling rides
+  // an internal flight recorder plus the RunStats histograms, all of
+  // which observe the search without steering it — the differential
+  // check proves profiled == unprofiled answers per case.
+  bool profile = false;
 
   // Compact, parseable "inst=4;shards=8;..." form used by --config= and
   // reproducer lines. FromString accepts exactly what ToString emits

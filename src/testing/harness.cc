@@ -15,6 +15,7 @@
 #include "core/canonical.h"
 #include "core/fault.h"
 #include "core/refiner.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -123,6 +124,7 @@ serve::Frame MakeQueryFrame(const std::string& dataset, const Workload& w,
                   ? "brp"
                   : "fifo");
   if (config.trace) q.Set("trace", "1");
+  if (config.profile) q.Set("profile", "1");
   q.body = w.query_text;
   return q;
 }
@@ -225,6 +227,10 @@ CaseResult RunCase(const CaseConfig& c, InjectedBug bug) {
       options.trace = &trace;
       options.trace_buffer_events = 1 << 10;
     }
+    // The profile dimension: per-query attribution + histograms must
+    // observe the run without changing its answer.
+    obs::Profile profile;
+    if (c.config.profile) options.profile = &profile;
 
     Result<core::RunResult> engine =
         core::ExecuteQuery(workload.query, options);
@@ -298,6 +304,12 @@ CaseResult RunSessionCase(const CaseConfig& c, InjectedBug bug) {
       cold_options.trace_buffer_events = 1 << 10;
       warm_options.trace = &warm_trace;
       warm_options.trace_buffer_events = 1 << 10;
+    }
+    obs::Profile cold_profile;
+    obs::Profile warm_profile;
+    if (c.config.profile) {
+      cold_options.profile = &cold_profile;
+      warm_options.profile = &warm_profile;
     }
 
     Result<core::RunResult> cold_run =
@@ -379,6 +391,12 @@ bool DropServe(CaseConfig* c) {
 bool DropTrace(CaseConfig* c) {
   if (!c->config.trace) return false;
   c->config.trace = false;
+  return true;
+}
+
+bool DropProfile(CaseConfig* c) {
+  if (!c->config.profile) return false;
+  c->config.profile = false;
   return true;
 }
 
@@ -477,7 +495,8 @@ bool ShortenSession(CaseConfig* c) {
 CaseConfig Shrink(CaseConfig failing, InjectedBug bug) {
   static constexpr ShrinkStep kSteps[] = {
       DropServe,
-      DropTrace,       StripFaults, SingleInstance, DefaultEngineKnobs,
+      DropTrace,       DropProfile, StripFaults,    SingleInstance,
+      DefaultEngineKnobs,
       ShortenSession,  ShortenSession, ShortenSession,
       HalveArray,      HalveArray,  HalveArray,     DropConstraints,
       DropConstraints, DropConstraints, LowerK,     LowerK,

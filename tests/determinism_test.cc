@@ -12,6 +12,7 @@
 #include "cache/semantic_cache.h"
 #include "core/canonical.h"
 #include "core/refiner.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "testing/generator.h"
 
@@ -27,13 +28,15 @@ constexpr Shape kShapes[] = {{1, 1}, {2, 4}, {4, 8}};
 
 std::string RunCanonical(const Workload& workload, const Shape& shape,
                          obs::Trace* trace = nullptr,
-                         int64_t trace_ring = 1 << 16) {
+                         int64_t trace_ring = 1 << 16,
+                         obs::Profile* profile = nullptr) {
   EngineConfig config;
   config.num_instances = shape.instances;
   config.shards_per_instance = shape.shards;
   core::RefineOptions options = config.ToOptions(workload, nullptr);
   options.trace = trace;
   options.trace_buffer_events = trace_ring;
+  options.profile = profile;
   const auto run = core::ExecuteQuery(workload.query, options);
   if (!run.ok()) return "error: " + run.status().ToString();
   if (!run.value().stats.completed) return "error: incomplete";
@@ -87,6 +90,39 @@ TEST(DeterminismTest, TracingIsAnswerPreserving) {
                 baseline)
           << workload.summary << " diverged under ring-wrap tracing at "
           << shape.instances << "x" << shape.shards;
+    }
+  }
+}
+
+// The profiler rides the same observer contract: with profiling on —
+// whether it spins up its internal flight recorder or piggybacks on a
+// caller-supplied trace — every cluster shape must still produce
+// byte-identical results, and the assembled profile must be non-trivial
+// (a phase tree plus at least one query-latency sample).
+TEST(DeterminismTest, ProfilingIsAnswerPreserving) {
+  for (const FuzzMode mode : {FuzzMode::kRelax, FuzzMode::kConstrain}) {
+    const Workload workload = MakeWorkload(4, mode);
+    for (const Shape& shape : kShapes) {
+      const std::string baseline = RunCanonical(workload, shape);
+      ASSERT_EQ(baseline.rfind("error:", 0), std::string::npos)
+          << workload.summary << ": " << baseline;
+
+      obs::Profile profiled;
+      EXPECT_EQ(RunCanonical(workload, shape, nullptr, 1 << 16, &profiled),
+                baseline)
+          << workload.summary << " diverged under profiling at "
+          << shape.instances << "x" << shape.shards;
+      EXPECT_FALSE(profiled.query().root.children.empty())
+          << workload.summary << ": profile has no phases";
+      EXPECT_GT(profiled.query().stats.query_latency.count(), 0);
+
+      obs::Trace trace;
+      obs::Profile both;
+      EXPECT_EQ(RunCanonical(workload, shape, &trace, 1 << 16, &both),
+                baseline)
+          << workload.summary << " diverged under tracing+profiling at "
+          << shape.instances << "x" << shape.shards;
+      EXPECT_FALSE(both.query().root.children.empty());
     }
   }
 }

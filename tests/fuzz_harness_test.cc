@@ -197,7 +197,7 @@ TEST(HarnessTest, InjectedBugIsCaughtAndShrunk) {
 
   const std::string line = ReproLine(shrunk);
   EXPECT_NE(line.find("dqr_fuzz --seed="), std::string::npos);
-  EXPECT_LE(line.size(), 220u) << line;
+  EXPECT_LE(line.size(), 240u) << line;
 }
 
 TEST(HarnessTest, PerturbedScoreIsCaught) {

@@ -1,0 +1,256 @@
+// LatencyHistogram edge cases: empty and single-sample behavior, bucket
+// boundary mapping, count saturation, merge identity against a single
+// histogram fed the combined stream (the cross-thread contract: each
+// thread records into its own copy, operator+= folds them), and quantile
+// monotonicity under merge. Plus the sparse codec round trip the profile
+// JSON depends on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace dqr::obs {
+namespace {
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum_ns(), 0);
+  EXPECT_EQ(h.max_ns(), 0);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0);
+  EXPECT_EQ(FormatLatencySummary(h), "empty");
+}
+
+TEST(LatencyHistogramTest, SingleSampleOwnsEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(12345);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum_ns(), 12345);
+  EXPECT_EQ(h.max_ns(), 12345);
+  // Every quantile reports the one sample's bucket lower bound, capped by
+  // the exact max — within the 1/kSubBuckets relative error contract.
+  for (const double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    const int64_t v = h.ValueAtQuantile(q);
+    EXPECT_LE(v, 12345) << "q=" << q;
+    EXPECT_GE(v, 12345 - 12345 / LatencyHistogram::kSubBuckets)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, NegativeAndZeroClampIntoBucketZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  h.Record(0);
+  h.RecordSeconds(-1.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket_count(0), 3);
+  EXPECT_EQ(h.max_ns(), 0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesMapExactly) {
+  // Small values are exact: bucket index == value.
+  for (int64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+  // Every bucket's lower bound maps back to that bucket, and the value
+  // one below it maps to the previous bucket — the boundary is tight.
+  for (int i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    const int64_t lo = LatencyHistogram::BucketLowerBound(i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i) << "bucket " << i;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo - 1), i - 1)
+        << "bucket " << i;
+  }
+  // The saturation cap: anything at or above 2^kMaxExponent lands in the
+  // last bucket.
+  const int64_t cap = int64_t{1} << LatencyHistogram::kMaxExponent;
+  EXPECT_EQ(LatencyHistogram::BucketIndex(cap),
+            LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(kInt64Max),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, CountsSaturateInsteadOfWrapping) {
+  LatencyHistogram h;
+  h.RecordMany(100, kInt64Max);
+  h.RecordMany(100, kInt64Max);  // would wrap without saturation
+  EXPECT_EQ(h.count(), kInt64Max);
+  EXPECT_EQ(h.sum_ns(), kInt64Max);  // 100 * INT64_MAX saturates too
+  EXPECT_EQ(h.max_ns(), 100);
+
+  // Merging two saturated histograms stays saturated and well-defined.
+  LatencyHistogram other;
+  other.RecordMany(200, kInt64Max);
+  h += other;
+  EXPECT_EQ(h.count(), kInt64Max);
+  EXPECT_EQ(h.max_ns(), 200);
+  EXPECT_GT(h.ValueAtQuantile(0.5), 0);
+}
+
+// Merging per-thread histograms must equal one histogram fed the
+// combined stream — buckets are aligned by construction, so the merge is
+// exact, not approximate.
+TEST(LatencyHistogramTest, CrossThreadMergeEqualsCombinedStream) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<LatencyHistogram> parts(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &parts] {
+      uint64_t x = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        // splitmix64 draw, spread across many magnitudes.
+        x += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        parts[static_cast<size_t>(t)].Record(
+            static_cast<int64_t>(z % (uint64_t{1} << (8 + z % 32))));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  LatencyHistogram merged;
+  LatencyHistogram combined;
+  for (const LatencyHistogram& part : parts) {
+    merged += part;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      combined.RecordMany(LatencyHistogram::BucketLowerBound(i),
+                          part.bucket_count(i));
+    }
+  }
+  EXPECT_EQ(merged.count(), kThreads * kPerThread);
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(merged.bucket_count(i), combined.bucket_count(i))
+        << "bucket " << i;
+  }
+  // Bucket-identical histograms agree on every quantile's bucket (the
+  // reported values may differ only by the exact-max clamp, which stays
+  // inside the same bucket).
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(merged.ValueAtQuantile(q)),
+              LatencyHistogram::BucketIndex(combined.ValueAtQuantile(q)))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesMonotoneWithinAndAcrossMerges) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 1; i <= 1000; ++i) a.Record(i * 37);
+  for (int i = 1; i <= 1000; ++i) b.Record(i * 9133);
+
+  // Monotone in q for a single histogram.
+  int64_t prev = -1;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t v = a.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+
+  // A merge's quantiles are bracketed by its inputs' quantiles, and
+  // still monotone in q.
+  LatencyHistogram merged = a;
+  merged += b;
+  prev = -1;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t v = merged.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+    EXPECT_GE(v, std::min(a.ValueAtQuantile(q), b.ValueAtQuantile(q)))
+        << "q=" << q;
+    EXPECT_LE(v, std::max(a.ValueAtQuantile(q), b.ValueAtQuantile(q)))
+        << "q=" << q;
+  }
+  EXPECT_EQ(merged.count(), a.count() + b.count());
+  EXPECT_EQ(merged.max_ns(), std::max(a.max_ns(), b.max_ns()));
+}
+
+TEST(LatencyHistogramTest, CodecRoundTripsExactly) {
+  LatencyHistogram h;
+  for (int i = 0; i < 257; ++i) h.Record(i * i * 13);
+  h.RecordMany(kInt64Max, 3);
+
+  LatencyHistogram back;
+  ASSERT_TRUE(DecodeHistogram(EncodeHistogram(h), &back));
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.sum_ns(), h.sum_ns());
+  EXPECT_EQ(back.max_ns(), h.max_ns());
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(back.bucket_count(i), h.bucket_count(i)) << "bucket " << i;
+  }
+
+  LatencyHistogram empty_back;
+  ASSERT_TRUE(DecodeHistogram(EncodeHistogram(LatencyHistogram{}),
+                              &empty_back));
+  EXPECT_TRUE(empty_back.empty());
+
+  LatencyHistogram reject;
+  EXPECT_FALSE(DecodeHistogram("", &reject));
+  EXPECT_FALSE(DecodeHistogram("not-a-histogram", &reject));
+  EXPECT_FALSE(DecodeHistogram("1;2", &reject));
+  EXPECT_FALSE(DecodeHistogram("1;2;3;99999:1", &reject));
+}
+
+TEST(EstimatorAccuracyTest, RecordsAndMerges) {
+  EstimatorAccuracy a;
+  EXPECT_TRUE(a.empty());
+  a.Record(0, 1.0, 3.0, 2.0, 10.0, false);
+  a.Record(0, 1.0, 3.0, 5.0, 10.0, true);  // not contained, wasted
+  a.Record(2, -1.0, 1.0, 0.0, 0.0, false);  // degenerate range -> 1.0
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.total_samples(), 3);
+  EXPECT_EQ(a.level(0).samples, 2);
+  EXPECT_EQ(a.level(0).contained, 1);
+  EXPECT_EQ(a.level(0).wasted, 1);
+  EXPECT_DOUBLE_EQ(a.level(0).width_sum, 0.4);
+  EXPECT_DOUBLE_EQ(a.level(2).width_sum, 2.0);
+
+  // Out-of-range levels fold into the edge slots.
+  a.Record(-7, 0.0, 1.0, 0.5, 1.0, false);
+  EXPECT_EQ(a.level(0).samples, 3);
+  a.Record(1000, 0.0, 1.0, 0.5, 1.0, false);
+  EXPECT_EQ(a.level(EstimatorAccuracy::kMaxLevels - 1).samples, 1);
+
+  EstimatorAccuracy b;
+  b.Record(0, 0.0, 2.0, 1.0, 10.0, false);
+  b += a;
+  EXPECT_EQ(b.total_samples(), a.total_samples() + 1);
+  EXPECT_EQ(b.level(0).samples, 4);
+}
+
+TEST(ThreadLatencySinkTest, ScopedInstallAndTimer) {
+  EXPECT_EQ(ThreadLatencySink(), nullptr);
+  LatencyHistogram sink;
+  {
+    ScopedLatencySink install(&sink);
+    EXPECT_EQ(ThreadLatencySink(), &sink);
+    { ScopedSinkTimer timer; }
+    {
+      ScopedLatencySink inner(nullptr);  // nesting restores on unwind
+      EXPECT_EQ(ThreadLatencySink(), nullptr);
+      { ScopedSinkTimer timer; }  // no sink: must not record anywhere
+    }
+    EXPECT_EQ(ThreadLatencySink(), &sink);
+  }
+  EXPECT_EQ(ThreadLatencySink(), nullptr);
+  EXPECT_EQ(sink.count(), 1);
+}
+
+}  // namespace
+}  // namespace dqr::obs

@@ -1,0 +1,117 @@
+// The HTTP metrics gateway (DESIGN.md §12): `--http-metrics-port` puts
+// the same Prometheus exposition the METRICS frame serves behind a
+// plain `GET /metrics`, so scrapers need not speak the frame protocol.
+// One request per connection, HTTP/1.0 close semantics; anything but
+// GET /metrics is a 404 with a hint, and a stalled client cannot wedge
+// shutdown past the receive timeout.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "exec/engine_session.h"
+#include "exec/timer_wheel.h"
+#include "exec/worker_pool.h"
+#include "serve/server.h"
+
+namespace dqr::serve {
+namespace {
+
+// One raw HTTP exchange: connect, send, half-close, drain to EOF.
+std::string HttpExchange(int port, const std::string& request) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "<socket failed>";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "<connect failed>";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+TEST(ServeHttpGateway, ServesMetricsAndRejectsOtherPaths) {
+  exec::WorkerPool pool(2);
+  exec::TimerWheel wheel;
+  exec::EngineSessionOptions session_options;
+  session_options.pool = &pool;
+  session_options.wheel = &wheel;
+  exec::EngineSession session(session_options);
+
+  ServerOptions options;
+  options.session = &session;
+  options.http_metrics_port = 0;  // ephemeral
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.http_port(), 0);
+
+  const std::string ok =
+      HttpExchange(server.http_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // The body is the same exposition the METRICS frame returns.
+  EXPECT_NE(ok.find("# TYPE dqr_serve_http_requests counter"),
+            std::string::npos);
+  EXPECT_NE(ok.find("dqr_serve_connections_active"), std::string::npos);
+
+  // The path match is exact — /metrics with a query string, a prefix
+  // path, or any other target all fall through to the 404 hint.
+  const std::string with_query = HttpExchange(
+      server.http_port(), "GET /metrics?x=1 HTTP/1.1\r\nHost: h\r\n\r\n");
+  EXPECT_EQ(with_query.rfind("HTTP/1.0 404", 0), 0u) << with_query;
+  const std::string missing =
+      HttpExchange(server.http_port(), "GET /other HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+  EXPECT_NE(missing.find("try GET /metrics"), std::string::npos);
+
+  // The gateway bumps its counter after the response socket closes, so
+  // the client can observe EOF first — poll briefly instead of racing.
+  for (int i = 0; i < 200 && server.stats().http_requests < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().http_requests, 3);
+  server.Stop();
+}
+
+TEST(ServeHttpGateway, OffByDefault) {
+  exec::WorkerPool pool(2);
+  exec::TimerWheel wheel;
+  exec::EngineSessionOptions session_options;
+  session_options.pool = &pool;
+  session_options.wheel = &wheel;
+  exec::EngineSession session(session_options);
+
+  ServerOptions options;
+  options.session = &session;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.http_port(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dqr::serve

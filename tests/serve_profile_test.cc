@@ -1,0 +1,103 @@
+// PROFILE over the wire (DESIGN.md §12): a QUERY submitted with
+// profile=1 streams a PROFILE frame right behind its FINAL, carrying
+// the same profile JSON `obs::ProfileToJson` emits in-process; the
+// record stays fetchable via `PROFILE id=` from the history window.
+// Profiling over the transport must not perturb the answer, and an
+// unprofiled query's fetch must fail with a precise error, not an
+// empty document.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/canonical.h"
+#include "core/refiner.h"
+#include "exec/engine_session.h"
+#include "exec/timer_wheel.h"
+#include "exec/worker_pool.h"
+#include "obs/profile.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "testing/generator.h"
+
+namespace dqr::serve {
+namespace {
+
+TEST(ServeProfile, ProfileFrameRoundTripsAndPreservesAnswer) {
+  const fuzz::Workload workload =
+      fuzz::MakeWorkload(3, fuzz::FuzzMode::kRelax);
+
+  // Direct leg: the canonical answer the streamed run must reproduce.
+  const core::RefineOptions options =
+      fuzz::EngineConfig{}.ToOptions(workload, nullptr);
+  Result<core::RunResult> direct = core::ExecuteQuery(workload.query, options);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  const std::string canonical = core::Canonicalize(direct.value().results);
+
+  exec::WorkerPool pool(4);
+  exec::TimerWheel wheel;
+  exec::EngineSessionOptions session_options;
+  session_options.pool = &pool;
+  session_options.wheel = &wheel;
+  exec::EngineSession session(session_options);
+
+  ServerOptions server_options;
+  server_options.session = &session;
+  Server server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server
+                  .RegisterDataset("w", data::DatasetBundle{workload.array,
+                                                            workload.synopsis})
+                  .ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Hello("tester").ok());
+
+  Frame profiled;
+  profiled.type = frame::kQuery;
+  profiled.Set("id", std::string("q-prof"));
+  profiled.Set("dataset", std::string("w"));
+  profiled.Set("alpha", workload.alpha);
+  profiled.Set("profile", std::string("1"));
+  profiled.body = workload.query_text;
+  Result<QueryRun> run = client.RunQuery(profiled);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().canonical(), canonical)
+      << "profiling over the wire changed the answer";
+
+  // The pushed PROFILE body is a well-formed §12 profile with a phase
+  // tree and the run's one query-latency sample.
+  ASSERT_FALSE(run.value().profile_json.empty());
+  Result<obs::QueryProfile> pushed =
+      obs::ProfileFromJson(run.value().profile_json);
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  EXPECT_FALSE(pushed.value().root.children.empty());
+  EXPECT_EQ(pushed.value().stats.query_latency.count(), 1);
+
+  // PROFILE id= serves the identical document from history.
+  Result<std::string> fetched = client.FetchProfile("q-prof");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(fetched.value(), run.value().profile_json);
+
+  // An unprofiled query has no profile record; the fetch names the fix.
+  Frame plain;
+  plain.type = frame::kQuery;
+  plain.Set("id", std::string("q-plain"));
+  plain.Set("dataset", std::string("w"));
+  plain.Set("alpha", workload.alpha);
+  plain.body = workload.query_text;
+  Result<QueryRun> plain_run = client.RunQuery(plain);
+  ASSERT_TRUE(plain_run.ok()) << plain_run.status().ToString();
+  EXPECT_EQ(plain_run.value().canonical(), canonical);
+  EXPECT_TRUE(plain_run.value().profile_json.empty());
+  Result<std::string> missing = client.FetchProfile("q-plain");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("submit with profile=1"),
+            std::string::npos);
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dqr::serve

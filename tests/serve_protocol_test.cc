@@ -36,9 +36,10 @@ std::vector<Frame> DecodeAll(const std::string& wire) {
 
 TEST(ServeProtocol, RoundTripsEveryFrameType) {
   const char* kTypes[] = {
-      frame::kHello,  frame::kWelcome, frame::kQuery, frame::kAccepted,
-      frame::kPhase,  frame::kBound,   frame::kResult, frame::kFinal,
-      frame::kError,  frame::kMetrics, frame::kTrace,  frame::kBye,
+      frame::kHello,  frame::kWelcome, frame::kQuery,   frame::kAccepted,
+      frame::kPhase,  frame::kBound,   frame::kResult,  frame::kFinal,
+      frame::kError,  frame::kMetrics, frame::kTrace,   frame::kProfile,
+      frame::kBye,
   };
   for (const char* type : kTypes) {
     Frame f;

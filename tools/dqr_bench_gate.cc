@@ -1,0 +1,359 @@
+// Bench regression gate: compares current benchmark JSON output (the
+// array files bench binaries write via --json) against the committed
+// BENCH_baseline.json ledger and fails on a median p50 regression.
+//
+//   dqr_bench_gate --baseline BENCH_baseline.json
+//       --current bench_synopsis=bench_synopsis.json
+//       --current bench_serve=bench_serve.json
+//       [--max-regress 0.25] [--report diff.txt]
+//
+// Records are matched by (name, config); per matched record the gate
+// computes current_seconds / baseline_seconds, then takes the *median*
+// ratio per bench — one noisy record cannot fail the gate, a broad
+// slowdown cannot hide behind one fast record. A bench fails when its
+// median ratio exceeds 1 + max-regress.
+//
+//   dqr_bench_gate --write-baseline BENCH_baseline.json
+//       --current bench_synopsis=bench_synopsis.json ...
+//
+// rewrites the named benches inside the ledger (creating it if absent),
+// preserving benches not mentioned — how the ledger is refreshed after
+// an intentional perf change.
+//
+// Exit codes: 0 = within budget, 1 = regression or malformed input,
+// 2 = bad usage or unreadable file.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_util.h"
+
+namespace {
+
+namespace json = dqr::obs::json;
+
+struct BenchRecord {
+  std::string key;  // name + canonicalized config
+  double seconds = 0.0;
+};
+
+struct BenchFile {
+  std::string bench;         // e.g. "bench_synopsis"
+  std::string path;          // its --json output
+  std::string raw;           // file contents (for --write-baseline)
+  std::vector<BenchRecord> records;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dqr_bench_gate --baseline LEDGER.json\n"
+      "           --current BENCH=FILE.json [--current ...]\n"
+      "           [--max-regress 0.25] [--report FILE]\n"
+      "       dqr_bench_gate --write-baseline LEDGER.json\n"
+      "           --current BENCH=FILE.json [--current ...]\n");
+}
+
+int ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dqr_bench_gate: cannot open %s\n",
+                 path.c_str());
+    return 2;
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return 0;
+}
+
+// (name, config) identity of one record: config values re-serialized in
+// file order, so the key is stable across runs of the same bench build.
+std::string RecordKey(const json::Value& rec) {
+  std::string key;
+  if (const json::Value* name = rec.Find("name");
+      name != nullptr && name->kind == json::Value::kString) {
+    key = name->str;
+  }
+  if (const json::Value* config = rec.Find("config");
+      config != nullptr && config->kind == json::Value::kObject) {
+    for (const auto& [k, v] : config->obj) {
+      key += '|';
+      key += k;
+      key += '=';
+      if (v.kind == json::Value::kString) {
+        key += v.str;
+      } else if (v.kind == json::Value::kNumber) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+        key += buf;
+      }
+    }
+  }
+  return key;
+}
+
+// Parses one bench's record array (the --json file format).
+int ParseRecords(const json::Value& arr, const std::string& what,
+                 std::vector<BenchRecord>* out) {
+  if (arr.kind != json::Value::kArray) {
+    std::fprintf(stderr, "dqr_bench_gate: %s is not a JSON array\n",
+                 what.c_str());
+    return 1;
+  }
+  for (const json::Value& rec : arr.arr) {
+    if (rec.kind != json::Value::kObject) {
+      std::fprintf(stderr, "dqr_bench_gate: %s holds a non-object record\n",
+                   what.c_str());
+      return 1;
+    }
+    BenchRecord r;
+    r.key = RecordKey(rec);
+    r.seconds = json::NumberOr(rec.Find("seconds"), -1.0);
+    if (r.key.empty() || r.seconds < 0.0) {
+      std::fprintf(stderr,
+                   "dqr_bench_gate: %s record lacks name/seconds\n",
+                   what.c_str());
+      return 1;
+    }
+    out->push_back(std::move(r));
+  }
+  return 0;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string write_path;
+  std::string report_path;
+  double max_regress = 0.25;
+  std::vector<BenchFile> currents;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return Usage(), 2;
+      baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = next();
+      if (v == nullptr) return Usage(), 2;
+      write_path = v;
+    } else if (arg == "--current") {
+      const char* v = next();
+      if (v == nullptr) return Usage(), 2;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v || eq[1] == '\0') return Usage(), 2;
+      BenchFile bf;
+      bf.bench.assign(v, eq - v);
+      bf.path = eq + 1;
+      currents.push_back(std::move(bf));
+    } else if (arg == "--max-regress") {
+      const char* v = next();
+      if (v == nullptr) return Usage(), 2;
+      max_regress = std::atof(v);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return Usage(), 2;
+      report_path = v;
+    } else if (arg == "--help") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "dqr_bench_gate: unknown argument '%s'\n",
+                   argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+  if (currents.empty() ||
+      (baseline_path.empty() == write_path.empty())) {
+    Usage();
+    return 2;
+  }
+
+  // Load every current bench file.
+  for (BenchFile& bf : currents) {
+    if (const int rc = ReadFile(bf.path, &bf.raw); rc != 0) return rc;
+    dqr::Result<json::Value> doc = json::Parse(bf.raw);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "dqr_bench_gate: %s: %s\n", bf.path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (const int rc = ParseRecords(doc.value(), bf.path, &bf.records);
+        rc != 0) {
+      return rc;
+    }
+  }
+
+  if (!write_path.empty()) {
+    // Refresh mode: carry over unmentioned benches from an existing
+    // ledger, then splice in the new record arrays verbatim.
+    std::vector<std::pair<std::string, std::string>> benches;
+    std::string existing;
+    if (ReadFile(write_path, &existing) == 0) {
+      dqr::Result<json::Value> doc = json::Parse(existing);
+      if (doc.ok() && doc.value().kind == json::Value::kObject) {
+        if (const json::Value* b = doc.value().Find("benches");
+            b != nullptr && b->kind == json::Value::kObject) {
+          // Re-serialization would lose formatting; instead keep old
+          // benches only if they are not being rewritten, re-encoded
+          // compactly from the parsed tree.
+          for (const auto& [name, arr] : b->obj) {
+            bool rewritten = false;
+            for (const BenchFile& bf : currents) {
+              if (bf.bench == name) rewritten = true;
+            }
+            if (rewritten || arr.kind != json::Value::kArray) continue;
+            std::string enc = "[";
+            // Old entries survive as {key, seconds} pairs only — the
+            // gate never reads anything else.
+            bool first_rec = true;
+            for (const json::Value& rec : arr.arr) {
+              if (rec.kind != json::Value::kObject) continue;
+              if (!first_rec) enc += ", ";
+              first_rec = false;
+              std::string name_field;
+              json::AppendQuoted(name_field, RecordKey(rec));
+              char secs[32];
+              std::snprintf(secs, sizeof(secs), "%.6f",
+                            json::NumberOr(rec.Find("seconds"), 0.0));
+              enc += "{\"name\": " + name_field +
+                     ", \"config\": {}, \"seconds\": " + secs +
+                     ", \"results\": {}}";
+            }
+            enc += "]";
+            benches.emplace_back(name, std::move(enc));
+          }
+        }
+      }
+    }
+    for (const BenchFile& bf : currents) {
+      std::string raw = bf.raw;
+      // The bench files already hold a well-formed JSON array; strip
+      // the trailing newline so the ledger stays tidy.
+      while (!raw.empty() && (raw.back() == '\n' || raw.back() == ' ')) {
+        raw.pop_back();
+      }
+      benches.emplace_back(bf.bench, std::move(raw));
+    }
+    std::sort(benches.begin(), benches.end());
+    std::string out = "{\n  \"version\": 1,\n  \"benches\": {\n";
+    for (size_t i = 0; i < benches.size(); ++i) {
+      std::string name_field;
+      json::AppendQuoted(name_field, benches[i].first);
+      out += "    " + name_field + ": " + benches[i].second;
+      out += i + 1 < benches.size() ? ",\n" : "\n";
+    }
+    out += "  }\n}\n";
+    std::FILE* f = std::fopen(write_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "dqr_bench_gate: cannot write %s\n",
+                   write_path.c_str());
+      return 2;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu benches)\n", write_path.c_str(),
+                benches.size());
+    return 0;
+  }
+
+  // Gate mode.
+  std::string baseline_raw;
+  if (const int rc = ReadFile(baseline_path, &baseline_raw); rc != 0) {
+    return rc;
+  }
+  dqr::Result<json::Value> ledger = json::Parse(baseline_raw);
+  if (!ledger.ok()) {
+    std::fprintf(stderr, "dqr_bench_gate: %s: %s\n",
+                 baseline_path.c_str(),
+                 ledger.status().ToString().c_str());
+    return 1;
+  }
+  const json::Value* benches =
+      ledger.value().kind == json::Value::kObject
+          ? ledger.value().Find("benches")
+          : nullptr;
+  if (benches == nullptr || benches->kind != json::Value::kObject) {
+    std::fprintf(stderr,
+                 "dqr_bench_gate: %s has no \"benches\" object\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+
+  std::string report;
+  bool failed = false;
+  for (const BenchFile& bf : currents) {
+    const json::Value* base_arr = benches->Find(bf.bench);
+    if (base_arr == nullptr) {
+      report += bf.bench + ": NOT IN BASELINE (run --write-baseline)\n";
+      failed = true;
+      continue;
+    }
+    std::vector<BenchRecord> base_records;
+    if (ParseRecords(*base_arr, baseline_path + ":" + bf.bench,
+                     &base_records) != 0) {
+      return 1;
+    }
+    std::vector<double> ratios;
+    int matched = 0;
+    for (const BenchRecord& cur : bf.records) {
+      for (const BenchRecord& base : base_records) {
+        if (base.key != cur.key) continue;
+        ++matched;
+        const double ratio =
+            base.seconds > 0.0 ? cur.seconds / base.seconds : 1.0;
+        ratios.push_back(ratio);
+        char line[512];
+        std::snprintf(line, sizeof(line),
+                      "  %-60s %10.6fs -> %10.6fs (%+.1f%%)\n",
+                      cur.key.substr(0, 60).c_str(), base.seconds,
+                      cur.seconds, (ratio - 1.0) * 100.0);
+        report += line;
+        break;
+      }
+    }
+    if (matched == 0) {
+      report += bf.bench + ": NO MATCHING RECORDS vs baseline\n";
+      failed = true;
+      continue;
+    }
+    const double med = Median(ratios);
+    const bool over = med > 1.0 + max_regress;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s: median ratio %.3f over %d records (budget %.3f) "
+                  "%s\n",
+                  bf.bench.c_str(), med, matched, 1.0 + max_regress,
+                  over ? "FAIL" : "ok");
+    report += line;
+    failed = failed || over;
+  }
+
+  std::fputs(report.c_str(), stdout);
+  if (!report_path.empty()) {
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fputs(report.c_str(), f);
+      std::fclose(f);
+    }
+  }
+  return failed ? 1 : 0;
+}

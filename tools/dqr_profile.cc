@@ -1,0 +1,107 @@
+// Inspector for the per-query profile JSON the engine emits
+// (obs/profile.h): the PROFILE frame body of dqr_serve, or whatever a
+// harness wrote ProfileToJson() into.
+//
+//   dqr_profile out.json            pretty attribution tree + stats
+//   dqr_profile --json out.json     canonical JSON (round-tripped)
+//   dqr_profile --diff A.json B.json
+//                                   per-path busy / latency / counter
+//                                   deltas with percent changes
+//
+// Exit codes: 0 = ok, 1 = malformed profile, 2 = bad usage or
+// unreadable file.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dqr_profile [--json] FILE.json\n"
+               "       dqr_profile --diff A.json B.json\n"
+               "\n"
+               "  (default)   print the attribution tree, latency\n"
+               "              summaries, estimator accuracy and counters\n"
+               "  --json      re-emit the profile as canonical JSON\n"
+               "  --diff      compare two profiles (B relative to A)\n");
+}
+
+int ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dqr_profile: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return 0;
+}
+
+int LoadProfile(const std::string& path, dqr::obs::QueryProfile* out) {
+  std::string text;
+  if (const int rc = ReadFile(path, &text); rc != 0) return rc;
+  dqr::Result<dqr::obs::QueryProfile> p =
+      dqr::obs::ProfileFromJson(text);
+  if (!p.ok()) {
+    std::fprintf(stderr, "dqr_profile: %s: %s\n", path.c_str(),
+                 p.status().ToString().c_str());
+    return 1;
+  }
+  *out = std::move(p).value();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool diff = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      diff = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "dqr_profile: unknown flag '%s'\n", argv[i]);
+      Usage();
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (diff ? (json || paths.size() != 2) : paths.size() != 1) {
+    Usage();
+    return 2;
+  }
+
+  if (diff) {
+    dqr::obs::QueryProfile a, b;
+    if (const int rc = LoadProfile(paths[0], &a); rc != 0) return rc;
+    if (const int rc = LoadProfile(paths[1], &b); rc != 0) return rc;
+    std::printf("diff: %s -> %s\n%s", paths[0].c_str(), paths[1].c_str(),
+                dqr::obs::DiffProfiles(a, b).c_str());
+    return 0;
+  }
+
+  dqr::obs::QueryProfile p;
+  if (const int rc = LoadProfile(paths[0], &p); rc != 0) return rc;
+  if (json) {
+    std::printf("%s\n", dqr::obs::ProfileToJson(p).c_str());
+  } else {
+    std::printf("profile: %s\n%s", paths[0].c_str(),
+                dqr::obs::FormatProfile(p).c_str());
+  }
+  return 0;
+}

@@ -43,8 +43,12 @@ void Usage() {
       "                       name:weight[:max_inflight[:max_demand]]\n"
       "                       (0 = unlimited). Repeatable.\n"
       "  --history=N          completed-query records kept for the\n"
-      "                       METRICS id= / TRACE id= endpoints\n"
-      "                       (default 64)\n"
+      "                       METRICS id= / TRACE id= / PROFILE id=\n"
+      "                       endpoints (default 64)\n"
+      "  --http-metrics-port=N\n"
+      "                       also serve the Prometheus exposition as\n"
+      "                       plain HTTP on 127.0.0.1:N (GET /metrics;\n"
+      "                       0 = ephemeral). Off by default.\n"
       "  --quiet              skip the final metrics dump on shutdown\n");
 }
 
@@ -150,6 +154,9 @@ int main(int argc, char** argv) {
     } else if (MatchValue(arg, "--history", &value)) {
       options.history_capacity =
           static_cast<size_t>(ParseInt(value, "--history"));
+    } else if (MatchValue(arg, "--http-metrics-port", &value)) {
+      options.http_metrics_port =
+          static_cast<int>(ParseInt(value, "--http-metrics-port"));
     } else if (MatchFlag(arg, "--quiet")) {
       quiet = true;
     } else if (MatchFlag(arg, "--help") || MatchFlag(arg, "-h")) {
@@ -212,6 +219,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "dqr_serve: listening on 127.0.0.1:%d\n",
                server.port());
+  if (options.http_metrics_port >= 0) {
+    std::fprintf(stderr,
+                 "dqr_serve: metrics on http://127.0.0.1:%d/metrics\n",
+                 server.http_port());
+  }
 
   int sig = 0;
   sigwait(&sigs, &sig);

@@ -66,6 +66,16 @@ int main(int argc, char** argv) {
     // failure otherwise.
     return check_only ? 1 : 2;
   }
+  // A structurally valid document with zero events is never a real
+  // capture — it is a truncated write or a run that never attached the
+  // trace. Passing it silently made `dqr_trace --check` a no-op gate.
+  if (loaded.value().events.empty()) {
+    std::fprintf(stderr,
+                 "dqr_trace: %s: trace contains no events (truncated "
+                 "file or a run that never attached the trace?)\n",
+                 path.c_str());
+    return 1;
+  }
 
   if (const dqr::Status status =
           dqr::obs::CheckChromeTrace(loaded.value());
